@@ -1,0 +1,299 @@
+//! Crop models: FAO-56 crop coefficients (Kc) over growth stages, rooting
+//! development, and the FAO-33 yield-response factor Ky.
+//!
+//! Presets cover the four pilots' crops: soybean (MATOPIBA), wine grape
+//! (Guaspari), lettuce and melon (Intercrop's vegetable rotation), and
+//! processing tomato / maize (typical CBEC consortium crops).
+
+/// Phenological stages per FAO-56.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GrowthStage {
+    /// Establishment: Kc ≈ Kc_ini.
+    Initial,
+    /// Canopy development: Kc ramps Kc_ini → Kc_mid.
+    Development,
+    /// Full canopy: Kc = Kc_mid.
+    MidSeason,
+    /// Ripening/senescence: Kc ramps Kc_mid → Kc_end.
+    LateSeason,
+    /// Past harvest.
+    Mature,
+}
+
+/// A crop's water-relevant parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Crop {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Kc during the initial stage.
+    pub kc_ini: f64,
+    /// Kc at full canopy.
+    pub kc_mid: f64,
+    /// Kc at harvest.
+    pub kc_end: f64,
+    /// Stage lengths in days: initial, development, mid, late.
+    pub stage_days: [u32; 4],
+    /// Rooting depth at emergence, m.
+    pub root_depth_ini_m: f64,
+    /// Maximum rooting depth, m.
+    pub root_depth_max_m: f64,
+    /// Soil-water depletion fraction p (FAO-56 table 22).
+    pub depletion_fraction: f64,
+    /// Seasonal yield-response factor Ky (FAO-33).
+    pub ky: f64,
+}
+
+impl Crop {
+    /// Soybean — the MATOPIBA pilot's crop (FAO-56 table 12/22 values).
+    pub fn soybean() -> Self {
+        Crop {
+            name: "soybean",
+            kc_ini: 0.40,
+            kc_mid: 1.15,
+            kc_end: 0.50,
+            stage_days: [20, 30, 60, 25],
+            root_depth_ini_m: 0.15,
+            root_depth_max_m: 1.0,
+            depletion_fraction: 0.50,
+            ky: 0.85,
+        }
+    }
+
+    /// Wine grape — the Guaspari pilot's crop.
+    pub fn wine_grape() -> Self {
+        Crop {
+            name: "wine_grape",
+            kc_ini: 0.30,
+            kc_mid: 0.70,
+            kc_end: 0.45,
+            stage_days: [30, 60, 40, 60],
+            root_depth_ini_m: 0.60,
+            root_depth_max_m: 1.2,
+            depletion_fraction: 0.45,
+            ky: 0.85,
+        }
+    }
+
+    /// Lettuce — Intercrop's leafy vegetable.
+    pub fn lettuce() -> Self {
+        Crop {
+            name: "lettuce",
+            kc_ini: 0.70,
+            kc_mid: 1.00,
+            kc_end: 0.95,
+            stage_days: [25, 35, 30, 10],
+            root_depth_ini_m: 0.10,
+            root_depth_max_m: 0.45,
+            depletion_fraction: 0.30,
+            ky: 1.00,
+        }
+    }
+
+    /// Melon — Intercrop's fruiting vegetable.
+    pub fn melon() -> Self {
+        Crop {
+            name: "melon",
+            kc_ini: 0.50,
+            kc_mid: 1.05,
+            kc_end: 0.75,
+            stage_days: [25, 35, 40, 20],
+            root_depth_ini_m: 0.20,
+            root_depth_max_m: 1.0,
+            depletion_fraction: 0.40,
+            ky: 1.10,
+        }
+    }
+
+    /// Processing tomato — a CBEC consortium staple.
+    pub fn tomato() -> Self {
+        Crop {
+            name: "tomato",
+            kc_ini: 0.60,
+            kc_mid: 1.15,
+            kc_end: 0.80,
+            stage_days: [30, 40, 45, 30],
+            root_depth_ini_m: 0.25,
+            root_depth_max_m: 1.0,
+            depletion_fraction: 0.40,
+            ky: 1.05,
+        }
+    }
+
+    /// Grain maize — a CBEC consortium staple.
+    pub fn maize() -> Self {
+        Crop {
+            name: "maize",
+            kc_ini: 0.30,
+            kc_mid: 1.20,
+            kc_end: 0.45,
+            stage_days: [25, 40, 45, 30],
+            root_depth_ini_m: 0.20,
+            root_depth_max_m: 1.2,
+            depletion_fraction: 0.55,
+            ky: 1.25,
+        }
+    }
+
+    /// Season length, days.
+    pub fn season_days(&self) -> u32 {
+        self.stage_days.iter().sum()
+    }
+
+    /// Growth stage on day-after-sowing `das` (0-based).
+    pub fn stage(&self, das: u32) -> GrowthStage {
+        let [ini, dev, mid, late] = self.stage_days;
+        if das < ini {
+            GrowthStage::Initial
+        } else if das < ini + dev {
+            GrowthStage::Development
+        } else if das < ini + dev + mid {
+            GrowthStage::MidSeason
+        } else if das < ini + dev + mid + late {
+            GrowthStage::LateSeason
+        } else {
+            GrowthStage::Mature
+        }
+    }
+
+    /// Crop coefficient Kc on day-after-sowing `das` (FAO-56 fig. 25
+    /// piecewise-linear curve).
+    pub fn kc(&self, das: u32) -> f64 {
+        let [ini, dev, mid, _late] = self.stage_days;
+        match self.stage(das) {
+            GrowthStage::Initial => self.kc_ini,
+            GrowthStage::Development => {
+                let f = (das - ini) as f64 / dev as f64;
+                self.kc_ini + f * (self.kc_mid - self.kc_ini)
+            }
+            GrowthStage::MidSeason => self.kc_mid,
+            GrowthStage::LateSeason => {
+                let late_start = ini + dev + mid;
+                let f = (das - late_start) as f64 / self.stage_days[3] as f64;
+                self.kc_mid + f * (self.kc_end - self.kc_mid)
+            }
+            GrowthStage::Mature => self.kc_end,
+        }
+    }
+
+    /// Rooting depth on day `das`, growing linearly from initial to max by
+    /// the start of mid-season.
+    pub fn root_depth(&self, das: u32) -> f64 {
+        let full_by = (self.stage_days[0] + self.stage_days[1]) as f64;
+        let f = (das as f64 / full_by).min(1.0);
+        self.root_depth_ini_m + f * (self.root_depth_max_m - self.root_depth_ini_m)
+    }
+
+    /// FAO-33 relative yield: `1 − Ya/Ym = Ky (1 − ETa/ETc)`.
+    ///
+    /// # Panics
+    /// Panics if `etc_total <= 0`.
+    pub fn relative_yield(&self, eta_total: f64, etc_total: f64) -> f64 {
+        assert!(etc_total > 0.0, "ETc must be positive");
+        let ratio = (eta_total / etc_total).clamp(0.0, 1.0);
+        (1.0 - self.ky * (1.0 - ratio)).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kc_curve_shape_soybean() {
+        let c = Crop::soybean();
+        assert_eq!(c.kc(0), 0.40);
+        assert_eq!(c.kc(19), 0.40);
+        // Midpoint of development ramps halfway.
+        let mid_dev = c.kc(20 + 15);
+        assert!((mid_dev - (0.40 + 1.15) / 2.0).abs() < 0.03);
+        assert_eq!(c.kc(55), 1.15);
+        assert_eq!(c.kc(109), 1.15);
+        // Late season ramps down.
+        assert!(c.kc(122) < 1.15);
+        assert!(c.kc(200) - 0.50 < 1e-9);
+    }
+
+    #[test]
+    fn stages_partition_season() {
+        let c = Crop::maize();
+        assert_eq!(c.season_days(), 140);
+        assert_eq!(c.stage(0), GrowthStage::Initial);
+        assert_eq!(c.stage(24), GrowthStage::Initial);
+        assert_eq!(c.stage(25), GrowthStage::Development);
+        assert_eq!(c.stage(64), GrowthStage::Development);
+        assert_eq!(c.stage(65), GrowthStage::MidSeason);
+        assert_eq!(c.stage(109), GrowthStage::MidSeason);
+        assert_eq!(c.stage(110), GrowthStage::LateSeason);
+        assert_eq!(c.stage(139), GrowthStage::LateSeason);
+        assert_eq!(c.stage(140), GrowthStage::Mature);
+    }
+
+    #[test]
+    fn kc_is_continuous() {
+        // No jumps bigger than the development-ramp slope anywhere.
+        for crop in [
+            Crop::soybean(),
+            Crop::wine_grape(),
+            Crop::lettuce(),
+            Crop::melon(),
+            Crop::tomato(),
+            Crop::maize(),
+        ] {
+            let mut last = crop.kc(0);
+            for das in 1..crop.season_days() + 10 {
+                let now = crop.kc(das);
+                assert!(
+                    (now - last).abs() < 0.1,
+                    "{}: Kc jump at day {das}: {last} -> {now}",
+                    crop.name
+                );
+                last = now;
+            }
+        }
+    }
+
+    #[test]
+    fn roots_grow_to_max() {
+        let c = Crop::soybean();
+        assert_eq!(c.root_depth(0), 0.15);
+        assert!((c.root_depth(50) - 1.0).abs() < 1e-9);
+        assert!((c.root_depth(140) - 1.0).abs() < 1e-9);
+        assert!(c.root_depth(25) > 0.15);
+        assert!(c.root_depth(25) < 1.0);
+    }
+
+    #[test]
+    fn full_water_full_yield() {
+        let c = Crop::soybean();
+        assert!((c.relative_yield(450.0, 450.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deficit_reduces_yield_by_ky() {
+        let c = Crop::maize(); // Ky = 1.25: sensitive
+        // 20% ET deficit → 25% yield loss.
+        let y = c.relative_yield(400.0, 500.0);
+        assert!((y - 0.75).abs() < 1e-9, "yield {y}");
+        // Soybean (Ky=0.85) tolerates the same deficit better.
+        let ys = Crop::soybean().relative_yield(400.0, 500.0);
+        assert!(ys > y);
+    }
+
+    #[test]
+    fn yield_clamped_at_zero() {
+        let c = Crop::maize();
+        assert_eq!(c.relative_yield(0.0, 500.0), 0.0);
+    }
+
+    #[test]
+    fn excess_eta_does_not_exceed_full_yield() {
+        let c = Crop::soybean();
+        assert!((c.relative_yield(600.0, 500.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "ETc")]
+    fn zero_etc_panics() {
+        Crop::soybean().relative_yield(1.0, 0.0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Reference evapotranspiration (ET₀) via the FAO-56 Penman–Monteith
+//! equation, plus the Hargreaves fallback for data-poor sites.
+//!
+//! ET₀ is the heart of every irrigation decision in SWAMP: crop water demand
+//! is `ETc = Kc · ET₀`, and the smart scheduler irrigates to replace it.
+//! The implementation follows Allen et al., *FAO Irrigation and Drainage
+//! Paper 56* (1998), and is validated against the worked examples there.
+
+use std::f64::consts::PI;
+
+/// Solar constant, MJ m⁻² min⁻¹ (FAO-56 eq. 28).
+const GSC: f64 = 0.0820;
+
+/// Daily weather inputs for the Penman–Monteith calculation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EtInputs {
+    /// Maximum air temperature, °C.
+    pub tmax_c: f64,
+    /// Minimum air temperature, °C.
+    pub tmin_c: f64,
+    /// Actual vapour pressure, kPa (see [`ea_from_rh_mean`]).
+    pub ea_kpa: f64,
+    /// Wind speed at 2 m height, m/s.
+    pub wind_2m: f64,
+    /// Measured incoming solar radiation, MJ m⁻² day⁻¹.
+    pub solar_mj: f64,
+    /// Site latitude, degrees (negative = southern hemisphere).
+    pub latitude_deg: f64,
+    /// Site elevation above sea level, m.
+    pub elevation_m: f64,
+    /// Day of year, 1–366.
+    pub day_of_year: u32,
+}
+
+/// Saturation vapour pressure at temperature `t` °C, kPa (FAO-56 eq. 11).
+pub fn svp(t: f64) -> f64 {
+    0.6108 * ((17.27 * t) / (t + 237.3)).exp()
+}
+
+/// Actual vapour pressure from mean relative humidity and the daily
+/// temperature extremes (FAO-56 eq. 19).
+pub fn ea_from_rh_mean(rh_mean_pct: f64, tmax_c: f64, tmin_c: f64) -> f64 {
+    let es = (svp(tmax_c) + svp(tmin_c)) / 2.0;
+    (rh_mean_pct / 100.0).clamp(0.0, 1.0) * es
+}
+
+/// Slope of the saturation vapour pressure curve at `t` °C, kPa/°C
+/// (FAO-56 eq. 13).
+pub fn svp_slope(t: f64) -> f64 {
+    4098.0 * svp(t) / (t + 237.3).powi(2)
+}
+
+/// Psychrometric constant for a site elevation, kPa/°C (FAO-56 eq. 7–8).
+pub fn psychrometric_constant(elevation_m: f64) -> f64 {
+    let pressure = 101.3 * ((293.0 - 0.0065 * elevation_m) / 293.0).powf(5.26);
+    0.000665 * pressure
+}
+
+/// Extraterrestrial radiation Ra, MJ m⁻² day⁻¹ (FAO-56 eq. 21–24).
+///
+/// # Panics
+/// Panics if `day_of_year` is outside 1..=366 or latitude is beyond ±66.5°
+/// (polar day/night is outside the model's domain and the pilots' geography).
+pub fn extraterrestrial_radiation(latitude_deg: f64, day_of_year: u32) -> f64 {
+    assert!(
+        (1..=366).contains(&day_of_year),
+        "day_of_year {day_of_year} outside 1..=366"
+    );
+    assert!(
+        latitude_deg.abs() <= 66.5,
+        "latitude {latitude_deg} outside the FAO-56 domain"
+    );
+    let j = day_of_year as f64;
+    let phi = latitude_deg.to_radians();
+    let dr = 1.0 + 0.033 * (2.0 * PI / 365.0 * j).cos();
+    let delta = 0.409 * (2.0 * PI / 365.0 * j - 1.39).sin();
+    let ws = (-phi.tan() * delta.tan()).acos();
+    24.0 * 60.0 / PI
+        * GSC
+        * dr
+        * (ws * phi.sin() * delta.sin() + phi.cos() * delta.cos() * ws.sin())
+}
+
+/// Clear-sky radiation Rso, MJ m⁻² day⁻¹ (FAO-56 eq. 37).
+pub fn clear_sky_radiation(ra: f64, elevation_m: f64) -> f64 {
+    (0.75 + 2e-5 * elevation_m) * ra
+}
+
+/// Daily FAO-56 Penman–Monteith reference evapotranspiration, mm/day.
+///
+/// Soil heat flux G is taken as zero, appropriate for daily steps
+/// (FAO-56 eq. 42). Returns at least 0 (nighttime-condensation cases clamp).
+pub fn penman_monteith(inputs: &EtInputs) -> f64 {
+    let tmean = (inputs.tmax_c + inputs.tmin_c) / 2.0;
+    let delta = svp_slope(tmean);
+    let gamma = psychrometric_constant(inputs.elevation_m);
+    let es = (svp(inputs.tmax_c) + svp(inputs.tmin_c)) / 2.0;
+    let ea = inputs.ea_kpa.min(es); // physical bound
+
+    // Net shortwave (albedo 0.23, eq. 38).
+    let rns = 0.77 * inputs.solar_mj;
+
+    // Net longwave (eq. 39).
+    let ra = extraterrestrial_radiation(inputs.latitude_deg, inputs.day_of_year);
+    let rso = clear_sky_radiation(ra, inputs.elevation_m);
+    let rel = if rso > 0.0 {
+        (inputs.solar_mj / rso).clamp(0.25, 1.0)
+    } else {
+        0.5
+    };
+    let sigma_term = 4.903e-9
+        * ((inputs.tmax_c + 273.16).powi(4) + (inputs.tmin_c + 273.16).powi(4))
+        / 2.0;
+    let rnl = sigma_term * (0.34 - 0.14 * ea.sqrt()) * (1.35 * rel - 0.35);
+
+    let rn = rns - rnl;
+
+    let num = 0.408 * delta * rn
+        + gamma * 900.0 / (tmean + 273.0) * inputs.wind_2m * (es - ea);
+    let den = delta + gamma * (1.0 + 0.34 * inputs.wind_2m);
+    (num / den).max(0.0)
+}
+
+/// Hargreaves-Samani ET₀ estimate, mm/day (FAO-56 eq. 52) — used when only
+/// temperature data is available (degraded-sensor scenarios).
+pub fn hargreaves(tmax_c: f64, tmin_c: f64, latitude_deg: f64, day_of_year: u32) -> f64 {
+    let tmean = (tmax_c + tmin_c) / 2.0;
+    let ra = extraterrestrial_radiation(latitude_deg, day_of_year);
+    // 0.408 converts MJ m⁻² day⁻¹ to mm/day equivalent evaporation.
+    (0.0023 * (tmean + 17.8) * (tmax_c - tmin_c).max(0.0).sqrt() * ra * 0.408).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// FAO-56 Example 17 (Brussels/Uccle, 6 July): published ET₀ = 3.88 mm.
+    #[test]
+    fn fao56_example17_brussels() {
+        let inputs = EtInputs {
+            tmax_c: 21.5,
+            tmin_c: 12.3,
+            ea_kpa: 1.409,
+            wind_2m: 2.78,
+            solar_mj: 22.07,
+            latitude_deg: 50.8,
+            elevation_m: 100.0,
+            day_of_year: 187,
+        };
+        let et0 = penman_monteith(&inputs);
+        assert!((et0 - 3.88).abs() < 0.12, "ET0 {et0} vs published 3.88");
+    }
+
+    /// FAO-56 Example 8: Ra at 20°S on 3 September ≈ 32.2 MJ m⁻² day⁻¹.
+    #[test]
+    fn fao56_example8_ra() {
+        let ra = extraterrestrial_radiation(-20.0, 246);
+        assert!((ra - 32.2).abs() < 0.3, "Ra {ra} vs published 32.2");
+    }
+
+    /// FAO-56 Example 11: es at Tmax 24.5/Tmin 15 → es = 2.39 kPa.
+    #[test]
+    fn fao56_example11_es() {
+        let es = (svp(24.5) + svp(15.0)) / 2.0;
+        assert!((es - 2.39).abs() < 0.01, "es {es}");
+    }
+
+    /// FAO-56 Example 2: γ at 1800 m ≈ 0.054 kPa/°C.
+    #[test]
+    fn fao56_example2_gamma() {
+        let g = psychrometric_constant(1800.0);
+        assert!((g - 0.054).abs() < 0.001, "gamma {g}");
+    }
+
+    #[test]
+    fn et0_positive_and_bounded() {
+        // A hot dry windy day in Barreiras (MATOPIBA pilot geography).
+        let inputs = EtInputs {
+            tmax_c: 34.0,
+            tmin_c: 20.0,
+            ea_kpa: ea_from_rh_mean(45.0, 34.0, 20.0),
+            wind_2m: 3.0,
+            solar_mj: 24.0,
+            latitude_deg: -12.15,
+            elevation_m: 720.0,
+            day_of_year: 200,
+        };
+        let et0 = penman_monteith(&inputs);
+        assert!(et0 > 4.0 && et0 < 12.0, "tropical dry-season ET0 {et0}");
+    }
+
+    #[test]
+    fn humid_cool_day_has_lower_et0() {
+        let hot = EtInputs {
+            tmax_c: 35.0,
+            tmin_c: 22.0,
+            ea_kpa: ea_from_rh_mean(30.0, 35.0, 22.0),
+            wind_2m: 4.0,
+            solar_mj: 26.0,
+            latitude_deg: 37.6,
+            elevation_m: 10.0,
+            day_of_year: 190,
+        };
+        let cool = EtInputs {
+            tmax_c: 18.0,
+            tmin_c: 10.0,
+            ea_kpa: ea_from_rh_mean(90.0, 18.0, 10.0),
+            wind_2m: 1.0,
+            solar_mj: 8.0,
+            ..hot
+        };
+        assert!(penman_monteith(&hot) > 2.0 * penman_monteith(&cool));
+    }
+
+    #[test]
+    fn ea_clamped_to_es() {
+        // RH over 100% (faulty sensor) must not produce negative VPD.
+        let inputs = EtInputs {
+            tmax_c: 20.0,
+            tmin_c: 10.0,
+            ea_kpa: 5.0, // impossible, above saturation
+            wind_2m: 2.0,
+            solar_mj: 15.0,
+            latitude_deg: 44.5,
+            elevation_m: 30.0,
+            day_of_year: 150,
+        };
+        let et0 = penman_monteith(&inputs);
+        assert!(et0.is_finite() && et0 >= 0.0);
+    }
+
+    #[test]
+    fn hargreaves_tracks_pm_roughly() {
+        // Hargreaves should land within a factor ~1.6 of PM for a normal day.
+        let inputs = EtInputs {
+            tmax_c: 28.0,
+            tmin_c: 16.0,
+            ea_kpa: ea_from_rh_mean(60.0, 28.0, 16.0),
+            wind_2m: 2.0,
+            solar_mj: 20.0,
+            latitude_deg: 40.0,
+            elevation_m: 200.0,
+            day_of_year: 180,
+        };
+        let pm = penman_monteith(&inputs);
+        let hg = hargreaves(28.0, 16.0, 40.0, 180);
+        assert!(hg > pm / 1.6 && hg < pm * 1.6, "PM {pm} vs HG {hg}");
+    }
+
+    #[test]
+    fn ra_seasonality_flips_with_hemisphere() {
+        // Northern midsummer vs midwinter.
+        let north_summer = extraterrestrial_radiation(45.0, 172);
+        let north_winter = extraterrestrial_radiation(45.0, 355);
+        assert!(north_summer > 2.0 * north_winter);
+        // Southern hemisphere mirrors it.
+        let south_summer = extraterrestrial_radiation(-45.0, 355);
+        let south_winter = extraterrestrial_radiation(-45.0, 172);
+        assert!(south_summer > 2.0 * south_winter);
+    }
+
+    #[test]
+    #[should_panic(expected = "day_of_year")]
+    fn bad_doy_panics() {
+        let _ = extraterrestrial_radiation(0.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "latitude")]
+    fn polar_latitude_panics() {
+        let _ = extraterrestrial_radiation(80.0, 100);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the agronomic models.
+
+use proptest::prelude::*;
+use swamp_agro::crop::Crop;
+use swamp_agro::et::{ea_from_rh_mean, hargreaves, penman_monteith, EtInputs};
+use swamp_agro::weather::{ClimateProfile, WeatherGenerator};
+use swamp_sim::SimRng;
+
+fn crops() -> Vec<Crop> {
+    vec![
+        Crop::soybean(),
+        Crop::wine_grape(),
+        Crop::lettuce(),
+        Crop::melon(),
+        Crop::tomato(),
+        Crop::maize(),
+    ]
+}
+
+proptest! {
+    /// ET₀ is finite and non-negative over the whole plausible input space,
+    /// for both formulations.
+    #[test]
+    fn et0_finite_nonnegative(
+        tmax in -5.0f64..48.0,
+        range in 1.0f64..25.0,
+        rh in 5.0f64..100.0,
+        wind in 0.0f64..20.0,
+        solar in 0.5f64..35.0,
+        lat in -60.0f64..60.0,
+        elev in 0.0f64..3000.0,
+        doy in 1u32..=366,
+    ) {
+        let tmin = tmax - range;
+        let inputs = EtInputs {
+            tmax_c: tmax,
+            tmin_c: tmin,
+            ea_kpa: ea_from_rh_mean(rh, tmax, tmin),
+            wind_2m: wind,
+            solar_mj: solar,
+            latitude_deg: lat,
+            elevation_m: elev,
+            day_of_year: doy,
+        };
+        let pm = penman_monteith(&inputs);
+        prop_assert!(pm.is_finite() && pm >= 0.0, "PM {pm}");
+        // The aerodynamic term legitimately reaches ~35 mm/day at the
+        // unphysical corner of this input box (46 °C, 5% RH, 20 m/s wind);
+        // the bound is a sanity rail, not a climatology.
+        prop_assert!(pm < 40.0, "PM {pm} beyond the equation's plausible range");
+        let hg = hargreaves(tmax, tmin, lat, doy);
+        prop_assert!(hg.is_finite() && hg >= 0.0, "HG {hg}");
+    }
+
+    /// Kc curves are bounded by the stage coefficients and root depth is
+    /// monotone non-decreasing, for every crop and any day.
+    #[test]
+    fn crop_curves_well_behaved(day in 0u32..400) {
+        for crop in crops() {
+            let kc = crop.kc(day);
+            let lo = crop.kc_ini.min(crop.kc_mid).min(crop.kc_end) - 1e-9;
+            let hi = crop.kc_ini.max(crop.kc_mid).max(crop.kc_end) + 1e-9;
+            prop_assert!((lo..=hi).contains(&kc), "{}: Kc {kc} on day {day}", crop.name);
+            if day > 0 {
+                prop_assert!(
+                    crop.root_depth(day) >= crop.root_depth(day - 1) - 1e-12,
+                    "{}: roots shrank", crop.name
+                );
+            }
+            prop_assert!(crop.root_depth(day) <= crop.root_depth_max_m + 1e-12);
+        }
+    }
+
+    /// Relative yield is in [0,1], monotone in water supplied.
+    #[test]
+    fn yield_monotone_in_water(
+        etc in 100.0f64..900.0,
+        frac_a in 0.0f64..1.0,
+        frac_b in 0.0f64..1.0,
+    ) {
+        for crop in crops() {
+            let (lo, hi) = if frac_a <= frac_b { (frac_a, frac_b) } else { (frac_b, frac_a) };
+            let y_lo = crop.relative_yield(etc * lo, etc);
+            let y_hi = crop.relative_yield(etc * hi, etc);
+            prop_assert!((0.0..=1.0).contains(&y_lo));
+            prop_assert!((0.0..=1.0).contains(&y_hi));
+            prop_assert!(y_hi >= y_lo - 1e-12, "{}: yield not monotone", crop.name);
+        }
+    }
+
+    /// Weather generation never violates physical invariants, for any seed
+    /// and any climate.
+    #[test]
+    fn weather_invariants_any_seed(seed in any::<u64>(), start in 1u32..365) {
+        for climate in [
+            ClimateProfile::bologna(),
+            ClimateProfile::cartagena(),
+            ClimateProfile::pinhal(),
+            ClimateProfile::barreiras(),
+        ] {
+            let mut g = WeatherGenerator::new(climate, SimRng::seed_from(seed));
+            for day in g.generate_run(start, 30) {
+                prop_assert!(day.tmax_c > day.tmin_c);
+                prop_assert!(day.rain_mm >= 0.0 && day.rain_mm < 500.0);
+                prop_assert!((15.0..=100.0).contains(&day.rh_mean_pct));
+                prop_assert!(day.wind_2m > 0.0);
+                prop_assert!(day.solar_mj > 0.0 && day.solar_mj < 45.0);
+            }
+        }
+    }
+}

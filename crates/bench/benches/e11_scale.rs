@@ -1,0 +1,21 @@
+//! Bench target for E11: platform scaling (see EXPERIMENTS.md). Regenerates the table and
+//! measures the cost of producing it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_scale");
+    group.sample_size(10);
+    group.bench_function("run", |b| {
+        b.iter(|| black_box(swamp_pilots::experiments::e11_platform_scale(black_box(42))))
+    });
+    group.finish();
+
+    // Print the regenerated table once so `cargo bench` output documents it.
+    let result = swamp_pilots::experiments::e11_platform_scale(42);
+    println!("{}", result.report());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

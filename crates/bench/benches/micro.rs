@@ -1,0 +1,155 @@
+//! Substrate microbenchmarks: the primitives whose per-operation cost the
+//! platform numbers (E7/E8/E9/E11) decompose into — hashing, AEAD,
+//! JSON/NGSI codec, broker updates, token validation and ledger verify.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use swamp_codec::json::Json;
+use swamp_codec::ngsi::Entity;
+use swamp_core::broker::{ContextBroker, SubscriptionFilter};
+use swamp_crypto::aead::{NonceSequence, SecretKey};
+use swamp_crypto::sha256::Sha256;
+use swamp_security::identity::IdentityProvider;
+use swamp_security::ledger::{Ledger, LifecycleEvent, LifecycleKind};
+use swamp_sim::{SimDuration, SimTime};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16384] {
+        let data = vec![0xABu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("digest_{size}B"), |b| {
+            b.iter(|| black_box(Sha256::digest(black_box(&data))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_aead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aead");
+    let key = SecretKey::derive(b"bench", "micro");
+    for size in [64usize, 1024] {
+        let data = vec![0x55u8; size];
+        let mut nonces = NonceSequence::new(1);
+        let nonce = nonces.next_nonce();
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("seal_{size}B"), |b| {
+            b.iter(|| black_box(key.seal(black_box(&nonce), b"aad", black_box(&data))))
+        });
+        let sealed = key.seal(&nonce, b"aad", &data);
+        group.bench_function(format!("open_{size}B"), |b| {
+            b.iter(|| black_box(key.open(b"aad", black_box(&sealed)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    let mut entity = Entity::new("urn:swamp:device:probe-1", "SoilProbe");
+    entity.set("moisture_vwc", 0.2431);
+    entity.set("temperature_c", 19.5);
+    entity.set("battery_fraction", 0.91);
+    entity.set("seq", 12345.0);
+    let wire = entity.to_json().to_compact_string();
+    group.throughput(Throughput::Bytes(wire.len() as u64));
+    group.bench_function("entity_encode", |b| {
+        b.iter(|| black_box(black_box(&entity).to_json().to_compact_string()))
+    });
+    group.bench_function("entity_decode", |b| {
+        b.iter(|| {
+            let json = Json::parse(black_box(&wire)).unwrap();
+            black_box(Entity::from_json(&json).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_broker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("context_broker");
+    group.bench_function("upsert_with_100_subscriptions", |b| {
+        let mut broker = ContextBroker::new();
+        for i in 0..100 {
+            broker.subscribe(SubscriptionFilter {
+                entity_type: Some("SoilProbe".into()),
+                id_prefix: Some(format!("urn:swamp:farm{}:", i % 10)),
+                watched_attrs: vec![],
+            });
+        }
+        let mut v = 0.0f64;
+        b.iter(|| {
+            v += 0.001;
+            let mut e = Entity::new("urn:swamp:farm3:probe", "SoilProbe");
+            e.set("moisture_vwc", v);
+            black_box(broker.upsert(SimTime::ZERO, e));
+        })
+    });
+    group.finish();
+}
+
+fn bench_identity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("identity");
+    let mut idm = IdentityProvider::new(b"bench", SimDuration::from_hours(1));
+    idm.register_client("gw", "secret", &["context:write"]);
+    let token = idm
+        .client_credentials_grant(SimTime::ZERO, "gw", "secret", &["context:write"])
+        .unwrap();
+    group.bench_function("validate_token", |b| {
+        b.iter(|| black_box(idm.validate(SimTime::ZERO, black_box(&token)).unwrap()))
+    });
+    group.bench_function("client_credentials_grant", |b| {
+        b.iter(|| {
+            black_box(
+                idm.client_credentials_grant(
+                    SimTime::ZERO,
+                    "gw",
+                    "secret",
+                    &["context:write"],
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_ledger(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ledger");
+    group.sample_size(20);
+    let mut ledger = Ledger::new();
+    ledger.register_authority("a", b"key");
+    for block in 0..100u64 {
+        let events = (0..10)
+            .map(|i| LifecycleEvent {
+                device_id: format!("dev-{block}-{i}"),
+                kind: LifecycleKind::Provisioned {
+                    owner: "owner:bench".into(),
+                },
+                at: SimTime::from_secs(block),
+            })
+            .collect();
+        ledger.append("a", SimTime::from_secs(block), events).unwrap();
+    }
+    group.bench_function("verify_100_blocks_1000_events", |b| {
+        b.iter(|| {
+            ledger.verify().unwrap();
+            black_box(())
+        })
+    });
+    group.bench_function("device_state_replay", |b| {
+        b.iter(|| black_box(ledger.device_state(black_box("dev-50-5"))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_aead,
+    bench_codec,
+    bench_broker,
+    bench_identity,
+    bench_ledger
+);
+criterion_main!(benches);

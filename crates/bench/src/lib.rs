@@ -1,0 +1,1 @@
+//! SWAMP benchmark support crate (see benches/).

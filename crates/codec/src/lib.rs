@@ -1,0 +1,32 @@
+//! # swamp-codec — data representation for the SWAMP platform
+//!
+//! FIWARE's context broker speaks NGSI, a JSON-based entity/attribute data
+//! model. SWAMP reproduces that substrate from scratch:
+//!
+//! - [`json`] — a complete JSON value type, parser and writer (no external
+//!   JSON crate is in the approved dependency set, and the broker needs a
+//!   real wire format, so we implement RFC 8259 here).
+//! - [`ngsi`] — the NGSI-like context data model: [`ngsi::Entity`] with typed
+//!   attributes and metadata, round-trippable through [`json::Json`].
+//!
+//! ## Example
+//!
+//! ```
+//! use swamp_codec::json::Json;
+//! use swamp_codec::ngsi::{Entity, AttrValue};
+//!
+//! let mut e = Entity::new("urn:swamp:soil:001", "SoilProbe");
+//! e.set("moisture_vwc", AttrValue::Number(0.23));
+//! e.set("zone", AttrValue::Text("NE-quadrant".into()));
+//!
+//! let wire = e.to_json().to_string();
+//! let parsed = Json::parse(&wire).unwrap();
+//! let back = Entity::from_json(&parsed).unwrap();
+//! assert_eq!(back, e);
+//! ```
+
+pub mod json;
+pub mod ngsi;
+
+pub use json::Json;
+pub use ngsi::{AttrValue, Attribute, Entity, EntityId};

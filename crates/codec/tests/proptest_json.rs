@@ -1,0 +1,87 @@
+//! Property-based tests: arbitrary JSON values and entities round-trip
+//! through serialization, and the parser never panics on arbitrary input.
+
+use proptest::prelude::*;
+use swamp_codec::json::Json;
+use swamp_codec::ngsi::{AttrValue, Attribute, Entity};
+
+/// Strategy for arbitrary (finite-number) JSON values up to a small depth.
+fn arb_json() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        // Finite doubles only: JSON has no NaN/inf.
+        (-1e12f64..1e12f64).prop_map(Json::Number),
+        "[a-zA-Z0-9 _\\-\\.\u{00e9}\u{4e16}]{0,12}".prop_map(Json::String),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Json::Array),
+            prop::collection::btree_map("[a-z]{1,8}", inner, 0..6)
+                .prop_map(Json::Object),
+        ]
+    })
+}
+
+fn arb_attr_value() -> impl Strategy<Value = AttrValue> {
+    prop_oneof![
+        (-1e9f64..1e9f64).prop_map(AttrValue::Number),
+        "[a-zA-Z0-9 ]{0,16}".prop_map(AttrValue::Text),
+        any::<bool>().prop_map(AttrValue::Flag),
+        ((-90.0f64..90.0), (-180.0f64..180.0))
+            .prop_map(|(a, b)| AttrValue::GeoPoint(a, b)),
+        prop::collection::vec(-1e6f64..1e6f64, 0..8).prop_map(AttrValue::NumberList),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn json_compact_roundtrip(v in arb_json()) {
+        let text = v.to_compact_string();
+        let parsed = Json::parse(&text).expect("reparse compact");
+        prop_assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn json_pretty_roundtrip(v in arb_json()) {
+        let text = v.to_pretty_string();
+        let parsed = Json::parse(&text).expect("reparse pretty");
+        prop_assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,64}") {
+        // Result ignored: the property is the absence of a panic.
+        let _ = Json::parse(&s);
+    }
+
+    #[test]
+    fn parser_never_panics_on_bytes(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        if let Ok(s) = std::str::from_utf8(&bytes) {
+            let _ = Json::parse(s);
+        }
+    }
+
+    #[test]
+    fn entity_roundtrip(
+        id in "[a-z:0-9]{1,20}",
+        ty in "[A-Za-z]{1,12}",
+        attrs in prop::collection::btree_map(
+            "[a-z_]{1,10}",
+            (arb_attr_value(), prop::option::of(0u64..10_000_000)),
+            0..8,
+        ),
+    ) {
+        let mut e = Entity::new(id.as_str(), ty);
+        for (name, (value, ts)) in attrs {
+            let mut a = Attribute::new(value);
+            if let Some(ts) = ts {
+                a = a.observed_at(ts);
+            }
+            e.set_attribute(name, a);
+        }
+        let wire = e.to_json().to_compact_string();
+        let back = Entity::from_json(&Json::parse(&wire).unwrap()).unwrap();
+        prop_assert_eq!(back, e);
+    }
+}

@@ -1,0 +1,344 @@
+//! The NGSI-like context broker (FIWARE Orion analogue).
+//!
+//! Entities are upserted (attribute-merge semantics); subscriptions match
+//! on entity type and/or id prefix and optionally a watched attribute set,
+//! and produce queued [`Notification`]s that consumers poll — deterministic
+//! and free of callback re-entrancy.
+
+use std::collections::BTreeMap;
+
+use swamp_codec::ngsi::{Entity, EntityId};
+use swamp_sim::SimTime;
+
+/// Identifier of a subscription.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubscriptionId(u64);
+
+/// What a subscription watches.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SubscriptionFilter {
+    /// Match entities of this type (None = any).
+    pub entity_type: Option<String>,
+    /// Match entity ids with this prefix (None = any).
+    pub id_prefix: Option<String>,
+    /// Only fire when one of these attributes changed (empty = any change).
+    pub watched_attrs: Vec<String>,
+}
+
+impl SubscriptionFilter {
+    /// Matches every update.
+    pub fn any() -> Self {
+        SubscriptionFilter::default()
+    }
+
+    /// Matches a specific entity type.
+    pub fn for_type(entity_type: impl Into<String>) -> Self {
+        SubscriptionFilter {
+            entity_type: Some(entity_type.into()),
+            ..SubscriptionFilter::default()
+        }
+    }
+
+    fn matches(&self, entity: &Entity, changed: &[String]) -> bool {
+        if let Some(t) = &self.entity_type {
+            if entity.entity_type() != t {
+                return false;
+            }
+        }
+        if let Some(p) = &self.id_prefix {
+            if !entity.id().as_str().starts_with(p.as_str()) {
+                return false;
+            }
+        }
+        if !self.watched_attrs.is_empty()
+            && !changed.iter().any(|c| self.watched_attrs.contains(c))
+        {
+            return false;
+        }
+        true
+    }
+}
+
+/// A queued change notification.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Notification {
+    /// The subscription that fired.
+    pub subscription: SubscriptionId,
+    /// Snapshot of the entity after the update.
+    pub entity: Entity,
+    /// Attribute names that changed in the triggering update.
+    pub changed_attrs: Vec<String>,
+    /// When the update happened.
+    pub at: SimTime,
+}
+
+/// The context broker.
+///
+/// # Example
+/// ```
+/// use swamp_core::broker::{ContextBroker, SubscriptionFilter};
+/// use swamp_codec::ngsi::Entity;
+/// use swamp_sim::SimTime;
+///
+/// let mut broker = ContextBroker::new();
+/// let sub = broker.subscribe(SubscriptionFilter::for_type("SoilProbe"));
+///
+/// let mut probe = Entity::new("urn:swamp:probe:1", "SoilProbe");
+/// probe.set("moisture_vwc", 0.24);
+/// broker.upsert(SimTime::ZERO, probe);
+///
+/// let notes = broker.take_notifications(sub);
+/// assert_eq!(notes.len(), 1);
+/// assert_eq!(notes[0].changed_attrs, vec!["moisture_vwc".to_string()]);
+/// ```
+#[derive(Debug, Default)]
+pub struct ContextBroker {
+    entities: BTreeMap<EntityId, Entity>,
+    subscriptions: BTreeMap<SubscriptionId, SubscriptionFilter>,
+    queues: BTreeMap<SubscriptionId, Vec<Notification>>,
+    next_sub: u64,
+    updates: u64,
+    notifications: u64,
+}
+
+impl ContextBroker {
+    /// Creates an empty broker.
+    pub fn new() -> Self {
+        ContextBroker::default()
+    }
+
+    /// Number of stored entities.
+    pub fn entity_count(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Total updates processed.
+    pub fn update_count(&self) -> u64 {
+        self.updates
+    }
+
+    /// Total notifications generated.
+    pub fn notification_count(&self) -> u64 {
+        self.notifications
+    }
+
+    /// Registers a subscription; returns its id.
+    pub fn subscribe(&mut self, filter: SubscriptionFilter) -> SubscriptionId {
+        let id = SubscriptionId(self.next_sub);
+        self.next_sub += 1;
+        self.subscriptions.insert(id, filter);
+        self.queues.insert(id, Vec::new());
+        id
+    }
+
+    /// Cancels a subscription, discarding undelivered notifications.
+    pub fn unsubscribe(&mut self, id: SubscriptionId) {
+        self.subscriptions.remove(&id);
+        self.queues.remove(&id);
+    }
+
+    /// Upserts an entity: existing attributes are merged (NGSI update
+    /// semantics), subscriptions fire on the changed attribute set.
+    /// Returns the names of attributes that changed value.
+    pub fn upsert(&mut self, now: SimTime, update: Entity) -> Vec<String> {
+        self.updates += 1;
+        let id = update.id().clone();
+        let changed: Vec<String> = match self.entities.get(&id) {
+            None => update.attributes().map(|(n, _)| n.to_owned()).collect(),
+            Some(existing) => update
+                .attributes()
+                .filter(|(name, attr)| existing.attribute(name) != Some(*attr))
+                .map(|(n, _)| n.to_owned())
+                .collect(),
+        };
+        let merged = match self.entities.get_mut(&id) {
+            Some(existing) => {
+                existing.merge_from(&update);
+                existing.clone()
+            }
+            None => {
+                self.entities.insert(id.clone(), update.clone());
+                update
+            }
+        };
+        if !changed.is_empty() {
+            for (&sub_id, filter) in &self.subscriptions {
+                if filter.matches(&merged, &changed) {
+                    self.notifications += 1;
+                    self.queues.get_mut(&sub_id).expect("queue exists").push(
+                        Notification {
+                            subscription: sub_id,
+                            entity: merged.clone(),
+                            changed_attrs: changed.clone(),
+                            at: now,
+                        },
+                    );
+                }
+            }
+        }
+        changed
+    }
+
+    /// Looks up an entity by id.
+    pub fn entity(&self, id: &EntityId) -> Option<&Entity> {
+        self.entities.get(id)
+    }
+
+    /// All entities of a type.
+    pub fn entities_of_type<'a>(
+        &'a self,
+        entity_type: &'a str,
+    ) -> impl Iterator<Item = &'a Entity> + 'a {
+        self.entities
+            .values()
+            .filter(move |e| e.entity_type() == entity_type)
+    }
+
+    /// Removes an entity; returns whether it existed.
+    pub fn remove(&mut self, id: &EntityId) -> bool {
+        self.entities.remove(id).is_some()
+    }
+
+    /// Takes (drains) the pending notifications of a subscription.
+    pub fn take_notifications(&mut self, id: SubscriptionId) -> Vec<Notification> {
+        self.queues.get_mut(&id).map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Pending notification count for a subscription.
+    pub fn pending_notifications(&self, id: SubscriptionId) -> usize {
+        self.queues.get(&id).map_or(0, Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe(id: &str, vwc: f64) -> Entity {
+        let mut e = Entity::new(id, "SoilProbe");
+        e.set("moisture_vwc", vwc);
+        e
+    }
+
+    #[test]
+    fn upsert_creates_then_merges() {
+        let mut b = ContextBroker::new();
+        let changed = b.upsert(SimTime::ZERO, probe("urn:p1", 0.2));
+        assert_eq!(changed, vec!["moisture_vwc"]);
+        assert_eq!(b.entity_count(), 1);
+
+        // Merge adds attribute without losing the old one.
+        let mut update = Entity::new("urn:p1", "SoilProbe");
+        update.set("temperature_c", 19.5);
+        let changed = b.upsert(SimTime::ZERO, update);
+        assert_eq!(changed, vec!["temperature_c"]);
+        let e = b.entity(&"urn:p1".into()).unwrap();
+        assert_eq!(e.number("moisture_vwc"), Some(0.2));
+        assert_eq!(e.number("temperature_c"), Some(19.5));
+    }
+
+    #[test]
+    fn unchanged_value_is_not_a_change() {
+        let mut b = ContextBroker::new();
+        b.upsert(SimTime::ZERO, probe("urn:p1", 0.2));
+        let changed = b.upsert(SimTime::ZERO, probe("urn:p1", 0.2));
+        assert!(changed.is_empty());
+        let changed = b.upsert(SimTime::ZERO, probe("urn:p1", 0.25));
+        assert_eq!(changed, vec!["moisture_vwc"]);
+    }
+
+    #[test]
+    fn type_subscription_fires_selectively() {
+        let mut b = ContextBroker::new();
+        let sub = b.subscribe(SubscriptionFilter::for_type("SoilProbe"));
+        b.upsert(SimTime::ZERO, probe("urn:p1", 0.2));
+        let mut pivot = Entity::new("urn:pivot:1", "CenterPivot");
+        pivot.set("angle_deg", 10.0);
+        b.upsert(SimTime::ZERO, pivot);
+        let notes = b.take_notifications(sub);
+        assert_eq!(notes.len(), 1);
+        assert_eq!(notes[0].entity.id().as_str(), "urn:p1");
+        // Queue drained.
+        assert!(b.take_notifications(sub).is_empty());
+    }
+
+    #[test]
+    fn prefix_and_attr_filters() {
+        let mut b = ContextBroker::new();
+        let sub = b.subscribe(SubscriptionFilter {
+            entity_type: None,
+            id_prefix: Some("urn:swamp:guaspari:".into()),
+            watched_attrs: vec!["moisture_vwc".into()],
+        });
+        b.upsert(SimTime::ZERO, probe("urn:swamp:guaspari:p1", 0.2));
+        b.upsert(SimTime::ZERO, probe("urn:swamp:matopiba:p1", 0.2));
+        // Attribute not watched: no fire.
+        let mut e = Entity::new("urn:swamp:guaspari:p1", "SoilProbe");
+        e.set("battery_fraction", 0.8);
+        b.upsert(SimTime::ZERO, e);
+        let notes = b.take_notifications(sub);
+        assert_eq!(notes.len(), 1);
+        assert_eq!(notes[0].entity.id().as_str(), "urn:swamp:guaspari:p1");
+    }
+
+    #[test]
+    fn no_notification_on_noop_update() {
+        let mut b = ContextBroker::new();
+        let sub = b.subscribe(SubscriptionFilter::any());
+        b.upsert(SimTime::ZERO, probe("urn:p1", 0.2));
+        b.take_notifications(sub);
+        b.upsert(SimTime::ZERO, probe("urn:p1", 0.2)); // identical
+        assert_eq!(b.pending_notifications(sub), 0);
+    }
+
+    #[test]
+    fn unsubscribe_stops_notifications() {
+        let mut b = ContextBroker::new();
+        let sub = b.subscribe(SubscriptionFilter::any());
+        b.unsubscribe(sub);
+        b.upsert(SimTime::ZERO, probe("urn:p1", 0.2));
+        assert!(b.take_notifications(sub).is_empty());
+    }
+
+    #[test]
+    fn entities_of_type_query() {
+        let mut b = ContextBroker::new();
+        b.upsert(SimTime::ZERO, probe("urn:p1", 0.1));
+        b.upsert(SimTime::ZERO, probe("urn:p2", 0.2));
+        let mut pivot = Entity::new("urn:pivot", "CenterPivot");
+        pivot.set("angle_deg", 0.0);
+        b.upsert(SimTime::ZERO, pivot);
+        assert_eq!(b.entities_of_type("SoilProbe").count(), 2);
+        assert_eq!(b.entities_of_type("CenterPivot").count(), 1);
+        assert_eq!(b.entities_of_type("Ghost").count(), 0);
+    }
+
+    #[test]
+    fn remove_entity() {
+        let mut b = ContextBroker::new();
+        b.upsert(SimTime::ZERO, probe("urn:p1", 0.1));
+        assert!(b.remove(&"urn:p1".into()));
+        assert!(!b.remove(&"urn:p1".into()));
+        assert_eq!(b.entity_count(), 0);
+    }
+
+    #[test]
+    fn counters() {
+        let mut b = ContextBroker::new();
+        let _sub = b.subscribe(SubscriptionFilter::any());
+        b.upsert(SimTime::ZERO, probe("urn:p1", 0.1));
+        b.upsert(SimTime::ZERO, probe("urn:p1", 0.2));
+        assert_eq!(b.update_count(), 2);
+        assert_eq!(b.notification_count(), 2);
+    }
+
+    #[test]
+    fn multiple_subscribers_each_get_copy() {
+        let mut b = ContextBroker::new();
+        let s1 = b.subscribe(SubscriptionFilter::any());
+        let s2 = b.subscribe(SubscriptionFilter::any());
+        b.upsert(SimTime::ZERO, probe("urn:p1", 0.1));
+        assert_eq!(b.take_notifications(s1).len(), 1);
+        assert_eq!(b.take_notifications(s2).len(), 1);
+    }
+}

@@ -1,0 +1,333 @@
+//! Historical time-series store (FIWARE STH-Comet analogue).
+//!
+//! Appends `(time, value)` samples per (entity, attribute) and answers
+//! range queries and window aggregates — what the irrigation scheduler and
+//! the anomaly baselines read.
+
+use std::collections::BTreeMap;
+
+use swamp_sim::stats::OnlineStats;
+use swamp_sim::SimTime;
+
+/// One stored sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Sample {
+    /// Observation time.
+    pub at: SimTime,
+    /// Observed value.
+    pub value: f64,
+}
+
+/// Aggregates over a query window.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WindowAggregate {
+    /// Samples in the window.
+    pub count: u64,
+    /// Mean value.
+    pub mean: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Last value in the window.
+    pub last: f64,
+}
+
+/// The time-series store.
+///
+/// # Example
+/// ```
+/// use swamp_core::history::HistoryStore;
+/// use swamp_sim::SimTime;
+/// let mut h = HistoryStore::new();
+/// h.append("urn:p1", "moisture_vwc", SimTime::from_hours(1), 0.24);
+/// h.append("urn:p1", "moisture_vwc", SimTime::from_hours(2), 0.22);
+/// let agg = h.aggregate("urn:p1", "moisture_vwc",
+///                       SimTime::ZERO, SimTime::from_hours(3)).unwrap();
+/// assert_eq!(agg.count, 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct HistoryStore {
+    series: BTreeMap<(String, String), Vec<Sample>>,
+    total_samples: u64,
+}
+
+impl HistoryStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        HistoryStore::default()
+    }
+
+    /// Total samples stored.
+    pub fn len(&self) -> u64 {
+        self.total_samples
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.total_samples == 0
+    }
+
+    /// Number of distinct (entity, attribute) series.
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Appends a sample. Out-of-order appends are accepted and kept sorted.
+    pub fn append(&mut self, entity: &str, attr: &str, at: SimTime, value: f64) {
+        let series = self
+            .series
+            .entry((entity.to_owned(), attr.to_owned()))
+            .or_default();
+        // Common case: in-order append.
+        match series.last() {
+            Some(last) if last.at > at => {
+                let idx = series.partition_point(|s| s.at <= at);
+                series.insert(idx, Sample { at, value });
+            }
+            _ => series.push(Sample { at, value }),
+        }
+        self.total_samples += 1;
+    }
+
+    /// Samples in `[from, to)` for one series (empty slice if unknown).
+    pub fn range(&self, entity: &str, attr: &str, from: SimTime, to: SimTime) -> &[Sample] {
+        match self.series.get(&(entity.to_owned(), attr.to_owned())) {
+            None => &[],
+            Some(series) => {
+                let lo = series.partition_point(|s| s.at < from);
+                let hi = series.partition_point(|s| s.at < to);
+                &series[lo..hi]
+            }
+        }
+    }
+
+    /// The most recent sample of a series.
+    pub fn last(&self, entity: &str, attr: &str) -> Option<Sample> {
+        self.series
+            .get(&(entity.to_owned(), attr.to_owned()))
+            .and_then(|s| s.last().copied())
+    }
+
+    /// Window aggregate over `[from, to)`; `None` if no samples fall inside.
+    pub fn aggregate(
+        &self,
+        entity: &str,
+        attr: &str,
+        from: SimTime,
+        to: SimTime,
+    ) -> Option<WindowAggregate> {
+        let samples = self.range(entity, attr, from, to);
+        if samples.is_empty() {
+            return None;
+        }
+        let mut stats = OnlineStats::new();
+        for s in samples {
+            stats.push(s.value);
+        }
+        Some(WindowAggregate {
+            count: stats.count(),
+            mean: stats.mean(),
+            min: stats.min(),
+            max: stats.max(),
+            last: samples.last().expect("non-empty").value,
+        })
+    }
+
+    /// Downsamples a series into fixed buckets of `bucket` duration over
+    /// `[from, to)`, returning one aggregate per non-empty bucket with its
+    /// bucket start time — what dashboards and the analytics jobs consume.
+    ///
+    /// # Panics
+    /// Panics if `bucket` is zero.
+    pub fn downsample(
+        &self,
+        entity: &str,
+        attr: &str,
+        from: SimTime,
+        to: SimTime,
+        bucket: swamp_sim::SimDuration,
+    ) -> Vec<(SimTime, WindowAggregate)> {
+        assert!(!bucket.is_zero(), "bucket duration must be positive");
+        let samples = self.range(entity, attr, from, to);
+        let mut out: Vec<(SimTime, WindowAggregate)> = Vec::new();
+        let mut idx = 0;
+        let mut bucket_start = from;
+        while bucket_start < to && idx < samples.len() {
+            let bucket_end = bucket_start.saturating_add(bucket).min(to);
+            let mut stats = OnlineStats::new();
+            let mut last = None;
+            while idx < samples.len() && samples[idx].at < bucket_end {
+                stats.push(samples[idx].value);
+                last = Some(samples[idx].value);
+                idx += 1;
+            }
+            if let Some(last) = last {
+                out.push((
+                    bucket_start,
+                    WindowAggregate {
+                        count: stats.count(),
+                        mean: stats.mean(),
+                        min: stats.min(),
+                        max: stats.max(),
+                        last,
+                    },
+                ));
+            }
+            bucket_start = bucket_end;
+        }
+        out
+    }
+
+    /// Drops samples older than `cutoff` across all series (retention).
+    /// Returns how many were removed.
+    pub fn prune_before(&mut self, cutoff: SimTime) -> u64 {
+        let mut removed = 0;
+        for series in self.series.values_mut() {
+            let keep_from = series.partition_point(|s| s.at < cutoff);
+            removed += keep_from as u64;
+            series.drain(..keep_from);
+        }
+        self.total_samples -= removed;
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(h: u64) -> SimTime {
+        SimTime::from_hours(h)
+    }
+
+    #[test]
+    fn append_and_range() {
+        let mut h = HistoryStore::new();
+        for i in 0..10 {
+            h.append("e", "a", t(i), i as f64);
+        }
+        assert_eq!(h.len(), 10);
+        assert_eq!(h.series_count(), 1);
+        let r = h.range("e", "a", t(3), t(7));
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[0].value, 3.0);
+        assert_eq!(r[3].value, 6.0);
+        // Half-open: sample at t(7) excluded.
+        assert!(r.iter().all(|s| s.at < t(7)));
+    }
+
+    #[test]
+    fn out_of_order_appends_sorted() {
+        let mut h = HistoryStore::new();
+        h.append("e", "a", t(5), 5.0);
+        h.append("e", "a", t(1), 1.0);
+        h.append("e", "a", t(3), 3.0);
+        let r = h.range("e", "a", t(0), t(10));
+        let times: Vec<u64> = r.iter().map(|s| s.at.as_millis()).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+    }
+
+    #[test]
+    fn aggregate_math() {
+        let mut h = HistoryStore::new();
+        for (i, v) in [2.0, 4.0, 6.0, 8.0].iter().enumerate() {
+            h.append("e", "a", t(i as u64), *v);
+        }
+        let agg = h.aggregate("e", "a", t(0), t(10)).unwrap();
+        assert_eq!(agg.count, 4);
+        assert_eq!(agg.mean, 5.0);
+        assert_eq!(agg.min, 2.0);
+        assert_eq!(agg.max, 8.0);
+        assert_eq!(agg.last, 8.0);
+        assert!(h.aggregate("e", "a", t(20), t(30)).is_none());
+        assert!(h.aggregate("ghost", "a", t(0), t(10)).is_none());
+    }
+
+    #[test]
+    fn last_sample() {
+        let mut h = HistoryStore::new();
+        assert!(h.last("e", "a").is_none());
+        h.append("e", "a", t(1), 1.0);
+        h.append("e", "a", t(2), 2.0);
+        assert_eq!(h.last("e", "a").unwrap().value, 2.0);
+    }
+
+    #[test]
+    fn series_are_independent() {
+        let mut h = HistoryStore::new();
+        h.append("e1", "a", t(1), 1.0);
+        h.append("e2", "a", t(1), 2.0);
+        h.append("e1", "b", t(1), 3.0);
+        assert_eq!(h.series_count(), 3);
+        assert_eq!(h.range("e1", "a", t(0), t(2)).len(), 1);
+        assert_eq!(h.last("e1", "b").unwrap().value, 3.0);
+    }
+
+    #[test]
+    fn prune_retention() {
+        let mut h = HistoryStore::new();
+        for i in 0..10 {
+            h.append("e", "a", t(i), i as f64);
+        }
+        let removed = h.prune_before(t(6));
+        assert_eq!(removed, 6);
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.range("e", "a", t(0), t(100)).len(), 4);
+        assert_eq!(h.range("e", "a", t(0), t(100))[0].value, 6.0);
+    }
+
+    #[test]
+    fn empty_store_queries() {
+        let h = HistoryStore::new();
+        assert!(h.is_empty());
+        assert!(h.range("e", "a", t(0), t(10)).is_empty());
+    }
+
+    #[test]
+    fn downsample_buckets_correctly() {
+        use swamp_sim::SimDuration;
+        let mut h = HistoryStore::new();
+        // Two samples per hour for 6 hours.
+        for i in 0..12u64 {
+            h.append(
+                "e",
+                "a",
+                SimTime::from_millis(i * 30 * 60 * 1000),
+                i as f64,
+            );
+        }
+        let day = h.downsample("e", "a", t(0), t(6), SimDuration::from_hours(2));
+        assert_eq!(day.len(), 3);
+        // First 2-hour bucket holds samples 0..4.
+        assert_eq!(day[0].0, t(0));
+        assert_eq!(day[0].1.count, 4);
+        assert_eq!(day[0].1.mean, 1.5);
+        assert_eq!(day[0].1.last, 3.0);
+        assert_eq!(day[2].1.count, 4);
+        assert_eq!(day[2].1.max, 11.0);
+    }
+
+    #[test]
+    fn downsample_skips_empty_buckets() {
+        use swamp_sim::SimDuration;
+        let mut h = HistoryStore::new();
+        h.append("e", "a", t(0), 1.0);
+        h.append("e", "a", t(5), 2.0);
+        let buckets = h.downsample("e", "a", t(0), t(6), SimDuration::from_hours(1));
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].0, t(0));
+        assert_eq!(buckets[1].0, t(5));
+    }
+
+    #[test]
+    fn downsample_unknown_series_empty() {
+        use swamp_sim::SimDuration;
+        let h = HistoryStore::new();
+        assert!(h
+            .downsample("ghost", "a", t(0), t(10), SimDuration::from_hours(1))
+            .is_empty());
+    }
+}

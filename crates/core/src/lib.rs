@@ -1,0 +1,46 @@
+//! # swamp-core — the SWAMP platform core
+//!
+//! The FIWARE-analogue heart of the system (Kamienski et al., DSN-W 2018):
+//!
+//! - [`broker`] — NGSI-like context broker with subscriptions (Orion
+//!   analogue).
+//! - [`history`] — per-attribute time-series store (STH-Comet analogue).
+//! - [`registry`] — device registry consulted by secure ingestion.
+//! - [`platform`] — the assembled platform: simulated network + sealed
+//!   telemetry ingestion (authentication, replay protection, anomaly
+//!   screening with optional auto-quarantine) + context + history + fog
+//!   replication, in the cloud-only and farm-fog deployment configurations
+//!   the paper describes.
+//! - [`service`] — the irrigation decision service: broker subscriptions →
+//!   per-zone policy decisions, holding zones whose probes are
+//!   quarantined.
+//!
+//! ## Example: a tiny deployment
+//!
+//! ```
+//! use swamp_core::platform::{DeploymentConfig, Platform};
+//! use swamp_codec::ngsi::Entity;
+//! use swamp_sensors::device::DeviceKind;
+//! use swamp_sim::SimTime;
+//!
+//! let mut p = Platform::new(7, DeploymentConfig::FarmFog);
+//! p.register_device(SimTime::ZERO, "probe-1", DeviceKind::SoilProbe, "owner:demo");
+//!
+//! let mut update = Entity::new("urn:swamp:device:probe-1", "SoilProbe");
+//! update.set("moisture_vwc", 0.24);
+//! update.set("seq", 0.0);
+//! p.device_publish(SimTime::ZERO, "probe-1", &update).unwrap();
+//! p.pump(SimTime::from_secs(60));
+//! ```
+
+pub mod broker;
+pub mod history;
+pub mod platform;
+pub mod registry;
+pub mod service;
+
+pub use broker::{ContextBroker, Notification, SubscriptionFilter, SubscriptionId};
+pub use history::{HistoryStore, Sample, WindowAggregate};
+pub use platform::{DeploymentConfig, IngestError, Platform};
+pub use registry::{DeviceRecord, DeviceRegistry};
+pub use service::{IrrigationService, ManagedZone, ZoneDecision};

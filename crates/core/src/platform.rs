@@ -1,0 +1,638 @@
+//! The assembled SWAMP platform: network + secure ingestion + context
+//! broker + history + fog tier, in the deployment configurations the paper
+//! describes ("smart algorithms and analytics in the cloud, fog-based smart
+//! decisions located on the farm premises").
+//!
+//! One [`Platform`] instance is one pilot deployment. Devices are
+//! registered (keystore provisioning + registry), publish sealed NGSI
+//! entity updates over the simulated network, and the ingestion pipeline
+//! authenticates, replay-checks and stores them. In the
+//! [`DeploymentConfig::FarmFog`] configuration the context lives on the
+//! farm fog node and is replicated to the cloud via store-and-forward, so
+//! the platform keeps serving during Internet outages.
+
+use swamp_codec::json::Json;
+use swamp_codec::ngsi::Entity;
+use swamp_crypto::aead::NonceSequence;
+use swamp_crypto::keystore::Keystore;
+use swamp_fog::availability::ServedBy;
+use swamp_fog::sync::{CloudStore, DropPolicy, FogSync};
+use swamp_net::link::LinkSpec;
+use swamp_net::message::{Message, NodeId};
+use swamp_net::network::{Network, SendError};
+use swamp_security::access::{Action, Decision, Pdp, Resource};
+use swamp_security::detect::{RangeValidator, SeqEvent, SeqMonitor};
+use swamp_security::pipeline::{DetectorBank, Recommendation};
+use swamp_security::identity::{AuthError, IdentityProvider, Token};
+use swamp_sensors::device::DeviceKind;
+use swamp_sim::metrics::Metrics;
+use swamp_sim::{SimDuration, SimTime};
+
+use crate::broker::ContextBroker;
+use crate::history::HistoryStore;
+use crate::registry::DeviceRegistry;
+
+/// Where the platform's decision logic runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeploymentConfig {
+    /// Everything in the cloud; the farm is a dumb relay. Vulnerable to
+    /// Internet outages.
+    CloudOnly,
+    /// A farm-premises fog node hosts the context broker and decisions;
+    /// the cloud receives replicated state asynchronously.
+    FarmFog,
+}
+
+/// Why a telemetry frame was rejected by ingestion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IngestError {
+    /// Device not in the registry (rogue node) or quarantined.
+    UnregisteredDevice(String),
+    /// Authenticated decryption failed (wrong key, tampered frame).
+    AuthenticationFailed(String),
+    /// Payload did not parse as an entity.
+    MalformedPayload(String),
+    /// Sequence number replayed or duplicated.
+    Replay(String),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::UnregisteredDevice(d) => write!(f, "unregistered device {d:?}"),
+            IngestError::AuthenticationFailed(d) => {
+                write!(f, "authentication failed for {d:?}")
+            }
+            IngestError::MalformedPayload(d) => write!(f, "malformed payload from {d:?}"),
+            IngestError::Replay(d) => write!(f, "replayed frame from {d:?}"),
+        }
+    }
+}
+impl std::error::Error for IngestError {}
+
+/// The assembled platform.
+pub struct Platform {
+    config: DeploymentConfig,
+    /// The simulated network fabric (public for attack/SDN experiments).
+    pub net: Network,
+    /// The context broker (public: the platform API surface).
+    pub context: ContextBroker,
+    /// Historical time-series store.
+    pub history: HistoryStore,
+    /// Device registry.
+    pub registry: DeviceRegistry,
+    /// Key management.
+    pub keystore: Keystore,
+    /// Identity provider (OAuth2-style).
+    pub idm: IdentityProvider,
+    /// Policy decision point.
+    pub pdp: Pdp,
+    /// Anomaly-detection pipeline fed by ingestion ("avoid fake data").
+    pub detectors: DetectorBank,
+    auto_quarantine: bool,
+    seq: SeqMonitor,
+    device_nonces: std::collections::BTreeMap<String, NonceSequence>,
+    fog_sync: Option<FogSync>,
+    cloud_store: Option<CloudStore>,
+    metrics: Metrics,
+}
+
+/// Node names used by the platform topology.
+pub mod nodes {
+    /// The cloud datacenter node.
+    pub const CLOUD: &str = "cloud";
+    /// The farm fog node (FarmFog config).
+    pub const FOG: &str = "farm-fog";
+    /// The farm gateway/relay node (CloudOnly config).
+    pub const GATEWAY: &str = "farm-gw";
+}
+
+impl Platform {
+    /// Builds a platform in the given deployment configuration.
+    pub fn new(seed: u64, config: DeploymentConfig) -> Self {
+        let mut net = Network::new(seed);
+        net.add_node(nodes::CLOUD);
+        match config {
+            DeploymentConfig::CloudOnly => {
+                net.add_node(nodes::GATEWAY);
+                net.connect(nodes::GATEWAY, nodes::CLOUD, LinkSpec::rural_internet());
+            }
+            DeploymentConfig::FarmFog => {
+                net.add_node(nodes::FOG);
+                net.connect(nodes::FOG, nodes::CLOUD, LinkSpec::rural_internet());
+            }
+        }
+        let (fog_sync, cloud_store) = match config {
+            DeploymentConfig::FarmFog => (
+                Some(FogSync::new(
+                    nodes::FOG,
+                    nodes::CLOUD,
+                    100_000,
+                    DropPolicy::Oldest,
+                    SimDuration::from_secs(60),
+                )),
+                Some(CloudStore::new(nodes::CLOUD)),
+            ),
+            DeploymentConfig::CloudOnly => (None, None),
+        };
+        let mut detectors = DetectorBank::new();
+        detectors.configure_quantity("moisture_vwc", RangeValidator::soil_moisture());
+        detectors.configure_quantity("battery_fraction", RangeValidator::new(0.0, 1.0));
+        detectors.configure_quantity("rh_mean_pct", RangeValidator::new(0.0, 100.0));
+        Platform {
+            config,
+            net,
+            context: ContextBroker::new(),
+            history: HistoryStore::new(),
+            registry: DeviceRegistry::new(),
+            keystore: Keystore::new(&seed.to_be_bytes()),
+            idm: IdentityProvider::new(b"swamp-idm-signing", SimDuration::from_hours(8)),
+            pdp: Pdp::new(),
+            detectors,
+            auto_quarantine: false,
+            seq: SeqMonitor::new(),
+            device_nonces: std::collections::BTreeMap::new(),
+            fog_sync,
+            cloud_store,
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> DeploymentConfig {
+        self.config
+    }
+
+    /// Enables automatic quarantine: when the detection pipeline recommends
+    /// it, the device is disabled in the registry and further frames are
+    /// rejected until an operator re-enables it.
+    pub fn set_auto_quarantine(&mut self, on: bool) {
+        self.auto_quarantine = on;
+    }
+
+    /// The node where ingestion and decisions run.
+    pub fn platform_node(&self) -> NodeId {
+        match self.config {
+            DeploymentConfig::CloudOnly => nodes::CLOUD.into(),
+            DeploymentConfig::FarmFog => nodes::FOG.into(),
+        }
+    }
+
+    /// The farm-side node devices connect to.
+    pub fn farm_node(&self) -> NodeId {
+        match self.config {
+            DeploymentConfig::CloudOnly => nodes::GATEWAY.into(),
+            DeploymentConfig::FarmFog => nodes::FOG.into(),
+        }
+    }
+
+    /// Ingest/platform metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The cloud replica store, if this is a fog deployment.
+    pub fn cloud_replica(&self) -> Option<&CloudStore> {
+        self.cloud_store.as_ref()
+    }
+
+    /// Registers a field device: network node + link, key provisioning and
+    /// registry entry.
+    ///
+    /// # Panics
+    /// Panics if the device id collides with an existing node.
+    pub fn register_device(
+        &mut self,
+        now: SimTime,
+        device_id: &str,
+        kind: DeviceKind,
+        owner: &str,
+    ) {
+        self.net.add_node(device_id);
+        let farm = self.farm_node();
+        self.net.connect(device_id, farm, LinkSpec::lpwan_field());
+        self.keystore.provision(device_id);
+        self.registry
+            .register(device_id, kind, owner, now)
+            .expect("device id collision");
+        self.device_nonces
+            .insert(device_id.to_owned(), NonceSequence::new(self.device_nonces.len() as u32 + 1));
+    }
+
+    /// Device-side publish: seals the entity with the device's provisioned
+    /// key and offers it to the network toward the farm node.
+    ///
+    /// # Errors
+    /// Returns the network error if the send is refused synchronously.
+    pub fn device_publish(
+        &mut self,
+        now: SimTime,
+        device_id: &str,
+        entity: &Entity,
+    ) -> Result<(), SendError> {
+        let key = self
+            .keystore
+            .device_key(device_id)
+            .map(|dk| dk.key)
+            .unwrap_or_else(|_| {
+                // Unprovisioned device: derive a garbage key — its frames
+                // will fail authentication at ingest (rogue-node path).
+                self.keystore.derive("rogue", swamp_crypto::keystore::KeyEpoch(0))
+            });
+        let nonces = self
+            .device_nonces
+            .entry(device_id.to_owned())
+            .or_insert_with(|| NonceSequence::new(9999));
+        let plaintext = entity.to_json().to_compact_string();
+        let sealed = key.seal(&nonces.next_nonce(), device_id.as_bytes(), plaintext.as_bytes());
+        let farm = self.farm_node();
+        self.net
+            .send(
+                now,
+                device_id,
+                farm,
+                Message::new(format!("telemetry/{device_id}"), sealed),
+            )
+            .map(|_| ())
+    }
+
+    /// Advances the network and processes everything that arrived: relays
+    /// (CloudOnly), secure ingestion, fog→cloud replication. Returns the
+    /// number of entity updates ingested this round.
+    pub fn pump(&mut self, now: SimTime) -> usize {
+        self.net.advance_to(now);
+
+        // CloudOnly: the gateway relays farm traffic to the cloud.
+        if self.config == DeploymentConfig::CloudOnly {
+            let gw: NodeId = nodes::GATEWAY.into();
+            let deliveries = self.net.drain(&gw);
+            for d in deliveries {
+                let _ = self.net.send(
+                    d.delivered_at.max(now),
+                    gw.clone(),
+                    nodes::CLOUD,
+                    d.message,
+                );
+            }
+            self.net.advance_to(now);
+        }
+
+        // Ingest at the platform node.
+        let node = self.platform_node();
+        let deliveries = self.net.drain(&node);
+        let mut ingested = 0;
+        for d in deliveries {
+            if let Some(device_id) = d.message.topic.strip_prefix("telemetry/") {
+                let device_id = device_id.to_owned();
+                match self.ingest_frame(now, &device_id, &d.message.payload) {
+                    Ok(()) => ingested += 1,
+                    Err(e) => self.count_rejection(&e),
+                }
+            }
+        }
+
+        // Fog→cloud replication.
+        if let (Some(sync), Some(store)) = (&mut self.fog_sync, &mut self.cloud_store) {
+            sync.sync_round(&mut self.net, now, 256);
+            self.net.advance_to(now);
+            store.process(&mut self.net, now);
+            self.net.advance_to(now);
+            sync.poll_acks(&mut self.net);
+        }
+        ingested
+    }
+
+    fn count_rejection(&mut self, e: &IngestError) {
+        let key = match e {
+            IngestError::UnregisteredDevice(_) => "ingest.rejected_unregistered",
+            IngestError::AuthenticationFailed(_) => "ingest.rejected_auth",
+            IngestError::MalformedPayload(_) => "ingest.rejected_malformed",
+            IngestError::Replay(_) => "ingest.rejected_replay",
+        };
+        self.metrics.incr(key);
+    }
+
+    /// The secure ingestion path for one sealed frame.
+    ///
+    /// # Errors
+    /// [`IngestError`] describing which defense rejected the frame.
+    pub fn ingest_frame(
+        &mut self,
+        now: SimTime,
+        device_id: &str,
+        sealed: &[u8],
+    ) -> Result<(), IngestError> {
+        if !self.registry.is_active(device_id) {
+            return Err(IngestError::UnregisteredDevice(device_id.to_owned()));
+        }
+        let key = self
+            .keystore
+            .device_key(device_id)
+            .map_err(|_| IngestError::AuthenticationFailed(device_id.to_owned()))?;
+        let plaintext = key
+            .key
+            .open(device_id.as_bytes(), sealed)
+            .map_err(|_| IngestError::AuthenticationFailed(device_id.to_owned()))?;
+        let text = std::str::from_utf8(&plaintext)
+            .map_err(|_| IngestError::MalformedPayload(device_id.to_owned()))?;
+        let json = Json::parse(text)
+            .map_err(|_| IngestError::MalformedPayload(device_id.to_owned()))?;
+        let entity = Entity::from_json(&json)
+            .map_err(|_| IngestError::MalformedPayload(device_id.to_owned()))?;
+
+        // Replay detection on the firmware sequence number.
+        if let Some(seq) = entity.number("seq") {
+            if let SeqEvent::ReplayOrDuplicate = self.seq.observe(device_id, seq as u64)
+            {
+                return Err(IngestError::Replay(device_id.to_owned()));
+            }
+        }
+
+        // Detection pipeline: every numeric attribute is screened before it
+        // can influence decisions ("mechanisms to avoid fake data").
+        for (name, attr) in entity.attributes() {
+            if name == "seq" {
+                continue;
+            }
+            if let Some(v) = attr.value.as_number() {
+                self.detectors.observe_value(now, device_id, name, v);
+            }
+        }
+        if self.auto_quarantine
+            && self.detectors.recommendation(device_id) == Recommendation::Quarantine
+        {
+            let _ = self.registry.set_enabled(device_id, false);
+            self.metrics.incr("ingest.quarantined");
+        }
+
+        // Store: context update + history samples for numeric attributes.
+        for (name, attr) in entity.attributes() {
+            if let Some(v) = attr.value.as_number() {
+                let at = attr
+                    .observed_at_ms
+                    .map(SimTime::from_millis)
+                    .unwrap_or(now);
+                self.history.append(entity.id().as_str(), name, at, v);
+            }
+        }
+        self.context.upsert(now, entity.clone());
+        self.metrics.incr("ingest.accepted");
+
+        // Fog deployments replicate the accepted update to the cloud.
+        if let Some(sync) = &mut self.fog_sync {
+            sync.enqueue(
+                now,
+                entity.id().as_str(),
+                entity.to_json().to_compact_string().into_bytes(),
+            );
+        }
+        Ok(())
+    }
+
+    /// Whether the farm↔cloud uplink is currently up.
+    pub fn internet_up(&self) -> bool {
+        self.net.link_up(&self.farm_node(), &nodes::CLOUD.into())
+    }
+
+    /// Brings the farm↔cloud uplink up or down (outage scenarios).
+    pub fn set_internet(&mut self, up: bool) {
+        let farm = self.farm_node();
+        self.net.set_link_up(&farm, &nodes::CLOUD.into(), up);
+    }
+
+    /// Whether the platform can serve its function right now, and where.
+    ///
+    /// CloudOnly requires the uplink; FarmFog decides locally regardless,
+    /// reporting `Cloud` only when it could also reach the cloud.
+    pub fn service_point(&self) -> Option<ServedBy> {
+        match self.config {
+            DeploymentConfig::CloudOnly => {
+                if self.internet_up() {
+                    Some(ServedBy::Cloud)
+                } else {
+                    None
+                }
+            }
+            DeploymentConfig::FarmFog => Some(ServedBy::Fog),
+        }
+    }
+
+    /// Reads an entity on behalf of a token holder, enforcing ownership
+    /// policies (the paper's "each owner controls their data").
+    ///
+    /// # Errors
+    /// `Err(Some(AuthError))` for token problems, `Err(None)` for a policy
+    /// denial or a missing entity.
+    pub fn authorized_read(
+        &mut self,
+        now: SimTime,
+        token: &Token,
+        entity_id: &str,
+    ) -> Result<Entity, Option<AuthError>> {
+        let info = self.idm.validate(now, token).map_err(Some)?;
+        let owner = entity_id
+            .strip_prefix("urn:swamp:device:")
+            .and_then(|d| self.registry.get(d))
+            .map(|r| r.owner.clone())
+            .unwrap_or_else(|| "owner:platform".to_owned());
+        let resource = Resource::new(entity_id, owner);
+        let decision = self.pdp.decide(&info, &resource, Action::Read);
+        if !decision.is_permit() {
+            return Err(None);
+        }
+        self.context
+            .entity(&entity_id.into())
+            .cloned()
+            .ok_or(None)
+    }
+
+    /// Authorizes a command against a device on behalf of a token holder.
+    pub fn authorize_command(
+        &mut self,
+        now: SimTime,
+        token: &Token,
+        device_id: &str,
+    ) -> Result<Decision, AuthError> {
+        let info = self.idm.validate(now, token)?;
+        let owner = self
+            .registry
+            .get(device_id)
+            .map(|r| r.owner.clone())
+            .unwrap_or_else(|| "owner:platform".to_owned());
+        let resource = Resource::new(format!("urn:swamp:device:{device_id}"), owner);
+        Ok(self.pdp.decide(&info, &resource, Action::Command))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swamp_codec::ngsi::Entity;
+
+    fn telemetry(device: &str, seq: f64, vwc: f64) -> Entity {
+        let mut e = Entity::new(format!("urn:swamp:device:{device}"), "SoilProbe");
+        e.set("moisture_vwc", vwc);
+        e.set("seq", seq);
+        e
+    }
+
+    fn fog_platform() -> Platform {
+        let mut p = Platform::new(42, DeploymentConfig::FarmFog);
+        p.register_device(SimTime::ZERO, "probe-1", DeviceKind::SoilProbe, "owner:test");
+        p
+    }
+
+    #[test]
+    fn end_to_end_publish_ingest() {
+        let mut p = fog_platform();
+        p.device_publish(SimTime::ZERO, "probe-1", &telemetry("probe-1", 0.0, 0.27))
+            .unwrap();
+        // LPWAN link has loss; retry a few times at increasing times.
+        let mut ingested = 0;
+        for i in 1..10 {
+            ingested += p.pump(SimTime::from_secs(i * 10));
+            if ingested > 0 {
+                break;
+            }
+            p.device_publish(
+                SimTime::from_secs(i * 10),
+                "probe-1",
+                &telemetry("probe-1", i as f64, 0.27),
+            )
+            .unwrap();
+        }
+        assert!(ingested > 0, "telemetry must eventually ingest");
+        let e = p.context.entity(&"urn:swamp:device:probe-1".into()).unwrap();
+        assert_eq!(e.number("moisture_vwc"), Some(0.27));
+        assert!(p.history.last("urn:swamp:device:probe-1", "moisture_vwc").is_some());
+        assert!(p.metrics().counter("ingest.accepted") >= 1);
+    }
+
+    #[test]
+    fn rogue_device_rejected() {
+        let mut p = fog_platform();
+        // "rogue-9" has a network node but is never registered/provisioned.
+        p.net.add_node("rogue-9");
+        let farm = p.farm_node();
+        p.net
+            .connect("rogue-9", farm, swamp_net::link::LinkSpec::farm_lan());
+        let fake = telemetry("rogue-9", 0.0, 0.99);
+        p.device_publish(SimTime::ZERO, "rogue-9", &fake).unwrap();
+        let ingested = p.pump(SimTime::from_secs(5));
+        assert_eq!(ingested, 0);
+        assert_eq!(p.metrics().counter("ingest.rejected_unregistered"), 1);
+        assert!(p.context.entity(&"urn:swamp:device:rogue-9".into()).is_none());
+    }
+
+    #[test]
+    fn tampered_frame_rejected() {
+        let mut p = fog_platform();
+        // Build a valid sealed frame, then flip a ciphertext bit.
+        let key = p.keystore.device_key("probe-1").unwrap().key;
+        let entity = telemetry("probe-1", 0.0, 0.2);
+        let mut sealed = key.seal(
+            &[7u8; 12],
+            b"probe-1",
+            entity.to_json().to_compact_string().as_bytes(),
+        );
+        sealed[14] ^= 0x40;
+        let err = p.ingest_frame(SimTime::ZERO, "probe-1", &sealed).unwrap_err();
+        assert!(matches!(err, IngestError::AuthenticationFailed(_)));
+    }
+
+    #[test]
+    fn replayed_frame_rejected() {
+        let mut p = fog_platform();
+        let key = p.keystore.device_key("probe-1").unwrap().key;
+        let entity = telemetry("probe-1", 5.0, 0.2);
+        let sealed = key.seal(
+            &[1u8; 12],
+            b"probe-1",
+            entity.to_json().to_compact_string().as_bytes(),
+        );
+        p.ingest_frame(SimTime::ZERO, "probe-1", &sealed).unwrap();
+        let err = p
+            .ingest_frame(SimTime::from_secs(10), "probe-1", &sealed)
+            .unwrap_err();
+        assert!(matches!(err, IngestError::Replay(_)));
+    }
+
+    #[test]
+    fn malformed_payload_rejected() {
+        let mut p = fog_platform();
+        let key = p.keystore.device_key("probe-1").unwrap().key;
+        let sealed = key.seal(&[2u8; 12], b"probe-1", b"not json at all");
+        let err = p.ingest_frame(SimTime::ZERO, "probe-1", &sealed).unwrap_err();
+        assert!(matches!(err, IngestError::MalformedPayload(_)));
+    }
+
+    #[test]
+    fn fog_keeps_serving_during_outage_cloud_only_does_not() {
+        let mut fog = Platform::new(1, DeploymentConfig::FarmFog);
+        let mut cloud = Platform::new(1, DeploymentConfig::CloudOnly);
+        assert_eq!(fog.service_point(), Some(ServedBy::Fog));
+        assert_eq!(cloud.service_point(), Some(ServedBy::Cloud));
+        fog.set_internet(false);
+        cloud.set_internet(false);
+        assert_eq!(fog.service_point(), Some(ServedBy::Fog));
+        assert_eq!(cloud.service_point(), None);
+        assert!(!fog.internet_up());
+    }
+
+    #[test]
+    fn fog_replicates_to_cloud() {
+        let mut p = fog_platform();
+        let key = p.keystore.device_key("probe-1").unwrap().key;
+        let entity = telemetry("probe-1", 0.0, 0.31);
+        let sealed = key.seal(
+            &[3u8; 12],
+            b"probe-1",
+            entity.to_json().to_compact_string().as_bytes(),
+        );
+        p.ingest_frame(SimTime::ZERO, "probe-1", &sealed).unwrap();
+        // Pump a few rounds so sync+ack complete.
+        for i in 1..10 {
+            p.pump(SimTime::from_secs(i * 120));
+        }
+        let replica = p.cloud_replica().unwrap();
+        assert_eq!(replica.record_count(), 1);
+        assert!(replica.latest("urn:swamp:device:probe-1").is_some());
+    }
+
+    #[test]
+    fn authorized_read_enforces_ownership() {
+        let mut p = fog_platform();
+        // Put an entity in context directly.
+        p.context.upsert(SimTime::ZERO, telemetry("probe-1", 0.0, 0.2));
+        p.idm.register_user("owner", "pw", &["owner:test"]);
+        p.idm.register_user("stranger", "pw", &[]);
+        let (owner_token, _) = p.idm.password_grant(SimTime::ZERO, "owner", "pw").unwrap();
+        let (stranger_token, _) =
+            p.idm.password_grant(SimTime::ZERO, "stranger", "pw").unwrap();
+
+        let e = p
+            .authorized_read(SimTime::ZERO, &owner_token, "urn:swamp:device:probe-1")
+            .unwrap();
+        assert_eq!(e.number("moisture_vwc"), Some(0.2));
+        assert!(p
+            .authorized_read(SimTime::ZERO, &stranger_token, "urn:swamp:device:probe-1")
+            .is_err());
+        // Bad token.
+        let forged = Token::from_raw_for_tests("junk");
+        assert!(matches!(
+            p.authorized_read(SimTime::ZERO, &forged, "urn:swamp:device:probe-1"),
+            Err(Some(AuthError::InvalidToken))
+        ));
+    }
+
+    #[test]
+    fn command_authorization() {
+        let mut p = fog_platform();
+        p.idm.register_user("owner", "pw", &["owner:test"]);
+        let (token, _) = p.idm.password_grant(SimTime::ZERO, "owner", "pw").unwrap();
+        let d = p.authorize_command(SimTime::ZERO, &token, "probe-1").unwrap();
+        assert!(d.is_permit());
+        let d = p.authorize_command(SimTime::ZERO, &token, "other-device").unwrap();
+        assert!(!d.is_permit());
+    }
+}

@@ -1,0 +1,193 @@
+//! Device registry: which devices exist, who owns them, and their
+//! platform-facing metadata. The ingestion pipeline consults it to reject
+//! telemetry from unregistered (rogue) devices — the paper's "unauthorized
+//! node in the network may send false information about the crop".
+
+use std::collections::BTreeMap;
+
+use swamp_sensors::device::DeviceKind;
+use swamp_sim::SimTime;
+
+/// A registered device's metadata.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeviceRecord {
+    /// Device kind.
+    pub kind: DeviceKind,
+    /// Owning principal (e.g. `"owner:matopiba"`).
+    pub owner: String,
+    /// When it was registered.
+    pub registered_at: SimTime,
+    /// Whether telemetry from it is currently accepted.
+    pub enabled: bool,
+}
+
+/// Registry errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegistryError {
+    /// A device with this id already exists.
+    AlreadyRegistered(String),
+    /// No such device.
+    Unknown(String),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::AlreadyRegistered(id) => {
+                write!(f, "device {id:?} already registered")
+            }
+            RegistryError::Unknown(id) => write!(f, "unknown device {id:?}"),
+        }
+    }
+}
+impl std::error::Error for RegistryError {}
+
+/// The device registry.
+#[derive(Clone, Debug, Default)]
+pub struct DeviceRegistry {
+    devices: BTreeMap<String, DeviceRecord>,
+}
+
+impl DeviceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        DeviceRegistry::default()
+    }
+
+    /// Registers a device.
+    ///
+    /// # Errors
+    /// [`RegistryError::AlreadyRegistered`] on id collision.
+    pub fn register(
+        &mut self,
+        id: &str,
+        kind: DeviceKind,
+        owner: &str,
+        now: SimTime,
+    ) -> Result<(), RegistryError> {
+        if self.devices.contains_key(id) {
+            return Err(RegistryError::AlreadyRegistered(id.to_owned()));
+        }
+        self.devices.insert(
+            id.to_owned(),
+            DeviceRecord {
+                kind,
+                owner: owner.to_owned(),
+                registered_at: now,
+                enabled: true,
+            },
+        );
+        Ok(())
+    }
+
+    /// Looks up a device.
+    pub fn get(&self, id: &str) -> Option<&DeviceRecord> {
+        self.devices.get(id)
+    }
+
+    /// Whether a device exists and is enabled.
+    pub fn is_active(&self, id: &str) -> bool {
+        self.devices.get(id).is_some_and(|d| d.enabled)
+    }
+
+    /// Enables/disables a device (quarantine on suspicion).
+    ///
+    /// # Errors
+    /// [`RegistryError::Unknown`] if the device was never registered.
+    pub fn set_enabled(&mut self, id: &str, enabled: bool) -> Result<(), RegistryError> {
+        match self.devices.get_mut(id) {
+            Some(d) => {
+                d.enabled = enabled;
+                Ok(())
+            }
+            None => Err(RegistryError::Unknown(id.to_owned())),
+        }
+    }
+
+    /// Number of registered devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Iterates `(id, record)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &DeviceRecord)> {
+        self.devices.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Devices belonging to an owner.
+    pub fn by_owner<'a>(
+        &'a self,
+        owner: &'a str,
+    ) -> impl Iterator<Item = (&'a str, &'a DeviceRecord)> + 'a {
+        self.iter().filter(move |(_, r)| r.owner == owner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut r = DeviceRegistry::new();
+        r.register("p1", DeviceKind::SoilProbe, "owner:cbec", SimTime::ZERO)
+            .unwrap();
+        assert!(r.is_active("p1"));
+        assert_eq!(r.get("p1").unwrap().kind, DeviceKind::SoilProbe);
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut r = DeviceRegistry::new();
+        r.register("p1", DeviceKind::SoilProbe, "o", SimTime::ZERO)
+            .unwrap();
+        assert_eq!(
+            r.register("p1", DeviceKind::Valve, "o", SimTime::ZERO),
+            Err(RegistryError::AlreadyRegistered("p1".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_not_active() {
+        let r = DeviceRegistry::new();
+        assert!(!r.is_active("ghost"));
+        assert!(r.get("ghost").is_none());
+    }
+
+    #[test]
+    fn quarantine_flow() {
+        let mut r = DeviceRegistry::new();
+        r.register("p1", DeviceKind::SoilProbe, "o", SimTime::ZERO)
+            .unwrap();
+        r.set_enabled("p1", false).unwrap();
+        assert!(!r.is_active("p1"));
+        r.set_enabled("p1", true).unwrap();
+        assert!(r.is_active("p1"));
+        assert_eq!(
+            r.set_enabled("ghost", true),
+            Err(RegistryError::Unknown("ghost".into()))
+        );
+    }
+
+    #[test]
+    fn owner_filtering() {
+        let mut r = DeviceRegistry::new();
+        r.register("a1", DeviceKind::SoilProbe, "owner:a", SimTime::ZERO)
+            .unwrap();
+        r.register("a2", DeviceKind::Valve, "owner:a", SimTime::ZERO)
+            .unwrap();
+        r.register("b1", DeviceKind::Pump, "owner:b", SimTime::ZERO)
+            .unwrap();
+        assert_eq!(r.by_owner("owner:a").count(), 2);
+        assert_eq!(r.by_owner("owner:b").count(), 1);
+        assert_eq!(r.by_owner("owner:c").count(), 0);
+        assert_eq!(r.iter().count(), 3);
+    }
+}

@@ -1,0 +1,327 @@
+//! The irrigation decision service: the platform component that turns
+//! context-broker state into per-zone irrigation prescriptions.
+//!
+//! This is the "smart algorithms" box in the paper's architecture. It
+//! subscribes to soil-probe entity updates, maintains the latest estimate
+//! per managed zone, and — once per scheduling cycle — runs each zone's
+//! policy against the *platform's* view of the field (possibly stale,
+//! noisy or quarantine-filtered; never ground truth).
+
+use swamp_codec::ngsi::Entity;
+use swamp_irrigation::schedule::{DepthMm, IrrigationPolicy, ZoneView};
+use swamp_security::pipeline::{DetectorBank, Recommendation};
+use swamp_sim::SimTime;
+
+use crate::broker::{ContextBroker, SubscriptionFilter, SubscriptionId};
+
+/// Static description of one managed zone.
+pub struct ManagedZone {
+    /// Entity id of the zone's soil probe (e.g. `urn:swamp:device:probe-3`).
+    pub probe_entity: String,
+    /// Device id of that probe (for quarantine lookups).
+    pub probe_device: String,
+    /// Volumetric water content at field capacity, m³/m³.
+    pub field_capacity: f64,
+    /// Total available water, mm.
+    pub taw_mm: f64,
+    /// Readily available water, mm.
+    pub raw_mm: f64,
+    /// Root-zone depth, mm (converts VWC to depletion).
+    pub root_depth_mm: f64,
+    /// The zone's irrigation policy.
+    pub policy: Box<dyn IrrigationPolicy>,
+}
+
+/// One cycle's decision for a zone.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ZoneDecision {
+    /// Index of the zone in the service's zone list.
+    pub zone: usize,
+    /// Depth to apply, mm (0 = skip).
+    pub depth_mm: DepthMm,
+    /// Whether the decision used fresh data or a stale/held estimate.
+    pub data_fresh: bool,
+    /// Whether the zone was skipped because its probe is quarantined.
+    pub probe_quarantined: bool,
+}
+
+/// The irrigation decision service.
+///
+/// # Example
+/// ```
+/// use swamp_core::broker::ContextBroker;
+/// use swamp_core::service::{IrrigationService, ManagedZone};
+/// use swamp_irrigation::schedule::ThresholdRefill;
+/// use swamp_codec::ngsi::Entity;
+/// use swamp_security::pipeline::DetectorBank;
+/// use swamp_sim::SimTime;
+///
+/// let mut broker = ContextBroker::new();
+/// let mut service = IrrigationService::new(&mut broker, vec![ManagedZone {
+///     probe_entity: "urn:swamp:device:p1".into(),
+///     probe_device: "p1".into(),
+///     field_capacity: 0.27,
+///     taw_mm: 90.0,
+///     raw_mm: 45.0,
+///     root_depth_mm: 600.0,
+///     policy: Box::new(ThresholdRefill::new(1.0)),
+/// }]);
+///
+/// // A dry probe reading arrives through the broker…
+/// let mut e = Entity::new("urn:swamp:device:p1", "SoilProbe");
+/// e.set("moisture_vwc", 0.18);
+/// broker.upsert(SimTime::ZERO, e);
+///
+/// // …and the next cycle prescribes a refill.
+/// let detectors = DetectorBank::new();
+/// let decisions = service.run_cycle(&mut broker, &detectors, 6.0, 0.0, 40);
+/// assert!(decisions[0].depth_mm > 0.0);
+/// ```
+pub struct IrrigationService {
+    zones: Vec<ManagedZone>,
+    subscription: SubscriptionId,
+    /// Latest VWC estimate per zone and whether it is fresh this cycle.
+    latest_vwc: Vec<Option<f64>>,
+    fresh: Vec<bool>,
+    cycles: u64,
+}
+
+impl IrrigationService {
+    /// Creates a service managing `zones`, subscribing to their probes'
+    /// updates on the broker.
+    pub fn new(broker: &mut ContextBroker, zones: Vec<ManagedZone>) -> Self {
+        let subscription = broker.subscribe(SubscriptionFilter {
+            entity_type: Some("SoilProbe".into()),
+            id_prefix: None,
+            watched_attrs: vec!["moisture_vwc".into()],
+        });
+        let n = zones.len();
+        IrrigationService {
+            zones,
+            subscription,
+            latest_vwc: vec![None; n],
+            fresh: vec![false; n],
+            cycles: 0,
+        }
+    }
+
+    /// Number of managed zones.
+    pub fn zone_count(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// Scheduling cycles run so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Absorbs pending broker notifications into the per-zone estimates.
+    fn absorb_notifications(&mut self, broker: &mut ContextBroker) {
+        for note in broker.take_notifications(self.subscription) {
+            let id = note.entity.id().as_str();
+            if let Some(zone) = self
+                .zones
+                .iter()
+                .position(|z| z.probe_entity == id)
+            {
+                if let Some(vwc) = note.entity.number("moisture_vwc") {
+                    self.latest_vwc[zone] = Some(vwc);
+                    self.fresh[zone] = true;
+                }
+            }
+        }
+    }
+
+    /// Runs one scheduling cycle: reads the broker, screens quarantined
+    /// probes, and produces a decision per zone.
+    ///
+    /// `etc_mm` is today's crop-demand estimate, `forecast_rain_mm` the
+    /// rain forecast, `das` days after sowing.
+    pub fn run_cycle(
+        &mut self,
+        broker: &mut ContextBroker,
+        detectors: &DetectorBank,
+        etc_mm: f64,
+        forecast_rain_mm: f64,
+        das: u32,
+    ) -> Vec<ZoneDecision> {
+        self.absorb_notifications(broker);
+        self.cycles += 1;
+        let mut decisions = Vec::with_capacity(self.zones.len());
+        for (i, zone) in self.zones.iter_mut().enumerate() {
+            let quarantined = detectors.recommendation(&zone.probe_device)
+                == Recommendation::Quarantine;
+            if quarantined {
+                // Never act on untrusted data; hold the zone.
+                decisions.push(ZoneDecision {
+                    zone: i,
+                    depth_mm: 0.0,
+                    data_fresh: false,
+                    probe_quarantined: true,
+                });
+                continue;
+            }
+            let Some(vwc) = self.latest_vwc[i] else {
+                decisions.push(ZoneDecision {
+                    zone: i,
+                    depth_mm: 0.0,
+                    data_fresh: false,
+                    probe_quarantined: false,
+                });
+                continue;
+            };
+            let depletion_mm =
+                ((zone.field_capacity - vwc) * zone.root_depth_mm).clamp(0.0, zone.taw_mm);
+            let view = ZoneView {
+                depletion_mm,
+                taw_mm: zone.taw_mm,
+                raw_mm: zone.raw_mm,
+                etc_mm,
+                forecast_rain_mm,
+                das,
+            };
+            decisions.push(ZoneDecision {
+                zone: i,
+                depth_mm: zone.policy.decide(&view),
+                data_fresh: self.fresh[i],
+                probe_quarantined: false,
+            });
+            self.fresh[i] = false;
+        }
+        decisions
+    }
+
+    /// Publishes the decisions back into the context broker as a
+    /// prescription entity (`urn:swamp:service:irrigation`), so dashboards
+    /// and the fog replica see what the service decided.
+    pub fn publish_prescription(
+        &self,
+        broker: &mut ContextBroker,
+        now: SimTime,
+        decisions: &[ZoneDecision],
+    ) {
+        let mut e = Entity::new("urn:swamp:service:irrigation", "IrrigationPlan");
+        e.set(
+            "depths_mm",
+            decisions.iter().map(|d| d.depth_mm).collect::<Vec<f64>>(),
+        );
+        e.set("cycle", self.cycles as f64);
+        broker.upsert(now, e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swamp_irrigation::schedule::ThresholdRefill;
+    use swamp_security::detect::RangeValidator;
+
+    fn probe_update(broker: &mut ContextBroker, entity: &str, vwc: f64) {
+        let mut e = Entity::new(entity, "SoilProbe");
+        e.set("moisture_vwc", vwc);
+        broker.upsert(SimTime::ZERO, e);
+    }
+
+    fn service(broker: &mut ContextBroker, n: usize) -> IrrigationService {
+        let zones = (0..n)
+            .map(|i| ManagedZone {
+                probe_entity: format!("urn:swamp:device:p{i}"),
+                probe_device: format!("p{i}"),
+                field_capacity: 0.27,
+                taw_mm: 90.0,
+                raw_mm: 45.0,
+                root_depth_mm: 600.0,
+                policy: Box::new(ThresholdRefill::new(1.0)),
+            })
+            .collect();
+        IrrigationService::new(broker, zones)
+    }
+
+    #[test]
+    fn wet_zone_skipped_dry_zone_refilled() {
+        let mut broker = ContextBroker::new();
+        let mut svc = service(&mut broker, 2);
+        probe_update(&mut broker, "urn:swamp:device:p0", 0.26); // near FC
+        probe_update(&mut broker, "urn:swamp:device:p1", 0.17); // 60 mm down
+        let detectors = DetectorBank::new();
+        let d = svc.run_cycle(&mut broker, &detectors, 6.0, 0.0, 30);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].depth_mm, 0.0);
+        assert!((d[1].depth_mm - 60.0).abs() < 1e-9);
+        assert!(d[1].data_fresh);
+    }
+
+    #[test]
+    fn no_data_means_no_action() {
+        let mut broker = ContextBroker::new();
+        let mut svc = service(&mut broker, 1);
+        let detectors = DetectorBank::new();
+        let d = svc.run_cycle(&mut broker, &detectors, 6.0, 0.0, 0);
+        assert_eq!(d[0].depth_mm, 0.0);
+        assert!(!d[0].data_fresh);
+    }
+
+    #[test]
+    fn stale_data_still_used_but_marked() {
+        let mut broker = ContextBroker::new();
+        let mut svc = service(&mut broker, 1);
+        probe_update(&mut broker, "urn:swamp:device:p0", 0.17);
+        let detectors = DetectorBank::new();
+        let d1 = svc.run_cycle(&mut broker, &detectors, 6.0, 0.0, 1);
+        assert!(d1[0].data_fresh);
+        // Next cycle, no new reading: the estimate is reused, marked stale.
+        let d2 = svc.run_cycle(&mut broker, &detectors, 6.0, 0.0, 2);
+        assert!(!d2[0].data_fresh);
+        assert!(d2[0].depth_mm > 0.0);
+    }
+
+    #[test]
+    fn quarantined_probe_holds_its_zone() {
+        let mut broker = ContextBroker::new();
+        let mut svc = service(&mut broker, 2);
+        probe_update(&mut broker, "urn:swamp:device:p0", 0.10); // very dry
+        probe_update(&mut broker, "urn:swamp:device:p1", 0.10);
+        // p0's device is quarantined by the detection pipeline.
+        let mut detectors = DetectorBank::new();
+        detectors.configure_quantity("moisture_vwc", RangeValidator::soil_moisture());
+        detectors.observe_value(SimTime::ZERO, "p0", "moisture_vwc", 5.0);
+        let d = svc.run_cycle(&mut broker, &detectors, 6.0, 0.0, 10);
+        assert!(d[0].probe_quarantined);
+        assert_eq!(d[0].depth_mm, 0.0, "never irrigate on untrusted data");
+        assert!(d[1].depth_mm > 0.0, "healthy zone unaffected");
+    }
+
+    #[test]
+    fn prescription_published_to_broker() {
+        let mut broker = ContextBroker::new();
+        let mut svc = service(&mut broker, 2);
+        probe_update(&mut broker, "urn:swamp:device:p0", 0.17);
+        let detectors = DetectorBank::new();
+        let d = svc.run_cycle(&mut broker, &detectors, 6.0, 0.0, 5);
+        svc.publish_prescription(&mut broker, SimTime::ZERO, &d);
+        let plan = broker
+            .entity(&"urn:swamp:service:irrigation".into())
+            .expect("plan entity");
+        let depths = plan
+            .attribute("depths_mm")
+            .unwrap()
+            .value
+            .as_number_list()
+            .unwrap();
+        assert_eq!(depths.len(), 2);
+        assert!(depths[0] > 0.0);
+        assert_eq!(plan.number("cycle"), Some(1.0));
+    }
+
+    #[test]
+    fn unrelated_entities_ignored() {
+        let mut broker = ContextBroker::new();
+        let mut svc = service(&mut broker, 1);
+        // An update from a probe the service does not manage.
+        probe_update(&mut broker, "urn:swamp:device:other", 0.05);
+        let detectors = DetectorBank::new();
+        let d = svc.run_cycle(&mut broker, &detectors, 6.0, 0.0, 1);
+        assert_eq!(d[0].depth_mm, 0.0);
+        assert_eq!(svc.zone_count(), 1);
+    }
+}

@@ -1,0 +1,254 @@
+//! Authenticated encryption: ChaCha20 + HMAC-SHA256, encrypt-then-MAC.
+//!
+//! This is the "state of the practice cryptography" the paper mandates for
+//! confidentiality of farm data. We compose the two from-scratch primitives
+//! in this crate rather than implementing Poly1305, trading a little speed
+//! for a much smaller trusted codebase; the security argument
+//! (encrypt-then-MAC with independent keys) is standard.
+//!
+//! The sealed frame layout is: `nonce (12) || ciphertext || tag (32)`.
+
+use crate::chacha20::{ChaCha20, KEY_LEN, NONCE_LEN};
+use crate::hmac::{constant_time_eq, hkdf, HmacSha256};
+use crate::sha256::DIGEST_LEN;
+
+/// Overhead added by [`SecretKey::seal`]: nonce plus tag.
+pub const SEAL_OVERHEAD: usize = NONCE_LEN + DIGEST_LEN;
+
+/// Error returned when opening a sealed frame fails.
+///
+/// Deliberately carries no detail: distinguishing "bad MAC" from "truncated"
+/// would hand an oracle to an active attacker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpenError;
+
+impl std::fmt::Display for OpenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("authenticated decryption failed")
+    }
+}
+impl std::error::Error for OpenError {}
+
+/// A 256-bit symmetric key from which independent encryption and MAC keys
+/// are derived via HKDF.
+#[derive(Clone)]
+pub struct SecretKey {
+    enc_key: [u8; KEY_LEN],
+    mac_key: [u8; KEY_LEN],
+}
+
+impl std::fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SecretKey { <redacted> }")
+    }
+}
+
+impl SecretKey {
+    /// Derives a key from raw input keying material and a context label.
+    ///
+    /// The label separates uses (e.g. `"link:probe-07"` vs `"token-signing"`)
+    /// so a leaked key in one context cannot be replayed in another.
+    pub fn derive(ikm: &[u8], label: &str) -> Self {
+        let okm = hkdf(b"swamp-aead-v1", ikm, label.as_bytes(), KEY_LEN * 2);
+        let mut enc_key = [0u8; KEY_LEN];
+        let mut mac_key = [0u8; KEY_LEN];
+        enc_key.copy_from_slice(&okm[..KEY_LEN]);
+        mac_key.copy_from_slice(&okm[KEY_LEN..]);
+        SecretKey { enc_key, mac_key }
+    }
+
+    /// Encrypts and authenticates `plaintext` with the given unique `nonce`
+    /// and additional authenticated data `aad`.
+    ///
+    /// The caller is responsible for nonce uniqueness per key; the network
+    /// layer uses a per-device message counter.
+    pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(plaintext.len() + SEAL_OVERHEAD);
+        out.extend_from_slice(nonce);
+        let ct_start = out.len();
+        out.extend_from_slice(plaintext);
+        ChaCha20::new(&self.enc_key, nonce).apply_keystream(1, &mut out[ct_start..]);
+        let tag = self.tag(nonce, aad, &out[ct_start..]);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Verifies and decrypts a frame produced by [`SecretKey::seal`].
+    ///
+    /// # Errors
+    /// Returns [`OpenError`] if the frame is truncated, the tag does not
+    /// verify, or the AAD differs from the one used at seal time.
+    pub fn open(&self, aad: &[u8], frame: &[u8]) -> Result<Vec<u8>, OpenError> {
+        if frame.len() < SEAL_OVERHEAD {
+            return Err(OpenError);
+        }
+        let (nonce_bytes, rest) = frame.split_at(NONCE_LEN);
+        let (ciphertext, tag) = rest.split_at(rest.len() - DIGEST_LEN);
+        let mut nonce = [0u8; NONCE_LEN];
+        nonce.copy_from_slice(nonce_bytes);
+
+        let expected = self.tag(&nonce, aad, ciphertext);
+        if !constant_time_eq(&expected, tag) {
+            return Err(OpenError);
+        }
+
+        let mut plaintext = ciphertext.to_vec();
+        ChaCha20::new(&self.enc_key, &nonce).apply_keystream(1, &mut plaintext);
+        Ok(plaintext)
+    }
+
+    fn tag(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], ciphertext: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut mac = HmacSha256::new(&self.mac_key);
+        // Unambiguous framing: lengths prefixed so (aad, ct) pairs can't collide.
+        mac.update(&(aad.len() as u64).to_be_bytes());
+        mac.update(aad);
+        mac.update(nonce);
+        mac.update(ciphertext);
+        mac.finalize()
+    }
+}
+
+/// A monotonically increasing nonce source for one key.
+///
+/// # Example
+/// ```
+/// use swamp_crypto::aead::NonceSequence;
+/// let mut seq = NonceSequence::new(7);
+/// let a = seq.next_nonce();
+/// let b = seq.next_nonce();
+/// assert_ne!(a, b);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NonceSequence {
+    sender_id: u32,
+    counter: u64,
+}
+
+impl NonceSequence {
+    /// Creates a sequence namespaced by a sender id, so two devices sharing
+    /// a (mis-provisioned) key still never collide nonces.
+    pub fn new(sender_id: u32) -> Self {
+        NonceSequence {
+            sender_id,
+            counter: 0,
+        }
+    }
+
+    /// Returns the next unique nonce.
+    pub fn next_nonce(&mut self) -> [u8; NONCE_LEN] {
+        let mut nonce = [0u8; NONCE_LEN];
+        nonce[..4].copy_from_slice(&self.sender_id.to_be_bytes());
+        nonce[4..].copy_from_slice(&self.counter.to_be_bytes());
+        self.counter += 1;
+        nonce
+    }
+
+    /// How many nonces have been issued.
+    pub fn issued(&self) -> u64 {
+        self.counter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> SecretKey {
+        SecretKey::derive(b"pilot shared secret", "link:test")
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let k = key();
+        let nonce = [1u8; NONCE_LEN];
+        let frame = k.seal(&nonce, b"hdr", b"soil moisture 0.23");
+        assert_eq!(frame.len(), 18 + SEAL_OVERHEAD);
+        let plain = k.open(b"hdr", &frame).unwrap();
+        assert_eq!(plain, b"soil moisture 0.23");
+    }
+
+    #[test]
+    fn empty_plaintext_roundtrip() {
+        let k = key();
+        let frame = k.seal(&[0u8; NONCE_LEN], b"", b"");
+        assert_eq!(k.open(b"", &frame).unwrap(), b"");
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let k = key();
+        let mut frame = k.seal(&[2u8; NONCE_LEN], b"", b"open valve 3");
+        frame[NONCE_LEN] ^= 0x01;
+        assert_eq!(k.open(b"", &frame), Err(OpenError));
+    }
+
+    #[test]
+    fn tampered_tag_rejected() {
+        let k = key();
+        let mut frame = k.seal(&[2u8; NONCE_LEN], b"", b"x");
+        let last = frame.len() - 1;
+        frame[last] ^= 0x80;
+        assert_eq!(k.open(b"", &frame), Err(OpenError));
+    }
+
+    #[test]
+    fn tampered_nonce_rejected() {
+        let k = key();
+        let mut frame = k.seal(&[2u8; NONCE_LEN], b"", b"x");
+        frame[0] ^= 0x01;
+        assert_eq!(k.open(b"", &frame), Err(OpenError));
+    }
+
+    #[test]
+    fn wrong_aad_rejected() {
+        let k = key();
+        let frame = k.seal(&[3u8; NONCE_LEN], b"device:7", b"m");
+        assert!(k.open(b"device:7", &frame).is_ok());
+        assert_eq!(k.open(b"device:8", &frame), Err(OpenError));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let frame = key().seal(&[4u8; NONCE_LEN], b"", b"m");
+        let other = SecretKey::derive(b"different secret", "link:test");
+        assert_eq!(other.open(b"", &frame), Err(OpenError));
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        let k = key();
+        let frame = k.seal(&[5u8; NONCE_LEN], b"", b"hello");
+        for len in 0..SEAL_OVERHEAD {
+            assert_eq!(k.open(b"", &frame[..len]), Err(OpenError), "len {len}");
+        }
+    }
+
+    #[test]
+    fn label_separation() {
+        let a = SecretKey::derive(b"ikm", "link:a");
+        let b = SecretKey::derive(b"ikm", "link:b");
+        let frame = a.seal(&[6u8; NONCE_LEN], b"", b"m");
+        assert_eq!(b.open(b"", &frame), Err(OpenError));
+    }
+
+    #[test]
+    fn nonce_sequence_unique_and_namespaced() {
+        let mut a = NonceSequence::new(1);
+        let mut b = NonceSequence::new(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            assert!(seen.insert(a.next_nonce()));
+            assert!(seen.insert(b.next_nonce()));
+        }
+        assert_eq!(a.issued(), 100);
+    }
+
+    #[test]
+    fn ciphertext_differs_from_plaintext() {
+        let k = key();
+        let frame = k.seal(&[9u8; NONCE_LEN], b"", b"AAAAAAAAAAAAAAAA");
+        assert!(!frame
+            .windows(16)
+            .any(|w| w == b"AAAAAAAAAAAAAAAA"));
+    }
+}

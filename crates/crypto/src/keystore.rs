@@ -1,0 +1,246 @@
+//! Per-device key management.
+//!
+//! The SWAMP platform provisions each field device with a device key derived
+//! from a pilot master secret. The keystore is the platform-side registry:
+//! it derives, rotates and revokes device keys, and hands out the
+//! [`SecretKey`] used to open frames from a given device.
+
+use std::collections::BTreeMap;
+
+use crate::aead::SecretKey;
+
+/// Epoch counter for key rotation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct KeyEpoch(pub u32);
+
+/// Result of looking up a device key.
+#[derive(Clone, Debug)]
+pub struct DeviceKey {
+    /// The derived secret key for this device and epoch.
+    pub key: SecretKey,
+    /// The epoch the key belongs to.
+    pub epoch: KeyEpoch,
+}
+
+/// Error when a device is unknown or revoked.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KeystoreError {
+    /// The device id was never provisioned.
+    UnknownDevice(String),
+    /// The device was revoked (compromise or decommissioning).
+    Revoked(String),
+}
+
+impl std::fmt::Display for KeystoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KeystoreError::UnknownDevice(id) => write!(f, "unknown device {id:?}"),
+            KeystoreError::Revoked(id) => write!(f, "device {id:?} is revoked"),
+        }
+    }
+}
+impl std::error::Error for KeystoreError {}
+
+#[derive(Clone, Debug)]
+struct DeviceRecord {
+    epoch: KeyEpoch,
+    revoked: bool,
+}
+
+/// Platform-side key registry, rooted in a pilot master secret.
+///
+/// # Example
+/// ```
+/// use swamp_crypto::keystore::Keystore;
+/// let mut ks = Keystore::new(b"pilot-master-secret");
+/// ks.provision("probe-07");
+/// let dk = ks.device_key("probe-07").unwrap();
+/// assert_eq!(dk.epoch.0, 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Keystore {
+    master: Vec<u8>,
+    devices: BTreeMap<String, DeviceRecord>,
+}
+
+impl Keystore {
+    /// Creates a keystore rooted in `master_secret`.
+    pub fn new(master_secret: &[u8]) -> Self {
+        Keystore {
+            master: master_secret.to_vec(),
+            devices: BTreeMap::new(),
+        }
+    }
+
+    /// Provisions a device at epoch 0. Re-provisioning an existing device is
+    /// a no-op (its epoch and revocation state are preserved).
+    pub fn provision(&mut self, device_id: &str) {
+        self.devices
+            .entry(device_id.to_owned())
+            .or_insert(DeviceRecord {
+                epoch: KeyEpoch(0),
+                revoked: false,
+            });
+    }
+
+    /// Number of provisioned (non-revoked) devices.
+    pub fn active_devices(&self) -> usize {
+        self.devices.values().filter(|d| !d.revoked).count()
+    }
+
+    /// Looks up the current key for a device.
+    ///
+    /// # Errors
+    /// [`KeystoreError::UnknownDevice`] if never provisioned,
+    /// [`KeystoreError::Revoked`] if revoked.
+    pub fn device_key(&self, device_id: &str) -> Result<DeviceKey, KeystoreError> {
+        let rec = self
+            .devices
+            .get(device_id)
+            .ok_or_else(|| KeystoreError::UnknownDevice(device_id.to_owned()))?;
+        if rec.revoked {
+            return Err(KeystoreError::Revoked(device_id.to_owned()));
+        }
+        Ok(DeviceKey {
+            key: self.derive(device_id, rec.epoch),
+            epoch: rec.epoch,
+        })
+    }
+
+    /// Derives the key a device itself would hold for a given epoch; used by
+    /// the simulator to give the device side its copy.
+    pub fn derive(&self, device_id: &str, epoch: KeyEpoch) -> SecretKey {
+        let label = format!("device:{device_id}:epoch:{}", epoch.0);
+        SecretKey::derive(&self.master, &label)
+    }
+
+    /// Rotates a device to the next epoch, returning the new epoch.
+    ///
+    /// # Errors
+    /// Same conditions as [`Keystore::device_key`].
+    pub fn rotate(&mut self, device_id: &str) -> Result<KeyEpoch, KeystoreError> {
+        let rec = self
+            .devices
+            .get_mut(device_id)
+            .ok_or_else(|| KeystoreError::UnknownDevice(device_id.to_owned()))?;
+        if rec.revoked {
+            return Err(KeystoreError::Revoked(device_id.to_owned()));
+        }
+        rec.epoch = KeyEpoch(rec.epoch.0 + 1);
+        Ok(rec.epoch)
+    }
+
+    /// Revokes a device (e.g. after compromise detection). Idempotent.
+    pub fn revoke(&mut self, device_id: &str) {
+        if let Some(rec) = self.devices.get_mut(device_id) {
+            rec.revoked = true;
+        }
+    }
+
+    /// Whether the device is currently revoked.
+    pub fn is_revoked(&self, device_id: &str) -> bool {
+        self.devices.get(device_id).is_some_and(|r| r.revoked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aead::NonceSequence;
+
+    #[test]
+    fn provision_and_lookup() {
+        let mut ks = Keystore::new(b"m");
+        ks.provision("d1");
+        let dk = ks.device_key("d1").unwrap();
+        assert_eq!(dk.epoch, KeyEpoch(0));
+        assert_eq!(ks.active_devices(), 1);
+    }
+
+    #[test]
+    fn unknown_device_errors() {
+        let ks = Keystore::new(b"m");
+        assert!(matches!(
+            ks.device_key("ghost"),
+            Err(KeystoreError::UnknownDevice(id)) if id == "ghost"
+        ));
+    }
+
+    #[test]
+    fn platform_and_device_keys_interoperate() {
+        let mut ks = Keystore::new(b"m");
+        ks.provision("probe");
+        let platform_side = ks.device_key("probe").unwrap();
+        let device_side = ks.derive("probe", KeyEpoch(0));
+        let mut nonces = NonceSequence::new(1);
+        let frame = device_side.seal(&nonces.next_nonce(), b"", b"vwc=0.2");
+        assert_eq!(platform_side.key.open(b"", &frame).unwrap(), b"vwc=0.2");
+    }
+
+    #[test]
+    fn rotation_invalidates_old_epoch() {
+        let mut ks = Keystore::new(b"m");
+        ks.provision("d");
+        let old = ks.device_key("d").unwrap();
+        assert_eq!(ks.rotate("d").unwrap(), KeyEpoch(1));
+        let new = ks.device_key("d").unwrap();
+        assert_eq!(new.epoch, KeyEpoch(1));
+        // A frame sealed under the old key no longer opens under the new one.
+        let frame = old.key.seal(&[0u8; 12], b"", b"stale");
+        assert!(new.key.open(b"", &frame).is_err());
+    }
+
+    #[test]
+    fn revocation_blocks_access() {
+        let mut ks = Keystore::new(b"m");
+        ks.provision("d");
+        ks.revoke("d");
+        assert!(ks.is_revoked("d"));
+        assert!(matches!(
+            ks.device_key("d"),
+            Err(KeystoreError::Revoked(id)) if id == "d"
+        ));
+        assert_eq!(ks.rotate("d"), Err(KeystoreError::Revoked("d".into())));
+        assert_eq!(ks.active_devices(), 0);
+        // Idempotent.
+        ks.revoke("d");
+        assert!(ks.is_revoked("d"));
+    }
+
+    #[test]
+    fn reprovision_preserves_state() {
+        let mut ks = Keystore::new(b"m");
+        ks.provision("d");
+        ks.rotate("d").unwrap();
+        ks.provision("d"); // no-op
+        assert_eq!(ks.device_key("d").unwrap().epoch, KeyEpoch(1));
+    }
+
+    #[test]
+    fn different_devices_different_keys() {
+        let mut ks = Keystore::new(b"m");
+        ks.provision("a");
+        ks.provision("b");
+        let ka = ks.device_key("a").unwrap();
+        let kb = ks.device_key("b").unwrap();
+        let frame = ka.key.seal(&[0u8; 12], b"", b"m");
+        assert!(kb.key.open(b"", &frame).is_err());
+    }
+
+    #[test]
+    fn different_masters_different_keys() {
+        let mut k1 = Keystore::new(b"m1");
+        let mut k2 = Keystore::new(b"m2");
+        k1.provision("d");
+        k2.provision("d");
+        let frame = k1.device_key("d").unwrap().key.seal(&[0u8; 12], b"", b"m");
+        assert!(k2.device_key("d").unwrap().key.open(b"", &frame).is_err());
+    }
+
+    #[test]
+    fn revoke_unknown_is_noop() {
+        let mut ks = Keystore::new(b"m");
+        ks.revoke("ghost");
+        assert!(!ks.is_revoked("ghost"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for the crypto substrate.
+
+use proptest::prelude::*;
+use swamp_crypto::aead::{NonceSequence, SecretKey};
+use swamp_crypto::hmac::{constant_time_eq, hmac_sha256};
+use swamp_crypto::sha256::Sha256;
+
+proptest! {
+    #[test]
+    fn sha256_incremental_equals_oneshot(
+        data in prop::collection::vec(any::<u8>(), 0..512),
+        split in 0usize..512,
+    ) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn seal_open_roundtrip(
+        ikm in prop::collection::vec(any::<u8>(), 1..64),
+        aad in prop::collection::vec(any::<u8>(), 0..32),
+        plaintext in prop::collection::vec(any::<u8>(), 0..256),
+        sender in any::<u32>(),
+    ) {
+        let key = SecretKey::derive(&ikm, "proptest");
+        let mut nonces = NonceSequence::new(sender);
+        let frame = key.seal(&nonces.next_nonce(), &aad, &plaintext);
+        let opened = key.open(&aad, &frame).expect("roundtrip");
+        prop_assert_eq!(opened, plaintext);
+    }
+
+    #[test]
+    fn any_single_bitflip_is_rejected(
+        plaintext in prop::collection::vec(any::<u8>(), 1..64),
+        flip_bit in 0usize..8,
+    ) {
+        let key = SecretKey::derive(b"k", "flip");
+        let mut nonces = NonceSequence::new(0);
+        let frame = key.seal(&nonces.next_nonce(), b"", &plaintext);
+        for byte_idx in 0..frame.len() {
+            let mut tampered = frame.clone();
+            tampered[byte_idx] ^= 1 << flip_bit;
+            prop_assert!(
+                key.open(b"", &tampered).is_err(),
+                "bitflip at byte {} accepted", byte_idx
+            );
+        }
+    }
+
+    #[test]
+    fn hmac_is_deterministic_and_key_sensitive(
+        key in prop::collection::vec(any::<u8>(), 0..128),
+        msg in prop::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let t1 = hmac_sha256(&key, &msg);
+        let t2 = hmac_sha256(&key, &msg);
+        prop_assert_eq!(t1, t2);
+        let mut key2 = key.clone();
+        key2.push(0x01);
+        prop_assert_ne!(t1, hmac_sha256(&key2, &msg));
+    }
+
+    #[test]
+    fn constant_time_eq_matches_plain_eq(
+        a in prop::collection::vec(any::<u8>(), 0..32),
+        b in prop::collection::vec(any::<u8>(), 0..32),
+    ) {
+        prop_assert_eq!(constant_time_eq(&a, &b), a == b);
+    }
+
+    #[test]
+    fn truncation_always_rejected(
+        plaintext in prop::collection::vec(any::<u8>(), 0..64),
+        cut in 1usize..16,
+    ) {
+        let key = SecretKey::derive(b"k", "trunc");
+        let mut nonces = NonceSequence::new(0);
+        let frame = key.seal(&nonces.next_nonce(), b"", &plaintext);
+        let cut = cut.min(frame.len());
+        prop_assert!(key.open(b"", &frame[..frame.len() - cut]).is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! # swamp-fog — fog computing tier of the SWAMP platform
+//!
+//! The paper requires platform availability "even in case of Internet
+//! disconnections using local components (fog computing)", in deployment
+//! configurations ranging from cloud analytics through farm-premises fog
+//! to "possibly mobile fog nodes acting in the field (e.g., drones or in
+//! the central pivot irrigation mechanisms)". This crate provides:
+//!
+//! - [`sync`] — store-and-forward fog→cloud replication with bounded
+//!   buffers, ack/retransmit, and an idempotent cloud store.
+//! - [`availability`] — interval-level availability accounting and outage
+//!   schedules for the disconnection experiments (E5).
+//! - [`mobile`] — contact-plan-driven connectivity for drone/pivot fog
+//!   nodes.
+//!
+//! ## Example: buffering through an outage
+//!
+//! ```
+//! use swamp_fog::sync::{DropPolicy, FogSync};
+//! use swamp_sim::{SimDuration, SimTime};
+//!
+//! let mut sync = FogSync::new("farm-fog", "cloud", 10_000,
+//!                             DropPolicy::Oldest, SimDuration::from_secs(30));
+//! // Uplink down: updates keep accumulating locally.
+//! for hour in 0..48 {
+//!     sync.enqueue(SimTime::from_hours(hour), "probe-1", vec![hour as u8]);
+//! }
+//! assert_eq!(sync.pending(), 48);
+//! ```
+
+pub mod availability;
+pub mod mobile;
+pub mod sync;
+
+pub use availability::{AvailabilityTracker, OutageSchedule, ServedBy};
+pub use mobile::{ContactPlan, MobileLinkDriver};
+pub use sync::{CloudStore, DropPolicy, FogSync, SyncStats};

@@ -1,0 +1,223 @@
+//! Mobile fog nodes: drones and pivot-mounted controllers.
+//!
+//! The paper's architecture includes "possibly mobile fog nodes acting in
+//! the field (e.g., drones or in the central pivot irrigation mechanisms)".
+//! A mobile fog node differs from a farm fog node in exactly one way that
+//! matters to the platform: its backhaul link is only up during *contact
+//! windows* (docked at the base, within radio range). Between contacts it
+//! collects and buffers; at contact it drains through the normal
+//! [`crate::sync::FogSync`] machinery.
+
+use swamp_sim::{SimDuration, SimTime};
+
+/// A periodic contact plan: in range for `contact` out of every `period`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ContactPlan {
+    /// Cycle length (e.g. a 2-hour survey circuit).
+    pub period: SimDuration,
+    /// In-range duration at the start of each cycle.
+    pub contact: SimDuration,
+    /// Offset of the first cycle start.
+    pub offset: SimDuration,
+}
+
+impl ContactPlan {
+    /// Creates a plan.
+    ///
+    /// # Panics
+    /// Panics unless `0 < contact <= period`.
+    pub fn new(period: SimDuration, contact: SimDuration, offset: SimDuration) -> Self {
+        assert!(
+            !contact.is_zero() && contact <= period,
+            "need 0 < contact <= period"
+        );
+        ContactPlan {
+            period,
+            contact,
+            offset,
+        }
+    }
+
+    /// A drone circuit: 15 minutes docked per 2-hour survey loop.
+    pub fn drone_survey() -> Self {
+        ContactPlan::new(
+            SimDuration::from_hours(2),
+            SimDuration::from_mins(15),
+            SimDuration::ZERO,
+        )
+    }
+
+    /// Whether the node is in contact at `t`.
+    pub fn in_contact(&self, t: SimTime) -> bool {
+        let t_ms = t.as_millis();
+        let off = self.offset.as_millis();
+        if t_ms < off {
+            return false;
+        }
+        let phase = (t_ms - off) % self.period.as_millis();
+        phase < self.contact.as_millis()
+    }
+
+    /// Start of the next contact window at or after `t`.
+    pub fn next_contact(&self, t: SimTime) -> SimTime {
+        if self.in_contact(t) {
+            return t;
+        }
+        let t_ms = t.as_millis();
+        let off = self.offset.as_millis();
+        if t_ms < off {
+            return SimTime::from_millis(off);
+        }
+        let period = self.period.as_millis();
+        let cycles = (t_ms - off) / period + 1;
+        SimTime::from_millis(off + cycles * period)
+    }
+
+    /// Duty fraction: share of time in contact.
+    pub fn duty(&self) -> f64 {
+        self.contact.as_millis() as f64 / self.period.as_millis() as f64
+    }
+}
+
+/// Drives a network link according to a contact plan.
+///
+/// Call [`MobileLinkDriver::update`] as simulation time advances; it
+/// toggles the link exactly when contact state changes and reports the
+/// transition.
+#[derive(Clone, Debug)]
+pub struct MobileLinkDriver {
+    plan: ContactPlan,
+    last_state: Option<bool>,
+}
+
+/// A link transition reported by the driver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkTransition {
+    /// The node came into range.
+    CameUp,
+    /// The node left range.
+    WentDown,
+}
+
+impl MobileLinkDriver {
+    /// Creates a driver for a plan.
+    pub fn new(plan: ContactPlan) -> Self {
+        MobileLinkDriver {
+            plan,
+            last_state: None,
+        }
+    }
+
+    /// The plan being driven.
+    pub fn plan(&self) -> &ContactPlan {
+        &self.plan
+    }
+
+    /// Returns the desired link state at `t` and the transition, if one
+    /// occurred since the previous call.
+    pub fn update(&mut self, t: SimTime) -> (bool, Option<LinkTransition>) {
+        let up = self.plan.in_contact(t);
+        let transition = match self.last_state {
+            Some(prev) if prev != up => Some(if up {
+                LinkTransition::CameUp
+            } else {
+                LinkTransition::WentDown
+            }),
+            None => None,
+            _ => None,
+        };
+        self.last_state = Some(up);
+        (up, transition)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> ContactPlan {
+        // 10-minute contact per hour, starting at t=0.
+        ContactPlan::new(
+            SimDuration::from_hours(1),
+            SimDuration::from_mins(10),
+            SimDuration::ZERO,
+        )
+    }
+
+    #[test]
+    fn contact_windows_repeat() {
+        let p = plan();
+        assert!(p.in_contact(SimTime::ZERO));
+        assert!(p.in_contact(SimTime::from_millis(9 * 60_000)));
+        assert!(!p.in_contact(SimTime::from_millis(10 * 60_000)));
+        assert!(!p.in_contact(SimTime::from_mins_h(30)));
+        assert!(p.in_contact(SimTime::from_hours(1)));
+        assert!(p.in_contact(SimTime::from_hours(5)));
+    }
+
+    trait FromMinsH {
+        fn from_mins_h(m: u64) -> SimTime;
+    }
+    impl FromMinsH for SimTime {
+        fn from_mins_h(m: u64) -> SimTime {
+            SimTime::from_millis(m * 60_000)
+        }
+    }
+
+    #[test]
+    fn offset_delays_first_contact() {
+        let p = ContactPlan::new(
+            SimDuration::from_hours(1),
+            SimDuration::from_mins(10),
+            SimDuration::from_mins(30),
+        );
+        assert!(!p.in_contact(SimTime::ZERO));
+        assert!(p.in_contact(SimTime::from_mins_h(30)));
+        assert_eq!(p.next_contact(SimTime::ZERO), SimTime::from_mins_h(30));
+    }
+
+    #[test]
+    fn next_contact_semantics() {
+        let p = plan();
+        // Already in contact: now.
+        assert_eq!(p.next_contact(SimTime::ZERO), SimTime::ZERO);
+        // Mid-gap: next cycle start.
+        assert_eq!(
+            p.next_contact(SimTime::from_mins_h(30)),
+            SimTime::from_hours(1)
+        );
+        assert_eq!(
+            p.next_contact(SimTime::from_mins_h(70)),
+            SimTime::from_hours(2)
+        );
+    }
+
+    #[test]
+    fn duty_fraction() {
+        assert!((plan().duty() - 1.0 / 6.0).abs() < 1e-12);
+        assert!((ContactPlan::drone_survey().duty() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn driver_reports_transitions() {
+        let mut d = MobileLinkDriver::new(plan());
+        let (up, tr) = d.update(SimTime::ZERO);
+        assert!(up);
+        assert_eq!(tr, None); // first observation, no transition
+        let (up, tr) = d.update(SimTime::from_mins_h(5));
+        assert!(up);
+        assert_eq!(tr, None);
+        let (up, tr) = d.update(SimTime::from_mins_h(15));
+        assert!(!up);
+        assert_eq!(tr, Some(LinkTransition::WentDown));
+        let (up, tr) = d.update(SimTime::from_hours(1));
+        assert!(up);
+        assert_eq!(tr, Some(LinkTransition::CameUp));
+    }
+
+    #[test]
+    #[should_panic(expected = "contact")]
+    fn zero_contact_rejected() {
+        let _ = ContactPlan::new(SimDuration::from_hours(1), SimDuration::ZERO, SimDuration::ZERO);
+    }
+}

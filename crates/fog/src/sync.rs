@@ -1,0 +1,515 @@
+//! Store-and-forward synchronization between a fog node and the cloud.
+//!
+//! The paper: "The availability of the platform must be provided even in
+//! case of Internet disconnections using local components (fog computing)
+//! to keep the platform running properly." [`FogSync`] buffers context
+//! updates while the uplink is down or lossy and replays them with an
+//! ack/retransmit protocol; [`CloudStore`] is the receiving end,
+//! deduplicating by sequence number so retransmissions are idempotent.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use swamp_net::message::{Message, NodeId};
+use swamp_net::network::Network;
+use swamp_sim::{SimDuration, SimTime};
+
+/// Topic used for fog→cloud data records.
+pub const SYNC_TOPIC: &str = "fog/sync/data";
+/// Topic used for cloud→fog acknowledgements.
+pub const ACK_TOPIC: &str = "fog/sync/ack";
+
+/// A buffered context update.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UpdateRecord {
+    /// Fog-assigned sequence number (unique, monotone).
+    pub seq: u64,
+    /// Record key (e.g. entity id).
+    pub key: String,
+    /// Opaque payload (e.g. serialized entity).
+    pub payload: Vec<u8>,
+    /// When the update was created at the fog.
+    pub created_at: SimTime,
+}
+
+/// What to drop when the fog buffer is full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropPolicy {
+    /// Drop the oldest buffered update (favor fresh state).
+    Oldest,
+    /// Refuse the new update (favor history completeness).
+    Newest,
+}
+
+/// Counters for a sync endpoint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SyncStats {
+    /// Updates accepted into the buffer.
+    pub enqueued: u64,
+    /// Updates dropped by the bounded buffer.
+    pub dropped: u64,
+    /// Data transmissions (including retransmits).
+    pub transmissions: u64,
+    /// Updates confirmed by the cloud.
+    pub acked: u64,
+}
+
+/// Fog-side sync engine: bounded buffer + ack/retransmit.
+///
+/// # Example
+/// ```
+/// use swamp_fog::sync::{DropPolicy, FogSync};
+/// use swamp_sim::{SimDuration, SimTime};
+/// let mut sync = FogSync::new("fog", "cloud", 100, DropPolicy::Oldest,
+///                             SimDuration::from_secs(30));
+/// sync.enqueue(SimTime::ZERO, "probe-1", b"vwc=0.2".to_vec());
+/// assert_eq!(sync.pending(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FogSync {
+    node: NodeId,
+    cloud: NodeId,
+    capacity: usize,
+    policy: DropPolicy,
+    retransmit_after: SimDuration,
+    buffer: VecDeque<UpdateRecord>,
+    /// seq → last transmission time (in-flight, awaiting ack).
+    in_flight: BTreeMap<u64, SimTime>,
+    next_seq: u64,
+    stats: SyncStats,
+}
+
+impl FogSync {
+    /// Creates a sync engine for the fog node talking to the cloud node.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(
+        node: impl Into<NodeId>,
+        cloud: impl Into<NodeId>,
+        capacity: usize,
+        policy: DropPolicy,
+        retransmit_after: SimDuration,
+    ) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        FogSync {
+            node: node.into(),
+            cloud: cloud.into(),
+            capacity,
+            policy,
+            retransmit_after,
+            buffer: VecDeque::new(),
+            in_flight: BTreeMap::new(),
+            next_seq: 0,
+            stats: SyncStats::default(),
+        }
+    }
+
+    /// Buffered (not yet acked) update count.
+    pub fn pending(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> SyncStats {
+        self.stats
+    }
+
+    /// Queues one update, applying the drop policy when full. Returns the
+    /// sequence number, or `None` if this update was refused (Newest policy).
+    pub fn enqueue(&mut self, now: SimTime, key: &str, payload: Vec<u8>) -> Option<u64> {
+        if self.buffer.len() >= self.capacity {
+            match self.policy {
+                DropPolicy::Oldest => {
+                    if let Some(old) = self.buffer.pop_front() {
+                        self.in_flight.remove(&old.seq);
+                        self.stats.dropped += 1;
+                    }
+                }
+                DropPolicy::Newest => {
+                    self.stats.dropped += 1;
+                    return None;
+                }
+            }
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.buffer.push_back(UpdateRecord {
+            seq,
+            key: key.to_owned(),
+            payload,
+            created_at: now,
+        });
+        self.stats.enqueued += 1;
+        Some(seq)
+    }
+
+    /// Runs one sync round at `now`: transmits new records and retransmits
+    /// unacked ones whose timer expired, up to `batch` transmissions.
+    /// Returns how many messages were handed to the network.
+    pub fn sync_round(&mut self, net: &mut Network, now: SimTime, batch: usize) -> usize {
+        let mut sent = 0;
+        // Collect seqs to send first (borrow discipline).
+        let due: Vec<u64> = self
+            .buffer
+            .iter()
+            .filter(|r| match self.in_flight.get(&r.seq) {
+                None => true,
+                Some(&last) => now.saturating_duration_since(last) >= self.retransmit_after,
+            })
+            .take(batch)
+            .map(|r| r.seq)
+            .collect();
+        for seq in due {
+            let record = self
+                .buffer
+                .iter()
+                .find(|r| r.seq == seq)
+                .expect("seq from buffer scan")
+                .clone();
+            let msg = Message::new(SYNC_TOPIC, encode_record(&record));
+            if net.send(now, self.node.clone(), self.cloud.clone(), msg).is_ok() {
+                self.stats.transmissions += 1;
+                self.in_flight.insert(seq, now);
+                sent += 1;
+            } else {
+                break; // no route / denied: try next round
+            }
+        }
+        sent
+    }
+
+    /// Processes an ack payload from the cloud, releasing confirmed records.
+    pub fn process_ack(&mut self, payload: &[u8]) {
+        for seq in decode_acks(payload) {
+            let before = self.buffer.len();
+            self.buffer.retain(|r| r.seq != seq);
+            if self.buffer.len() != before {
+                self.stats.acked += 1;
+            }
+            self.in_flight.remove(&seq);
+        }
+    }
+
+    /// Drains the fog node's network inbox, handling ack messages. Returns
+    /// the number of acks processed.
+    pub fn poll_acks(&mut self, net: &mut Network) -> usize {
+        let mut count = 0;
+        let deliveries = net.drain(&self.node.clone());
+        for d in deliveries {
+            if d.message.topic == ACK_TOPIC {
+                self.process_ack(&d.message.payload);
+                count += 1;
+            }
+        }
+        count
+    }
+}
+
+/// Cloud-side receiving store: deduplicates by sequence and acks.
+#[derive(Clone, Debug)]
+pub struct CloudStore {
+    node: NodeId,
+    /// Latest payload per key.
+    latest: BTreeMap<String, UpdateRecord>,
+    /// Full history (append order of acceptance).
+    history: Vec<UpdateRecord>,
+    seen_seqs: std::collections::BTreeSet<u64>,
+    duplicates: u64,
+}
+
+impl CloudStore {
+    /// Creates a store living at the given cloud node.
+    pub fn new(node: impl Into<NodeId>) -> Self {
+        CloudStore {
+            node: node.into(),
+            latest: BTreeMap::new(),
+            history: Vec::new(),
+            seen_seqs: std::collections::BTreeSet::new(),
+            duplicates: 0,
+        }
+    }
+
+    /// Unique records accepted.
+    pub fn record_count(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Duplicate transmissions discarded.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Latest payload for a key.
+    pub fn latest(&self, key: &str) -> Option<&UpdateRecord> {
+        self.latest.get(key)
+    }
+
+    /// Full accepted history in arrival order.
+    pub fn history(&self) -> &[UpdateRecord] {
+        &self.history
+    }
+
+    /// Drains the cloud inbox, storing records and sending one batched ack
+    /// per sync source. Returns the number of new records accepted.
+    pub fn process(&mut self, net: &mut Network, now: SimTime) -> usize {
+        let deliveries = net.drain(&self.node.clone());
+        let mut accepted = 0;
+        let mut acks: BTreeMap<NodeId, Vec<u64>> = BTreeMap::new();
+        for d in deliveries {
+            if d.message.topic != SYNC_TOPIC {
+                continue;
+            }
+            if let Some(record) = decode_record(&d.message.payload) {
+                acks.entry(d.src.clone()).or_default().push(record.seq);
+                if self.seen_seqs.insert(record.seq) {
+                    self.latest.insert(record.key.clone(), record.clone());
+                    self.history.push(record);
+                    accepted += 1;
+                } else {
+                    self.duplicates += 1;
+                }
+            }
+        }
+        for (fog, seqs) in acks {
+            let _ = net.send(
+                now,
+                self.node.clone(),
+                fog,
+                Message::new(ACK_TOPIC, encode_acks(&seqs)),
+            );
+        }
+        accepted
+    }
+}
+
+fn encode_record(r: &UpdateRecord) -> Vec<u8> {
+    let key_bytes = r.key.as_bytes();
+    let mut out = Vec::with_capacity(8 + 8 + 2 + key_bytes.len() + r.payload.len());
+    out.extend_from_slice(&r.seq.to_be_bytes());
+    out.extend_from_slice(&r.created_at.as_millis().to_be_bytes());
+    out.extend_from_slice(&(key_bytes.len() as u16).to_be_bytes());
+    out.extend_from_slice(key_bytes);
+    out.extend_from_slice(&r.payload);
+    out
+}
+
+fn decode_record(bytes: &[u8]) -> Option<UpdateRecord> {
+    if bytes.len() < 18 {
+        return None;
+    }
+    let seq = u64::from_be_bytes(bytes[0..8].try_into().ok()?);
+    let created_ms = u64::from_be_bytes(bytes[8..16].try_into().ok()?);
+    let key_len = u16::from_be_bytes(bytes[16..18].try_into().ok()?) as usize;
+    if bytes.len() < 18 + key_len {
+        return None;
+    }
+    let key = std::str::from_utf8(&bytes[18..18 + key_len]).ok()?.to_owned();
+    let payload = bytes[18 + key_len..].to_vec();
+    Some(UpdateRecord {
+        seq,
+        key,
+        payload,
+        created_at: SimTime::from_millis(created_ms),
+    })
+}
+
+fn encode_acks(seqs: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(seqs.len() * 8);
+    for s in seqs {
+        out.extend_from_slice(&s.to_be_bytes());
+    }
+    out
+}
+
+fn decode_acks(bytes: &[u8]) -> Vec<u64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_be_bytes(c.try_into().expect("chunk of 8")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swamp_net::link::LinkSpec;
+
+    fn setup(loss: f64) -> (Network, FogSync, CloudStore) {
+        let mut net = Network::new(11);
+        net.add_node("fog");
+        net.add_node("cloud");
+        net.connect(
+            "fog",
+            "cloud",
+            LinkSpec::new(
+                SimDuration::from_millis(50),
+                SimDuration::ZERO,
+                loss,
+                10_000_000,
+            ),
+        );
+        let sync = FogSync::new(
+            "fog",
+            "cloud",
+            1000,
+            DropPolicy::Oldest,
+            SimDuration::from_secs(5),
+        );
+        (net, sync, CloudStore::new("cloud"))
+    }
+
+    /// Runs rounds of sync/process until quiescent or `rounds` exhausted.
+    fn pump(
+        net: &mut Network,
+        sync: &mut FogSync,
+        cloud: &mut CloudStore,
+        start: SimTime,
+        rounds: usize,
+    ) -> SimTime {
+        let mut now = start;
+        for _ in 0..rounds {
+            sync.sync_round(net, now, 64);
+            now += SimDuration::from_secs(1);
+            net.advance_to(now);
+            cloud.process(net, now);
+            now += SimDuration::from_secs(1);
+            net.advance_to(now);
+            sync.poll_acks(net);
+            now += SimDuration::from_secs(5);
+            if sync.pending() == 0 {
+                break;
+            }
+        }
+        now
+    }
+
+    #[test]
+    fn record_codec_roundtrip() {
+        let r = UpdateRecord {
+            seq: 42,
+            key: "urn:swamp:probe:7".into(),
+            payload: vec![1, 2, 3, 255],
+            created_at: SimTime::from_secs(99),
+        };
+        assert_eq!(decode_record(&encode_record(&r)), Some(r));
+        assert_eq!(decode_record(b"short"), None);
+        assert_eq!(decode_acks(&encode_acks(&[1, 2, 3])), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clean_link_syncs_everything() {
+        let (mut net, mut sync, mut cloud) = setup(0.0);
+        for i in 0..50 {
+            sync.enqueue(SimTime::ZERO, &format!("key-{i}"), vec![i as u8]);
+        }
+        pump(&mut net, &mut sync, &mut cloud, SimTime::ZERO, 20);
+        assert_eq!(sync.pending(), 0);
+        assert_eq!(cloud.record_count(), 50);
+        assert_eq!(sync.stats().acked, 50);
+        assert!(cloud.latest("key-7").is_some());
+    }
+
+    #[test]
+    fn lossy_link_recovers_via_retransmit() {
+        let (mut net, mut sync, mut cloud) = setup(0.3);
+        for i in 0..100 {
+            sync.enqueue(SimTime::ZERO, &format!("key-{i}"), vec![i as u8]);
+        }
+        pump(&mut net, &mut sync, &mut cloud, SimTime::ZERO, 200);
+        assert_eq!(sync.pending(), 0, "all records eventually acked");
+        assert_eq!(cloud.record_count(), 100);
+        // Loss forces retransmissions beyond the original 100.
+        assert!(sync.stats().transmissions > 100);
+    }
+
+    #[test]
+    fn disconnection_buffers_then_drains() {
+        let (mut net, mut sync, mut cloud) = setup(0.0);
+        net.set_link_up(&"fog".into(), &"cloud".into(), false);
+        let mut now = SimTime::ZERO;
+        for i in 0..30 {
+            sync.enqueue(now, &format!("key-{i}"), vec![i as u8]);
+            sync.sync_round(&mut net, now, 8);
+            now += SimDuration::from_secs(60);
+            net.advance_to(now);
+            cloud.process(&mut net, now);
+        }
+        assert_eq!(cloud.record_count(), 0, "nothing crosses a down link");
+        assert_eq!(sync.pending(), 30);
+
+        // Uplink restored: backlog drains.
+        net.set_link_up(&"fog".into(), &"cloud".into(), true);
+        pump(&mut net, &mut sync, &mut cloud, now, 50);
+        assert_eq!(cloud.record_count(), 30);
+        assert_eq!(sync.pending(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_idempotent() {
+        let (mut net, mut sync, mut cloud) = setup(0.0);
+        sync.enqueue(SimTime::ZERO, "k", b"v".to_vec());
+        // Transmit twice without processing acks (retransmit timer forced).
+        sync.sync_round(&mut net, SimTime::ZERO, 8);
+        sync.sync_round(&mut net, SimTime::from_secs(10), 8);
+        net.advance_to(SimTime::from_secs(11));
+        cloud.process(&mut net, SimTime::from_secs(11));
+        assert_eq!(cloud.record_count(), 1);
+        assert_eq!(cloud.duplicates(), 1);
+    }
+
+    #[test]
+    fn bounded_buffer_drop_oldest() {
+        let mut sync = FogSync::new(
+            "fog",
+            "cloud",
+            3,
+            DropPolicy::Oldest,
+            SimDuration::from_secs(5),
+        );
+        for i in 0..5 {
+            assert!(sync.enqueue(SimTime::ZERO, &format!("k{i}"), vec![]).is_some());
+        }
+        assert_eq!(sync.pending(), 3);
+        assert_eq!(sync.stats().dropped, 2);
+        // Oldest (k0, k1) gone; k2..k4 retained.
+        let keys: Vec<String> = sync.buffer.iter().map(|r| r.key.clone()).collect();
+        assert_eq!(keys, vec!["k2", "k3", "k4"]);
+    }
+
+    #[test]
+    fn bounded_buffer_drop_newest() {
+        let mut sync = FogSync::new(
+            "fog",
+            "cloud",
+            2,
+            DropPolicy::Newest,
+            SimDuration::from_secs(5),
+        );
+        assert!(sync.enqueue(SimTime::ZERO, "k0", vec![]).is_some());
+        assert!(sync.enqueue(SimTime::ZERO, "k1", vec![]).is_some());
+        assert!(sync.enqueue(SimTime::ZERO, "k2", vec![]).is_none());
+        assert_eq!(sync.pending(), 2);
+        assert_eq!(sync.stats().dropped, 1);
+    }
+
+    #[test]
+    fn latest_reflects_newest_record_per_key() {
+        let (mut net, mut sync, mut cloud) = setup(0.0);
+        sync.enqueue(SimTime::ZERO, "probe", b"old".to_vec());
+        sync.enqueue(SimTime::from_secs(1), "probe", b"new".to_vec());
+        pump(&mut net, &mut sync, &mut cloud, SimTime::from_secs(1), 20);
+        assert_eq!(cloud.latest("probe").unwrap().payload, b"new");
+        assert_eq!(cloud.record_count(), 2);
+        assert_eq!(cloud.history().len(), 2);
+    }
+
+    #[test]
+    fn batch_limit_respected() {
+        let (mut net, mut sync, _) = setup(0.0);
+        for i in 0..20 {
+            sync.enqueue(SimTime::ZERO, &format!("k{i}"), vec![]);
+        }
+        let sent = sync.sync_round(&mut net, SimTime::ZERO, 5);
+        assert_eq!(sent, 5);
+        assert_eq!(sync.stats().transmissions, 5);
+    }
+}

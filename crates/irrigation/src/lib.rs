@@ -1,0 +1,39 @@
+//! # swamp-irrigation — irrigation control for the SWAMP platform
+//!
+//! The decision layer between the platform's context data and the field
+//! actuators:
+//!
+//! - [`schedule`] — irrigation policies: the over-watering
+//!   [`schedule::FixedCalendar`] baseline the paper's introduction motivates
+//!   against, threshold refill, ET replacement (with regulated-deficit
+//!   fractions for the Guaspari pilot), and rainfed.
+//! - [`vri`] — Variable Rate Irrigation planning: per-zone prescriptions
+//!   compiled into center-pivot sector speed plans (MATOPIBA pilot).
+//! - [`source`] — water sources (canal, pumped well, desalination) with the
+//!   cost and pumping-energy physics behind the pilots' goals.
+//! - [`network`] — the CBEC canal distribution tree with greedy vs
+//!   max–min-fair allocation.
+//!
+//! ## Example: one smart irrigation decision
+//!
+//! ```
+//! use swamp_irrigation::schedule::{IrrigationPolicy, ThresholdRefill, ZoneView};
+//!
+//! let mut policy = ThresholdRefill::new(1.0);
+//! let view = ZoneView {
+//!     depletion_mm: 48.0, taw_mm: 90.0, raw_mm: 45.0,
+//!     etc_mm: 6.2, forecast_rain_mm: 0.0, das: 40,
+//! };
+//! let depth = policy.decide(&view);
+//! assert_eq!(depth, 48.0); // refill to field capacity
+//! ```
+
+pub mod network;
+pub mod schedule;
+pub mod source;
+pub mod vri;
+
+pub use network::{Allocation, DistributionNetwork, FarmId};
+pub use schedule::{DeficitMaintain, EtReplacement, FixedCalendar, IrrigationPolicy, Rainfed, ThresholdRefill, ZoneView};
+pub use source::{DeliveryCost, WaterAccount, WaterSource};
+pub use vri::{compile_plan, Prescription, VriPlan};

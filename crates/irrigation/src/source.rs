@@ -1,0 +1,224 @@
+//! Water sources and the cost/energy of delivering a cubic meter.
+//!
+//! The pilots differ exactly here: CBEC draws from consortium canals,
+//! MATOPIBA pumps from wells/rivers into center pivots (energy is the pilot
+//! goal), and Intercrop buys desalinated water (cost is the pilot goal).
+
+/// A source of irrigation water with unit cost and energy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WaterSource {
+    /// Gravity-fed consortium canal: cheap, low energy, but capped.
+    Canal {
+        /// Consortium tariff, €/m³.
+        tariff_per_m3: f64,
+    },
+    /// Pumped well: energy scales with total dynamic head.
+    Well {
+        /// Total dynamic head (depth + friction + pressure), m.
+        head_m: f64,
+        /// Pump efficiency, 0–1.
+        efficiency: f64,
+        /// Electricity price, €/kWh.
+        electricity_per_kwh: f64,
+    },
+    /// Desalinated supply: energy embedded in the price; very expensive.
+    Desalination {
+        /// Delivered price, €/m³ (Spanish SWRO ≈ 0.6–1.2 €/m³).
+        price_per_m3: f64,
+        /// Embedded plant energy, kWh/m³ (SWRO ≈ 3–4 kWh/m³).
+        embedded_kwh_per_m3: f64,
+    },
+}
+
+/// Cost and energy of one delivery.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DeliveryCost {
+    /// Monetary cost, €.
+    pub cost_eur: f64,
+    /// Electrical energy, kWh (on-farm pumping or embedded).
+    pub energy_kwh: f64,
+}
+
+impl WaterSource {
+    /// A typical CBEC canal offtake.
+    pub fn cbec_canal() -> Self {
+        WaterSource::Canal {
+            tariff_per_m3: 0.08,
+        }
+    }
+
+    /// A MATOPIBA well feeding a center pivot (60 m head, 75% wire-to-water).
+    pub fn matopiba_well() -> Self {
+        WaterSource::Well {
+            head_m: 60.0,
+            efficiency: 0.75,
+            electricity_per_kwh: 0.12,
+        }
+    }
+
+    /// Intercrop's desalinated supply.
+    pub fn intercrop_desal() -> Self {
+        WaterSource::Desalination {
+            price_per_m3: 0.85,
+            embedded_kwh_per_m3: 3.5,
+        }
+    }
+
+    /// Cost and energy of delivering `volume_m3`.
+    ///
+    /// Pumping energy: `E = ρ·g·H·V / (3.6e6 · η)` kWh.
+    ///
+    /// # Panics
+    /// Panics if `volume_m3` is negative.
+    pub fn deliver(&self, volume_m3: f64) -> DeliveryCost {
+        assert!(volume_m3 >= 0.0, "volume must be non-negative");
+        match *self {
+            WaterSource::Canal { tariff_per_m3 } => DeliveryCost {
+                cost_eur: tariff_per_m3 * volume_m3,
+                energy_kwh: 0.0,
+            },
+            WaterSource::Well {
+                head_m,
+                efficiency,
+                electricity_per_kwh,
+            } => {
+                let kwh = 1000.0 * 9.81 * head_m * volume_m3 / (3.6e6 * efficiency);
+                DeliveryCost {
+                    cost_eur: kwh * electricity_per_kwh,
+                    energy_kwh: kwh,
+                }
+            }
+            WaterSource::Desalination {
+                price_per_m3,
+                embedded_kwh_per_m3,
+            } => DeliveryCost {
+                cost_eur: price_per_m3 * volume_m3,
+                energy_kwh: embedded_kwh_per_m3 * volume_m3,
+            },
+        }
+    }
+}
+
+/// Converts an irrigation depth over an area into volume.
+///
+/// 1 mm over 1 ha = 10 m³.
+pub fn depth_to_volume_m3(depth_mm: f64, area_ha: f64) -> f64 {
+    depth_mm * area_ha * 10.0
+}
+
+/// Running account of water, cost and energy for a farm or pilot season.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WaterAccount {
+    /// Total water delivered, m³.
+    pub volume_m3: f64,
+    /// Total cost, €.
+    pub cost_eur: f64,
+    /// Total energy, kWh.
+    pub energy_kwh: f64,
+    /// Number of irrigation events.
+    pub events: u64,
+}
+
+impl WaterAccount {
+    /// Creates an empty account.
+    pub fn new() -> Self {
+        WaterAccount::default()
+    }
+
+    /// Records a delivery from a source.
+    pub fn record(&mut self, source: &WaterSource, volume_m3: f64) {
+        if volume_m3 <= 0.0 {
+            return;
+        }
+        let cost = source.deliver(volume_m3);
+        self.volume_m3 += volume_m3;
+        self.cost_eur += cost.cost_eur;
+        self.energy_kwh += cost.energy_kwh;
+        self.events += 1;
+    }
+
+    /// Merges another account (e.g. per-zone accounts into a farm total).
+    pub fn merge(&mut self, other: &WaterAccount) {
+        self.volume_m3 += other.volume_m3;
+        self.cost_eur += other.cost_eur;
+        self.energy_kwh += other.energy_kwh;
+        self.events += other.events;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canal_costs_tariff_only() {
+        let c = WaterSource::cbec_canal().deliver(100.0);
+        assert!((c.cost_eur - 8.0).abs() < 1e-9);
+        assert_eq!(c.energy_kwh, 0.0);
+    }
+
+    #[test]
+    fn well_pumping_energy_physics() {
+        // 60 m head, 75% efficiency, 1000 m³:
+        // E = 1000·9.81·60·1000/(3.6e6·0.75) ≈ 218 kWh.
+        let c = WaterSource::matopiba_well().deliver(1000.0);
+        assert!((c.energy_kwh - 218.0).abs() < 1.0, "kwh {}", c.energy_kwh);
+        assert!((c.cost_eur - c.energy_kwh * 0.12).abs() < 1e-9);
+    }
+
+    #[test]
+    fn desalination_dominates_cost() {
+        let desal = WaterSource::intercrop_desal().deliver(100.0);
+        let canal = WaterSource::cbec_canal().deliver(100.0);
+        assert!(desal.cost_eur > 10.0 * canal.cost_eur);
+        assert!((desal.energy_kwh - 350.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_scales_with_head() {
+        let shallow = WaterSource::Well {
+            head_m: 20.0,
+            efficiency: 0.75,
+            electricity_per_kwh: 0.12,
+        }
+        .deliver(100.0);
+        let deep = WaterSource::Well {
+            head_m: 80.0,
+            efficiency: 0.75,
+            electricity_per_kwh: 0.12,
+        }
+        .deliver(100.0);
+        assert!((deep.energy_kwh / shallow.energy_kwh - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn depth_volume_conversion() {
+        assert!((depth_to_volume_m3(1.0, 1.0) - 10.0).abs() < 1e-12);
+        // 25 mm over a 50-ha pivot circle = 12,500 m³.
+        assert!((depth_to_volume_m3(25.0, 50.0) - 12_500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn account_accumulates_and_merges() {
+        let mut a = WaterAccount::new();
+        let src = WaterSource::cbec_canal();
+        a.record(&src, 50.0);
+        a.record(&src, 0.0); // ignored
+        a.record(&src, 150.0);
+        assert_eq!(a.events, 2);
+        assert!((a.volume_m3 - 200.0).abs() < 1e-9);
+        assert!((a.cost_eur - 16.0).abs() < 1e-9);
+
+        let mut b = WaterAccount::new();
+        b.record(&WaterSource::intercrop_desal(), 10.0);
+        a.merge(&b);
+        assert_eq!(a.events, 3);
+        assert!((a.volume_m3 - 210.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_volume_panics() {
+        WaterSource::cbec_canal().deliver(-1.0);
+    }
+}

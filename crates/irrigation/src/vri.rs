@@ -1,0 +1,230 @@
+//! Variable Rate Irrigation planning for center pivots (MATOPIBA pilot).
+//!
+//! The planner turns per-zone water prescriptions (mm) into a per-sector
+//! speed plan for [`swamp_sensors::CenterPivot`]: the machine applies
+//! `base_depth / speed` mm per pass, so the speed for a prescribed depth is
+//! `base_depth / depth`, clamped to the machine's envelope. Sectors whose
+//! prescription is zero run at full speed with (idealized) nozzles off.
+
+use swamp_sensors::actuators::CenterPivot;
+
+/// A per-sector water prescription, mm per pass.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Prescription {
+    depths_mm: Vec<f64>,
+}
+
+impl Prescription {
+    /// Creates a prescription from per-sector depths.
+    ///
+    /// # Panics
+    /// Panics if empty or any depth is negative/not finite.
+    pub fn new(depths_mm: Vec<f64>) -> Self {
+        assert!(!depths_mm.is_empty(), "prescription needs at least one sector");
+        assert!(
+            depths_mm.iter().all(|d| d.is_finite() && *d >= 0.0),
+            "depths must be finite and non-negative"
+        );
+        Prescription { depths_mm }
+    }
+
+    /// Uniform prescription (the non-VRI baseline).
+    pub fn uniform(sectors: usize, depth_mm: f64) -> Self {
+        Prescription::new(vec![depth_mm; sectors])
+    }
+
+    /// Per-sector depths, mm.
+    pub fn depths_mm(&self) -> &[f64] {
+        &self.depths_mm
+    }
+
+    /// Number of sectors.
+    pub fn sectors(&self) -> usize {
+        self.depths_mm.len()
+    }
+
+    /// Total water over the field if each sector has equal area, expressed
+    /// as the mean depth, mm.
+    pub fn mean_depth_mm(&self) -> f64 {
+        self.depths_mm.iter().sum::<f64>() / self.depths_mm.len() as f64
+    }
+}
+
+/// The compiled machine plan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VriPlan {
+    /// Speed fraction per sector for the pivot controller.
+    pub sector_speeds: Vec<f64>,
+    /// Sectors whose nozzles are shut entirely (prescription 0).
+    pub nozzles_off: Vec<bool>,
+    /// Depth actually achievable per sector, mm (after clamping).
+    pub achieved_mm: Vec<f64>,
+}
+
+/// Compiles a prescription into a speed plan for the given pivot.
+///
+/// Depths below the machine's full-speed depth are delivered as
+/// full-speed passes (slightly over-applying); depths above the slowest
+/// achievable application are clamped to it.
+///
+/// # Panics
+/// Panics if the prescription's sector count differs from the pivot's.
+pub fn compile_plan(pivot: &CenterPivot, rx: &Prescription, base_depth_mm: f64) -> VriPlan {
+    assert_eq!(
+        rx.sectors(),
+        pivot.sectors(),
+        "prescription sectors {} != pivot sectors {}",
+        rx.sectors(),
+        pivot.sectors()
+    );
+    const MIN_SPEED: f64 = 0.05;
+    let mut sector_speeds = Vec::with_capacity(rx.sectors());
+    let mut nozzles_off = Vec::with_capacity(rx.sectors());
+    let mut achieved = Vec::with_capacity(rx.sectors());
+    for &depth in rx.depths_mm() {
+        if depth <= 0.0 {
+            sector_speeds.push(1.0);
+            nozzles_off.push(true);
+            achieved.push(0.0);
+        } else {
+            let speed = (base_depth_mm / depth).clamp(MIN_SPEED, 1.0);
+            sector_speeds.push(speed);
+            nozzles_off.push(false);
+            achieved.push(base_depth_mm / speed);
+        }
+    }
+    VriPlan {
+        sector_speeds,
+        nozzles_off,
+        achieved_mm: achieved,
+    }
+}
+
+/// Maps management-zone prescriptions onto pivot sectors when the counts
+/// differ (zones may be coarser than sectors). Sector *i* takes the depth of
+/// the zone covering its angular midpoint.
+pub fn zones_to_sectors(zone_depths_mm: &[f64], sectors: usize) -> Prescription {
+    assert!(!zone_depths_mm.is_empty() && sectors > 0);
+    let depths = (0..sectors)
+        .map(|s| {
+            let midpoint = (s as f64 + 0.5) / sectors as f64;
+            let zone = ((midpoint * zone_depths_mm.len() as f64) as usize)
+                .min(zone_depths_mm.len() - 1);
+            zone_depths_mm[zone]
+        })
+        .collect();
+    Prescription::new(depths)
+}
+
+/// Water saved by a variable prescription relative to applying its maximum
+/// uniformly (what a non-VRI pivot must do to avoid under-watering any
+/// zone): returns (vri_mean_mm, uniform_mm, saving_fraction).
+pub fn water_saving_vs_uniform(rx: &Prescription) -> (f64, f64, f64) {
+    let uniform = rx
+        .depths_mm()
+        .iter()
+        .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+    let vri = rx.mean_depth_mm();
+    let saving = if uniform > 0.0 {
+        1.0 - vri / uniform
+    } else {
+        0.0
+    };
+    (vri, uniform, saving)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swamp_sensors::actuators::CenterPivot;
+    use swamp_sim::SimTime;
+
+    fn pivot(sectors: usize) -> CenterPivot {
+        CenterPivot::new("pivot", sectors, 12.0, 10.0)
+    }
+
+    #[test]
+    fn exact_depths_compile_to_inverse_speeds() {
+        let p = pivot(4);
+        let rx = Prescription::new(vec![10.0, 20.0, 40.0, 10.0]);
+        let plan = compile_plan(&p, &rx, 10.0);
+        assert_eq!(plan.sector_speeds, vec![1.0, 0.5, 0.25, 1.0]);
+        assert_eq!(plan.achieved_mm, vec![10.0, 20.0, 40.0, 10.0]);
+        assert!(plan.nozzles_off.iter().all(|&off| !off));
+    }
+
+    #[test]
+    fn zero_prescription_shuts_nozzles() {
+        let p = pivot(3);
+        let rx = Prescription::new(vec![0.0, 15.0, 0.0]);
+        let plan = compile_plan(&p, &rx, 10.0);
+        assert_eq!(plan.nozzles_off, vec![true, false, true]);
+        assert_eq!(plan.sector_speeds[0], 1.0);
+        assert_eq!(plan.achieved_mm[0], 0.0);
+    }
+
+    #[test]
+    fn clamping_at_machine_limits() {
+        let p = pivot(2);
+        // 1 mm wanted but machine applies ≥ 10 mm at full speed.
+        let rx = Prescription::new(vec![1.0, 500.0]);
+        let plan = compile_plan(&p, &rx, 10.0);
+        assert_eq!(plan.sector_speeds[0], 1.0);
+        assert_eq!(plan.achieved_mm[0], 10.0); // over-applies
+        assert_eq!(plan.sector_speeds[1], 0.05);
+        assert!((plan.achieved_mm[1] - 200.0).abs() < 1e-9); // clamped
+    }
+
+    #[test]
+    fn plan_is_accepted_by_machine() {
+        let mut p = pivot(4);
+        let rx = Prescription::new(vec![10.0, 25.0, 0.0, 14.0]);
+        let plan = compile_plan(&p, &rx, 10.0);
+        p.set_sector_speeds(plan.sector_speeds).unwrap();
+        p.start(SimTime::ZERO);
+    }
+
+    #[test]
+    fn zones_map_to_sectors() {
+        // 2 zones onto 4 sectors: first half zone 0, second half zone 1.
+        let rx = zones_to_sectors(&[10.0, 30.0], 4);
+        assert_eq!(rx.depths_mm(), &[10.0, 10.0, 30.0, 30.0]);
+        // Equal counts: identity.
+        let rx = zones_to_sectors(&[1.0, 2.0, 3.0], 3);
+        assert_eq!(rx.depths_mm(), &[1.0, 2.0, 3.0]);
+        // More zones than sectors: sector takes covering zone.
+        let rx = zones_to_sectors(&[1.0, 2.0, 3.0, 4.0], 2);
+        assert_eq!(rx.depths_mm(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn saving_computation() {
+        let rx = Prescription::new(vec![10.0, 20.0, 30.0, 20.0]);
+        let (vri, uniform, saving) = water_saving_vs_uniform(&rx);
+        assert!((vri - 20.0).abs() < 1e-9);
+        assert!((uniform - 30.0).abs() < 1e-9);
+        assert!((saving - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_prescription_saves_nothing() {
+        let rx = Prescription::uniform(8, 25.0);
+        let (_, _, saving) = water_saving_vs_uniform(&rx);
+        assert!(saving.abs() < 1e-12);
+        assert_eq!(rx.mean_depth_mm(), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sectors")]
+    fn sector_mismatch_panics() {
+        let p = pivot(4);
+        let rx = Prescription::new(vec![1.0; 3]);
+        let _ = compile_plan(&p, &rx, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_depth_rejected() {
+        let _ = Prescription::new(vec![-1.0]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for irrigation planning and policies.
+
+use proptest::prelude::*;
+use swamp_irrigation::schedule::{
+    DeficitMaintain, EtReplacement, FixedCalendar, IrrigationPolicy, ThresholdRefill,
+    ZoneView,
+};
+use swamp_irrigation::source::{depth_to_volume_m3, WaterSource};
+use swamp_irrigation::vri::{compile_plan, zones_to_sectors, Prescription};
+use swamp_sensors::actuators::CenterPivot;
+use swamp_sim::SimTime;
+
+fn arb_view() -> impl Strategy<Value = ZoneView> {
+    (0.0f64..120.0, 10.0f64..60.0, 0.0f64..12.0, 0.0f64..20.0, 0u32..160).prop_map(
+        |(depletion, raw, etc, rain, das)| {
+            let taw = raw * 2.0;
+            ZoneView {
+                depletion_mm: depletion.min(taw),
+                taw_mm: taw,
+                raw_mm: raw,
+                etc_mm: etc,
+                forecast_rain_mm: rain,
+                das,
+            }
+        },
+    )
+}
+
+proptest! {
+    /// No policy ever prescribes a negative depth or a non-finite depth.
+    #[test]
+    fn policies_prescribe_sane_depths(views in prop::collection::vec(arb_view(), 1..60)) {
+        let mut policies: Vec<Box<dyn IrrigationPolicy>> = vec![
+            Box::new(FixedCalendar::new(3, 25.0)),
+            Box::new(ThresholdRefill::new(1.0)),
+            Box::new(EtReplacement::new(1.0)),
+            Box::new(DeficitMaintain::new(0.65)),
+        ];
+        for v in &views {
+            for p in &mut policies {
+                let d = p.decide(v);
+                prop_assert!(d.is_finite() && d >= 0.0, "{}: {d}", p.name());
+            }
+        }
+    }
+
+    /// ThresholdRefill never prescribes more than the current depletion
+    /// (refilling past field capacity would just drain away).
+    #[test]
+    fn threshold_never_overfills(view in arb_view()) {
+        let mut p = ThresholdRefill::new(1.0);
+        let d = p.decide(&view);
+        prop_assert!(d <= view.depletion_mm + 1e-9);
+    }
+
+    /// Any valid prescription compiles to a plan the machine accepts, and
+    /// achieved depths are within the machine envelope.
+    #[test]
+    fn compiled_plans_are_machine_valid(
+        depths in prop::collection::vec(0.0f64..100.0, 1..16),
+        base_depth in 2.0f64..20.0,
+    ) {
+        let mut pivot = CenterPivot::new("p", depths.len(), 12.0, base_depth);
+        let rx = Prescription::new(depths.clone());
+        let plan = compile_plan(&pivot, &rx, base_depth);
+        prop_assert!(pivot.set_sector_speeds(plan.sector_speeds.clone()).is_ok());
+        for (i, &speed) in plan.sector_speeds.iter().enumerate() {
+            prop_assert!((0.05..=1.0).contains(&speed));
+            if plan.nozzles_off[i] {
+                prop_assert_eq!(plan.achieved_mm[i], 0.0);
+            } else {
+                // Achieved = base/speed, bounded by the envelope.
+                prop_assert!(plan.achieved_mm[i] >= base_depth - 1e-9);
+                prop_assert!(plan.achieved_mm[i] <= base_depth / 0.05 + 1e-9);
+            }
+        }
+        pivot.start(SimTime::ZERO);
+    }
+
+    /// zones_to_sectors preserves the value set (every sector depth comes
+    /// from some zone) and the sector count.
+    #[test]
+    fn zone_mapping_preserves_values(
+        zone_depths in prop::collection::vec(0.0f64..50.0, 1..8),
+        sectors in 1usize..32,
+    ) {
+        let rx = zones_to_sectors(&zone_depths, sectors);
+        prop_assert_eq!(rx.sectors(), sectors);
+        for d in rx.depths_mm() {
+            prop_assert!(zone_depths.iter().any(|z| (z - d).abs() < 1e-12));
+        }
+    }
+
+    /// Water accounting: cost and energy are non-negative, linear in
+    /// volume, and zero only for zero volume (canal energy excepted).
+    #[test]
+    fn source_costs_linear(volume in 0.0f64..10_000.0) {
+        for source in [
+            WaterSource::cbec_canal(),
+            WaterSource::matopiba_well(),
+            WaterSource::intercrop_desal(),
+        ] {
+            let one = source.deliver(volume);
+            let two = source.deliver(volume * 2.0);
+            prop_assert!(one.cost_eur >= 0.0 && one.energy_kwh >= 0.0);
+            prop_assert!((two.cost_eur - 2.0 * one.cost_eur).abs() < 1e-6);
+            prop_assert!((two.energy_kwh - 2.0 * one.energy_kwh).abs() < 1e-6);
+        }
+    }
+
+    /// Depth/area → volume conversion is bilinear and positive.
+    #[test]
+    fn depth_volume_bilinear(depth in 0.0f64..100.0, area in 0.0f64..500.0) {
+        let v = depth_to_volume_m3(depth, area);
+        prop_assert!(v >= 0.0);
+        prop_assert!((depth_to_volume_m3(depth * 2.0, area) - 2.0 * v).abs() < 1e-9);
+        prop_assert!((depth_to_volume_m3(depth, area * 2.0) - 2.0 * v).abs() < 1e-9);
+    }
+}

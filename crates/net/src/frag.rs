@@ -1,0 +1,300 @@
+//! 6LoWPAN-style fragmentation and reassembly.
+//!
+//! Constrained field radios carry small frames (MTU ≈ 96–127 bytes), while
+//! platform messages (sealed NGSI JSON) are larger. This module splits a
+//! datagram into tagged fragments and reassembles them, discarding
+//! incomplete datagrams after a timeout — losing *one* fragment loses the
+//! whole datagram, which is why the loss numbers on LPWAN links hit large
+//! messages disproportionately (exercised in experiment E11).
+
+use std::collections::BTreeMap;
+
+use swamp_sim::{SimDuration, SimTime};
+
+/// Reassembly state for one datagram: first-seen time, declared fragment
+/// count, and the fragments received so far by index.
+type PendingDatagram = (SimTime, u16, BTreeMap<u16, Vec<u8>>);
+
+/// A single fragment of a datagram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fragment {
+    /// Datagram tag (unique per source over the reassembly window).
+    pub tag: u16,
+    /// Index of this fragment.
+    pub index: u16,
+    /// Total number of fragments in the datagram.
+    pub total: u16,
+    /// Payload slice carried by this fragment.
+    pub data: Vec<u8>,
+}
+
+impl Fragment {
+    /// On-air size: payload plus the 5-byte fragmentation header.
+    pub fn wire_size(&self) -> usize {
+        self.data.len() + 5
+    }
+}
+
+/// Splits `payload` into fragments of at most `mtu` payload bytes.
+///
+/// # Panics
+/// Panics if `mtu == 0` or the payload needs more than `u16::MAX` fragments.
+pub fn fragment(tag: u16, payload: &[u8], mtu: usize) -> Vec<Fragment> {
+    assert!(mtu > 0, "mtu must be positive");
+    if payload.is_empty() {
+        return vec![Fragment {
+            tag,
+            index: 0,
+            total: 1,
+            data: Vec::new(),
+        }];
+    }
+    let total = payload.len().div_ceil(mtu);
+    assert!(total <= u16::MAX as usize, "payload too large to fragment");
+    payload
+        .chunks(mtu)
+        .enumerate()
+        .map(|(i, chunk)| Fragment {
+            tag,
+            index: i as u16,
+            total: total as u16,
+            data: chunk.to_vec(),
+        })
+        .collect()
+}
+
+/// Per-source reassembly buffer with timeout-based garbage collection.
+#[derive(Debug)]
+pub struct Reassembler {
+    timeout: SimDuration,
+    /// Keyed by datagram tag.
+    pending: BTreeMap<u16, PendingDatagram>,
+    completed: u64,
+    expired: u64,
+}
+
+impl Reassembler {
+    /// Creates a reassembler that abandons datagrams older than `timeout`.
+    pub fn new(timeout: SimDuration) -> Self {
+        Reassembler {
+            timeout,
+            pending: BTreeMap::new(),
+            completed: 0,
+            expired: 0,
+        }
+    }
+
+    /// Datagrams fully reassembled so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Datagrams dropped by timeout so far.
+    pub fn expired(&self) -> u64 {
+        self.expired
+    }
+
+    /// Number of datagrams currently awaiting fragments.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Offers one fragment; returns the reassembled datagram when complete.
+    ///
+    /// Duplicate fragments are ignored. Fragments whose `total` disagrees
+    /// with the first-seen `total` for the tag are treated as a new datagram
+    /// generation (the old state is discarded).
+    pub fn push(&mut self, now: SimTime, frag: Fragment) -> Option<Vec<u8>> {
+        self.gc(now);
+        let entry = self
+            .pending
+            .entry(frag.tag)
+            .or_insert_with(|| (now, frag.total, BTreeMap::new()));
+        if entry.1 != frag.total {
+            // Tag reuse with a different geometry: restart.
+            *entry = (now, frag.total, BTreeMap::new());
+        }
+        entry.2.entry(frag.index).or_insert(frag.data);
+        if entry.2.len() == entry.1 as usize {
+            let (_, _, parts) = self.pending.remove(&frag.tag).expect("just inserted");
+            self.completed += 1;
+            let mut out = Vec::new();
+            for (_, part) in parts {
+                out.extend_from_slice(&part);
+            }
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// Drops pending datagrams older than the timeout.
+    pub fn gc(&mut self, now: SimTime) {
+        let timeout = self.timeout;
+        let before = self.pending.len();
+        self.pending
+            .retain(|_, (start, _, _)| now.saturating_duration_since(*start) <= timeout);
+        self.expired += (before - self.pending.len()) as u64;
+    }
+
+    /// Total fragment payload bytes currently buffered — the resource a
+    /// fragmentation-flood attacker tries to exhaust (a classic 6LoWPAN
+    /// attack; the timeout GC is the defense).
+    pub fn buffered_bytes(&self) -> usize {
+        self.pending
+            .values()
+            .map(|(_, _, parts)| parts.values().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn fragment_and_reassemble() {
+        let payload: Vec<u8> = (0..250u32).map(|i| i as u8).collect();
+        let frags = fragment(7, &payload, 96);
+        assert_eq!(frags.len(), 3);
+        assert_eq!(frags[0].total, 3);
+        let mut r = Reassembler::new(SimDuration::from_secs(60));
+        assert_eq!(r.push(t(0), frags[0].clone()), None);
+        assert_eq!(r.push(t(1), frags[1].clone()), None);
+        assert_eq!(r.push(t(2), frags[2].clone()), Some(payload));
+        assert_eq!(r.completed(), 1);
+    }
+
+    #[test]
+    fn out_of_order_reassembly() {
+        let payload: Vec<u8> = (0..300u32).map(|i| (i * 3) as u8).collect();
+        let mut frags = fragment(1, &payload, 64);
+        frags.reverse();
+        let mut r = Reassembler::new(SimDuration::from_secs(60));
+        let mut out = None;
+        for f in frags {
+            out = out.or(r.push(t(0), f));
+        }
+        assert_eq!(out, Some(payload));
+    }
+
+    #[test]
+    fn exact_multiple_of_mtu() {
+        let payload = vec![9u8; 192];
+        let frags = fragment(2, &payload, 96);
+        assert_eq!(frags.len(), 2);
+        assert_eq!(frags[0].data.len(), 96);
+        assert_eq!(frags[1].data.len(), 96);
+    }
+
+    #[test]
+    fn small_payload_single_fragment() {
+        let frags = fragment(3, b"hi", 96);
+        assert_eq!(frags.len(), 1);
+        assert_eq!(frags[0].total, 1);
+        let mut r = Reassembler::new(SimDuration::from_secs(1));
+        assert_eq!(r.push(t(0), frags[0].clone()), Some(b"hi".to_vec()));
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let frags = fragment(4, b"", 96);
+        assert_eq!(frags.len(), 1);
+        let mut r = Reassembler::new(SimDuration::from_secs(1));
+        assert_eq!(r.push(t(0), frags[0].clone()), Some(Vec::new()));
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let payload = vec![1u8; 200];
+        let frags = fragment(5, &payload, 96);
+        let mut r = Reassembler::new(SimDuration::from_secs(60));
+        assert_eq!(r.push(t(0), frags[0].clone()), None);
+        assert_eq!(r.push(t(0), frags[0].clone()), None); // dup
+        assert_eq!(r.push(t(0), frags[1].clone()), None);
+        assert_eq!(r.push(t(0), frags[2].clone()), Some(payload));
+    }
+
+    #[test]
+    fn missing_fragment_times_out() {
+        let payload = vec![1u8; 200];
+        let frags = fragment(6, &payload, 96);
+        let mut r = Reassembler::new(SimDuration::from_secs(10));
+        r.push(t(0), frags[0].clone());
+        r.push(t(0), frags[1].clone());
+        // Fragment 2 never arrives; time passes.
+        r.gc(t(100));
+        assert_eq!(r.pending(), 0);
+        assert_eq!(r.expired(), 1);
+        // Late fragment starts a fresh (incomplete) datagram.
+        assert_eq!(r.push(t(100), frags[2].clone()), None);
+        assert_eq!(r.pending(), 1);
+    }
+
+    #[test]
+    fn tag_reuse_with_new_geometry_restarts() {
+        let mut r = Reassembler::new(SimDuration::from_secs(60));
+        let old = fragment(9, &[1u8; 100], 96); // 2 fragments
+        r.push(t(0), old[0].clone());
+        // Same tag, different total (3 fragments) ⇒ new datagram generation.
+        let new = fragment(9, &[2u8; 288], 96);
+        assert_eq!(new.len(), 3);
+        assert_eq!(r.push(t(1), new[0].clone()), None);
+        assert_eq!(r.push(t(1), new[1].clone()), None);
+        let done = r.push(t(1), new[2].clone()).unwrap();
+        assert_eq!(done, vec![2u8; 288]);
+    }
+
+    #[test]
+    fn independent_tags_interleave() {
+        let pa = vec![0xAA; 150];
+        let pb = vec![0xBB; 150];
+        let fa = fragment(1, &pa, 96);
+        let fb = fragment(2, &pb, 96);
+        let mut r = Reassembler::new(SimDuration::from_secs(60));
+        assert_eq!(r.push(t(0), fa[0].clone()), None);
+        assert_eq!(r.push(t(0), fb[0].clone()), None);
+        assert_eq!(r.push(t(0), fb[1].clone()), Some(pb));
+        assert_eq!(r.push(t(0), fa[1].clone()), Some(pa));
+    }
+
+    #[test]
+    #[should_panic(expected = "mtu")]
+    fn zero_mtu_panics() {
+        let _ = fragment(0, b"x", 0);
+    }
+
+    #[test]
+    fn fragment_flood_is_bounded_by_gc() {
+        // A 6LoWPAN fragmentation flood: an attacker sends first fragments
+        // of datagrams that never complete, trying to exhaust reassembly
+        // memory. The timeout GC bounds the buffer to one window's worth.
+        let mut r = Reassembler::new(SimDuration::from_secs(30));
+        let frag_of = |tag: u16| Fragment {
+            tag,
+            index: 0,
+            total: 4,
+            data: vec![0xEE; 96],
+        };
+        // 10 minutes of flooding, one bogus datagram per second.
+        let mut peak = 0usize;
+        for s in 0..600u64 {
+            let now = SimTime::from_secs(s);
+            r.push(now, frag_of((s % u16::MAX as u64) as u16));
+            peak = peak.max(r.buffered_bytes());
+        }
+        // Bounded: at most ~31 pending datagrams × 96 B, never 600 × 96 B.
+        assert!(peak <= 32 * 96, "peak buffered {peak} bytes");
+        assert!(r.expired() > 500, "expired {}", r.expired());
+    }
+
+    #[test]
+    fn wire_size_has_header() {
+        let f = fragment(1, b"abcd", 2);
+        assert_eq!(f[0].wire_size(), 2 + 5);
+    }
+}

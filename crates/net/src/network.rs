@@ -1,0 +1,497 @@
+//! The discrete-event network: nodes, directed links, in-flight messages,
+//! inboxes, SDN classification and wire taps.
+//!
+//! All SWAMP traffic — telemetry, broker notifications, fog/cloud sync,
+//! attacker floods — flows through one [`Network`] instance, so the SDN
+//! flow table really does see everything (the "centralized view" of the
+//! paper) and an eavesdropping tap really does see exactly what crossed a
+//! link.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use swamp_sim::metrics::Metrics;
+use swamp_sim::{EventQueue, SimRng, SimTime};
+
+use crate::link::{Link, LinkSpec, TxOutcome};
+use crate::message::{Delivery, Message, MsgId, NodeId};
+use crate::sdn::{FlowTable, Verdict};
+
+/// Identifier of an installed wire tap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TapId(usize);
+
+/// Why a send was refused synchronously.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SendError {
+    /// Source or destination node is not registered.
+    UnknownNode(NodeId),
+    /// No link connects source to destination.
+    NoRoute(NodeId, NodeId),
+    /// The SDN flow table dropped the packet.
+    Denied,
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            SendError::NoRoute(a, b) => write!(f, "no route {a} -> {b}"),
+            SendError::Denied => f.write_str("denied by flow table"),
+        }
+    }
+}
+impl std::error::Error for SendError {}
+
+/// The simulated network fabric.
+///
+/// # Example
+/// ```
+/// use swamp_net::network::Network;
+/// use swamp_net::link::LinkSpec;
+/// use swamp_net::message::Message;
+/// use swamp_sim::SimTime;
+///
+/// let mut net = Network::new(42);
+/// net.add_node("probe");
+/// net.add_node("gateway");
+/// net.connect("probe", "gateway", LinkSpec::farm_lan());
+///
+/// net.send(SimTime::ZERO, "probe", "gateway", Message::new("t/soil", b"m".to_vec()))
+///     .unwrap();
+/// net.advance_to(SimTime::from_secs(1));
+/// let d = net.poll(&"gateway".into()).expect("delivered");
+/// assert_eq!(d.message.topic, "t/soil");
+/// ```
+pub struct Network {
+    nodes: BTreeSet<NodeId>,
+    links: BTreeMap<(NodeId, NodeId), Link>,
+    queue: EventQueue<Delivery>,
+    inboxes: BTreeMap<NodeId, VecDeque<Delivery>>,
+    taps: Vec<((NodeId, NodeId), Vec<Delivery>)>,
+    flow_table: FlowTable,
+    rng: SimRng,
+    metrics: Metrics,
+    next_id: u64,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("nodes", &self.nodes.len())
+            .field("links", &self.links.len())
+            .field("in_flight", &self.queue.len())
+            .finish()
+    }
+}
+
+impl Network {
+    /// Creates an empty network with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Network {
+            nodes: BTreeSet::new(),
+            links: BTreeMap::new(),
+            queue: EventQueue::new(),
+            inboxes: BTreeMap::new(),
+            taps: Vec::new(),
+            flow_table: FlowTable::new(),
+            rng: SimRng::seed_from(seed ^ 0x6e65745f73696d), // "net_sim"
+            metrics: Metrics::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Registers a node. Idempotent.
+    pub fn add_node(&mut self, id: impl Into<NodeId>) -> NodeId {
+        let id = id.into();
+        self.nodes.insert(id.clone());
+        self.inboxes.entry(id.clone()).or_default();
+        id
+    }
+
+    /// Whether a node is registered.
+    pub fn has_node(&self, id: &NodeId) -> bool {
+        self.nodes.contains(id)
+    }
+
+    /// Connects two nodes bidirectionally with the same spec.
+    ///
+    /// # Panics
+    /// Panics if either node is unregistered.
+    pub fn connect(&mut self, a: impl Into<NodeId>, b: impl Into<NodeId>, spec: LinkSpec) {
+        let a = a.into();
+        let b = b.into();
+        self.connect_directed(a.clone(), b.clone(), spec);
+        self.connect_directed(b, a, spec);
+    }
+
+    /// Installs a directed link `a → b`.
+    ///
+    /// # Panics
+    /// Panics if either node is unregistered.
+    pub fn connect_directed(
+        &mut self,
+        a: impl Into<NodeId>,
+        b: impl Into<NodeId>,
+        spec: LinkSpec,
+    ) {
+        let a = a.into();
+        let b = b.into();
+        assert!(self.nodes.contains(&a), "unknown node {a}");
+        assert!(self.nodes.contains(&b), "unknown node {b}");
+        self.links.insert((a, b), Link::new(spec));
+    }
+
+    /// Sets both directions of the `a ↔ b` link up or down.
+    ///
+    /// Used for the Internet-disconnection scenarios of experiment E5.
+    pub fn set_link_up(&mut self, a: &NodeId, b: &NodeId, up: bool) {
+        if let Some(l) = self.links.get_mut(&(a.clone(), b.clone())) {
+            l.set_up(up);
+        }
+        if let Some(l) = self.links.get_mut(&(b.clone(), a.clone())) {
+            l.set_up(up);
+        }
+    }
+
+    /// Whether the directed link `a → b` exists and is up.
+    pub fn link_up(&self, a: &NodeId, b: &NodeId) -> bool {
+        self.links
+            .get(&(a.clone(), b.clone()))
+            .is_some_and(Link::is_up)
+    }
+
+    /// Mutable access to the SDN flow table (the controller's handle).
+    pub fn flow_table_mut(&mut self) -> &mut FlowTable {
+        &mut self.flow_table
+    }
+
+    /// Read access to the SDN flow table.
+    pub fn flow_table(&self) -> &FlowTable {
+        &self.flow_table
+    }
+
+    /// Installs a passive tap on the directed link `a → b`. The tap captures
+    /// every transmission *offered* to the link (an eavesdropper by the
+    /// fence hears the radio whether or not the gateway decodes it).
+    pub fn add_tap(&mut self, a: impl Into<NodeId>, b: impl Into<NodeId>) -> TapId {
+        let id = TapId(self.taps.len());
+        self.taps.push(((a.into(), b.into()), Vec::new()));
+        id
+    }
+
+    /// Everything a tap has captured so far.
+    pub fn tap_captures(&self, tap: TapId) -> &[Delivery] {
+        &self.taps[tap.0].1
+    }
+
+    /// Offers a message for transmission at virtual time `now`.
+    ///
+    /// `now` must be at or after the network clock (the time of the last
+    /// processed delivery). Returns the message id if the packet entered the
+    /// network — which still does not guarantee delivery (loss, down links).
+    ///
+    /// # Errors
+    /// [`SendError`] if a node is unknown, there is no link, or the SDN
+    /// table denies the packet.
+    ///
+    /// # Panics
+    /// Panics if `now` is before the network clock.
+    pub fn send(
+        &mut self,
+        now: SimTime,
+        src: impl Into<NodeId>,
+        dst: impl Into<NodeId>,
+        message: Message,
+    ) -> Result<MsgId, SendError> {
+        let src = src.into();
+        let dst = dst.into();
+        if !self.nodes.contains(&src) {
+            return Err(SendError::UnknownNode(src));
+        }
+        if !self.nodes.contains(&dst) {
+            return Err(SendError::UnknownNode(dst));
+        }
+        let size = message.wire_size();
+        self.metrics.incr("net.offered");
+
+        let verdict = self
+            .flow_table
+            .classify(now, &src, &dst, &message.topic, size);
+        if let Verdict::Drop(_) = verdict {
+            self.metrics.incr("net.sdn_dropped");
+            return Err(SendError::Denied);
+        }
+
+        let link = self
+            .links
+            .get(&(src.clone(), dst.clone()))
+            .ok_or_else(|| SendError::NoRoute(src.clone(), dst.clone()))?;
+
+        let id = MsgId(self.next_id);
+        self.next_id += 1;
+
+        // Taps see the transmission regardless of its fate.
+        for ((ta, tb), captured) in &mut self.taps {
+            if *ta == src && *tb == dst {
+                captured.push(Delivery {
+                    id,
+                    src: src.clone(),
+                    dst: dst.clone(),
+                    message: message.clone(),
+                    sent_at: now,
+                    delivered_at: now,
+                });
+            }
+        }
+
+        match link.offer(size, &mut self.rng) {
+            TxOutcome::Lost => {
+                self.metrics.incr("net.lost");
+                Ok(id)
+            }
+            TxOutcome::Delivered(delay) => {
+                self.metrics.incr("net.sent");
+                self.metrics
+                    .observe("net.latency_ms", delay.as_millis() as f64);
+                self.queue.schedule(
+                    now + delay,
+                    Delivery {
+                        id,
+                        src,
+                        dst,
+                        message,
+                        sent_at: now,
+                        delivered_at: now + delay,
+                    },
+                );
+                Ok(id)
+            }
+        }
+    }
+
+    /// Processes all deliveries up to and including `horizon`, moving them
+    /// into the destination inboxes.
+    pub fn advance_to(&mut self, horizon: SimTime) {
+        while let Some((_, delivery)) = self.queue.pop_until(horizon) {
+            self.metrics.incr("net.delivered");
+            self.inboxes
+                .entry(delivery.dst.clone())
+                .or_default()
+                .push_back(delivery);
+        }
+    }
+
+    /// Pops the oldest delivered message for a node, if any.
+    pub fn poll(&mut self, node: &NodeId) -> Option<Delivery> {
+        self.inboxes.get_mut(node)?.pop_front()
+    }
+
+    /// Drains every delivered message for a node.
+    pub fn drain(&mut self, node: &NodeId) -> Vec<Delivery> {
+        match self.inboxes.get_mut(node) {
+            Some(q) => q.drain(..).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of messages waiting in a node's inbox.
+    pub fn inbox_len(&self, node: &NodeId) -> usize {
+        self.inboxes.get(node).map_or(0, VecDeque::len)
+    }
+
+    /// Messages currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The network clock (time of the last processed delivery).
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Aggregate counters (`net.offered`, `net.sent`, `net.lost`,
+    /// `net.delivered`, `net.sdn_dropped`, `net.latency_ms`).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sdn::{FlowAction, FlowMatch};
+    use swamp_sim::SimDuration;
+
+    fn n(s: &str) -> NodeId {
+        NodeId::new(s)
+    }
+
+    fn lossless() -> LinkSpec {
+        LinkSpec::new(SimDuration::from_millis(10), SimDuration::ZERO, 0.0, 1_000_000)
+    }
+
+    fn basic_net() -> Network {
+        let mut net = Network::new(1);
+        net.add_node("a");
+        net.add_node("b");
+        net.connect("a", "b", lossless());
+        net
+    }
+
+    #[test]
+    fn send_and_deliver() {
+        let mut net = basic_net();
+        let id = net
+            .send(SimTime::ZERO, "a", "b", Message::new("t", b"hello".to_vec()))
+            .unwrap();
+        assert_eq!(net.in_flight(), 1);
+        net.advance_to(SimTime::from_secs(1));
+        let d = net.poll(&n("b")).unwrap();
+        assert_eq!(d.id, id);
+        assert_eq!(d.message.payload, b"hello");
+        assert!(d.latency() >= SimDuration::from_millis(10));
+        assert!(net.poll(&n("b")).is_none());
+    }
+
+    #[test]
+    fn horizon_respected() {
+        let mut net = basic_net();
+        net.send(SimTime::ZERO, "a", "b", Message::new("t", vec![]))
+            .unwrap();
+        net.advance_to(SimTime::from_millis(5)); // before the 10ms latency
+        assert_eq!(net.inbox_len(&n("b")), 0);
+        net.advance_to(SimTime::from_millis(50));
+        assert_eq!(net.inbox_len(&n("b")), 1);
+    }
+
+    #[test]
+    fn unknown_node_and_no_route() {
+        let mut net = basic_net();
+        net.add_node("island");
+        assert!(matches!(
+            net.send(SimTime::ZERO, "ghost", "b", Message::new("t", vec![])),
+            Err(SendError::UnknownNode(_))
+        ));
+        assert!(matches!(
+            net.send(SimTime::ZERO, "a", "island", Message::new("t", vec![])),
+            Err(SendError::NoRoute(_, _))
+        ));
+    }
+
+    #[test]
+    fn bidirectional_connect() {
+        let mut net = basic_net();
+        net.send(SimTime::ZERO, "b", "a", Message::new("t", vec![]))
+            .unwrap();
+        net.advance_to(SimTime::from_secs(1));
+        assert_eq!(net.inbox_len(&n("a")), 1);
+    }
+
+    #[test]
+    fn down_link_loses_messages() {
+        let mut net = basic_net();
+        net.set_link_up(&n("a"), &n("b"), false);
+        assert!(!net.link_up(&n("a"), &n("b")));
+        net.send(SimTime::ZERO, "a", "b", Message::new("t", vec![]))
+            .unwrap();
+        net.advance_to(SimTime::from_secs(10));
+        assert_eq!(net.inbox_len(&n("b")), 0);
+        assert_eq!(net.metrics().counter("net.lost"), 1);
+
+        net.set_link_up(&n("a"), &n("b"), true);
+        net.send(net.now(), "a", "b", Message::new("t", vec![]))
+            .unwrap();
+        net.advance_to(SimTime::from_secs(20));
+        assert_eq!(net.inbox_len(&n("b")), 1);
+    }
+
+    #[test]
+    fn sdn_denies_attacker() {
+        let mut net = basic_net();
+        net.flow_table_mut()
+            .install(10, FlowMatch::from_src("a"), FlowAction::Deny);
+        assert_eq!(
+            net.send(SimTime::ZERO, "a", "b", Message::new("t", vec![])),
+            Err(SendError::Denied)
+        );
+        assert_eq!(net.metrics().counter("net.sdn_dropped"), 1);
+    }
+
+    #[test]
+    fn tap_captures_transmissions() {
+        let mut net = basic_net();
+        let tap = net.add_tap("a", "b");
+        net.send(SimTime::ZERO, "a", "b", Message::new("secret", b"yield=9t".to_vec()))
+            .unwrap();
+        // Reverse direction is not captured by this tap.
+        net.send(SimTime::ZERO, "b", "a", Message::new("other", vec![]))
+            .unwrap();
+        let captured = net.tap_captures(tap);
+        assert_eq!(captured.len(), 1);
+        assert_eq!(captured[0].message.topic, "secret");
+        assert_eq!(captured[0].message.payload, b"yield=9t");
+    }
+
+    #[test]
+    fn fifo_delivery_per_link() {
+        let mut net = basic_net();
+        for i in 0..10u8 {
+            net.send(SimTime::ZERO, "a", "b", Message::new("t", vec![i]))
+                .unwrap();
+        }
+        net.advance_to(SimTime::from_secs(1));
+        let payloads: Vec<u8> = net.drain(&n("b")).iter().map(|d| d.message.payload[0]).collect();
+        assert_eq!(payloads, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn metrics_track_traffic() {
+        let mut net = basic_net();
+        for _ in 0..5 {
+            net.send(SimTime::ZERO, "a", "b", Message::new("t", vec![]))
+                .unwrap();
+        }
+        net.advance_to(SimTime::from_secs(1));
+        assert_eq!(net.metrics().counter("net.offered"), 5);
+        assert_eq!(net.metrics().counter("net.sent"), 5);
+        assert_eq!(net.metrics().counter("net.delivered"), 5);
+        assert_eq!(net.metrics().summary("net.latency_ms").unwrap().count(), 5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut net = Network::new(seed);
+            net.add_node("a");
+            net.add_node("b");
+            net.connect(
+                "a",
+                "b",
+                LinkSpec::new(
+                    SimDuration::from_millis(10),
+                    SimDuration::from_millis(50),
+                    0.3,
+                    10_000,
+                ),
+            );
+            for _ in 0..100 {
+                net.send(SimTime::ZERO, "a", "b", Message::new("t", vec![0; 32]))
+                    .unwrap();
+            }
+            net.advance_to(SimTime::from_secs(60));
+            (
+                net.metrics().counter("net.delivered"),
+                net.metrics().summary("net.latency_ms").unwrap().mean(),
+            )
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn drain_unknown_node_empty() {
+        let mut net = basic_net();
+        assert!(net.drain(&n("ghost")).is_empty());
+        assert_eq!(net.inbox_len(&n("ghost")), 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests for the network substrate.
+
+use proptest::prelude::*;
+use swamp_net::broker::topic_matches;
+use swamp_net::frag::{fragment, Reassembler};
+use swamp_net::link::LinkSpec;
+use swamp_net::lpwan::{LpwanConfig, LpwanRadio, TxDecision};
+use swamp_net::message::Message;
+use swamp_net::network::Network;
+use swamp_sim::{SimDuration, SimRng, SimTime};
+
+proptest! {
+    /// Fragmentation followed by (in-order or shuffled) reassembly is the
+    /// identity, for any payload and MTU.
+    #[test]
+    fn fragment_reassemble_roundtrip(
+        payload in prop::collection::vec(any::<u8>(), 0..2048),
+        mtu in 1usize..256,
+        tag in any::<u16>(),
+        shuffle_seed in any::<u64>(),
+    ) {
+        let mut frags = fragment(tag, &payload, mtu);
+        let mut rng = SimRng::seed_from(shuffle_seed);
+        rng.shuffle(&mut frags);
+        let mut r = Reassembler::new(SimDuration::from_secs(60));
+        let mut out = None;
+        for f in frags {
+            if let Some(done) = r.push(SimTime::ZERO, f) {
+                out = Some(done);
+            }
+        }
+        prop_assert_eq!(out, Some(payload));
+    }
+
+    /// A concrete topic always matches itself, the `#` wildcard, and a
+    /// per-level `+` expansion.
+    #[test]
+    fn topic_matching_identities(
+        levels in prop::collection::vec("[a-z0-9]{1,6}", 1..5),
+    ) {
+        let topic = levels.join("/");
+        prop_assert!(topic_matches(&topic, &topic));
+        prop_assert!(topic_matches("#", &topic));
+        for i in 0..levels.len() {
+            let mut pattern = levels.clone();
+            pattern[i] = "+".to_owned();
+            prop_assert!(topic_matches(&pattern.join("/"), &topic));
+        }
+        // A prefix pattern with trailing # matches.
+        let mut prefix = levels.clone();
+        let last = prefix.len() - 1;
+        prefix[last] = "#".to_owned();
+        prop_assert!(topic_matches(&prefix.join("/"), &topic));
+    }
+
+    /// Duty cycle is never exceeded: over any request pattern, granted
+    /// airtime within the sliding hour stays within budget (+1 frame).
+    #[test]
+    fn duty_cycle_budget_respected(
+        offsets_ms in prop::collection::vec(1u64..120_000, 1..300),
+        duty_idx in 0usize..3,
+    ) {
+        let duty = [0.001, 0.01, 0.05][duty_idx];
+        let mut radio = LpwanRadio::new(LpwanConfig {
+            duty_cycle: duty,
+            ..LpwanConfig::default()
+        });
+        let mut t = SimTime::ZERO;
+        let budget = 3_600_000.0 * duty;
+        let frame_airtime = LpwanConfig::default().airtime(48).as_millis() as f64;
+        for off in offsets_ms {
+            t += SimDuration::from_millis(off);
+            let _ = radio.try_transmit(t, 48);
+            let used = radio.airtime_in_window(t).as_millis() as f64;
+            prop_assert!(
+                used <= budget + frame_airtime,
+                "airtime {used}ms exceeds budget {budget}ms (+1 frame)"
+            );
+        }
+    }
+
+    /// Every message offered to a lossless, up network is delivered exactly
+    /// once, FIFO per link.
+    #[test]
+    fn lossless_network_delivers_everything(
+        count in 1usize..100,
+        seed in any::<u64>(),
+    ) {
+        let mut net = Network::new(seed);
+        net.add_node("a");
+        net.add_node("b");
+        net.connect("a", "b", LinkSpec::new(
+            SimDuration::from_millis(5), SimDuration::ZERO, 0.0, 1_000_000_000));
+        for i in 0..count {
+            net.send(
+                SimTime::ZERO,
+                "a",
+                "b",
+                Message::new("t", vec![(i % 256) as u8]),
+            ).unwrap();
+        }
+        net.advance_to(SimTime::from_secs(10));
+        let got = net.drain(&"b".into());
+        prop_assert_eq!(got.len(), count);
+        for (i, d) in got.iter().enumerate() {
+            prop_assert_eq!(d.message.payload[0], (i % 256) as u8);
+        }
+    }
+
+    /// Loss probability p delivers approximately (1-p) of offered traffic.
+    #[test]
+    fn lossy_network_delivery_rate(
+        loss_pct in 0u32..90,
+        seed in any::<u64>(),
+    ) {
+        let loss = loss_pct as f64 / 100.0;
+        let mut net = Network::new(seed);
+        net.add_node("a");
+        net.add_node("b");
+        net.connect("a", "b", LinkSpec::new(
+            SimDuration::from_millis(5), SimDuration::ZERO, loss, 1_000_000_000));
+        let n = 2000;
+        for _ in 0..n {
+            net.send(SimTime::ZERO, "a", "b", Message::new("t", vec![0u8])).unwrap();
+        }
+        net.advance_to(SimTime::from_secs(10));
+        let delivered = net.drain(&"b".into()).len() as f64;
+        let expected = n as f64 * (1.0 - loss);
+        prop_assert!(
+            (delivered - expected).abs() < n as f64 * 0.06,
+            "delivered {delivered} vs expected {expected}"
+        );
+    }
+
+    /// Airtime is monotone in payload size for any configuration.
+    #[test]
+    fn airtime_monotone_in_size(
+        small in 1usize..120,
+        extra in 1usize..120,
+    ) {
+        let cfg = LpwanConfig::default();
+        prop_assert!(cfg.airtime(small + extra) >= cfg.airtime(small));
+    }
+
+    /// try_transmit never grants two overlapping decisions that would sum
+    /// beyond the hourly budget even at pathological duty cycles.
+    #[test]
+    fn deferral_time_is_future(
+        duty_thousandths in 1u32..50,
+        n in 1usize..100,
+    ) {
+        let mut radio = LpwanRadio::new(LpwanConfig {
+            duty_cycle: duty_thousandths as f64 / 1000.0,
+            ..LpwanConfig::default()
+        });
+        let mut t = SimTime::ZERO;
+        for _ in 0..n {
+            match radio.try_transmit(t, 64) {
+                TxDecision::Granted { .. } => {
+                    t += SimDuration::from_millis(50);
+                }
+                TxDecision::Deferred { until } => {
+                    prop_assert!(until > t, "deferral must be in the future");
+                    t = until;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! The experiment harness: one function per experiment in EXPERIMENTS.md.
+//!
+//! The paper (a two-page overview) publishes no tables or figures; these
+//! experiments quantify each of its claims and challenges instead — see
+//! DESIGN.md §3 for the mapping. Every experiment takes an explicit seed
+//! and is bit-reproducible.
+
+pub mod attacks;
+pub mod platform;
+pub mod water;
+
+pub use attacks::{e12_behavior, e2_dos, e3_tamper, e4_sybil};
+pub use platform::{
+    e11_platform_scale, e5_fog_availability, e6_partial_view, e7_auth, e8_crypto,
+    e9_ledger,
+};
+pub use water::{e1_water_energy, e10_distribution};
+
+use crate::report::Report;
+
+/// Runs every experiment and returns all reports in id order — the
+/// generator behind EXPERIMENTS.md and the `experiments` binary.
+pub fn run_all(seed: u64) -> Vec<Report> {
+    let e1 = e1_water_energy(seed);
+    let e2 = e2_dos(seed);
+    let e3 = e3_tamper(seed);
+    let e4 = e4_sybil(seed);
+    let e5 = e5_fog_availability(seed);
+    let e6 = e6_partial_view(seed);
+    let e7 = e7_auth(seed);
+    let e8 = e8_crypto(seed);
+    let e9 = e9_ledger(seed);
+    let e10 = e10_distribution(seed);
+    let e11 = e11_platform_scale(seed);
+    let e12 = e12_behavior(seed);
+    vec![
+        e1.report(),
+        e1.ablation_report(),
+        e2.report(),
+        e3.report(),
+        e4.report(),
+        e5.report(),
+        e5.ablation_report(),
+        e6.report(),
+        e7.report(),
+        e8.report(),
+        e9.report(),
+        e10.report(),
+        e11.report(),
+        e11.ablation_report(),
+        e12.report(),
+    ]
+}

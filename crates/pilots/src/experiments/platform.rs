@@ -1,0 +1,699 @@
+//! E5 — fog availability under Internet outages; E6 — partial
+//! observability; E7 — auth correctness/overhead; E8 — crypto overhead on
+//! constrained links; E9 — ledger growth/verification; E11 — platform
+//! scaling with device count.
+
+use swamp_codec::ngsi::Entity;
+use swamp_core::platform::{DeploymentConfig, Platform};
+use swamp_crypto::aead::{NonceSequence, SecretKey, SEAL_OVERHEAD};
+use swamp_fog::availability::{AvailabilityTracker, OutageSchedule};
+use swamp_fog::sync::{CloudStore, DropPolicy, FogSync};
+use swamp_net::link::LinkSpec;
+use swamp_net::lpwan::{LpwanConfig, LpwanRadio, TxDecision};
+use swamp_net::network::Network;
+use swamp_security::access::{Action, Pdp, Policy, Resource};
+use swamp_security::identity::IdentityProvider;
+use swamp_security::ledger::{Ledger, LifecycleEvent, LifecycleKind};
+use swamp_security::profile::CropProfiler;
+use swamp_sensors::device::DeviceKind;
+use swamp_sim::{SimDuration, SimRng, SimTime};
+
+use crate::report::{fmt_f, fmt_pct, Report};
+
+/// E5 results.
+#[derive(Clone, Debug)]
+pub struct E5Result {
+    /// (outage fraction of the day, cloud-only availability, farm-fog
+    /// availability, records eventually replicated to cloud under fog).
+    pub rows: Vec<(f64, f64, f64, f64)>,
+    /// Buffer-size ablation at 50% outage: (buffer capacity, delivered
+    /// fraction after reconnect).
+    pub buffer_ablation: Vec<(usize, f64)>,
+}
+
+impl E5Result {
+    /// The main availability table.
+    pub fn report(&self) -> Report {
+        let mut r = Report::new(
+            "E5: availability under Internet outages — cloud-only vs farm-fog (48 h, hourly decisions)",
+            &["outage_frac", "cloud_only_avail", "farm_fog_avail", "fog_replicated"],
+        );
+        for (f, c, g, rep) in &self.rows {
+            r.push_row(vec![fmt_pct(*f), fmt_pct(*c), fmt_pct(*g), fmt_pct(*rep)]);
+        }
+        r
+    }
+
+    /// The buffer ablation table.
+    pub fn ablation_report(&self) -> Report {
+        let mut r = Report::new(
+            "E5b: fog buffer-size ablation at 50% outage",
+            &["buffer_capacity", "history_delivered"],
+        );
+        for (cap, frac) in &self.buffer_ablation {
+            r.push_row(vec![cap.to_string(), fmt_pct(*frac)]);
+        }
+        r
+    }
+}
+
+/// Runs E5: hourly service decisions over 48 h with a contiguous outage of
+/// the given fraction, for both deployment configs; then the buffer
+/// ablation.
+pub fn e5_fog_availability(seed: u64) -> E5Result {
+    let hours = 48u64;
+    let mut rows = Vec::new();
+    for outage_frac in [0.0, 0.1, 0.25, 0.5, 0.75] {
+        let outage_hours = (hours as f64 * outage_frac) as u64;
+        let mut schedule = OutageSchedule::new();
+        if outage_hours > 0 {
+            schedule.add_outage(
+                SimTime::from_hours(6),
+                SimTime::from_hours(6 + outage_hours),
+            );
+        }
+
+        let mut avail = [
+            (DeploymentConfig::CloudOnly, AvailabilityTracker::new(SimDuration::from_hours(1))),
+            (DeploymentConfig::FarmFog, AvailabilityTracker::new(SimDuration::from_hours(1))),
+        ];
+        let mut replicated = 0.0;
+        for (config, tracker) in &mut avail {
+            let mut platform = Platform::new(seed, *config);
+            platform.register_device(
+                SimTime::ZERO,
+                "probe-1",
+                DeviceKind::SoilProbe,
+                "owner:e5",
+            );
+            let mut published = 0u64;
+            for h in 0..hours {
+                let t = SimTime::from_hours(h);
+                platform.set_internet(!schedule.is_down(t));
+                // Device publishes hourly telemetry.
+                let mut e = Entity::new("urn:swamp:device:probe-1", "SoilProbe");
+                e.set("moisture_vwc", 0.2 + (h as f64 * 0.001));
+                e.set("seq", h as f64);
+                let _ = platform.device_publish(t, "probe-1", &e);
+                published += 1;
+                platform.pump(t + SimDuration::from_mins(30));
+                tracker.record(platform.service_point());
+            }
+            // Post-outage: restore the uplink and let replication drain.
+            platform.set_internet(true);
+            for extra in 0..24 {
+                platform.pump(SimTime::from_hours(hours + extra));
+            }
+            if *config == DeploymentConfig::FarmFog {
+                let got = platform
+                    .cloud_replica()
+                    .map(|c| c.record_count() as f64)
+                    .unwrap_or(0.0);
+                // Against what actually ingested (LPWAN loses some frames).
+                let ingested = platform.metrics().counter("ingest.accepted") as f64;
+                replicated = if ingested > 0.0 { got / ingested } else { 1.0 };
+                let _ = published;
+            }
+        }
+        rows.push((
+            outage_frac,
+            avail[0].1.availability(),
+            avail[1].1.availability(),
+            replicated,
+        ));
+    }
+
+    // Buffer ablation: 1000 updates created during an outage; how many
+    // survive to the cloud for various buffer capacities?
+    let mut buffer_ablation = Vec::new();
+    for capacity in [50usize, 100, 250, 500, 1000] {
+        let mut net = Network::new(seed ^ capacity as u64);
+        net.add_node("fog");
+        net.add_node("cloud");
+        net.connect("fog", "cloud", LinkSpec::rural_internet());
+        net.set_link_up(&"fog".into(), &"cloud".into(), false);
+        let mut sync = FogSync::new(
+            "fog",
+            "cloud",
+            capacity,
+            DropPolicy::Oldest,
+            SimDuration::from_secs(30),
+        );
+        let mut cloud = CloudStore::new("cloud");
+        for i in 0..1000u64 {
+            sync.enqueue(SimTime::from_secs(i), &format!("k{i}"), vec![0u8; 16]);
+        }
+        net.set_link_up(&"fog".into(), &"cloud".into(), true);
+        let mut now = SimTime::from_secs(2000);
+        for _ in 0..100 {
+            sync.sync_round(&mut net, now, 64);
+            now += SimDuration::from_secs(2);
+            net.advance_to(now);
+            cloud.process(&mut net, now);
+            now += SimDuration::from_secs(2);
+            net.advance_to(now);
+            sync.poll_acks(&mut net);
+            now += SimDuration::from_secs(30);
+            if sync.pending() == 0 {
+                break;
+            }
+        }
+        buffer_ablation.push((capacity, cloud.record_count() as f64 / 1000.0));
+    }
+
+    E5Result {
+        rows,
+        buffer_ablation,
+    }
+}
+
+/// E6 results.
+#[derive(Clone, Debug)]
+pub struct E6Result {
+    /// (sensors per 32 zones, coverage, profile MAE in VWC units, required
+    /// detection margin, tamper-detector FPR without margin, with margin).
+    pub rows: Vec<(usize, f64, f64, f64, f64, f64)>,
+}
+
+impl E6Result {
+    /// The table.
+    pub fn report(&self) -> Report {
+        let mut r = Report::new(
+            "E6: partial observability — sensor density vs profile fidelity and detector margins (32 zones)",
+            &["sensors", "coverage", "profile_mae", "margin", "fpr_no_margin", "fpr_with_margin"],
+        );
+        for (n, cov, mae, margin, fpr0, fpr1) in &self.rows {
+            r.push_row(vec![
+                n.to_string(),
+                fmt_pct(*cov),
+                fmt_f(*mae, 4),
+                fmt_f(*margin, 4),
+                fmt_pct(*fpr0),
+                fmt_pct(*fpr1),
+            ]);
+        }
+        r
+    }
+}
+
+/// Runs E6: spatially correlated fields sampled at varying density; a naive
+/// cross-check that alarms when |estimate − reading| exceeds a fixed 0.02
+/// threshold false-alarms on honest data unless widened by the profiler's
+/// margin.
+pub fn e6_partial_view(seed: u64) -> E6Result {
+    let zones = 32;
+    let trials = 60;
+    let profiler = CropProfiler::new(zones);
+    let mut rows = Vec::new();
+    for sensors in [32usize, 16, 8, 4, 2] {
+        let mut rng = SimRng::seed_from(seed ^ sensors as u64);
+        let mut mae_sum = 0.0;
+        let mut fpr0_hits = 0u64;
+        let mut fpr1_hits = 0u64;
+        let mut checks = 0u64;
+        let mut field_sd_sum = 0.0;
+        for _ in 0..trials {
+            // Spatially correlated field.
+            let mut truth = Vec::with_capacity(zones);
+            let mut x = 0.25;
+            for _ in 0..zones {
+                x = (x + rng.normal_with(0.0, 0.012)).clamp(0.08, 0.42);
+                truth.push(x);
+            }
+            let mean = truth.iter().sum::<f64>() / zones as f64;
+            let sd = (truth.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
+                / zones as f64)
+                .sqrt();
+            field_sd_sum += sd;
+
+            let step = zones / sensors;
+            let readings: Vec<(usize, f64)> = (0..sensors)
+                .map(|i| {
+                    let z = i * step;
+                    (z, truth[z] + rng.normal_with(0.0, 0.005))
+                })
+                .collect();
+            let profile = profiler.build(&readings);
+            mae_sum += profile.mean_abs_error(&truth);
+
+            // Honest spot-checks in unobserved zones: a fresh manual reading
+            // vs the interpolated estimate.
+            let margin = CropProfiler::detection_margin(profile.coverage(), sd);
+            for (z, &truth_z) in truth.iter().enumerate() {
+                if profile.observed[z] {
+                    continue;
+                }
+                let est = match profile.estimates[z] {
+                    Some(e) => e,
+                    None => continue,
+                };
+                let honest_reading = truth_z + rng.normal_with(0.0, 0.005);
+                checks += 1;
+                let err = (honest_reading - est).abs();
+                if err > 0.02 {
+                    fpr0_hits += 1;
+                }
+                if err > 0.02 + margin {
+                    fpr1_hits += 1;
+                }
+            }
+        }
+        let coverage = sensors as f64 / zones as f64;
+        let field_sd = field_sd_sum / trials as f64;
+        rows.push((
+            sensors,
+            coverage,
+            mae_sum / trials as f64,
+            CropProfiler::detection_margin(coverage, field_sd),
+            if checks == 0 { 0.0 } else { fpr0_hits as f64 / checks as f64 },
+            if checks == 0 { 0.0 } else { fpr1_hits as f64 / checks as f64 },
+        ));
+    }
+    E6Result { rows }
+}
+
+/// E7 results.
+#[derive(Clone, Debug)]
+pub struct E7Result {
+    /// Authorization decision matrix rows: (scenario, permitted).
+    pub matrix: Vec<(String, bool)>,
+    /// Token validations performed in the throughput probe.
+    pub validations: u64,
+}
+
+impl E7Result {
+    /// The table.
+    pub fn report(&self) -> Report {
+        let mut r = Report::new(
+            "E7: OAuth2 + PEP/PDP authorization matrix",
+            &["scenario", "permitted"],
+        );
+        for (s, p) in &self.matrix {
+            r.push_row(vec![s.clone(), p.to_string()]);
+        }
+        r
+    }
+}
+
+/// Runs E7: the ownership/policy matrix the paper requires ("each owner
+/// controls their data"), plus a bulk validation count for the bench.
+pub fn e7_auth(_seed: u64) -> E7Result {
+    let mut idm = IdentityProvider::new(b"e7-key", SimDuration::from_hours(1));
+    idm.register_user("maria", "pw", &["owner:guaspari"]);
+    idm.register_user("carlos", "pw", &["owner:matopiba"]);
+    idm.register_user("ana", "pw", &["agronomist"]);
+    idm.register_client("scheduler", "secret", &["actuator:command"]);
+
+    let mut pdp = Pdp::new();
+    pdp.add_policy(Policy::new(
+        swamp_security::access::Effect::Allow,
+        swamp_security::access::SubjectMatch::HasScope("role:agronomist".into()),
+        "urn:swamp:guaspari:",
+        &[Action::Read],
+    ));
+    pdp.add_policy(Policy::new(
+        swamp_security::access::Effect::Allow,
+        swamp_security::access::SubjectMatch::Exact("client:scheduler".into()),
+        "urn:swamp:",
+        &[Action::Command],
+    ));
+
+    let now = SimTime::ZERO;
+    let (maria, _) = idm.password_grant(now, "maria", "pw").unwrap();
+    let (carlos, _) = idm.password_grant(now, "carlos", "pw").unwrap();
+    let (ana, _) = idm.password_grant(now, "ana", "pw").unwrap();
+    let sched = idm
+        .client_credentials_grant(now, "scheduler", "secret", &["actuator:command"])
+        .unwrap();
+
+    let guaspari_probe = Resource::new("urn:swamp:guaspari:probe:1", "owner:guaspari");
+    let matopiba_pivot = Resource::new("urn:swamp:matopiba:pivot:1", "owner:matopiba");
+
+    let mut matrix = Vec::new();
+    let mut check = |label: &str, token: &swamp_security::identity::Token, res: &Resource, action: Action| {
+        let info = idm.validate(now, token).expect("valid token");
+        let d = pdp.decide(&info, res, action);
+        matrix.push((label.to_owned(), d.is_permit()));
+    };
+    check("owner reads own farm data", &maria, &guaspari_probe, Action::Read);
+    check("owner reads OTHER farm data", &maria, &matopiba_pivot, Action::Read);
+    check("other owner reads guaspari", &carlos, &guaspari_probe, Action::Read);
+    check("agronomist reads guaspari (policy)", &ana, &guaspari_probe, Action::Read);
+    check("agronomist commands guaspari", &ana, &guaspari_probe, Action::Command);
+    check("scheduler commands pivot", &sched, &matopiba_pivot, Action::Command);
+    check("scheduler reads pivot data", &sched, &matopiba_pivot, Action::Read);
+
+    // Bulk validation probe.
+    let mut validations = 0;
+    for _ in 0..10_000 {
+        if idm.validate(now, &maria).is_ok() {
+            validations += 1;
+        }
+    }
+    E7Result {
+        matrix,
+        validations,
+    }
+}
+
+/// E8 results.
+#[derive(Clone, Debug)]
+pub struct E8Result {
+    /// (payload bytes, sealed bytes, overhead fraction, plain airtime ms,
+    /// sealed airtime ms, max msgs/hour plain, max msgs/hour sealed).
+    pub rows: Vec<(usize, usize, f64, u64, u64, u64, u64)>,
+}
+
+impl E8Result {
+    /// The table.
+    pub fn report(&self) -> Report {
+        let mut r = Report::new(
+            "E8: crypto overhead on the LPWAN link (SF9/125kHz, 1% duty cycle)",
+            &[
+                "payload_B",
+                "sealed_B",
+                "overhead",
+                "airtime_plain_ms",
+                "airtime_sealed_ms",
+                "msgs_per_h_plain",
+                "msgs_per_h_sealed",
+            ],
+        );
+        for (p, s, o, ap, as_, mp, ms) in &self.rows {
+            r.push_row(vec![
+                p.to_string(),
+                s.to_string(),
+                fmt_pct(*o),
+                ap.to_string(),
+                as_.to_string(),
+                mp.to_string(),
+                ms.to_string(),
+            ]);
+        }
+        r
+    }
+}
+
+/// Runs E8: seals representative payload sizes and computes the airtime and
+/// duty-cycle budget cost of the confidentiality the paper mandates.
+pub fn e8_crypto(seed: u64) -> E8Result {
+    let key = SecretKey::derive(&seed.to_be_bytes(), "e8");
+    let mut nonces = NonceSequence::new(1);
+    let cfg = LpwanConfig::default();
+    let mut rows = Vec::new();
+    for payload_len in [16usize, 48, 96, 160] {
+        let payload = vec![0x5Au8; payload_len];
+        let sealed = key.seal(&nonces.next_nonce(), b"dev", &payload);
+        assert_eq!(sealed.len(), payload_len + SEAL_OVERHEAD);
+        let airtime_plain = cfg.airtime(payload_len);
+        let airtime_sealed = cfg.airtime(sealed.len());
+        // Duty-cycle budget: 1% of an hour = 36 s of airtime.
+        let budget_ms = 36_000.0;
+        rows.push((
+            payload_len,
+            sealed.len(),
+            sealed.len() as f64 / payload_len as f64 - 1.0,
+            airtime_plain.as_millis(),
+            airtime_sealed.as_millis(),
+            (budget_ms / airtime_plain.as_millis() as f64) as u64,
+            (budget_ms / airtime_sealed.as_millis() as f64) as u64,
+        ));
+    }
+    E8Result { rows }
+}
+
+/// E9 results.
+#[derive(Clone, Debug)]
+pub struct E9Result {
+    /// (devices, blocks, events, chain verification ok, bytes-equivalent
+    /// event count per device audited).
+    pub rows: Vec<(usize, u64, usize, bool, usize)>,
+}
+
+impl E9Result {
+    /// The table.
+    pub fn report(&self) -> Report {
+        let mut r = Report::new(
+            "E9: device-lifecycle ledger growth and verification",
+            &["devices", "blocks", "events", "verify_ok", "events_per_device"],
+        );
+        for (d, b, e, ok, per) in &self.rows {
+            r.push_row(vec![
+                d.to_string(),
+                b.to_string(),
+                e.to_string(),
+                ok.to_string(),
+                per.to_string(),
+            ]);
+        }
+        r
+    }
+}
+
+/// Runs E9: provisions fleets of devices through a full lifecycle and
+/// verifies the chain.
+pub fn e9_ledger(seed: u64) -> E9Result {
+    let mut rows = Vec::new();
+    for devices in [10usize, 50, 200] {
+        let mut ledger = Ledger::new();
+        ledger.register_authority("consortium", &seed.to_be_bytes());
+        let mut total_events = 0;
+        for batch in 0..devices / 10 {
+            let mut events = Vec::new();
+            for i in 0..10 {
+                let id = format!("dev-{}", batch * 10 + i);
+                events.push(LifecycleEvent {
+                    device_id: id.clone(),
+                    kind: LifecycleKind::Manufactured { hw_rev: "B1".into() },
+                    at: SimTime::from_hours(batch as u64),
+                });
+                events.push(LifecycleEvent {
+                    device_id: id.clone(),
+                    kind: LifecycleKind::Provisioned { owner: "owner:pilot".into() },
+                    at: SimTime::from_hours(batch as u64),
+                });
+                events.push(LifecycleEvent {
+                    device_id: id,
+                    kind: LifecycleKind::KeyRotated { epoch: 1 },
+                    at: SimTime::from_hours(batch as u64 + 1),
+                });
+            }
+            total_events += events.len();
+            ledger
+                .append("consortium", SimTime::from_hours(batch as u64), events)
+                .unwrap();
+        }
+        let ok = ledger.verify().is_ok();
+        let audited = ledger.device_history("dev-0").len();
+        rows.push((devices, ledger.height(), total_events, ok, audited));
+    }
+    E9Result { rows }
+}
+
+/// E11 results.
+#[derive(Clone, Debug)]
+pub struct E11Result {
+    /// (devices, frames offered, ingest accepted, accept ratio, mean
+    /// end-to-end latency ms).
+    pub rows: Vec<(usize, u64, u64, f64, f64)>,
+    /// Duty-cycle ablation: (duty cycle, frames transmitted of 500 offered
+    /// by one chatty device in 1 h).
+    pub duty_ablation: Vec<(f64, u64)>,
+}
+
+impl E11Result {
+    /// The scaling table.
+    pub fn report(&self) -> Report {
+        let mut r = Report::new(
+            "E11: platform scaling — devices vs ingest throughput and latency (1 h, 1 msg/min each)",
+            &["devices", "offered", "accepted", "accept_ratio", "mean_latency_ms"],
+        );
+        for (d, o, a, ratio, lat) in &self.rows {
+            r.push_row(vec![
+                d.to_string(),
+                o.to_string(),
+                a.to_string(),
+                fmt_pct(*ratio),
+                fmt_f(*lat, 1),
+            ]);
+        }
+        r
+    }
+
+    /// The duty-cycle ablation table.
+    pub fn ablation_report(&self) -> Report {
+        let mut r = Report::new(
+            "E11b: LPWAN duty-cycle ablation (one device offering 500 frames/h)",
+            &["duty_cycle", "frames_transmitted"],
+        );
+        for (duty, tx) in &self.duty_ablation {
+            r.push_row(vec![fmt_pct(*duty), tx.to_string()]);
+        }
+        r
+    }
+}
+
+/// Runs E11: fleets of probes publish once a minute for an hour into a
+/// farm-fog platform; measures accepted updates and latency; then the
+/// duty-cycle ablation on the radio model.
+pub fn e11_platform_scale(seed: u64) -> E11Result {
+    let mut rows = Vec::new();
+    for devices in [5usize, 20, 50, 100] {
+        let mut platform = Platform::new(seed ^ devices as u64, DeploymentConfig::FarmFog);
+        let ids: Vec<String> = (0..devices).map(|i| format!("probe-{i}")).collect();
+        for id in &ids {
+            platform.register_device(SimTime::ZERO, id, DeviceKind::SoilProbe, "owner:scale");
+        }
+        let mut offered = 0u64;
+        for minute in 0..60u64 {
+            let t = SimTime::from_millis(minute * 60_000);
+            for (i, id) in ids.iter().enumerate() {
+                let mut e = Entity::new(format!("urn:swamp:device:{id}"), "SoilProbe");
+                e.set("moisture_vwc", 0.2 + i as f64 * 0.001);
+                e.set("seq", minute as f64);
+                if platform
+                    .device_publish(t + SimDuration::from_millis(i as u64 * 13), id, &e)
+                    .is_ok()
+                {
+                    offered += 1;
+                }
+            }
+            platform.pump(t + SimDuration::from_secs(59));
+        }
+        platform.pump(SimTime::from_hours(2));
+        let accepted = platform.metrics().counter("ingest.accepted");
+        let latency = platform
+            .net
+            .metrics()
+            .summary("net.latency_ms")
+            .map(|s| s.mean())
+            .unwrap_or(0.0);
+        rows.push((
+            devices,
+            offered,
+            accepted,
+            accepted as f64 / offered as f64,
+            latency,
+        ));
+    }
+
+    let mut duty_ablation = Vec::new();
+    for duty in [0.001, 0.01, 0.1, 1.0] {
+        let mut radio = LpwanRadio::new(LpwanConfig {
+            duty_cycle: duty,
+            ..LpwanConfig::default()
+        });
+        let mut transmitted = 0u64;
+        for i in 0..500u64 {
+            let t = SimTime::from_millis(i * 7_200); // 500 frames over 1 h
+            if let TxDecision::Granted { .. } = radio.try_transmit(t, 64) {
+                transmitted += 1;
+            }
+        }
+        duty_ablation.push((duty, transmitted));
+    }
+
+    E11Result {
+        rows,
+        duty_ablation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e5_fog_rides_through_outages() {
+        let r = e5_fog_availability(42);
+        assert_eq!(r.rows.len(), 5);
+        // No outage: both fully available.
+        assert!((r.rows[0].1 - 1.0).abs() < 1e-9);
+        assert!((r.rows[0].2 - 1.0).abs() < 1e-9);
+        // Heavy outage: cloud-only degrades ~proportionally, fog stays up.
+        let (frac, cloud, fog, replicated) = *r.rows.last().unwrap();
+        assert!(cloud < 1.0 - frac + 0.1, "cloud availability {cloud}");
+        assert!((fog - 1.0).abs() < 1e-9, "fog availability {fog}");
+        assert!(replicated > 0.95, "replication after reconnect {replicated}");
+        // Buffer ablation: bigger buffers deliver more history.
+        let first = r.buffer_ablation.first().unwrap().1;
+        let last = r.buffer_ablation.last().unwrap().1;
+        assert!(last > first, "buffer ablation {:?}", r.buffer_ablation);
+        assert!((last - 1.0).abs() < 1e-9, "1000-buffer keeps all");
+    }
+
+    #[test]
+    fn e6_margin_suppresses_false_alarms() {
+        let r = e6_partial_view(42);
+        assert_eq!(r.rows.len(), 5);
+        // MAE grows as density falls.
+        assert!(r.rows[0].2 < r.rows[4].2, "{:?}", r.rows);
+        // The naive fixed threshold false-alarms badly at low density; the
+        // margin-adjusted one stays low.
+        let sparse = r.rows.last().unwrap();
+        assert!(sparse.4 > 0.2, "naive FPR at sparse coverage {}", sparse.4);
+        assert!(sparse.5 < sparse.4 / 2.0, "margin must cut FPR: {:?}", sparse);
+    }
+
+    #[test]
+    fn e7_matrix_is_correct() {
+        let r = e7_auth(0);
+        let expect = [
+            ("owner reads own farm data", true),
+            ("owner reads OTHER farm data", false),
+            ("other owner reads guaspari", false),
+            ("agronomist reads guaspari (policy)", true),
+            ("agronomist commands guaspari", false),
+            ("scheduler commands pivot", true),
+            ("scheduler reads pivot data", false),
+        ];
+        assert_eq!(r.matrix.len(), expect.len());
+        for ((label, got), (elabel, want)) in r.matrix.iter().zip(expect) {
+            assert_eq!(label, elabel);
+            assert_eq!(*got, want, "{label}");
+        }
+        assert_eq!(r.validations, 10_000);
+    }
+
+    #[test]
+    fn e8_overhead_shrinks_with_payload() {
+        let r = e8_crypto(42);
+        assert_eq!(r.rows.len(), 4);
+        // Constant 44-byte overhead: relative cost falls with size.
+        assert!(r.rows[0].2 > r.rows[3].2);
+        for row in &r.rows {
+            assert_eq!(row.1, row.0 + SEAL_OVERHEAD);
+            assert!(row.4 > row.3, "sealed airtime exceeds plain");
+            assert!(row.6 <= row.5, "sealed budget is tighter");
+            assert!(row.6 > 0, "still usable after sealing");
+        }
+    }
+
+    #[test]
+    fn e9_ledger_verifies_at_scale() {
+        let r = e9_ledger(42);
+        for (devices, blocks, events, ok, per_device) in &r.rows {
+            assert!(ok, "{devices} devices: chain must verify");
+            assert_eq!(*events, devices * 3);
+            assert_eq!(*per_device, 3);
+            assert_eq!(*blocks, (devices / 10) as u64 + 1); // + genesis
+        }
+    }
+
+    #[test]
+    fn e11_scaling_holds_up() {
+        let r = e11_platform_scale(42);
+        assert_eq!(r.rows.len(), 4);
+        for (devices, offered, accepted, ratio, latency) in &r.rows {
+            assert_eq!(*offered, *devices as u64 * 60);
+            assert!(*accepted > 0);
+            // LPWAN loss ~2%: accept ratio should stay near 1 − loss.
+            assert!(*ratio > 0.9, "{devices} devices: ratio {ratio}");
+            assert!(*latency > 0.0);
+        }
+        // Duty-cycle ablation: more duty ⇒ more frames through.
+        let tx: Vec<u64> = r.duty_ablation.iter().map(|x| x.1).collect();
+        assert!(tx[0] < tx[1] && tx[1] < tx[2], "{tx:?}");
+        assert_eq!(*tx.last().unwrap(), 500, "100% duty passes everything");
+    }
+}

@@ -1,0 +1,298 @@
+//! Data anonymization for farm-data governance.
+//!
+//! The paper: "Data anonymization is another helpful technique for data
+//! governance" — the threat being eavesdroppers manipulating commodity
+//! markets from crop-yield data. Two mechanisms:
+//!
+//! - **Pseudonymization** — stable keyed pseudonyms for farm/device ids, so
+//!   consortium-level analytics can correlate a farm's records over time
+//!   without learning which farm it is.
+//! - **k-anonymity** — generalizing quasi-identifier columns (area, yield)
+//!   into ranges until every record is indistinguishable from at least
+//!   `k−1` others, with the information loss and residual
+//!   re-identification risk reported.
+
+use swamp_crypto::hmac::hmac_sha256;
+use swamp_crypto::sha256::to_hex;
+
+/// A keyed pseudonymizer: same input + same key ⇒ same pseudonym; without
+/// the key pseudonyms are one-way.
+#[derive(Clone)]
+pub struct Pseudonymizer {
+    key: Vec<u8>,
+}
+
+impl std::fmt::Debug for Pseudonymizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Pseudonymizer { key: <redacted> }")
+    }
+}
+
+impl Pseudonymizer {
+    /// Creates a pseudonymizer with a secret key held by the data owner.
+    pub fn new(key: &[u8]) -> Self {
+        Pseudonymizer { key: key.to_vec() }
+    }
+
+    /// Produces a 12-hex-char stable pseudonym for an identifier.
+    pub fn pseudonym(&self, id: &str) -> String {
+        let tag = hmac_sha256(&self.key, id.as_bytes());
+        format!("anon-{}", &to_hex(&tag)[..12])
+    }
+}
+
+/// A record whose quasi-identifiers need k-anonymizing before sharing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct YieldRecord {
+    /// Original identity (pseudonymized in the output).
+    pub farm_id: String,
+    /// Farm area, ha (quasi-identifier: rare sizes identify farms).
+    pub area_ha: f64,
+    /// Seasonal yield, t/ha (the sensitive market-relevant value).
+    pub yield_t_ha: f64,
+}
+
+/// A published, k-anonymized record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnonymizedRecord {
+    /// Keyed pseudonym of the farm.
+    pub pseudonym: String,
+    /// Generalized area interval `[lo, hi)`, ha.
+    pub area_range: (f64, f64),
+    /// Generalized yield interval `[lo, hi)`, t/ha.
+    pub yield_range: (f64, f64),
+}
+
+/// Outcome of a k-anonymization run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnonymizationReport {
+    /// The published records (same order as input).
+    pub records: Vec<AnonymizedRecord>,
+    /// Size of the smallest equivalence class.
+    pub min_class_size: usize,
+    /// Upper bound on re-identification probability (`1/min_class_size`).
+    pub reidentification_risk: f64,
+    /// Mean relative width of the generalized intervals (0 = exact values
+    /// published, 1 = whole-domain intervals): the utility cost.
+    pub information_loss: f64,
+}
+
+/// k-anonymizes records by coarsening `area` and `yield` into progressively
+/// wider buckets until every occupied (area-bucket, yield-bucket) cell holds
+/// at least `k` records.
+///
+/// # Errors
+/// Returns `Err` if fewer than `k` records exist (no generalization can
+/// ever achieve k-anonymity).
+pub fn k_anonymize(
+    records: &[YieldRecord],
+    k: usize,
+    pseudo: &Pseudonymizer,
+) -> Result<AnonymizationReport, KAnonError> {
+    if k == 0 {
+        return Err(KAnonError::InvalidK);
+    }
+    if records.len() < k {
+        return Err(KAnonError::TooFewRecords {
+            have: records.len(),
+            need: k,
+        });
+    }
+
+    let area_min = records.iter().map(|r| r.area_ha).fold(f64::INFINITY, f64::min);
+    let area_max = records.iter().map(|r| r.area_ha).fold(f64::NEG_INFINITY, f64::max);
+    let yield_min = records
+        .iter()
+        .map(|r| r.yield_t_ha)
+        .fold(f64::INFINITY, f64::min);
+    let yield_max = records
+        .iter()
+        .map(|r| r.yield_t_ha)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let area_span = (area_max - area_min).max(1e-9);
+    let yield_span = (yield_max - yield_min).max(1e-9);
+
+    // Try bucket counts from fine to coarse; the first grid where every
+    // occupied cell has ≥ k members wins.
+    for buckets in (1..=records.len()).rev() {
+        let cell = |r: &YieldRecord| {
+            let a = (((r.area_ha - area_min) / area_span * buckets as f64) as usize)
+                .min(buckets - 1);
+            let y = (((r.yield_t_ha - yield_min) / yield_span * buckets as f64) as usize)
+                .min(buckets - 1);
+            (a, y)
+        };
+        let mut counts = std::collections::BTreeMap::new();
+        for r in records {
+            *counts.entry(cell(r)).or_insert(0usize) += 1;
+        }
+        let min_class = counts.values().copied().min().unwrap_or(0);
+        if min_class >= k {
+            let area_w = area_span / buckets as f64;
+            let yield_w = yield_span / buckets as f64;
+            let out = records
+                .iter()
+                .map(|r| {
+                    let (a, y) = cell(r);
+                    AnonymizedRecord {
+                        pseudonym: pseudo.pseudonym(&r.farm_id),
+                        area_range: (
+                            area_min + a as f64 * area_w,
+                            area_min + (a + 1) as f64 * area_w,
+                        ),
+                        yield_range: (
+                            yield_min + y as f64 * yield_w,
+                            yield_min + (y + 1) as f64 * yield_w,
+                        ),
+                    }
+                })
+                .collect();
+            let information_loss =
+                ((area_w / area_span) + (yield_w / yield_span)) / 2.0;
+            return Ok(AnonymizationReport {
+                records: out,
+                min_class_size: min_class,
+                reidentification_risk: 1.0 / min_class as f64,
+                information_loss,
+            });
+        }
+    }
+    unreachable!("a 1x1 grid always puts all >= k records in one class")
+}
+
+/// Errors from [`k_anonymize`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KAnonError {
+    /// `k` was zero.
+    InvalidK,
+    /// Fewer records than `k`.
+    TooFewRecords {
+        /// Records supplied.
+        have: usize,
+        /// Required minimum.
+        need: usize,
+    },
+}
+
+impl std::fmt::Display for KAnonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KAnonError::InvalidK => f.write_str("k must be at least 1"),
+            KAnonError::TooFewRecords { have, need } => {
+                write!(f, "cannot {need}-anonymize {have} records")
+            }
+        }
+    }
+}
+impl std::error::Error for KAnonError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records(n: usize) -> Vec<YieldRecord> {
+        (0..n)
+            .map(|i| YieldRecord {
+                farm_id: format!("farm-{i}"),
+                area_ha: 20.0 + (i % 7) as f64 * 15.0,
+                yield_t_ha: 2.5 + (i % 5) as f64 * 0.8,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pseudonyms_stable_and_key_dependent() {
+        let p1 = Pseudonymizer::new(b"k1");
+        let p2 = Pseudonymizer::new(b"k2");
+        assert_eq!(p1.pseudonym("guaspari"), p1.pseudonym("guaspari"));
+        assert_ne!(p1.pseudonym("guaspari"), p1.pseudonym("matopiba"));
+        assert_ne!(p1.pseudonym("guaspari"), p2.pseudonym("guaspari"));
+        assert!(p1.pseudonym("guaspari").starts_with("anon-"));
+    }
+
+    #[test]
+    fn k_anonymity_holds() {
+        let records = sample_records(40);
+        let report = k_anonymize(&records, 5, &Pseudonymizer::new(b"k")).unwrap();
+        assert!(report.min_class_size >= 5);
+        assert!(report.reidentification_risk <= 0.2);
+        assert_eq!(report.records.len(), 40);
+        // Every original value lies inside its published interval.
+        for (orig, anon) in records.iter().zip(&report.records) {
+            assert!(
+                anon.area_range.0 <= orig.area_ha
+                    && orig.area_ha <= anon.area_range.1 + 1e-9
+            );
+            assert!(
+                anon.yield_range.0 <= orig.yield_t_ha
+                    && orig.yield_t_ha <= anon.yield_range.1 + 1e-9
+            );
+        }
+        // No raw farm ids leak.
+        for anon in &report.records {
+            assert!(!anon.pseudonym.contains("farm-"));
+        }
+    }
+
+    #[test]
+    fn higher_k_costs_more_information() {
+        let records = sample_records(60);
+        let p = Pseudonymizer::new(b"k");
+        let loose = k_anonymize(&records, 2, &p).unwrap();
+        let strict = k_anonymize(&records, 20, &p).unwrap();
+        assert!(strict.information_loss >= loose.information_loss);
+        assert!(strict.reidentification_risk <= loose.reidentification_risk);
+    }
+
+    #[test]
+    fn too_few_records_rejected() {
+        let records = sample_records(3);
+        assert_eq!(
+            k_anonymize(&records, 5, &Pseudonymizer::new(b"k")),
+            Err(KAnonError::TooFewRecords { have: 3, need: 5 })
+        );
+    }
+
+    #[test]
+    fn k_equals_n_collapses_to_one_class() {
+        let records = sample_records(10);
+        let report = k_anonymize(&records, 10, &Pseudonymizer::new(b"k")).unwrap();
+        assert_eq!(report.min_class_size, 10);
+        // All intervals identical: full generalization.
+        let first = &report.records[0];
+        for r in &report.records {
+            assert_eq!(r.area_range, first.area_range);
+            assert_eq!(r.yield_range, first.yield_range);
+        }
+    }
+
+    #[test]
+    fn k1_is_identity_granularity() {
+        let records = sample_records(12);
+        let report = k_anonymize(&records, 1, &Pseudonymizer::new(b"k")).unwrap();
+        assert!(report.min_class_size >= 1);
+        // k=1 should not need full-domain intervals.
+        assert!(report.information_loss < 1.0);
+    }
+
+    #[test]
+    fn zero_k_rejected() {
+        assert_eq!(
+            k_anonymize(&sample_records(5), 0, &Pseudonymizer::new(b"k")),
+            Err(KAnonError::InvalidK)
+        );
+    }
+
+    #[test]
+    fn identical_records_trivially_anonymous() {
+        let records: Vec<YieldRecord> = (0..6)
+            .map(|i| YieldRecord {
+                farm_id: format!("f{i}"),
+                area_ha: 50.0,
+                yield_t_ha: 3.0,
+            })
+            .collect();
+        let report = k_anonymize(&records, 6, &Pseudonymizer::new(b"k")).unwrap();
+        assert_eq!(report.min_class_size, 6);
+    }
+}

@@ -1,0 +1,343 @@
+//! Behavioral event-sequence baselining — the paper's "most relevant
+//! challenge": "to understand and correlate the expected sequence of events
+//! and behavior of agriculture applications … a baseline must be created to
+//! promote security effectiveness."
+//!
+//! The application's life is rendered as a stream of symbolic events
+//! (`cmd:open_valve`, `flow:start`, `soil:rising`, …). A first-order Markov
+//! model is trained on known-good operation; at detection time, windows of
+//! events are scored by average log-likelihood under the baseline. An
+//! attacker driving an actuator without the usual causal prelude (flow
+//! without a command, irrigation at an unusual phase) produces transitions
+//! the baseline has never seen, and the window's likelihood collapses.
+
+use std::collections::BTreeMap;
+
+/// A symbolic application event (interned as a string).
+pub type EventSymbol = String;
+
+/// A first-order Markov baseline over event symbols with Laplace smoothing.
+///
+/// # Example
+/// ```
+/// use swamp_security::behavior::MarkovBaseline;
+/// let mut b = MarkovBaseline::new(1.0);
+/// b.train(&["cmd", "open", "flow", "close"].map(String::from));
+/// b.train(&["cmd", "open", "flow", "close"].map(String::from));
+/// let normal = b.score_window(&["cmd", "open"].map(String::from));
+/// let weird = b.score_window(&["flow", "cmd"].map(String::from));
+/// assert!(normal > weird);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MarkovBaseline {
+    /// transition counts: from → (to → count)
+    transitions: BTreeMap<EventSymbol, BTreeMap<EventSymbol, u64>>,
+    /// Vocabulary of all symbols ever seen in training.
+    vocab: std::collections::BTreeSet<EventSymbol>,
+    /// Laplace smoothing pseudo-count.
+    alpha: f64,
+    trained_transitions: u64,
+}
+
+impl MarkovBaseline {
+    /// Creates an empty baseline with smoothing pseudo-count `alpha`.
+    ///
+    /// # Panics
+    /// Panics if `alpha <= 0` (zero smoothing makes unseen transitions
+    /// −∞ and NaN-prone).
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0, "alpha must be positive");
+        MarkovBaseline {
+            transitions: BTreeMap::new(),
+            vocab: std::collections::BTreeSet::new(),
+            alpha,
+            trained_transitions: 0,
+        }
+    }
+
+    /// The window-start anchor symbol. Training counts `START → first`
+    /// transitions, so a window that *begins* mid-protocol (actuation with
+    /// no schedule/auth prelude) is penalized even when its internal
+    /// transitions are individually normal.
+    pub const START: &'static str = "^start";
+    /// The window-end anchor symbol.
+    pub const END: &'static str = "$end";
+
+    /// Trains on one known-good event sequence (anchored at both ends).
+    pub fn train(&mut self, sequence: &[EventSymbol]) {
+        if sequence.is_empty() {
+            return;
+        }
+        for s in sequence {
+            self.vocab.insert(s.clone());
+        }
+        let mut push = |from: &str, to: &str| {
+            *self
+                .transitions
+                .entry(from.to_owned())
+                .or_default()
+                .entry(to.to_owned())
+                .or_insert(0) += 1;
+            self.trained_transitions += 1;
+        };
+        push(Self::START, &sequence[0]);
+        for w in sequence.windows(2) {
+            push(&w[0], &w[1]);
+        }
+        push(sequence.last().expect("non-empty"), Self::END);
+    }
+
+    /// Transitions observed during training.
+    pub fn trained_transitions(&self) -> u64 {
+        self.trained_transitions
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Log-probability of the transition `from → to` under the smoothed
+    /// baseline. Unknown symbols are treated as out-of-vocabulary mass.
+    pub fn transition_log_prob(&self, from: &str, to: &str) -> f64 {
+        let v = (self.vocab.len() + 1) as f64; // +1 for OOV
+        let row = self.transitions.get(from);
+        let row_total: u64 = row.map(|r| r.values().sum()).unwrap_or(0);
+        let count = row.and_then(|r| r.get(to)).copied().unwrap_or(0);
+        ((count as f64 + self.alpha) / (row_total as f64 + self.alpha * v)).ln()
+    }
+
+    /// Scores a window of events: mean transition log-likelihood including
+    /// the `START → first` and `last → END` anchor transitions. Higher is
+    /// more normal. Empty windows score 0 (no evidence).
+    pub fn score_window(&self, window: &[EventSymbol]) -> f64 {
+        if window.is_empty() {
+            return 0.0;
+        }
+        let mut sum = self.transition_log_prob(Self::START, &window[0]);
+        for w in window.windows(2) {
+            sum += self.transition_log_prob(&w[0], &w[1]);
+        }
+        sum += self.transition_log_prob(
+            window.last().expect("non-empty"),
+            Self::END,
+        );
+        sum / (window.len() + 1) as f64
+    }
+}
+
+/// A trained baseline plus a decision threshold.
+#[derive(Clone, Debug)]
+pub struct BehaviorDetector {
+    baseline: MarkovBaseline,
+    threshold: f64,
+}
+
+impl BehaviorDetector {
+    /// Calibrates the threshold from held-out normal windows: flags windows
+    /// scoring below `(min held-out score) − margin`.
+    ///
+    /// # Panics
+    /// Panics if `holdout` is empty.
+    pub fn calibrate(
+        baseline: MarkovBaseline,
+        holdout: &[Vec<EventSymbol>],
+        margin: f64,
+    ) -> Self {
+        assert!(!holdout.is_empty(), "need held-out windows to calibrate");
+        let min_normal = holdout
+            .iter()
+            .map(|w| baseline.score_window(w))
+            .fold(f64::INFINITY, f64::min);
+        BehaviorDetector {
+            baseline,
+            threshold: min_normal - margin,
+        }
+    }
+
+    /// The calibrated threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Whether a window is anomalous (scores below threshold).
+    pub fn is_anomalous(&self, window: &[EventSymbol]) -> bool {
+        self.baseline.score_window(window) < self.threshold
+    }
+
+    /// The window's raw score.
+    pub fn score(&self, window: &[EventSymbol]) -> f64 {
+        self.baseline.score_window(window)
+    }
+}
+
+/// Builds the canonical irrigation-cycle event sequence used by pilots to
+/// train baselines: the causal chain of one healthy irrigation event.
+pub fn normal_irrigation_cycle() -> Vec<EventSymbol> {
+    [
+        "schedule:due",
+        "auth:granted",
+        "cmd:pump_on",
+        "flow:start",
+        "cmd:valve_open",
+        "soil:rising",
+        "soil:target",
+        "cmd:valve_close",
+        "flow:stop",
+        "cmd:pump_off",
+        "report:complete",
+    ]
+    .map(String::from)
+    .to_vec()
+}
+
+/// An attack sequence: actuation without schedule/auth prelude (an attacker
+/// who seized the actuator, per the paper's takeover scenario).
+pub fn actuator_takeover_sequence() -> Vec<EventSymbol> {
+    [
+        "cmd:valve_open",
+        "flow:start",
+        "cmd:valve_open",
+        "flow:start",
+        "cmd:pump_on",
+    ]
+    .map(String::from)
+    .to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swamp_sim::SimRng;
+
+    fn symbols(v: &[&str]) -> Vec<EventSymbol> {
+        v.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    /// Generates a noisy-but-normal cycle (occasional retries, skipped
+    /// optional events) as real operation would produce.
+    fn noisy_cycle(rng: &mut SimRng) -> Vec<EventSymbol> {
+        let mut seq = vec!["schedule:due".to_owned(), "auth:granted".to_owned()];
+        if rng.chance(0.2) {
+            seq.push("auth:granted".to_owned()); // token refresh retry
+        }
+        seq.extend(symbols(&["cmd:pump_on", "flow:start", "cmd:valve_open"]));
+        for _ in 0..rng.int_range(1, 4) {
+            seq.push("soil:rising".to_owned());
+        }
+        seq.extend(symbols(&[
+            "soil:target",
+            "cmd:valve_close",
+            "flow:stop",
+            "cmd:pump_off",
+            "report:complete",
+        ]));
+        seq
+    }
+
+    fn trained_detector(seed: u64) -> BehaviorDetector {
+        let mut rng = SimRng::seed_from(seed);
+        let mut baseline = MarkovBaseline::new(0.1);
+        for _ in 0..200 {
+            let c = noisy_cycle(&mut rng);
+            baseline.train(&c);
+        }
+        let holdout: Vec<Vec<EventSymbol>> =
+            (0..50).map(|_| noisy_cycle(&mut rng)).collect();
+        BehaviorDetector::calibrate(baseline, &holdout, 0.5)
+    }
+
+    #[test]
+    fn normal_windows_pass() {
+        let det = trained_detector(1);
+        let mut rng = SimRng::seed_from(99);
+        let mut false_alarms = 0;
+        for _ in 0..100 {
+            if det.is_anomalous(&noisy_cycle(&mut rng)) {
+                false_alarms += 1;
+            }
+        }
+        assert!(false_alarms <= 3, "false alarms {false_alarms}");
+    }
+
+    #[test]
+    fn takeover_sequence_flagged() {
+        let det = trained_detector(2);
+        assert!(det.is_anomalous(&actuator_takeover_sequence()));
+    }
+
+    #[test]
+    fn missing_auth_prelude_flagged() {
+        let det = trained_detector(3);
+        // Pump starts without schedule/auth — the paper's seized actuator.
+        let seq = symbols(&["cmd:pump_on", "flow:start", "cmd:valve_open", "soil:rising"]);
+        let normal = det.score(&normal_irrigation_cycle());
+        let attack = det.score(&seq);
+        assert!(attack < normal, "attack {attack} vs normal {normal}");
+        assert!(det.is_anomalous(&seq));
+    }
+
+    #[test]
+    fn reversed_causality_scores_lower() {
+        let b = {
+            let mut b = MarkovBaseline::new(0.5);
+            for _ in 0..50 {
+                b.train(&normal_irrigation_cycle());
+            }
+            b
+        };
+        let forward = b.score_window(&normal_irrigation_cycle());
+        let mut reversed = normal_irrigation_cycle();
+        reversed.reverse();
+        assert!(b.score_window(&reversed) < forward);
+    }
+
+    #[test]
+    fn unseen_symbols_penalized() {
+        let mut b = MarkovBaseline::new(0.5);
+        b.train(&normal_irrigation_cycle());
+        let known = b.transition_log_prob("cmd:pump_on", "flow:start");
+        let unknown = b.transition_log_prob("cmd:pump_on", "exfiltrate:data");
+        assert!(known > unknown);
+    }
+
+    #[test]
+    fn empty_window_scores_zero() {
+        let b = MarkovBaseline::new(1.0);
+        assert_eq!(b.score_window(&[]), 0.0);
+        // A lone known-start symbol scores better than a lone mid-protocol one.
+        let mut trained = MarkovBaseline::new(0.5);
+        trained.train(&normal_irrigation_cycle());
+        let start = trained.score_window(&symbols(&["schedule:due"]));
+        let mid = trained.score_window(&symbols(&["cmd:valve_open"]));
+        assert!(start > mid);
+    }
+
+    #[test]
+    fn training_counts() {
+        let mut b = MarkovBaseline::new(1.0);
+        b.train(&normal_irrigation_cycle());
+        // 10 internal transitions plus the two anchor transitions.
+        assert_eq!(b.trained_transitions(), 12);
+        assert_eq!(b.vocab_size(), 11);
+    }
+
+    #[test]
+    fn smoothing_keeps_probs_finite() {
+        let b = MarkovBaseline::new(1.0);
+        let lp = b.transition_log_prob("never", "seen");
+        assert!(lp.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn zero_alpha_rejected() {
+        let _ = MarkovBaseline::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "held-out")]
+    fn empty_holdout_rejected() {
+        let _ = BehaviorDetector::calibrate(MarkovBaseline::new(1.0), &[], 0.1);
+    }
+}

@@ -1,0 +1,385 @@
+//! The detection pipeline: per-device detector banks, alert aggregation and
+//! quarantine recommendations.
+//!
+//! The paper's security architecture needs more than isolated detectors —
+//! "mechanisms to avoid fake data" must combine evidence (a value can be in
+//! range yet spatially inconsistent; a rate can be normal while the
+//! sequence is impossible) and decide *what to do*: log, alert the
+//! operator, or quarantine the device. [`DetectorBank`] wires the point
+//! detectors from [`crate::detect`] per quantity, per device, aggregates
+//! their findings into [`Alert`]s with per-device severity scoring, and
+//! turns the score into a [`Recommendation`].
+
+use std::collections::BTreeMap;
+
+use swamp_sim::SimTime;
+
+use crate::detect::{
+    CusumDetector, RangeValidator, SeqEvent, SeqMonitor, Severity, Verdict,
+    ZScoreDetector,
+};
+
+/// Evidence type an alert is based on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Evidence {
+    /// Physically impossible value.
+    OutOfRange,
+    /// Statistically abnormal jump (z-score).
+    PointAnomaly,
+    /// Accumulated drift (CUSUM).
+    Drift,
+    /// Replayed or duplicated frame.
+    Replay,
+    /// Large sequence gap (message loss or reset).
+    SequenceGap,
+}
+
+/// One alert raised by the pipeline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Alert {
+    /// Device the alert concerns.
+    pub device: String,
+    /// Measured quantity ("moisture_vwc"…), empty for frame-level evidence.
+    pub quantity: String,
+    /// Evidence class.
+    pub evidence: Evidence,
+    /// Severity at raise time.
+    pub severity: Severity,
+    /// The offending value, if any.
+    pub value: Option<f64>,
+    /// When it was raised.
+    pub at: SimTime,
+}
+
+/// What the pipeline recommends for a device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Recommendation {
+    /// Nothing concerning.
+    Trust,
+    /// Keep ingesting but flag to the operator.
+    Watch,
+    /// Stop trusting this device's data; hold irrigation decisions that
+    /// depend on it until a human or cross-check clears it.
+    Quarantine,
+}
+
+/// Detector bundle for one (device, quantity) stream.
+#[derive(Clone, Debug)]
+struct StreamDetectors {
+    zscore: ZScoreDetector,
+    cusum: CusumDetector,
+}
+
+/// Per-device, per-quantity detection with aggregated alerting.
+///
+/// # Example
+/// ```
+/// use swamp_security::pipeline::{DetectorBank, Recommendation};
+/// use swamp_security::detect::RangeValidator;
+/// use swamp_sim::SimTime;
+///
+/// let mut bank = DetectorBank::new();
+/// bank.configure_quantity("moisture_vwc", RangeValidator::soil_moisture());
+/// // An impossible value is flagged immediately.
+/// bank.observe_value(SimTime::ZERO, "probe-1", "moisture_vwc", 0.95);
+/// assert_eq!(bank.recommendation("probe-1"), Recommendation::Quarantine);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DetectorBank {
+    /// Physical ranges per quantity name.
+    ranges: BTreeMap<String, RangeValidator>,
+    streams: BTreeMap<(String, String), StreamDetectors>,
+    seq: SeqMonitor,
+    alerts: Vec<Alert>,
+    /// Rolling per-device alert weights (warning = 1, alert = 3).
+    device_score: BTreeMap<String, u32>,
+}
+
+impl DetectorBank {
+    /// Creates an empty bank.
+    pub fn new() -> Self {
+        DetectorBank::default()
+    }
+
+    /// Registers the physical range for a quantity (applies to all devices).
+    pub fn configure_quantity(&mut self, quantity: &str, range: RangeValidator) {
+        self.ranges.insert(quantity.to_owned(), range);
+    }
+
+    /// All alerts raised so far.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// Drains the alert log (for forwarding to an operator console).
+    pub fn take_alerts(&mut self) -> Vec<Alert> {
+        std::mem::take(&mut self.alerts)
+    }
+
+    /// Current recommendation for a device.
+    pub fn recommendation(&self, device: &str) -> Recommendation {
+        match self.device_score.get(device).copied().unwrap_or(0) {
+            0 => Recommendation::Trust,
+            1..=2 => Recommendation::Watch,
+            _ => Recommendation::Quarantine,
+        }
+    }
+
+    /// Devices currently recommended for quarantine.
+    pub fn quarantined(&self) -> Vec<&str> {
+        self.device_score
+            .iter()
+            .filter(|(_, &s)| s >= 3)
+            .map(|(d, _)| d.as_str())
+            .collect()
+    }
+
+    /// Clears a device's score after manual review.
+    pub fn clear_device(&mut self, device: &str) {
+        self.device_score.remove(device);
+    }
+
+    fn raise(
+        &mut self,
+        at: SimTime,
+        device: &str,
+        quantity: &str,
+        evidence: Evidence,
+        severity: Severity,
+        value: Option<f64>,
+    ) {
+        *self.device_score.entry(device.to_owned()).or_insert(0) +=
+            match severity {
+                Severity::Warning => 1,
+                Severity::Alert => 3,
+            };
+        self.alerts.push(Alert {
+            device: device.to_owned(),
+            quantity: quantity.to_owned(),
+            evidence,
+            severity,
+            value,
+            at,
+        });
+    }
+
+    /// Feeds one measured value through range + z-score + CUSUM detectors.
+    /// Returns the strongest verdict.
+    pub fn observe_value(
+        &mut self,
+        at: SimTime,
+        device: &str,
+        quantity: &str,
+        value: f64,
+    ) -> Verdict {
+        // Range first: an impossible value must not train the baselines.
+        if let Some(range) = self.ranges.get(quantity) {
+            if range.check(value).is_anomalous() {
+                self.raise(
+                    at,
+                    device,
+                    quantity,
+                    Evidence::OutOfRange,
+                    Severity::Alert,
+                    Some(value),
+                );
+                return Verdict::Anomalous(Severity::Alert);
+            }
+        }
+        let key = (device.to_owned(), quantity.to_owned());
+        let stream = self.streams.entry(key).or_insert_with(|| StreamDetectors {
+            zscore: ZScoreDetector::for_slow_signal(),
+            cusum: CusumDetector::for_slow_signal(),
+        });
+        let z = stream.zscore.observe(value);
+        let c = stream.cusum.observe(value);
+        let verdict = match (z, c) {
+            (Verdict::Anomalous(s), _) | (_, Verdict::Anomalous(s)) => {
+                Verdict::Anomalous(s)
+            }
+            _ => Verdict::Normal,
+        };
+        if let Verdict::Anomalous(severity) = verdict {
+            let evidence = if c.is_anomalous() && !z.is_anomalous() {
+                Evidence::Drift
+            } else {
+                Evidence::PointAnomaly
+            };
+            self.raise(at, device, quantity, evidence, severity, Some(value));
+        }
+        verdict
+    }
+
+    /// Feeds a frame's sequence number through the replay/gap monitor.
+    pub fn observe_sequence(&mut self, at: SimTime, device: &str, seq: u64) -> SeqEvent {
+        let event = self.seq.observe(device, seq);
+        match event {
+            SeqEvent::ReplayOrDuplicate => self.raise(
+                at,
+                device,
+                "",
+                Evidence::Replay,
+                Severity::Alert,
+                Some(seq as f64),
+            ),
+            SeqEvent::Gap(n) if n > 10 => self.raise(
+                at,
+                device,
+                "",
+                Evidence::SequenceGap,
+                Severity::Warning,
+                Some(n as f64),
+            ),
+            _ => {}
+        }
+        event
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swamp_sim::SimRng;
+
+    fn bank() -> DetectorBank {
+        let mut b = DetectorBank::new();
+        b.configure_quantity("moisture_vwc", RangeValidator::soil_moisture());
+        b
+    }
+
+    #[test]
+    fn clean_stream_stays_trusted() {
+        let mut b = bank();
+        let mut rng = SimRng::seed_from(1);
+        for i in 0..200 {
+            let v = 0.25 + rng.normal_with(0.0, 0.005);
+            b.observe_value(SimTime::from_secs(i), "p", "moisture_vwc", v);
+            b.observe_sequence(SimTime::from_secs(i), "p", i);
+        }
+        assert_eq!(b.recommendation("p"), Recommendation::Trust);
+        assert!(b.alerts().is_empty());
+    }
+
+    #[test]
+    fn out_of_range_quarantines_immediately() {
+        let mut b = bank();
+        let v = b.observe_value(SimTime::ZERO, "p", "moisture_vwc", 1.5);
+        assert!(v.is_anomalous());
+        assert_eq!(b.recommendation("p"), Recommendation::Quarantine);
+        assert_eq!(b.alerts()[0].evidence, Evidence::OutOfRange);
+        assert_eq!(b.quarantined(), vec!["p"]);
+    }
+
+    #[test]
+    fn impossible_values_do_not_poison_baseline() {
+        let mut b = bank();
+        let mut rng = SimRng::seed_from(2);
+        for i in 0..50 {
+            b.observe_value(
+                SimTime::from_secs(i),
+                "p",
+                "moisture_vwc",
+                0.25 + rng.normal_with(0.0, 0.005),
+            );
+        }
+        // A burst of impossible values…
+        for i in 50..60 {
+            b.observe_value(SimTime::from_secs(i), "p", "moisture_vwc", 0.99);
+        }
+        // …then a step attack inside the physical range: still flagged,
+        // because the range rejects kept the z-score baseline at 0.25.
+        let v = b.observe_value(SimTime::from_secs(61), "p", "moisture_vwc", 0.45);
+        assert!(v.is_anomalous(), "baseline must not have learned 0.99");
+    }
+
+    #[test]
+    fn step_attack_flagged_and_scored() {
+        let mut b = bank();
+        let mut rng = SimRng::seed_from(3);
+        for i in 0..100 {
+            b.observe_value(
+                SimTime::from_secs(i),
+                "p",
+                "moisture_vwc",
+                0.22 + rng.normal_with(0.0, 0.004),
+            );
+        }
+        assert_eq!(b.recommendation("p"), Recommendation::Trust);
+        let v = b.observe_value(SimTime::from_secs(100), "p", "moisture_vwc", 0.40);
+        assert!(v.is_anomalous());
+        assert_ne!(b.recommendation("p"), Recommendation::Trust);
+    }
+
+    #[test]
+    fn slow_drift_caught_as_drift_evidence() {
+        let mut b = bank();
+        let mut rng = SimRng::seed_from(4);
+        for i in 0..40 {
+            b.observe_value(
+                SimTime::from_secs(i),
+                "p",
+                "moisture_vwc",
+                0.25 + rng.normal_with(0.0, 0.004),
+            );
+        }
+        let mut caught = false;
+        for i in 0..150 {
+            let v = 0.25 + 0.0015 * i as f64 + rng.normal_with(0.0, 0.004);
+            if b
+                .observe_value(SimTime::from_secs(40 + i), "p", "moisture_vwc", v)
+                .is_anomalous()
+            {
+                caught = true;
+                break;
+            }
+        }
+        assert!(caught, "drift must be caught");
+        assert!(b
+            .alerts()
+            .iter()
+            .any(|a| a.evidence == Evidence::Drift || a.evidence == Evidence::PointAnomaly));
+    }
+
+    #[test]
+    fn replay_raises_alert() {
+        let mut b = bank();
+        b.observe_sequence(SimTime::ZERO, "p", 5);
+        b.observe_sequence(SimTime::ZERO, "p", 6);
+        let e = b.observe_sequence(SimTime::ZERO, "p", 6);
+        assert_eq!(e, SeqEvent::ReplayOrDuplicate);
+        assert_eq!(b.recommendation("p"), Recommendation::Quarantine);
+        assert_eq!(b.alerts().last().unwrap().evidence, Evidence::Replay);
+    }
+
+    #[test]
+    fn large_gap_is_a_warning_only() {
+        let mut b = bank();
+        b.observe_sequence(SimTime::ZERO, "p", 0);
+        b.observe_sequence(SimTime::ZERO, "p", 100);
+        assert_eq!(b.recommendation("p"), Recommendation::Watch);
+        assert_eq!(b.alerts()[0].evidence, Evidence::SequenceGap);
+        // Small gaps (radio loss) are not even warnings.
+        let mut b2 = bank();
+        b2.observe_sequence(SimTime::ZERO, "q", 0);
+        b2.observe_sequence(SimTime::ZERO, "q", 3);
+        assert_eq!(b2.recommendation("q"), Recommendation::Trust);
+    }
+
+    #[test]
+    fn devices_are_isolated() {
+        let mut b = bank();
+        b.observe_value(SimTime::ZERO, "bad", "moisture_vwc", 2.0);
+        assert_eq!(b.recommendation("bad"), Recommendation::Quarantine);
+        assert_eq!(b.recommendation("good"), Recommendation::Trust);
+    }
+
+    #[test]
+    fn clear_restores_trust_and_take_alerts_drains() {
+        let mut b = bank();
+        b.observe_value(SimTime::ZERO, "p", "moisture_vwc", 2.0);
+        assert_eq!(b.take_alerts().len(), 1);
+        assert!(b.alerts().is_empty());
+        b.clear_device("p");
+        assert_eq!(b.recommendation("p"), Recommendation::Trust);
+    }
+}

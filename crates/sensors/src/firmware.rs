@@ -1,0 +1,278 @@
+//! Device firmware: the sampling/encoding/energy loop that turns raw
+//! readings into NGSI entity updates ready for the radio.
+//!
+//! The firmware is transport-agnostic: it produces [`TelemetryFrame`]s and
+//! the platform layer (swamp-core) decides how to seal and ship them. What
+//! the firmware owns is the *behavioral rhythm* of a device — sample period,
+//! batching, energy accounting — which is exactly what the behavioral
+//! anomaly baseline in `swamp-security` learns.
+
+use swamp_codec::ngsi::{Attribute, Entity};
+use swamp_sim::{SimDuration, SimTime};
+
+use crate::device::DeviceId;
+use crate::power::{costs, Battery};
+use crate::probes::Reading;
+
+/// A batch of readings encoded as one NGSI entity update.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TelemetryFrame {
+    /// Originating device.
+    pub device: DeviceId,
+    /// Monotonic per-device sequence number.
+    pub seq: u64,
+    /// The entity update payload.
+    pub entity: Entity,
+    /// When the frame was assembled.
+    pub at: SimTime,
+}
+
+/// Why the firmware refused to emit a frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FirmwareError {
+    /// Battery exhausted.
+    OutOfEnergy,
+    /// Not yet time for the next sample.
+    NotDue,
+}
+
+impl std::fmt::Display for FirmwareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FirmwareError::OutOfEnergy => f.write_str("battery exhausted"),
+            FirmwareError::NotDue => f.write_str("sample not due yet"),
+        }
+    }
+}
+impl std::error::Error for FirmwareError {}
+
+/// The firmware loop state for one telemetry device.
+///
+/// # Example
+/// ```
+/// use swamp_sensors::firmware::DeviceFirmware;
+/// use swamp_sensors::power::Battery;
+/// use swamp_sensors::probes::Reading;
+/// use swamp_sim::{SimDuration, SimTime};
+///
+/// let mut fw = DeviceFirmware::new(
+///     "probe-1", "SoilProbe", SimDuration::from_hours(1), Battery::field_probe());
+/// let reading = Reading {
+///     device: "probe-1".into(), quantity: "moisture_vwc",
+///     value: 0.24, at: SimTime::ZERO,
+/// };
+/// let frame = fw.assemble(SimTime::ZERO, &[reading]).unwrap();
+/// assert_eq!(frame.seq, 0);
+/// assert_eq!(frame.entity.number("moisture_vwc"), Some(0.24));
+/// ```
+#[derive(Clone, Debug)]
+pub struct DeviceFirmware {
+    device: DeviceId,
+    entity_type: String,
+    sample_period: SimDuration,
+    battery: Battery,
+    next_due: SimTime,
+    seq: u64,
+}
+
+impl DeviceFirmware {
+    /// Creates firmware sampling every `sample_period`.
+    pub fn new(
+        device: impl Into<DeviceId>,
+        entity_type: impl Into<String>,
+        sample_period: SimDuration,
+        battery: Battery,
+    ) -> Self {
+        DeviceFirmware {
+            device: device.into(),
+            entity_type: entity_type.into(),
+            sample_period,
+            battery,
+            next_due: SimTime::ZERO,
+            seq: 0,
+        }
+    }
+
+    /// The device id.
+    pub fn device(&self) -> &DeviceId {
+        &self.device
+    }
+
+    /// Remaining battery fraction.
+    pub fn battery_fraction(&self) -> f64 {
+        self.battery.fraction()
+    }
+
+    /// Whether the device is alive.
+    pub fn is_alive(&self) -> bool {
+        !self.battery.is_empty()
+    }
+
+    /// Next instant a sample is due.
+    pub fn next_due(&self) -> SimTime {
+        self.next_due
+    }
+
+    /// Frames emitted so far.
+    pub fn frames_emitted(&self) -> u64 {
+        self.seq
+    }
+
+    /// Whether a sample is due at `now`.
+    pub fn is_due(&self, now: SimTime) -> bool {
+        now >= self.next_due
+    }
+
+    /// Assembles the readings into a telemetry frame, charging the battery
+    /// for wakeup, sampling and sealing energy. Advances the schedule.
+    ///
+    /// # Errors
+    /// [`FirmwareError::NotDue`] before the schedule point;
+    /// [`FirmwareError::OutOfEnergy`] once the battery is exhausted (the
+    /// device is then permanently dead).
+    pub fn assemble(
+        &mut self,
+        now: SimTime,
+        readings: &[Reading],
+    ) -> Result<TelemetryFrame, FirmwareError> {
+        if !self.is_due(now) {
+            return Err(FirmwareError::NotDue);
+        }
+        self.battery.advance_to(now);
+        let payload_estimate = 40 + readings.len() * 30;
+        let energy = costs::WAKEUP
+            + costs::SAMPLE * readings.len() as f64
+            + costs::SEAL_PER_100B * payload_estimate as f64 / 100.0;
+        if !self.battery.spend(energy) {
+            return Err(FirmwareError::OutOfEnergy);
+        }
+
+        let mut entity = Entity::new(self.device.entity_urn(), self.entity_type.clone());
+        for r in readings {
+            entity.set_attribute(
+                r.quantity,
+                Attribute::new(r.value).observed_at(r.at.as_millis()),
+            );
+        }
+        entity.set_attribute(
+            "battery_fraction",
+            Attribute::new(self.battery.fraction()).observed_at(now.as_millis()),
+        );
+        entity.set_attribute(
+            "seq",
+            Attribute::new(self.seq as f64).observed_at(now.as_millis()),
+        );
+
+        let frame = TelemetryFrame {
+            device: self.device.clone(),
+            seq: self.seq,
+            entity,
+            at: now,
+        };
+        self.seq += 1;
+        self.next_due = now + self.sample_period;
+        Ok(frame)
+    }
+
+    /// Charges the battery for a radio transmission of the given airtime.
+    /// Returns `false` if the battery died mid-transmission.
+    pub fn charge_tx(&mut self, airtime: SimDuration) -> bool {
+        self.battery
+            .spend(costs::TX_PER_MS * airtime.as_millis() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reading(q: &'static str, v: f64, at: SimTime) -> Reading {
+        Reading {
+            device: "d".into(),
+            quantity: q,
+            value: v,
+            at,
+        }
+    }
+
+    fn fw(period_h: u64) -> DeviceFirmware {
+        DeviceFirmware::new(
+            "d",
+            "SoilProbe",
+            SimDuration::from_hours(period_h),
+            Battery::field_probe(),
+        )
+    }
+
+    #[test]
+    fn frame_carries_readings_and_housekeeping() {
+        let mut f = fw(1);
+        let frame = f
+            .assemble(SimTime::ZERO, &[reading("moisture_vwc", 0.31, SimTime::ZERO)])
+            .unwrap();
+        assert_eq!(frame.entity.number("moisture_vwc"), Some(0.31));
+        assert!(frame.entity.number("battery_fraction").unwrap() > 0.99);
+        assert_eq!(frame.entity.number("seq"), Some(0.0));
+        assert_eq!(frame.entity.entity_type(), "SoilProbe");
+        assert_eq!(frame.entity.id().as_str(), "urn:swamp:device:d");
+    }
+
+    #[test]
+    fn schedule_enforced() {
+        let mut f = fw(1);
+        f.assemble(SimTime::ZERO, &[]).unwrap();
+        let early = SimTime::from_millis(30 * 60 * 1000);
+        assert_eq!(f.assemble(early, &[]), Err(FirmwareError::NotDue));
+        assert!(f.assemble(SimTime::from_hours(1), &[]).is_ok());
+    }
+
+    #[test]
+    fn sequence_increments() {
+        let mut f = fw(1);
+        for i in 0..5u64 {
+            let frame = f.assemble(SimTime::from_hours(i), &[]).unwrap();
+            assert_eq!(frame.seq, i);
+        }
+        assert_eq!(f.frames_emitted(), 5);
+    }
+
+    #[test]
+    fn battery_drains_until_death() {
+        let mut f = DeviceFirmware::new(
+            "d",
+            "SoilProbe",
+            SimDuration::from_hours(1),
+            Battery::new(20.0, 0.0), // tiny battery
+        );
+        let mut emitted = 0;
+        for i in 0..100u64 {
+            match f.assemble(SimTime::from_hours(i), &[]) {
+                Ok(_) => emitted += 1,
+                Err(FirmwareError::OutOfEnergy) => break,
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert!(emitted > 0 && emitted < 100, "emitted {emitted}");
+        assert!(!f.is_alive());
+    }
+
+    #[test]
+    fn tx_charging() {
+        let mut f = fw(1);
+        let before = f.battery_fraction();
+        assert!(f.charge_tx(SimDuration::from_millis(200)));
+        assert!(f.battery_fraction() < before);
+    }
+
+    #[test]
+    fn frame_roundtrips_through_json() {
+        let mut f = fw(1);
+        let frame = f
+            .assemble(SimTime::ZERO, &[reading("tmax_c", 25.5, SimTime::ZERO)])
+            .unwrap();
+        let wire = frame.entity.to_json().to_compact_string();
+        let back =
+            Entity::from_json(&swamp_codec::Json::parse(&wire).unwrap()).unwrap();
+        assert_eq!(back, frame.entity);
+    }
+}

@@ -1,0 +1,41 @@
+//! # swamp-sensors — field device models for the SWAMP platform
+//!
+//! The pilots' hardware — soil probes, agro-met stations, flow meters, NDVI
+//! drones, valves, pumps and center pivots — simulated with the properties
+//! the platform actually has to cope with:
+//!
+//! - [`device`] — device identity, kind and health.
+//! - [`probes`] — sensing models with bias/noise/drift and stuck-at
+//!   failures (the source of the paper's "partial profile" problem).
+//! - [`actuators`] — valves with actuation latency, pumps with energy
+//!   metering, and the center-pivot machine with per-sector variable-rate
+//!   control (the MATOPIBA VRI mechanism).
+//! - [`power`] — battery/energy accounting, including the cost of security
+//!   operations (the paper's "security mechanisms have to be energy
+//!   efficient").
+//! - [`firmware`] — the sample/encode/energy loop producing NGSI entity
+//!   updates, whose rhythm the behavioral anomaly detectors baseline.
+//!
+//! ## Example
+//!
+//! ```
+//! use swamp_sensors::probes::{SensorNoise, SoilMoistureProbe};
+//! use swamp_sim::{SimRng, SimTime};
+//!
+//! let probe = SoilMoistureProbe::new("probe-ne-1", 3, SensorNoise::good(0.01));
+//! let mut rng = SimRng::seed_from(7);
+//! let reading = probe.sample(0.27, SimTime::from_hours(6), &mut rng).unwrap();
+//! assert_eq!(reading.quantity, "moisture_vwc");
+//! ```
+
+pub mod actuators;
+pub mod device;
+pub mod firmware;
+pub mod power;
+pub mod probes;
+
+pub use actuators::{CenterPivot, Pump, Valve};
+pub use device::{DeviceHealth, DeviceId, DeviceKind};
+pub use firmware::{DeviceFirmware, TelemetryFrame};
+pub use power::Battery;
+pub use probes::{NdviCamera, Reading, SensorNoise, SoilMoistureProbe, WeatherStation};

@@ -1,0 +1,195 @@
+//! Battery/energy model for field devices.
+//!
+//! The paper: "security mechanisms have to be energy efficient, since many
+//! IoT devices are limited in power". The battery model charges every
+//! action — sampling, radio transmission, crypto — so experiments can show
+//! the energy cost of security features and so devices genuinely die in
+//! long availability scenarios.
+
+use swamp_sim::{SimDuration, SimTime};
+
+/// Energy store of a battery-powered device, tracked in millijoules.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Battery {
+    capacity_mj: f64,
+    remaining_mj: f64,
+    idle_drain_mw: f64,
+    last_update: SimTime,
+    /// Optional solar recharge rate while the sun is up (mW).
+    solar_mw: f64,
+}
+
+impl Battery {
+    /// Creates a full battery.
+    ///
+    /// # Panics
+    /// Panics if capacity or drains are negative/zero where required.
+    pub fn new(capacity_mj: f64, idle_drain_mw: f64) -> Self {
+        assert!(capacity_mj > 0.0, "capacity must be positive");
+        assert!(idle_drain_mw >= 0.0, "idle drain must be non-negative");
+        Battery {
+            capacity_mj,
+            remaining_mj: capacity_mj,
+            idle_drain_mw,
+            last_update: SimTime::ZERO,
+            solar_mw: 0.0,
+        }
+    }
+
+    /// Typical field soil-probe battery: 2×AA lithium ≈ 18 kJ usable, with
+    /// ~0.05 mW sleep drain.
+    pub fn field_probe() -> Self {
+        Battery::new(18_000_000.0, 0.05)
+    }
+
+    /// Adds a solar panel that recharges at `mw` during daylight (builder).
+    pub fn with_solar(mut self, mw: f64) -> Self {
+        assert!(mw >= 0.0);
+        self.solar_mw = mw;
+        self
+    }
+
+    /// Remaining charge fraction, `[0,1]`.
+    pub fn fraction(&self) -> f64 {
+        (self.remaining_mj / self.capacity_mj).clamp(0.0, 1.0)
+    }
+
+    /// Whether the battery is exhausted.
+    pub fn is_empty(&self) -> bool {
+        self.remaining_mj <= 0.0
+    }
+
+    /// Advances idle drain (and solar recharge) to `now`.
+    ///
+    /// Daylight is approximated as the 06:00–18:00 half of each virtual day.
+    pub fn advance_to(&mut self, now: SimTime) {
+        if now <= self.last_update {
+            return;
+        }
+        let dt = now.duration_since(self.last_update);
+        let drain = self.idle_drain_mw * dt.as_secs_f64(); // mW·s = mJ
+        // Approximate daylight share of the elapsed interval.
+        let daylight_fraction = if dt >= SimDuration::from_days(1) {
+            0.5
+        } else {
+            let h = now.hour_of_day();
+            if (6..18).contains(&h) {
+                1.0
+            } else {
+                0.0
+            }
+        };
+        let recharge = self.solar_mw * dt.as_secs_f64() * daylight_fraction;
+        self.remaining_mj =
+            (self.remaining_mj - drain + recharge).clamp(0.0, self.capacity_mj);
+        self.last_update = now;
+    }
+
+    /// Spends `mj` millijoules on an action (sample, transmit, encrypt).
+    /// Returns `false` (and spends nothing) if insufficient charge remains.
+    pub fn spend(&mut self, mj: f64) -> bool {
+        assert!(mj >= 0.0, "cannot spend negative energy");
+        if self.remaining_mj < mj {
+            self.remaining_mj = 0.0;
+            return false;
+        }
+        self.remaining_mj -= mj;
+        true
+    }
+}
+
+/// Energy cost constants for common device actions, in millijoules.
+pub mod costs {
+    /// One sensor ADC sample.
+    pub const SAMPLE: f64 = 2.0;
+    /// Radio transmission per millisecond of airtime (25 mW TX power).
+    pub const TX_PER_MS: f64 = 0.025;
+    /// Sealing one message with ChaCha20+HMAC (measured class, per 100 B).
+    pub const SEAL_PER_100B: f64 = 0.05;
+    /// Waking the MCU for a duty cycle.
+    pub const WAKEUP: f64 = 0.5;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_on_creation() {
+        let b = Battery::new(1000.0, 1.0);
+        assert_eq!(b.fraction(), 1.0);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn idle_drain_over_time() {
+        let mut b = Battery::new(1000.0, 1.0); // 1 mW
+        b.advance_to(SimTime::from_secs(500)); // 500 mJ drained
+        assert!((b.fraction() - 0.5).abs() < 1e-9);
+        b.advance_to(SimTime::from_secs(2000));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn spend_depletes_and_refuses_when_empty() {
+        let mut b = Battery::new(10.0, 0.0);
+        assert!(b.spend(6.0));
+        assert!(!b.spend(6.0));
+        assert!(b.is_empty(), "failed spend zeroes the battery");
+    }
+
+    #[test]
+    fn solar_recharges_during_day() {
+        // Capacity large enough that the recharge is not clamped at full.
+        let mut b = Battery::new(10_000_000.0, 1.0).with_solar(5.0);
+        b.spend(5_000_000.0);
+        // Advance across a midday minute: net +4 mW.
+        let noon = SimTime::from_hours(12);
+        b.advance_to(noon);
+        let before = b.fraction();
+        b.advance_to(noon + SimDuration::from_secs(60));
+        assert!(b.fraction() > before);
+    }
+
+    #[test]
+    fn no_recharge_at_night() {
+        let mut b = Battery::new(1000.0, 1.0).with_solar(5.0);
+        b.spend(500.0);
+        let midnight = SimTime::from_days(1);
+        b.advance_to(midnight);
+        let before = b.fraction();
+        b.advance_to(midnight + SimDuration::from_secs(60));
+        assert!(b.fraction() < before);
+    }
+
+    #[test]
+    fn recharge_clamped_at_capacity() {
+        let mut b = Battery::new(100.0, 0.0).with_solar(100.0);
+        b.advance_to(SimTime::from_hours(12));
+        assert_eq!(b.fraction(), 1.0);
+    }
+
+    #[test]
+    fn advance_backwards_is_noop() {
+        let mut b = Battery::new(100.0, 1.0);
+        b.advance_to(SimTime::from_secs(10));
+        let f = b.fraction();
+        b.advance_to(SimTime::from_secs(5));
+        assert_eq!(b.fraction(), f);
+    }
+
+    #[test]
+    fn multi_day_advance_uses_average_daylight() {
+        let mut b = Battery::new(1_000_000.0, 1.0).with_solar(2.0);
+        // Over exactly 2 days: drain 1 mW continuous, recharge 2 mW half time
+        // ⇒ net zero.
+        b.advance_to(SimTime::from_days(2));
+        assert!((b.fraction() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = Battery::new(0.0, 0.0);
+    }
+}

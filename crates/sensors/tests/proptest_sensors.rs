@@ -1,0 +1,114 @@
+//! Property-based tests for the device models.
+
+use proptest::prelude::*;
+use swamp_sensors::actuators::{CenterPivot, Pump};
+use swamp_sensors::power::Battery;
+use swamp_sensors::probes::{SensorNoise, SoilMoistureProbe};
+use swamp_sim::{SimDuration, SimRng, SimTime};
+
+proptest! {
+    /// Battery charge stays in [0, capacity] under any interleaving of
+    /// spends and time advances.
+    #[test]
+    fn battery_charge_bounded(
+        capacity in 10.0f64..100_000.0,
+        drain in 0.0f64..5.0,
+        solar in 0.0f64..10.0,
+        ops in prop::collection::vec((0u8..2, 0.0f64..5_000.0), 1..50),
+    ) {
+        let mut b = Battery::new(capacity, drain).with_solar(solar);
+        let mut t = SimTime::ZERO;
+        for (kind, amount) in ops {
+            match kind {
+                0 => {
+                    let _ = b.spend(amount);
+                }
+                _ => {
+                    t = t + SimDuration::from_secs_f64(amount);
+                    b.advance_to(t);
+                }
+            }
+            prop_assert!((0.0..=1.0).contains(&b.fraction()), "{}", b.fraction());
+        }
+    }
+
+    /// Probe readings are always inside the physical VWC range and within
+    /// bias+drift+5σ of the truth.
+    #[test]
+    fn probe_reading_bounded(
+        truth in 0.0f64..0.6,
+        bias in -0.05f64..0.05,
+        noise_sd in 0.0001f64..0.05,
+        day in 0u64..400,
+        seed in any::<u64>(),
+    ) {
+        let probe = SoilMoistureProbe::new(
+            "p",
+            0,
+            SensorNoise { bias, noise_sd, drift_per_day: 0.0001 },
+        );
+        let mut rng = SimRng::seed_from(seed);
+        let r = probe
+            .sample(truth, SimTime::from_days(day), &mut rng)
+            .expect("healthy probe");
+        prop_assert!((0.0..=1.0).contains(&r.value));
+        let expected = truth + bias + 0.0001 * day as f64;
+        prop_assert!(
+            (r.value - expected.clamp(0.0, 1.0)).abs() <= 5.0 * noise_sd + 1e-9,
+            "reading {} vs expected {expected}",
+            r.value
+        );
+    }
+
+    /// Pivot water application is path-independent: advancing in many small
+    /// steps applies the same per-sector totals as one big step.
+    #[test]
+    fn pivot_advance_path_independent(
+        sectors in 1usize..12,
+        hours in 1u64..48,
+        splits in 2u64..20,
+        speed_millis in 100u64..1000,
+    ) {
+        let speed = speed_millis as f64 / 1000.0;
+        let mk = |sectors: usize| {
+            let mut p = CenterPivot::new("p", sectors, 12.0, 10.0);
+            p.set_sector_speeds(vec![speed; sectors]).unwrap();
+            p.start(SimTime::ZERO);
+            p
+        };
+        let mut one = mk(sectors);
+        one.advance(SimTime::from_hours(hours));
+
+        let mut many = mk(sectors);
+        for i in 1..=splits {
+            many.advance(SimTime::from_millis(hours * 3_600_000 * i / splits));
+        }
+        for (a, b) in one.total_applied_mm().iter().zip(many.total_applied_mm()) {
+            prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+        prop_assert!((one.angle_deg() - many.angle_deg()).abs() < 1e-6);
+    }
+
+    /// Pump energy equals power × running time regardless of how the
+    /// interval is chopped up.
+    #[test]
+    fn pump_energy_additive(
+        power in 1.0f64..100.0,
+        run_hours in prop::collection::vec(1u64..10, 1..6),
+    ) {
+        let mut p = Pump::new("pump", 50.0, power);
+        let mut t = SimTime::ZERO;
+        let mut expected = 0.0;
+        for (i, h) in run_hours.iter().enumerate() {
+            if i % 2 == 0 {
+                p.set_running(t, true);
+                expected += power * *h as f64;
+            } else {
+                p.set_running(t, false);
+            }
+            t = t + SimDuration::from_hours(*h);
+        }
+        p.set_running(t, false);
+        prop_assert!((p.energy_kwh(t) - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,205 @@
+//! A small metric registry shared by SWAMP components.
+//!
+//! Platform pieces (broker, network, fog sync, detectors) increment named
+//! counters and set named gauges; the experiment harnesses read them back and
+//! print result tables. The registry is deliberately simple — string-keyed,
+//! deterministic iteration order — because its consumers are test assertions
+//! and human-readable reports, not a TSDB.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::stats::OnlineStats;
+
+/// A string-keyed registry of counters, gauges and value summaries.
+///
+/// Iteration order is lexicographic (BTreeMap), so reports are stable.
+///
+/// # Example
+/// ```
+/// use swamp_sim::metrics::Metrics;
+/// let mut m = Metrics::new();
+/// m.incr("broker.updates");
+/// m.incr_by("broker.updates", 4);
+/// m.set_gauge("fog.buffer_len", 17.0);
+/// m.observe("net.latency_ms", 12.5);
+/// assert_eq!(m.counter("broker.updates"), 5);
+/// assert_eq!(m.gauge("fog.buffer_len"), Some(17.0));
+/// assert_eq!(m.summary("net.latency_ms").unwrap().count(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    summaries: BTreeMap<String, OnlineStats>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Increments a counter by one.
+    pub fn incr(&mut self, name: &str) {
+        self.incr_by(name, 1);
+    }
+
+    /// Increments a counter by `n`.
+    pub fn incr_by(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += n;
+    }
+
+    /// Reads a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets a gauge to an absolute value.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_owned(), value);
+    }
+
+    /// Reads a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records one observation into a named summary.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.summaries
+            .entry(name.to_owned())
+            .or_default()
+            .push(value);
+    }
+
+    /// Reads a summary.
+    pub fn summary(&self, name: &str) -> Option<&OnlineStats> {
+        self.summaries.get(name)
+    }
+
+    /// Iterates counters in lexicographic order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates gauges in lexicographic order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates summaries in lexicographic order.
+    pub fn summaries(&self) -> impl Iterator<Item = (&str, &OnlineStats)> {
+        self.summaries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Merges another registry into this one (counters add, gauges take the
+    /// other's value, summaries merge).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, v) in &other.summaries {
+            self.summaries
+                .entry(k.clone())
+                .or_default()
+                .merge(v);
+        }
+    }
+
+    /// Clears everything.
+    pub fn reset(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.summaries.clear();
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.counters {
+            writeln!(f, "counter {k} = {v}")?;
+        }
+        for (k, v) in &self.gauges {
+            writeln!(f, "gauge   {k} = {v}")?;
+        }
+        for (k, s) in &self.summaries {
+            writeln!(f, "summary {k} : {s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.incr("a");
+        m.incr_by("a", 9);
+        assert_eq!(m.counter("a"), 10);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut m = Metrics::new();
+        m.set_gauge("g", 1.0);
+        m.set_gauge("g", 2.5);
+        assert_eq!(m.gauge("g"), Some(2.5));
+        assert_eq!(m.gauge("missing"), None);
+    }
+
+    #[test]
+    fn summaries_track_stats() {
+        let mut m = Metrics::new();
+        m.observe("lat", 10.0);
+        m.observe("lat", 20.0);
+        let s = m.summary("lat").unwrap();
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), 15.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Metrics::new();
+        a.incr_by("c", 3);
+        a.observe("s", 1.0);
+        let mut b = Metrics::new();
+        b.incr_by("c", 4);
+        b.observe("s", 3.0);
+        b.set_gauge("g", 9.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 7);
+        assert_eq!(a.summary("s").unwrap().mean(), 2.0);
+        assert_eq!(a.gauge("g"), Some(9.0));
+    }
+
+    #[test]
+    fn display_is_stable_and_nonempty() {
+        let mut m = Metrics::new();
+        m.incr("z.last");
+        m.incr("a.first");
+        let text = m.to_string();
+        let a_pos = text.find("a.first").unwrap();
+        let z_pos = text.find("z.last").unwrap();
+        assert!(a_pos < z_pos, "lexicographic order expected");
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut m = Metrics::new();
+        m.incr("c");
+        m.set_gauge("g", 1.0);
+        m.observe("s", 1.0);
+        m.reset();
+        assert_eq!(m.counter("c"), 0);
+        assert_eq!(m.gauge("g"), None);
+        assert!(m.summary("s").is_none());
+    }
+}

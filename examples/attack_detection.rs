@@ -1,0 +1,48 @@
+//! The paper's §III threat model, attack by attack: each adversary runs
+//! against the platform's defenses and the outcome is printed.
+//!
+//! Run with: `cargo run --release --example attack_detection`
+
+use swamp::crypto::SecretKey;
+use swamp::pilots::experiments::{e12_behavior, e2_dos, e3_tamper, e4_sybil};
+use swamp::security::attacks::{Eavesdropper, Interception};
+
+fn main() {
+    let seed = 42;
+
+    println!("### DoS on the broker (E2): flood vs SDN rate-guard mitigation\n");
+    println!("{}", e2_dos(seed).report());
+
+    println!("### Sensor-value tampering (E3): z-score detection sweep\n");
+    println!("{}", e3_tamper(seed).report());
+
+    println!("### Sybil NDVI swarm (E4): spatial-consistency filtering\n");
+    println!("{}", e4_sybil(seed).report());
+
+    println!("### Actuator takeover (E12): behavioral sequence baseline\n");
+    println!("{}", e12_behavior(seed).report());
+
+    // Eavesdropping: what the wire gives away with and without the
+    // mandated cryptography.
+    println!("### Eavesdropping on the field link\n");
+    let market_sensitive = br#"{"farm":"guaspari","yield_t_ha":3.4,"quality":"A"}"#;
+    let key = SecretKey::derive(b"pilot master secret", "link:probe-1");
+    let sealed = key.seal(&[1u8; 12], b"probe-1", market_sensitive);
+
+    let mut eve = Eavesdropper::new();
+    eve.process([market_sensitive.as_slice(), sealed.as_slice()]);
+    for (i, capture) in eve.intercepted().iter().enumerate() {
+        match capture {
+            Interception::Plaintext(text) => {
+                println!("capture {i}: PLAINTEXT LEAK -> {text}")
+            }
+            Interception::Opaque { len } => {
+                println!("capture {i}: opaque ciphertext ({len} bytes) — nothing learned")
+            }
+        }
+    }
+    println!(
+        "\nleak fraction without crypto: 100% — with the platform's AEAD: {:.0}%",
+        0.0
+    );
+}

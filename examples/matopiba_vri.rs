@@ -1,0 +1,71 @@
+//! The MATOPIBA pilot: Variable Rate Irrigation on a center pivot for
+//! dry-season soybean — the paper's headline water/energy-saving scenario.
+//!
+//! Runs the full pilot comparison (smart policy vs conventional fixed
+//! calendar), then demonstrates the machine-level VRI plan compilation.
+//!
+//! Run with: `cargo run --release --example matopiba_vri`
+
+use swamp::irrigation::vri::{compile_plan, water_saving_vs_uniform, Prescription};
+use swamp::pilots::pilots::{run_pilot, PilotSite};
+use swamp::sensors::actuators::CenterPivot;
+use swamp::sim::SimTime;
+
+fn main() {
+    let seed = 42;
+    let report = run_pilot(PilotSite::Matopiba, seed);
+
+    println!("=== {} ===", report.site.name());
+    println!(
+        "baseline (fixed calendar): {:>9.0} m3 water, {:>7.0} kWh, yield {:.3}",
+        report.baseline.account.volume_m3,
+        report.baseline.account.energy_kwh,
+        report.baseline.mean_yield(),
+    );
+    println!(
+        "smart (ET-driven VRI):     {:>9.0} m3 water, {:>7.0} kWh, yield {:.3}",
+        report.smart.account.volume_m3,
+        report.smart.account.energy_kwh,
+        report.smart.mean_yield(),
+    );
+    println!(
+        "savings: {:.1}% water, {:.1}% pumping energy, yield delta {:+.3}",
+        report.water_saving() * 100.0,
+        report.energy_saving() * 100.0,
+        report.yield_delta(),
+    );
+
+    // Machine level: compile one day's per-zone prescription into a pivot
+    // sector-speed plan.
+    println!("\n--- VRI plan compilation for one pivot pass ---");
+    let mut pivot = CenterPivot::new("pivot-1", 8, 18.0, 8.0);
+    // Per-sector water need from this morning's soil-probe readings, mm.
+    let rx = Prescription::new(vec![8.0, 12.0, 16.0, 10.0, 0.0, 8.0, 14.0, 9.0]);
+    let plan = compile_plan(&pivot, &rx, 8.0);
+    println!("sector  need_mm  speed  nozzles  achieved_mm");
+    for s in 0..8 {
+        println!(
+            "{:>6}  {:>7.1}  {:>5.2}  {:>7}  {:>11.1}",
+            s,
+            rx.depths_mm()[s],
+            plan.sector_speeds[s],
+            if plan.nozzles_off[s] { "off" } else { "on" },
+            plan.achieved_mm[s],
+        );
+    }
+    let (vri_mean, uniform, saving) = water_saving_vs_uniform(&rx);
+    println!(
+        "\nthis pass: VRI applies {vri_mean:.1} mm mean vs {uniform:.1} mm uniform \
+         ({:.0}% water saved)",
+        saving * 100.0
+    );
+
+    pivot
+        .set_sector_speeds(plan.sector_speeds.clone())
+        .expect("plan is within the machine envelope");
+    pivot.start(SimTime::ZERO);
+    println!(
+        "pivot accepted the plan; full revolution takes {:.1} h",
+        pivot.revolution_hours()
+    );
+}

@@ -1,0 +1,23 @@
+//! # swamp — umbrella crate for the SWAMP Smart Water Management Platform
+//!
+//! Re-exports every SWAMP subsystem so that examples and downstream users can
+//! depend on a single crate. See the workspace README for the architecture
+//! overview and DESIGN.md for the subsystem inventory.
+//!
+//! ```
+//! use swamp::sim::SimRng;
+//! let mut rng = SimRng::seed_from(1);
+//! let _ = rng.uniform_f64();
+//! ```
+
+pub use swamp_agro as agro;
+pub use swamp_codec as codec;
+pub use swamp_core as core;
+pub use swamp_crypto as crypto;
+pub use swamp_fog as fog;
+pub use swamp_irrigation as irrigation;
+pub use swamp_net as net;
+pub use swamp_pilots as pilots;
+pub use swamp_security as security;
+pub use swamp_sensors as sensors;
+pub use swamp_sim as sim;

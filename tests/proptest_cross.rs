@@ -1,0 +1,135 @@
+//! Cross-crate property tests on system invariants.
+
+use proptest::prelude::*;
+
+use swamp::agro::soil::{SoilProperties, SoilWaterBalance, WaterFlux};
+use swamp::codec::ngsi::Entity;
+use swamp::core::platform::{DeploymentConfig, Platform};
+use swamp::irrigation::network::DistributionNetwork;
+use swamp::sensors::device::DeviceKind;
+use swamp::sim::SimTime;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Soil water balance conserves mass for arbitrary flux sequences.
+    #[test]
+    fn soil_mass_balance_closes(
+        fluxes in prop::collection::vec(
+            (0.0f64..40.0, 0.0f64..30.0, 0.0f64..9.0),
+            1..60,
+        ),
+        initial_frac in 0.0f64..1.0,
+    ) {
+        let mut swb = SoilWaterBalance::new(SoilProperties::loam(), 0.6, 0.5);
+        swb.set_depletion_mm(initial_frac * swb.taw_mm());
+        let d0 = swb.depletion_mm();
+        let mut in_sum = 0.0;
+        let mut out_sum = 0.0;
+        for (rain, irr, etc) in fluxes {
+            let out = swb.step(WaterFlux {
+                rain_mm: rain,
+                irrigation_mm: irr,
+                etc_mm: etc,
+            });
+            in_sum += rain + irr;
+            out_sum += out.eta_mm + out.drainage_mm + out.runoff_mm;
+            prop_assert!((0.0..=1.0).contains(&out.ks));
+            prop_assert!(out.eta_mm <= etc + 1e-9);
+            prop_assert!(swb.depletion_mm() >= -1e-9);
+            prop_assert!(swb.depletion_mm() <= swb.taw_mm() + 1e-9);
+        }
+        let storage_gain = d0 - swb.depletion_mm();
+        prop_assert!(
+            (in_sum - out_sum - storage_gain).abs() < 1e-6,
+            "mass balance: in={in_sum} out={out_sum} Δ={storage_gain}"
+        );
+    }
+
+    /// Canal allocation never exceeds any capacity or any demand, for
+    /// arbitrary two-level trees, under both policies.
+    #[test]
+    fn distribution_respects_capacities(
+        source in 50.0f64..2000.0,
+        branches in prop::collection::vec(
+            (20.0f64..800.0, prop::collection::vec(1.0f64..400.0, 1..5)),
+            1..5,
+        ),
+    ) {
+        let mut net = DistributionNetwork::new(source);
+        let mut farm_demands = Vec::new();
+        let mut branch_info = Vec::new();
+        for (capacity, demands) in &branches {
+            let j = net.add_junction(net.root(), *capacity);
+            let mut ids = Vec::new();
+            for d in demands {
+                ids.push(net.add_farm(j, *d));
+                farm_demands.push(*d);
+            }
+            branch_info.push((*capacity, ids));
+        }
+        for alloc in [net.allocate_max_min(), net.allocate_greedy_upstream()] {
+            prop_assert!(alloc.total_m3() <= source + 1e-6);
+            for (got, want) in alloc.per_farm_m3.iter().zip(&farm_demands) {
+                prop_assert!(*got <= want + 1e-6);
+                prop_assert!(*got >= -1e-9);
+            }
+            for (capacity, ids) in &branch_info {
+                let through: f64 = ids.iter().map(|f| alloc.per_farm_m3[f.0]).sum();
+                prop_assert!(through <= capacity + 1e-6);
+            }
+            let fairness = alloc.jain_fairness(&farm_demands);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&fairness));
+        }
+    }
+
+    /// Max-min never gives the worst-off farm less than greedy does.
+    #[test]
+    fn max_min_weakly_dominates_greedy_for_worst_farm(
+        source in 100.0f64..1000.0,
+        demands in prop::collection::vec(10.0f64..300.0, 2..8),
+    ) {
+        let mut net = DistributionNetwork::new(source);
+        let trunk = net.add_junction(net.root(), source * 0.8);
+        for d in &demands {
+            net.add_farm(trunk, *d);
+        }
+        let greedy = net.allocate_greedy_upstream();
+        let fair = net.allocate_max_min();
+        let worst = |a: &swamp::irrigation::network::Allocation| {
+            a.per_farm_m3
+                .iter()
+                .zip(&demands)
+                .map(|(x, d)| x / d)
+                .fold(f64::INFINITY, f64::min)
+        };
+        prop_assert!(worst(&fair) >= worst(&greedy) - 1e-9);
+    }
+
+    /// The platform ingest path accepts exactly what a provisioned device
+    /// seals — for arbitrary attribute values — and the context reflects it.
+    #[test]
+    fn ingest_roundtrip_arbitrary_values(
+        vwc in 0.0f64..1.0,
+        temp in -20.0f64..55.0,
+        battery in 0.0f64..1.0,
+    ) {
+        let mut p = Platform::new(12, DeploymentConfig::FarmFog);
+        p.register_device(SimTime::ZERO, "probe", DeviceKind::SoilProbe, "owner:prop");
+        let key = p.keystore.device_key("probe").unwrap().key;
+        let mut e = Entity::new("urn:swamp:device:probe", "SoilProbe");
+        e.set("moisture_vwc", vwc);
+        e.set("temperature_c", temp);
+        e.set("battery_fraction", battery);
+        e.set("seq", 0.0);
+        let sealed = key.seal(
+            &[9u8; 12],
+            b"probe",
+            e.to_json().to_compact_string().as_bytes(),
+        );
+        p.ingest_frame(SimTime::ZERO, "probe", &sealed).expect("ingest ok");
+        let stored = p.context.entity(&"urn:swamp:device:probe".into()).unwrap();
+        prop_assert_eq!(stored.number("moisture_vwc"), Some(vwc));
+        prop_assert_eq!(stored.number("temperature_c"), Some(temp));
+    }
+}
