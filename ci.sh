@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Offline CI for the SWAMP workspace: formatting, lints, tier-1
+# build+test, then the full workspace test suite. Everything here runs
+# without network access — registry deps are either vendored in-tree
+# (criterion shim) or feature-gated off (proptest suites).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release"
+cargo build --release
+
+echo "== tier-1: cargo test -q"
+cargo test -q
+
+echo "== cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "CI OK"

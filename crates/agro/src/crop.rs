@@ -271,7 +271,7 @@ mod tests {
     #[test]
     fn deficit_reduces_yield_by_ky() {
         let c = Crop::maize(); // Ky = 1.25: sensitive
-        // 20% ET deficit → 25% yield loss.
+                               // 20% ET deficit → 25% yield loss.
         let y = c.relative_yield(400.0, 500.0);
         assert!((y - 0.75).abs() < 1e-9, "yield {y}");
         // Soybean (Ky=0.85) tolerates the same deficit better.

@@ -108,15 +108,13 @@ pub fn penman_monteith(inputs: &EtInputs) -> f64 {
     } else {
         0.5
     };
-    let sigma_term = 4.903e-9
-        * ((inputs.tmax_c + 273.16).powi(4) + (inputs.tmin_c + 273.16).powi(4))
-        / 2.0;
+    let sigma_term =
+        4.903e-9 * ((inputs.tmax_c + 273.16).powi(4) + (inputs.tmin_c + 273.16).powi(4)) / 2.0;
     let rnl = sigma_term * (0.34 - 0.14 * ea.sqrt()) * (1.35 * rel - 0.35);
 
     let rn = rns - rnl;
 
-    let num = 0.408 * delta * rn
-        + gamma * 900.0 / (tmean + 273.0) * inputs.wind_2m * (es - ea);
+    let num = 0.408 * delta * rn + gamma * 900.0 / (tmean + 273.0) * inputs.wind_2m * (es - ea);
     let den = delta + gamma * (1.0 + 0.34 * inputs.wind_2m);
     (num / den).max(0.0)
 }

@@ -90,8 +90,7 @@ impl CropState {
     /// Canopy ground-cover fraction implied by the Kc curve, `[0,1]`.
     pub fn canopy_fraction(&self) -> f64 {
         let kc = self.crop.kc(self.das);
-        ((kc - self.crop.kc_ini) / (self.crop.kc_mid - self.crop.kc_ini))
-            .clamp(0.0, 1.0)
+        ((kc - self.crop.kc_ini) / (self.crop.kc_mid - self.crop.kc_ini)).clamp(0.0, 1.0)
     }
 
     /// True NDVI of the zone: bare-soil baseline rising with canopy, pulled

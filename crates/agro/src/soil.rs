@@ -367,10 +367,26 @@ mod tests {
         let mut in_sum = 0.0;
         let mut out_sum = 0.0;
         let fluxes = [
-            WaterFlux { rain_mm: 20.0, irrigation_mm: 0.0, etc_mm: 4.0 },
-            WaterFlux { rain_mm: 0.0, irrigation_mm: 25.0, etc_mm: 6.0 },
-            WaterFlux { rain_mm: 35.0, irrigation_mm: 0.0, etc_mm: 3.0 },
-            WaterFlux { rain_mm: 0.0, irrigation_mm: 0.0, etc_mm: 7.0 },
+            WaterFlux {
+                rain_mm: 20.0,
+                irrigation_mm: 0.0,
+                etc_mm: 4.0,
+            },
+            WaterFlux {
+                rain_mm: 0.0,
+                irrigation_mm: 25.0,
+                etc_mm: 6.0,
+            },
+            WaterFlux {
+                rain_mm: 35.0,
+                irrigation_mm: 0.0,
+                etc_mm: 3.0,
+            },
+            WaterFlux {
+                rain_mm: 0.0,
+                irrigation_mm: 0.0,
+                etc_mm: 7.0,
+            },
         ];
         for f in fluxes {
             let out = b.step(f);

@@ -163,8 +163,7 @@ impl ClimateProfile {
     }
 
     fn seasonal(&self, doy: u32, peak_doy: u32, mean: f64, amplitude: f64) -> f64 {
-        let phase =
-            2.0 * std::f64::consts::PI * (doy as f64 - peak_doy as f64) / 365.0;
+        let phase = 2.0 * std::f64::consts::PI * (doy as f64 - peak_doy as f64) / 365.0;
         mean + amplitude * phase.cos()
     }
 }
@@ -222,8 +221,7 @@ impl WeatherGenerator {
         };
         let season_rain = (1.0
             + p.rain_seasonality
-                * (2.0 * std::f64::consts::PI
-                    * (day_of_year as f64 - p.wettest_doy as f64)
+                * (2.0 * std::f64::consts::PI * (day_of_year as f64 - p.wettest_doy as f64)
                     / 365.0)
                     .cos())
         .max(0.0);
@@ -305,15 +303,13 @@ mod tests {
                 assert!(day.rain_mm >= 0.0, "{name}: rain>=0");
                 assert!(
                     (15.0..=100.0).contains(&day.rh_mean_pct),
-                    "{name}: rh {}", day.rh_mean_pct
+                    "{name}: rh {}",
+                    day.rh_mean_pct
                 );
                 assert!(day.wind_2m > 0.0, "{name}: wind");
                 assert!(day.solar_mj > 0.0, "{name}: solar");
                 let et0 = day.et0(profile.latitude_deg, profile.elevation_m);
-                assert!(
-                    (0.0..15.0).contains(&et0),
-                    "{name}: ET0 {et0} out of range"
-                );
+                assert!((0.0..15.0).contains(&et0), "{name}: ET0 {et0} out of range");
             }
         }
     }
@@ -322,7 +318,10 @@ mod tests {
     fn cartagena_is_drier_than_bologna() {
         let rain = |profile| {
             let mut g = gen(profile, 7);
-            g.generate_run(1, 365).iter().map(|d| d.rain_mm).sum::<f64>()
+            g.generate_run(1, 365)
+                .iter()
+                .map(|d| d.rain_mm)
+                .sum::<f64>()
         };
         let cart = rain(ClimateProfile::cartagena());
         let bolo = rain(ClimateProfile::bologna());
@@ -339,8 +338,11 @@ mod tests {
         let mut g = gen(ClimateProfile::barreiras(), 11);
         let year = g.generate_run(1, 365);
         let dry_season: f64 = year[120..273].iter().map(|d| d.rain_mm).sum();
-        let wet_season: f64 =
-            year[..120].iter().chain(&year[273..]).map(|d| d.rain_mm).sum();
+        let wet_season: f64 = year[..120]
+            .iter()
+            .chain(&year[273..])
+            .map(|d| d.rain_mm)
+            .sum();
         assert!(
             dry_season < 0.35 * wet_season,
             "dry {dry_season:.0}mm vs wet {wet_season:.0}mm"
@@ -351,8 +353,7 @@ mod tests {
     fn bologna_summer_warmer_than_winter() {
         let mut g = gen(ClimateProfile::bologna(), 5);
         let year = g.generate_run(1, 365);
-        let july: f64 =
-            year[181..212].iter().map(|d| d.tmax_c).sum::<f64>() / 31.0;
+        let july: f64 = year[181..212].iter().map(|d| d.tmax_c).sum::<f64>() / 31.0;
         let january: f64 = year[..31].iter().map(|d| d.tmax_c).sum::<f64>() / 31.0;
         assert!(july > january + 12.0, "july {july:.1} jan {january:.1}");
     }

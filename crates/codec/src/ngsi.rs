@@ -162,9 +162,7 @@ impl AttrValue {
                 ("lat", Json::Number(*lat)),
                 ("lon", Json::Number(*lon)),
             ]),
-            AttrValue::NumberList(v) => {
-                Json::Array(v.iter().map(|&n| Json::Number(n)).collect())
-            }
+            AttrValue::NumberList(v) => Json::Array(v.iter().map(|&n| Json::Number(n)).collect()),
             AttrValue::Structured(j) => j.clone(),
         }
     }
@@ -175,17 +173,13 @@ impl AttrValue {
             Json::Number(n) => AttrValue::Number(*n),
             Json::String(s) => AttrValue::Text(s.clone()),
             Json::Bool(b) => AttrValue::Flag(*b),
-            Json::Object(o)
-                if o.get("type").and_then(Json::as_str) == Some("geo:point") =>
-            {
+            Json::Object(o) if o.get("type").and_then(Json::as_str) == Some("geo:point") => {
                 let lat = o.get("lat").and_then(Json::as_f64).unwrap_or(0.0);
                 let lon = o.get("lon").and_then(Json::as_f64).unwrap_or(0.0);
                 AttrValue::GeoPoint(lat, lon)
             }
             Json::Array(items) if items.iter().all(|i| i.as_f64().is_some()) => {
-                AttrValue::NumberList(
-                    items.iter().map(|i| i.as_f64().unwrap()).collect(),
-                )
+                AttrValue::NumberList(items.iter().map(|i| i.as_f64().unwrap()).collect())
             }
             other => AttrValue::Structured(other.clone()),
         }
@@ -246,11 +240,7 @@ impl Attribute {
     }
 
     /// Adds one metadata entry (builder style).
-    pub fn with_meta(
-        mut self,
-        key: impl Into<String>,
-        value: impl Into<String>,
-    ) -> Self {
+    pub fn with_meta(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
         self.metadata.insert(key.into(), value.into());
         self
     }
@@ -285,16 +275,13 @@ impl Attribute {
         let value = j
             .get("value")
             .ok_or_else(|| EntityCodecError::missing("value"))?;
-        let observed_at_ms = j
-            .get("observedAt")
-            .and_then(Json::as_f64)
-            .map(|f| f as u64);
+        let observed_at_ms = j.get("observedAt").and_then(Json::as_f64).map(|f| f as u64);
         let mut metadata = BTreeMap::new();
         if let Some(meta) = j.get("metadata").and_then(Json::as_object) {
             for (k, v) in meta {
-                let s = v.as_str().ok_or_else(|| {
-                    EntityCodecError::bad("metadata values must be strings")
-                })?;
+                let s = v
+                    .as_str()
+                    .ok_or_else(|| EntityCodecError::bad("metadata values must be strings"))?;
                 metadata.insert(k.clone(), s.to_owned());
             }
         }
@@ -433,8 +420,7 @@ impl Entity {
             .get("id")
             .and_then(Json::as_str)
             .ok_or_else(|| EntityCodecError::missing("id"))?;
-        let id = EntityId::try_new(id)
-            .map_err(|e| EntityCodecError::bad(&e.to_string()))?;
+        let id = EntityId::try_new(id).map_err(|e| EntityCodecError::bad(&e.to_string()))?;
         let entity_type = j
             .get("type")
             .and_then(Json::as_str)
@@ -572,18 +558,14 @@ mod tests {
     fn from_json_rejects_malformed() {
         assert!(Entity::from_json(&Json::parse(r#"{"type":"T"}"#).unwrap()).is_err());
         assert!(Entity::from_json(&Json::parse(r#"{"id":"x"}"#).unwrap()).is_err());
-        assert!(
-            Entity::from_json(&Json::parse(r#"{"id":"","type":"T"}"#).unwrap())
-                .is_err()
-        );
+        assert!(Entity::from_json(&Json::parse(r#"{"id":"","type":"T"}"#).unwrap()).is_err());
         // Attribute without a value field.
         let bad = Json::parse(r#"{"id":"x","type":"T","attrs":{"a":{}}}"#).unwrap();
         assert!(Entity::from_json(&bad).is_err());
         // Non-string metadata.
-        let bad = Json::parse(
-            r#"{"id":"x","type":"T","attrs":{"a":{"value":1,"metadata":{"u":5}}}}"#,
-        )
-        .unwrap();
+        let bad =
+            Json::parse(r#"{"id":"x","type":"T","attrs":{"a":{"value":1,"metadata":{"u":5}}}}"#)
+                .unwrap();
         assert!(Entity::from_json(&bad).is_err());
     }
 

@@ -1,6 +1,10 @@
 //! Property-based tests: arbitrary JSON values and entities round-trip
 //! through serialization, and the parser never panics on arbitrary input.
 
+// Gated: proptest is not resolvable in the offline build environment.
+// See the `proptest-tests` feature note in this crate's Cargo.toml.
+#![cfg(feature = "proptest-tests")]
+
 use proptest::prelude::*;
 use swamp_codec::json::Json;
 use swamp_codec::ngsi::{AttrValue, Attribute, Entity};
@@ -17,8 +21,7 @@ fn arb_json() -> impl Strategy<Value = Json> {
     leaf.prop_recursive(4, 64, 8, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 0..6).prop_map(Json::Array),
-            prop::collection::btree_map("[a-z]{1,8}", inner, 0..6)
-                .prop_map(Json::Object),
+            prop::collection::btree_map("[a-z]{1,8}", inner, 0..6).prop_map(Json::Object),
         ]
     })
 }
@@ -28,8 +31,7 @@ fn arb_attr_value() -> impl Strategy<Value = AttrValue> {
         (-1e9f64..1e9f64).prop_map(AttrValue::Number),
         "[a-zA-Z0-9 ]{0,16}".prop_map(AttrValue::Text),
         any::<bool>().prop_map(AttrValue::Flag),
-        ((-90.0f64..90.0), (-180.0f64..180.0))
-            .prop_map(|(a, b)| AttrValue::GeoPoint(a, b)),
+        ((-90.0f64..90.0), (-180.0f64..180.0)).prop_map(|(a, b)| AttrValue::GeoPoint(a, b)),
         prop::collection::vec(-1e6f64..1e6f64, 0..8).prop_map(AttrValue::NumberList),
     ]
 }

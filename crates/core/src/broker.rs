@@ -4,8 +4,30 @@
 //! on entity type and/or id prefix and optionally a watched attribute set,
 //! and produce queued [`Notification`]s that consumers poll — deterministic
 //! and free of callback re-entrancy.
+//!
+//! # Hot-path design
+//!
+//! The sensor→broker ingestion path is the platform's throughput-critical
+//! loop (paper claim E11), so the broker is built around three ideas:
+//!
+//! - **Zero-copy fan-out**: entities are stored as [`Arc<Entity>`] and
+//!   notifications share that snapshot (plus an `Arc<[String]>` changed-set)
+//!   instead of deep-cloning per subscriber. An upsert with N matching
+//!   subscribers performs zero per-subscriber entity clones; the stored
+//!   entity is copy-on-write ([`Arc::make_mut`]), so a deep clone happens at
+//!   most once per upsert and only while an earlier snapshot is still held
+//!   by an undrained notification. Notifications are immutable snapshots —
+//!   never views of live broker state.
+//! - **Indexed routing**: subscriptions are bucketed by watched entity type
+//!   (plus a bucket for type-agnostic filters), so an upsert only tests
+//!   candidate subscriptions instead of scanning all of them; a secondary
+//!   type→entity-id index backs [`ContextBroker::entities_of_type`].
+//! - **Batched upserts**: [`ContextBroker::upsert_batch`] amortizes index
+//!   lookups across a burst of updates, observationally equivalent to a
+//!   loop of [`ContextBroker::upsert`].
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use swamp_codec::ngsi::{Entity, EntityId};
 use swamp_sim::SimTime;
@@ -50,8 +72,7 @@ impl SubscriptionFilter {
                 return false;
             }
         }
-        if !self.watched_attrs.is_empty()
-            && !changed.iter().any(|c| self.watched_attrs.contains(c))
+        if !self.watched_attrs.is_empty() && !changed.iter().any(|c| self.watched_attrs.contains(c))
         {
             return false;
         }
@@ -60,17 +81,34 @@ impl SubscriptionFilter {
 }
 
 /// A queued change notification.
+///
+/// The entity snapshot and changed-attribute set are shared (`Arc`) across
+/// every subscriber the triggering upsert fanned out to: cloning a
+/// `Notification` is cheap and never copies entity data. Snapshots are
+/// immutable — later upserts copy-on-write the stored entity and can never
+/// mutate what a notification holds.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Notification {
     /// The subscription that fired.
     pub subscription: SubscriptionId,
-    /// Snapshot of the entity after the update.
-    pub entity: Entity,
-    /// Attribute names that changed in the triggering update.
-    pub changed_attrs: Vec<String>,
+    /// Snapshot of the entity after the update (shared, immutable).
+    pub entity: Arc<Entity>,
+    /// Attribute names that changed in the triggering update (shared).
+    pub changed_attrs: Arc<[String]>,
     /// When the update happened.
     pub at: SimTime,
 }
+
+/// Error: the subscription id is not (or no longer) registered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UnknownSubscription(pub SubscriptionId);
+
+impl std::fmt::Display for UnknownSubscription {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown subscription {:?}", self.0)
+    }
+}
+impl std::error::Error for UnknownSubscription {}
 
 /// The context broker.
 ///
@@ -87,14 +125,21 @@ pub struct Notification {
 /// probe.set("moisture_vwc", 0.24);
 /// broker.upsert(SimTime::ZERO, probe);
 ///
-/// let notes = broker.take_notifications(sub);
+/// let notes = broker.take_notifications(sub).expect("subscribed");
 /// assert_eq!(notes.len(), 1);
-/// assert_eq!(notes[0].changed_attrs, vec!["moisture_vwc".to_string()]);
+/// assert_eq!(&notes[0].changed_attrs[..], ["moisture_vwc".to_string()]);
 /// ```
 #[derive(Debug, Default)]
 pub struct ContextBroker {
-    entities: BTreeMap<EntityId, Entity>,
+    entities: BTreeMap<EntityId, Arc<Entity>>,
+    /// Secondary index: entity type → ids of stored entities of that type.
+    entity_type_index: BTreeMap<String, BTreeSet<EntityId>>,
     subscriptions: BTreeMap<SubscriptionId, SubscriptionFilter>,
+    /// Routing index: entity type → subscription ids filtering on that type
+    /// (each Vec sorted ascending — ids are allocated monotonically).
+    subs_by_type: BTreeMap<String, Vec<SubscriptionId>>,
+    /// Subscriptions with no entity-type filter (sorted ascending).
+    subs_any_type: Vec<SubscriptionId>,
     queues: BTreeMap<SubscriptionId, Vec<Notification>>,
     next_sub: u64,
     updates: u64,
@@ -126,21 +171,64 @@ impl ContextBroker {
     pub fn subscribe(&mut self, filter: SubscriptionFilter) -> SubscriptionId {
         let id = SubscriptionId(self.next_sub);
         self.next_sub += 1;
+        // Ids grow monotonically, so pushing keeps the routing lists sorted.
+        match &filter.entity_type {
+            Some(t) => self.subs_by_type.entry(t.clone()).or_default().push(id),
+            None => self.subs_any_type.push(id),
+        }
         self.subscriptions.insert(id, filter);
         self.queues.insert(id, Vec::new());
         id
     }
 
     /// Cancels a subscription, discarding undelivered notifications.
-    pub fn unsubscribe(&mut self, id: SubscriptionId) {
-        self.subscriptions.remove(&id);
+    /// Returns whether the subscription existed.
+    pub fn unsubscribe(&mut self, id: SubscriptionId) -> bool {
+        let Some(filter) = self.subscriptions.remove(&id) else {
+            return false;
+        };
+        match &filter.entity_type {
+            Some(t) => {
+                if let Some(bucket) = self.subs_by_type.get_mut(t) {
+                    bucket.retain(|s| *s != id);
+                    if bucket.is_empty() {
+                        self.subs_by_type.remove(t);
+                    }
+                }
+            }
+            None => self.subs_any_type.retain(|s| *s != id),
+        }
         self.queues.remove(&id);
+        true
     }
 
     /// Upserts an entity: existing attributes are merged (NGSI update
     /// semantics), subscriptions fire on the changed attribute set.
-    /// Returns the names of attributes that changed value.
-    pub fn upsert(&mut self, now: SimTime, update: Entity) -> Vec<String> {
+    /// Returns the names of attributes that changed value — the same
+    /// (shared) set delivered to subscribers.
+    pub fn upsert(&mut self, now: SimTime, update: Entity) -> Arc<[String]> {
+        self.upsert_one(now, update)
+    }
+
+    /// Upserts a batch of entities, amortizing routing-index lookups across
+    /// the burst. Observationally equivalent to calling
+    /// [`ContextBroker::upsert`] on each element in order; returns how many
+    /// updates changed at least one attribute.
+    pub fn upsert_batch(
+        &mut self,
+        now: SimTime,
+        updates: impl IntoIterator<Item = Entity>,
+    ) -> usize {
+        let mut changed_updates = 0;
+        for update in updates {
+            if !self.upsert_one(now, update).is_empty() {
+                changed_updates += 1;
+            }
+        }
+        changed_updates
+    }
+
+    fn upsert_one(&mut self, now: SimTime, update: Entity) -> Arc<[String]> {
         self.updates += 1;
         let id = update.id().clone();
         let changed: Vec<String> = match self.entities.get(&id) {
@@ -151,29 +239,72 @@ impl ContextBroker {
                 .map(|(n, _)| n.to_owned())
                 .collect(),
         };
-        let merged = match self.entities.get_mut(&id) {
+        let snapshot: Arc<Entity> = match self.entities.get_mut(&id) {
             Some(existing) => {
-                existing.merge_from(&update);
-                existing.clone()
+                if !changed.is_empty() {
+                    // Copy-on-write: clones the stored entity only if an
+                    // earlier snapshot is still alive in some queue.
+                    Arc::make_mut(existing).merge_from(&update);
+                }
+                Arc::clone(existing)
             }
             None => {
-                self.entities.insert(id.clone(), update.clone());
-                update
+                let arc = Arc::new(update);
+                self.entity_type_index
+                    .entry(arc.entity_type().to_owned())
+                    .or_default()
+                    .insert(id.clone());
+                self.entities.insert(id, Arc::clone(&arc));
+                arc
             }
         };
-        if !changed.is_empty() {
-            for (&sub_id, filter) in &self.subscriptions {
-                if filter.matches(&merged, &changed) {
-                    self.notifications += 1;
-                    self.queues.get_mut(&sub_id).expect("queue exists").push(
-                        Notification {
-                            subscription: sub_id,
-                            entity: merged.clone(),
-                            changed_attrs: changed.clone(),
-                            at: now,
-                        },
-                    );
+        if changed.is_empty() {
+            return Arc::from(changed);
+        }
+        let changed: Arc<[String]> = Arc::from(changed);
+
+        // Route to candidate subscriptions only: the type bucket plus the
+        // type-agnostic bucket, merged in ascending id order so fan-out
+        // order matches the pre-index behavior (all subscriptions, id order).
+        let typed: &[SubscriptionId] = self
+            .subs_by_type
+            .get(snapshot.entity_type())
+            .map_or(&[], Vec::as_slice);
+        let any: &[SubscriptionId] = &self.subs_any_type;
+        let (mut i, mut j) = (0, 0);
+        while i < typed.len() || j < any.len() {
+            let sub_id = match (typed.get(i), any.get(j)) {
+                (Some(&a), Some(&b)) => {
+                    if a < b {
+                        i += 1;
+                        a
+                    } else {
+                        j += 1;
+                        b
+                    }
                 }
+                (Some(&a), None) => {
+                    i += 1;
+                    a
+                }
+                (None, Some(&b)) => {
+                    j += 1;
+                    b
+                }
+                (None, None) => unreachable!("loop condition"),
+            };
+            let filter = self.subscriptions.get(&sub_id).expect("indexed sub exists");
+            if filter.matches(&snapshot, &changed) {
+                self.notifications += 1;
+                self.queues
+                    .get_mut(&sub_id)
+                    .expect("queue exists")
+                    .push(Notification {
+                        subscription: sub_id,
+                        entity: Arc::clone(&snapshot),
+                        changed_attrs: Arc::clone(&changed),
+                        at: now,
+                    });
             }
         }
         changed
@@ -181,30 +312,83 @@ impl ContextBroker {
 
     /// Looks up an entity by id.
     pub fn entity(&self, id: &EntityId) -> Option<&Entity> {
-        self.entities.get(id)
+        self.entities.get(id).map(Arc::as_ref)
     }
 
-    /// All entities of a type.
+    /// Looks up an entity by id as a shared snapshot (cheap to clone; the
+    /// broker copy-on-writes later updates, so the snapshot never changes).
+    pub fn entity_snapshot(&self, id: &EntityId) -> Option<Arc<Entity>> {
+        self.entities.get(id).cloned()
+    }
+
+    /// All entities of a type, in id order (served by the type index — no
+    /// full-store scan).
     pub fn entities_of_type<'a>(
         &'a self,
         entity_type: &'a str,
     ) -> impl Iterator<Item = &'a Entity> + 'a {
-        self.entities
-            .values()
-            .filter(move |e| e.entity_type() == entity_type)
+        self.entity_type_index
+            .get(entity_type)
+            .into_iter()
+            .flatten()
+            .map(|id| {
+                self.entities
+                    .get(id)
+                    .expect("type index entry has entity")
+                    .as_ref()
+            })
     }
 
     /// Removes an entity; returns whether it existed.
     pub fn remove(&mut self, id: &EntityId) -> bool {
-        self.entities.remove(id).is_some()
+        match self.entities.remove(id) {
+            Some(entity) => {
+                if let Some(ids) = self.entity_type_index.get_mut(entity.entity_type()) {
+                    ids.remove(id);
+                    if ids.is_empty() {
+                        self.entity_type_index.remove(entity.entity_type());
+                    }
+                }
+                true
+            }
+            None => false,
+        }
     }
 
     /// Takes (drains) the pending notifications of a subscription.
-    pub fn take_notifications(&mut self, id: SubscriptionId) -> Vec<Notification> {
-        self.queues.get_mut(&id).map(std::mem::take).unwrap_or_default()
+    /// `None` means the subscription is unknown (never registered or
+    /// unsubscribed) — distinct from `Some(vec![])`, "subscribed, nothing
+    /// pending".
+    ///
+    /// Transfers the queue's buffer to the caller; the broker reallocates
+    /// on the next fan-out. Hot paths that poll repeatedly should prefer
+    /// [`ContextBroker::drain_notifications_into`], which recycles both the
+    /// caller's and the broker's buffers.
+    pub fn take_notifications(&mut self, id: SubscriptionId) -> Option<Vec<Notification>> {
+        self.queues.get_mut(&id).map(std::mem::take)
     }
 
-    /// Pending notification count for a subscription.
+    /// Drains pending notifications into `out` (appending, preserving
+    /// delivery order) and returns how many were drained. Unlike
+    /// [`ContextBroker::take_notifications`] this keeps the queue's
+    /// allocated capacity inside the broker, so a steady
+    /// upsert→drain cycle stops allocating once warm.
+    ///
+    /// # Errors
+    /// [`UnknownSubscription`] if the id was never registered or has been
+    /// unsubscribed.
+    pub fn drain_notifications_into(
+        &mut self,
+        id: SubscriptionId,
+        out: &mut Vec<Notification>,
+    ) -> Result<usize, UnknownSubscription> {
+        let queue = self.queues.get_mut(&id).ok_or(UnknownSubscription(id))?;
+        let n = queue.len();
+        out.append(queue);
+        Ok(n)
+    }
+
+    /// Pending notification count for a subscription (0 if unknown).
     pub fn pending_notifications(&self, id: SubscriptionId) -> usize {
         self.queues.get(&id).map_or(0, Vec::len)
     }
@@ -224,14 +408,14 @@ mod tests {
     fn upsert_creates_then_merges() {
         let mut b = ContextBroker::new();
         let changed = b.upsert(SimTime::ZERO, probe("urn:p1", 0.2));
-        assert_eq!(changed, vec!["moisture_vwc"]);
+        assert_eq!(&changed[..], ["moisture_vwc".to_string()]);
         assert_eq!(b.entity_count(), 1);
 
         // Merge adds attribute without losing the old one.
         let mut update = Entity::new("urn:p1", "SoilProbe");
         update.set("temperature_c", 19.5);
         let changed = b.upsert(SimTime::ZERO, update);
-        assert_eq!(changed, vec!["temperature_c"]);
+        assert_eq!(&changed[..], ["temperature_c".to_string()]);
         let e = b.entity(&"urn:p1".into()).unwrap();
         assert_eq!(e.number("moisture_vwc"), Some(0.2));
         assert_eq!(e.number("temperature_c"), Some(19.5));
@@ -244,7 +428,7 @@ mod tests {
         let changed = b.upsert(SimTime::ZERO, probe("urn:p1", 0.2));
         assert!(changed.is_empty());
         let changed = b.upsert(SimTime::ZERO, probe("urn:p1", 0.25));
-        assert_eq!(changed, vec!["moisture_vwc"]);
+        assert_eq!(&changed[..], ["moisture_vwc".to_string()]);
     }
 
     #[test]
@@ -255,11 +439,11 @@ mod tests {
         let mut pivot = Entity::new("urn:pivot:1", "CenterPivot");
         pivot.set("angle_deg", 10.0);
         b.upsert(SimTime::ZERO, pivot);
-        let notes = b.take_notifications(sub);
+        let notes = b.take_notifications(sub).unwrap();
         assert_eq!(notes.len(), 1);
         assert_eq!(notes[0].entity.id().as_str(), "urn:p1");
-        // Queue drained.
-        assert!(b.take_notifications(sub).is_empty());
+        // Queue drained (but still registered).
+        assert_eq!(b.take_notifications(sub), Some(vec![]));
     }
 
     #[test]
@@ -276,7 +460,7 @@ mod tests {
         let mut e = Entity::new("urn:swamp:guaspari:p1", "SoilProbe");
         e.set("battery_fraction", 0.8);
         b.upsert(SimTime::ZERO, e);
-        let notes = b.take_notifications(sub);
+        let notes = b.take_notifications(sub).unwrap();
         assert_eq!(notes.len(), 1);
         assert_eq!(notes[0].entity.id().as_str(), "urn:swamp:guaspari:p1");
     }
@@ -295,9 +479,16 @@ mod tests {
     fn unsubscribe_stops_notifications() {
         let mut b = ContextBroker::new();
         let sub = b.subscribe(SubscriptionFilter::any());
-        b.unsubscribe(sub);
+        assert!(b.unsubscribe(sub));
+        assert!(!b.unsubscribe(sub), "double unsubscribe reports absence");
         b.upsert(SimTime::ZERO, probe("urn:p1", 0.2));
-        assert!(b.take_notifications(sub).is_empty());
+        // Unknown subscription is distinguishable from an empty queue.
+        assert_eq!(b.take_notifications(sub), None);
+        let mut buf = Vec::new();
+        assert_eq!(
+            b.drain_notifications_into(sub, &mut buf),
+            Err(UnknownSubscription(sub))
+        );
     }
 
     #[test]
@@ -311,6 +502,12 @@ mod tests {
         assert_eq!(b.entities_of_type("SoilProbe").count(), 2);
         assert_eq!(b.entities_of_type("CenterPivot").count(), 1);
         assert_eq!(b.entities_of_type("Ghost").count(), 0);
+        // Id order, as before the type index.
+        let ids: Vec<&str> = b
+            .entities_of_type("SoilProbe")
+            .map(|e| e.id().as_str())
+            .collect();
+        assert_eq!(ids, ["urn:p1", "urn:p2"]);
     }
 
     #[test]
@@ -320,6 +517,7 @@ mod tests {
         assert!(b.remove(&"urn:p1".into()));
         assert!(!b.remove(&"urn:p1".into()));
         assert_eq!(b.entity_count(), 0);
+        assert_eq!(b.entities_of_type("SoilProbe").count(), 0);
     }
 
     #[test]
@@ -338,7 +536,136 @@ mod tests {
         let s1 = b.subscribe(SubscriptionFilter::any());
         let s2 = b.subscribe(SubscriptionFilter::any());
         b.upsert(SimTime::ZERO, probe("urn:p1", 0.1));
-        assert_eq!(b.take_notifications(s1).len(), 1);
-        assert_eq!(b.take_notifications(s2).len(), 1);
+        assert_eq!(b.take_notifications(s1).unwrap().len(), 1);
+        assert_eq!(b.take_notifications(s2).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn subscribers_share_one_snapshot_but_drain_independently() {
+        let mut b = ContextBroker::new();
+        let s1 = b.subscribe(SubscriptionFilter::any());
+        let s2 = b.subscribe(SubscriptionFilter::for_type("SoilProbe"));
+        let s3 = b.subscribe(SubscriptionFilter::any());
+        b.upsert(SimTime::ZERO, probe("urn:p1", 0.1));
+
+        // Draining s1 does not consume s2/s3's copies.
+        let n1 = b.take_notifications(s1).unwrap();
+        assert_eq!(n1.len(), 1);
+        assert_eq!(b.pending_notifications(s2), 1);
+        let n2 = b.take_notifications(s2).unwrap();
+        let n3 = b.take_notifications(s3).unwrap();
+        assert_eq!((n2.len(), n3.len()), (1, 1));
+
+        // All three hold the *same* allocation — zero-copy fan-out.
+        assert!(Arc::ptr_eq(&n1[0].entity, &n2[0].entity));
+        assert!(Arc::ptr_eq(&n1[0].entity, &n3[0].entity));
+        assert!(Arc::ptr_eq(&n1[0].changed_attrs, &n2[0].changed_attrs));
+        // And the stored entity is that same snapshot (no insert-path clone).
+        let stored = b.entity_snapshot(&"urn:p1".into()).unwrap();
+        assert!(Arc::ptr_eq(&stored, &n1[0].entity));
+    }
+
+    #[test]
+    fn snapshots_are_immutable_under_later_upserts() {
+        let mut b = ContextBroker::new();
+        let sub = b.subscribe(SubscriptionFilter::any());
+        b.upsert(SimTime::ZERO, probe("urn:p1", 0.1));
+        let old = b.take_notifications(sub).unwrap();
+        // A later upsert copy-on-writes; the held snapshot keeps its value.
+        b.upsert(SimTime::ZERO, probe("urn:p1", 0.9));
+        assert_eq!(old[0].entity.number("moisture_vwc"), Some(0.1));
+        assert_eq!(
+            b.entity(&"urn:p1".into()).unwrap().number("moisture_vwc"),
+            Some(0.9)
+        );
+    }
+
+    #[test]
+    fn drain_into_appends_in_order_and_reports_count() {
+        let mut b = ContextBroker::new();
+        let sub = b.subscribe(SubscriptionFilter::any());
+        b.upsert(SimTime::ZERO, probe("urn:p1", 0.1));
+        b.upsert(SimTime::ZERO, probe("urn:p1", 0.2));
+        let mut buf = Vec::new();
+        assert_eq!(b.drain_notifications_into(sub, &mut buf), Ok(2));
+        assert_eq!(b.drain_notifications_into(sub, &mut buf), Ok(0));
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf[0].entity.number("moisture_vwc"), Some(0.1));
+        assert_eq!(buf[1].entity.number("moisture_vwc"), Some(0.2));
+        assert_eq!(b.pending_notifications(sub), 0);
+    }
+
+    #[test]
+    fn upsert_batch_equivalent_to_upsert_loop() {
+        let updates = || {
+            vec![
+                probe("urn:p1", 0.1),
+                probe("urn:p2", 0.2),
+                probe("urn:p1", 0.1), // no-op
+                probe("urn:p1", 0.3),
+                {
+                    let mut e = Entity::new("urn:pivot", "CenterPivot");
+                    e.set("angle_deg", 45.0);
+                    e
+                },
+            ]
+        };
+        let mut looped = ContextBroker::new();
+        let sub_l = looped.subscribe(SubscriptionFilter::for_type("SoilProbe"));
+        let mut batched = ContextBroker::new();
+        let sub_b = batched.subscribe(SubscriptionFilter::for_type("SoilProbe"));
+
+        let mut changed_updates = 0;
+        for u in updates() {
+            if !looped.upsert(SimTime::from_secs(7), u).is_empty() {
+                changed_updates += 1;
+            }
+        }
+        let batch_changed = batched.upsert_batch(SimTime::from_secs(7), updates());
+        assert_eq!(batch_changed, changed_updates);
+        assert_eq!(batched.entity_count(), looped.entity_count());
+        assert_eq!(batched.update_count(), looped.update_count());
+        assert_eq!(batched.notification_count(), looped.notification_count());
+
+        let nl = looped.take_notifications(sub_l).unwrap();
+        let nb = batched.take_notifications(sub_b).unwrap();
+        assert_eq!(nl.len(), nb.len());
+        for (a, b) in nl.iter().zip(&nb) {
+            assert_eq!(a.entity, b.entity);
+            assert_eq!(a.changed_attrs, b.changed_attrs);
+            assert_eq!(a.at, b.at);
+        }
+        for id in ["urn:p1", "urn:p2", "urn:pivot"] {
+            assert_eq!(looped.entity(&id.into()), batched.entity(&id.into()));
+        }
+    }
+
+    #[test]
+    fn routing_index_tracks_unsubscribe() {
+        let mut b = ContextBroker::new();
+        let s1 = b.subscribe(SubscriptionFilter::for_type("SoilProbe"));
+        let s2 = b.subscribe(SubscriptionFilter::for_type("SoilProbe"));
+        let s3 = b.subscribe(SubscriptionFilter::any());
+        b.unsubscribe(s1);
+        b.upsert(SimTime::ZERO, probe("urn:p1", 0.1));
+        assert_eq!(b.take_notifications(s1), None);
+        assert_eq!(b.take_notifications(s2).unwrap().len(), 1);
+        assert_eq!(b.take_notifications(s3).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn fanout_order_is_subscription_id_order() {
+        let mut b = ContextBroker::new();
+        // Interleave typed and untyped subscriptions.
+        let s_any1 = b.subscribe(SubscriptionFilter::any());
+        let s_typed = b.subscribe(SubscriptionFilter::for_type("SoilProbe"));
+        let s_any2 = b.subscribe(SubscriptionFilter::any());
+        b.upsert(SimTime::ZERO, probe("urn:p1", 0.1));
+        for s in [s_any1, s_typed, s_any2] {
+            let n = b.take_notifications(s).unwrap();
+            assert_eq!(n.len(), 1);
+            assert_eq!(n[0].subscription, s);
+        }
+        assert_eq!(b.notification_count(), 3);
     }
 }

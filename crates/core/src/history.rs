@@ -3,11 +3,27 @@
 //! Appends `(time, value)` samples per (entity, attribute) and answers
 //! range queries and window aggregates — what the irrigation scheduler and
 //! the anomaly baselines read.
+//!
+//! # Hot-path design
+//!
+//! Every accepted telemetry frame appends one sample per numeric
+//! attribute, so `append` is on the sensor→cloud critical path. Series
+//! keys are *interned*: a two-level `entity → attr → u32` map resolves
+//! borrowed `&str` keys to a dense [`SeriesId`] without allocating, and
+//! samples live in a flat `Vec` indexed by that id. Steady-state appends
+//! (series already known, in-order timestamp) therefore allocate nothing
+//! beyond amortized sample-vector growth. Out-of-order appends insert at
+//! the binary-searched position (`partition_point`), keeping every series
+//! sorted so range queries and aggregates stay `O(log n + k)`.
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 
 use swamp_sim::stats::OnlineStats;
 use swamp_sim::SimTime;
+
+/// Dense identifier of one (entity, attribute) series, assigned by the
+/// interner on first append and stable for the store's lifetime.
+pub type SeriesId = u32;
 
 /// One stored sample.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -48,7 +64,11 @@ pub struct WindowAggregate {
 /// ```
 #[derive(Debug, Default)]
 pub struct HistoryStore {
-    series: BTreeMap<(String, String), Vec<Sample>>,
+    /// Interner: entity → attribute → series id. Two-level so lookups use
+    /// borrowed `&str` keys (no tuple-of-`String` allocation per call).
+    index: HashMap<String, HashMap<String, SeriesId>>,
+    /// Sample storage, indexed by [`SeriesId`]; each vec sorted by time.
+    series: Vec<Vec<Sample>>,
     total_samples: u64,
 }
 
@@ -73,12 +93,43 @@ impl HistoryStore {
         self.series.len()
     }
 
-    /// Appends a sample. Out-of-order appends are accepted and kept sorted.
+    /// The interned id of a series, if it has ever been appended to.
+    /// Borrowed-key lookup: allocates nothing.
+    pub fn series_id(&self, entity: &str, attr: &str) -> Option<SeriesId> {
+        self.index.get(entity)?.get(attr).copied()
+    }
+
+    /// Interns (entity, attr), creating an empty series if new. Key strings
+    /// are only allocated here, on first sight of a series.
+    pub fn intern(&mut self, entity: &str, attr: &str) -> SeriesId {
+        if let Some(id) = self.series_id(entity, attr) {
+            return id;
+        }
+        let id = SeriesId::try_from(self.series.len()).expect("fewer than 2^32 series");
+        self.series.push(Vec::new());
+        self.index
+            .entry(entity.to_owned())
+            .or_default()
+            .insert(attr.to_owned(), id);
+        id
+    }
+
+    /// Appends a sample. Out-of-order appends are accepted and inserted at
+    /// the binary-searched position, keeping the series sorted. Steady
+    /// state (known series, in-order time) allocates nothing beyond
+    /// amortized sample-vector growth.
     pub fn append(&mut self, entity: &str, attr: &str, at: SimTime, value: f64) {
-        let series = self
-            .series
-            .entry((entity.to_owned(), attr.to_owned()))
-            .or_default();
+        let id = self.intern(entity, attr);
+        self.append_to(id, at, value);
+    }
+
+    /// Appends to an already-interned series — the zero-lookup fast path
+    /// for callers that cache [`SeriesId`]s.
+    ///
+    /// # Panics
+    /// Panics if `id` was not returned by this store's interner.
+    pub fn append_to(&mut self, id: SeriesId, at: SimTime, value: f64) {
+        let series = &mut self.series[id as usize];
         // Common case: in-order append.
         match series.last() {
             Some(last) if last.at > at => {
@@ -90,9 +141,14 @@ impl HistoryStore {
         self.total_samples += 1;
     }
 
+    fn samples(&self, entity: &str, attr: &str) -> Option<&Vec<Sample>> {
+        self.series_id(entity, attr)
+            .map(|id| &self.series[id as usize])
+    }
+
     /// Samples in `[from, to)` for one series (empty slice if unknown).
     pub fn range(&self, entity: &str, attr: &str, from: SimTime, to: SimTime) -> &[Sample] {
-        match self.series.get(&(entity.to_owned(), attr.to_owned())) {
+        match self.samples(entity, attr) {
             None => &[],
             Some(series) => {
                 let lo = series.partition_point(|s| s.at < from);
@@ -104,9 +160,7 @@ impl HistoryStore {
 
     /// The most recent sample of a series.
     pub fn last(&self, entity: &str, attr: &str) -> Option<Sample> {
-        self.series
-            .get(&(entity.to_owned(), attr.to_owned()))
-            .and_then(|s| s.last().copied())
+        self.samples(entity, attr).and_then(|s| s.last().copied())
     }
 
     /// Window aggregate over `[from, to)`; `None` if no samples fall inside.
@@ -183,7 +237,7 @@ impl HistoryStore {
     /// Returns how many were removed.
     pub fn prune_before(&mut self, cutoff: SimTime) -> u64 {
         let mut removed = 0;
-        for series in self.series.values_mut() {
+        for series in &mut self.series {
             let keep_from = series.partition_point(|s| s.at < cutoff);
             removed += keep_from as u64;
             series.drain(..keep_from);
@@ -228,6 +282,55 @@ mod tests {
         let mut sorted = times.clone();
         sorted.sort_unstable();
         assert_eq!(times, sorted);
+    }
+
+    #[test]
+    fn shuffled_appends_keep_series_sorted_and_complete() {
+        // Deterministic pseudo-shuffle over a larger series: every
+        // insertion position is exercised, including duplicates.
+        let mut h = HistoryStore::new();
+        let n = 257u64;
+        for i in 0..n {
+            let hour = (i * 97) % n; // 97 coprime with 257: a permutation
+            h.append("e", "a", t(hour), hour as f64);
+            h.append("e", "a", t(hour), hour as f64 + 0.5); // duplicate time
+        }
+        let r = h.range("e", "a", t(0), t(n + 1));
+        assert_eq!(r.len() as u64, 2 * n);
+        assert!(r.windows(2).all(|w| w[0].at <= w[1].at), "sorted");
+        // Duplicate-time inserts land after the existing equal timestamp.
+        for w in r.chunks(2) {
+            assert_eq!(w[0].at, w[1].at);
+            assert_eq!(w[1].value - w[0].value, 0.5);
+        }
+    }
+
+    #[test]
+    fn series_ids_are_dense_and_stable() {
+        let mut h = HistoryStore::new();
+        assert_eq!(h.series_id("e", "a"), None);
+        h.append("e", "a", t(1), 1.0);
+        h.append("e", "b", t(1), 2.0);
+        h.append("e2", "a", t(1), 3.0);
+        let id_ea = h.series_id("e", "a").unwrap();
+        let id_eb = h.series_id("e", "b").unwrap();
+        let id_e2a = h.series_id("e2", "a").unwrap();
+        assert_eq!((id_ea, id_eb, id_e2a), (0, 1, 2));
+        // Re-appending reuses the interned id.
+        h.append("e", "a", t(2), 4.0);
+        assert_eq!(h.series_id("e", "a"), Some(id_ea));
+        assert_eq!(h.intern("e", "a"), id_ea);
+        assert_eq!(h.series_count(), 3);
+    }
+
+    #[test]
+    fn append_to_interned_id_fast_path() {
+        let mut h = HistoryStore::new();
+        let id = h.intern("e", "a");
+        h.append_to(id, t(1), 1.0);
+        h.append_to(id, t(2), 2.0);
+        assert_eq!(h.last("e", "a").unwrap().value, 2.0);
+        assert_eq!(h.len(), 2);
     }
 
     #[test]
@@ -292,12 +395,7 @@ mod tests {
         let mut h = HistoryStore::new();
         // Two samples per hour for 6 hours.
         for i in 0..12u64 {
-            h.append(
-                "e",
-                "a",
-                SimTime::from_millis(i * 30 * 60 * 1000),
-                i as f64,
-            );
+            h.append("e", "a", SimTime::from_millis(i * 30 * 60 * 1000), i as f64);
         }
         let day = h.downsample("e", "a", t(0), t(6), SimDuration::from_hours(2));
         assert_eq!(day.len(), 3);

@@ -22,8 +22,8 @@ use swamp_net::message::{Message, NodeId};
 use swamp_net::network::{Network, SendError};
 use swamp_security::access::{Action, Decision, Pdp, Resource};
 use swamp_security::detect::{RangeValidator, SeqEvent, SeqMonitor};
-use swamp_security::pipeline::{DetectorBank, Recommendation};
 use swamp_security::identity::{AuthError, IdentityProvider, Token};
+use swamp_security::pipeline::{DetectorBank, Recommendation};
 use swamp_sensors::device::DeviceKind;
 use swamp_sim::metrics::Metrics;
 use swamp_sim::{SimDuration, SimTime};
@@ -94,6 +94,10 @@ pub struct Platform {
     device_nonces: std::collections::BTreeMap<String, NonceSequence>,
     fog_sync: Option<FogSync>,
     cloud_store: Option<CloudStore>,
+    /// Cloud-side context mirror (FarmFog): replicated records drained from
+    /// the [`CloudStore`] are batch-upserted here, so cloud dashboards can
+    /// query broker state even though decisions run at the fog.
+    cloud_context: Option<ContextBroker>,
     metrics: Metrics,
 }
 
@@ -152,6 +156,7 @@ impl Platform {
             auto_quarantine: false,
             seq: SeqMonitor::new(),
             device_nonces: std::collections::BTreeMap::new(),
+            cloud_context: fog_sync.as_ref().map(|_| ContextBroker::new()),
             fog_sync,
             cloud_store,
             metrics: Metrics::new(),
@@ -196,6 +201,13 @@ impl Platform {
         self.cloud_store.as_ref()
     }
 
+    /// The cloud-side context mirror, if this is a fog deployment: broker
+    /// state rebuilt from replicated records, queryable like the fog's own
+    /// [`ContextBroker`] (and independently subscribable).
+    pub fn cloud_context(&self) -> Option<&ContextBroker> {
+        self.cloud_context.as_ref()
+    }
+
     /// Registers a field device: network node + link, key provisioning and
     /// registry entry.
     ///
@@ -215,8 +227,10 @@ impl Platform {
         self.registry
             .register(device_id, kind, owner, now)
             .expect("device id collision");
-        self.device_nonces
-            .insert(device_id.to_owned(), NonceSequence::new(self.device_nonces.len() as u32 + 1));
+        self.device_nonces.insert(
+            device_id.to_owned(),
+            NonceSequence::new(self.device_nonces.len() as u32 + 1),
+        );
     }
 
     /// Device-side publish: seals the entity with the device's provisioned
@@ -237,14 +251,19 @@ impl Platform {
             .unwrap_or_else(|_| {
                 // Unprovisioned device: derive a garbage key — its frames
                 // will fail authentication at ingest (rogue-node path).
-                self.keystore.derive("rogue", swamp_crypto::keystore::KeyEpoch(0))
+                self.keystore
+                    .derive("rogue", swamp_crypto::keystore::KeyEpoch(0))
             });
         let nonces = self
             .device_nonces
             .entry(device_id.to_owned())
             .or_insert_with(|| NonceSequence::new(9999));
         let plaintext = entity.to_json().to_compact_string();
-        let sealed = key.seal(&nonces.next_nonce(), device_id.as_bytes(), plaintext.as_bytes());
+        let sealed = key.seal(
+            &nonces.next_nonce(),
+            device_id.as_bytes(),
+            plaintext.as_bytes(),
+        );
         let farm = self.farm_node();
         self.net
             .send(
@@ -267,37 +286,46 @@ impl Platform {
             let gw: NodeId = nodes::GATEWAY.into();
             let deliveries = self.net.drain(&gw);
             for d in deliveries {
-                let _ = self.net.send(
-                    d.delivered_at.max(now),
-                    gw.clone(),
-                    nodes::CLOUD,
-                    d.message,
-                );
+                let _ = self
+                    .net
+                    .send(d.delivered_at.max(now), gw.clone(), nodes::CLOUD, d.message);
             }
             self.net.advance_to(now);
         }
 
-        // Ingest at the platform node.
+        // Ingest at the platform node: authenticate/validate every arrived
+        // frame, then apply the surviving updates as one batch (amortized
+        // broker routing and fog enqueueing).
         let node = self.platform_node();
         let deliveries = self.net.drain(&node);
-        let mut ingested = 0;
+        let mut batch: Vec<Entity> = Vec::new();
         for d in deliveries {
             if let Some(device_id) = d.message.topic.strip_prefix("telemetry/") {
                 let device_id = device_id.to_owned();
-                match self.ingest_frame(now, &device_id, &d.message.payload) {
-                    Ok(()) => ingested += 1,
+                match self.validate_frame(now, &device_id, &d.message.payload) {
+                    Ok(entity) => batch.push(entity),
                     Err(e) => self.count_rejection(&e),
                 }
             }
         }
+        let ingested = self.ingest_entities(now, batch);
 
-        // Fog→cloud replication.
+        // Fog→cloud replication; newly accepted records are batch-applied
+        // to the cloud-side context mirror.
         if let (Some(sync), Some(store)) = (&mut self.fog_sync, &mut self.cloud_store) {
             sync.sync_round(&mut self.net, now, 256);
             self.net.advance_to(now);
             store.process(&mut self.net, now);
             self.net.advance_to(now);
             sync.poll_acks(&mut self.net);
+            if let Some(cloud_ctx) = &mut self.cloud_context {
+                let replicated = store.drain_new().iter().filter_map(|r| {
+                    let text = std::str::from_utf8(&r.payload).ok()?;
+                    let json = Json::parse(text).ok()?;
+                    Entity::from_json(&json).ok()
+                });
+                cloud_ctx.upsert_batch(now, replicated);
+            }
         }
         ingested
     }
@@ -312,7 +340,10 @@ impl Platform {
         self.metrics.incr(key);
     }
 
-    /// The secure ingestion path for one sealed frame.
+    /// The secure ingestion path for one sealed frame: validation followed
+    /// by a single-update apply. Bursts should go through
+    /// [`Platform::validate_frame`] + [`Platform::ingest_entities`], which
+    /// is what [`Platform::pump`] does.
     ///
     /// # Errors
     /// [`IngestError`] describing which defense rejected the frame.
@@ -322,6 +353,24 @@ impl Platform {
         device_id: &str,
         sealed: &[u8],
     ) -> Result<(), IngestError> {
+        let entity = self.validate_frame(now, device_id, sealed)?;
+        self.ingest_entities(now, std::iter::once(entity));
+        Ok(())
+    }
+
+    /// Runs the defensive half of ingestion for one sealed frame — registry
+    /// check, authenticated decryption, payload decode, replay detection
+    /// and the anomaly pipeline — returning the validated entity update
+    /// without applying it.
+    ///
+    /// # Errors
+    /// [`IngestError`] describing which defense rejected the frame.
+    pub fn validate_frame(
+        &mut self,
+        now: SimTime,
+        device_id: &str,
+        sealed: &[u8],
+    ) -> Result<Entity, IngestError> {
         if !self.registry.is_active(device_id) {
             return Err(IngestError::UnregisteredDevice(device_id.to_owned()));
         }
@@ -335,15 +384,14 @@ impl Platform {
             .map_err(|_| IngestError::AuthenticationFailed(device_id.to_owned()))?;
         let text = std::str::from_utf8(&plaintext)
             .map_err(|_| IngestError::MalformedPayload(device_id.to_owned()))?;
-        let json = Json::parse(text)
-            .map_err(|_| IngestError::MalformedPayload(device_id.to_owned()))?;
+        let json =
+            Json::parse(text).map_err(|_| IngestError::MalformedPayload(device_id.to_owned()))?;
         let entity = Entity::from_json(&json)
             .map_err(|_| IngestError::MalformedPayload(device_id.to_owned()))?;
 
         // Replay detection on the firmware sequence number.
         if let Some(seq) = entity.number("seq") {
-            if let SeqEvent::ReplayOrDuplicate = self.seq.observe(device_id, seq as u64)
-            {
+            if let SeqEvent::ReplayOrDuplicate = self.seq.observe(device_id, seq as u64) {
                 return Err(IngestError::Replay(device_id.to_owned()));
             }
         }
@@ -364,29 +412,49 @@ impl Platform {
             let _ = self.registry.set_enabled(device_id, false);
             self.metrics.incr("ingest.quarantined");
         }
+        Ok(entity)
+    }
 
-        // Store: context update + history samples for numeric attributes.
-        for (name, attr) in entity.attributes() {
-            if let Some(v) = attr.value.as_number() {
-                let at = attr
-                    .observed_at_ms
-                    .map(SimTime::from_millis)
-                    .unwrap_or(now);
-                self.history.append(entity.id().as_str(), name, at, v);
+    /// Applies a batch of *already validated* entity updates: history
+    /// samples for numeric attributes, one batched context-broker upsert
+    /// (zero-copy fan-out to subscribers), and fog→cloud replication
+    /// enqueueing. This is the storage half of the ingestion hot path;
+    /// callers are responsible for authentication — frames from the network
+    /// must come through [`Platform::validate_frame`] first.
+    ///
+    /// Returns the number of updates applied.
+    pub fn ingest_entities(
+        &mut self,
+        now: SimTime,
+        entities: impl IntoIterator<Item = Entity>,
+    ) -> usize {
+        let mut applied = 0;
+        let mut batch: Vec<Entity> = Vec::new();
+        for entity in entities {
+            for (name, attr) in entity.attributes() {
+                if let Some(v) = attr.value.as_number() {
+                    let at = attr.observed_at_ms.map(SimTime::from_millis).unwrap_or(now);
+                    self.history.append(entity.id().as_str(), name, at, v);
+                }
             }
+            self.metrics.incr("ingest.accepted");
+            applied += 1;
+            batch.push(entity);
         }
-        self.context.upsert(now, entity.clone());
-        self.metrics.incr("ingest.accepted");
-
-        // Fog deployments replicate the accepted update to the cloud.
+        // Fog deployments replicate the accepted updates to the cloud.
         if let Some(sync) = &mut self.fog_sync {
-            sync.enqueue(
+            sync.enqueue_batch(
                 now,
-                entity.id().as_str(),
-                entity.to_json().to_compact_string().into_bytes(),
+                batch.iter().map(|e| {
+                    (
+                        e.id().as_str(),
+                        e.to_json().to_compact_string().into_bytes(),
+                    )
+                }),
             );
         }
-        Ok(())
+        self.context.upsert_batch(now, batch);
+        applied
     }
 
     /// Whether the farm↔cloud uplink is currently up.
@@ -440,10 +508,7 @@ impl Platform {
         if !decision.is_permit() {
             return Err(None);
         }
-        self.context
-            .entity(&entity_id.into())
-            .cloned()
-            .ok_or(None)
+        self.context.entity(&entity_id.into()).cloned().ok_or(None)
     }
 
     /// Authorizes a command against a device on behalf of a token holder.
@@ -478,7 +543,12 @@ mod tests {
 
     fn fog_platform() -> Platform {
         let mut p = Platform::new(42, DeploymentConfig::FarmFog);
-        p.register_device(SimTime::ZERO, "probe-1", DeviceKind::SoilProbe, "owner:test");
+        p.register_device(
+            SimTime::ZERO,
+            "probe-1",
+            DeviceKind::SoilProbe,
+            "owner:test",
+        );
         p
     }
 
@@ -502,9 +572,15 @@ mod tests {
             .unwrap();
         }
         assert!(ingested > 0, "telemetry must eventually ingest");
-        let e = p.context.entity(&"urn:swamp:device:probe-1".into()).unwrap();
+        let e = p
+            .context
+            .entity(&"urn:swamp:device:probe-1".into())
+            .unwrap();
         assert_eq!(e.number("moisture_vwc"), Some(0.27));
-        assert!(p.history.last("urn:swamp:device:probe-1", "moisture_vwc").is_some());
+        assert!(p
+            .history
+            .last("urn:swamp:device:probe-1", "moisture_vwc")
+            .is_some());
         assert!(p.metrics().counter("ingest.accepted") >= 1);
     }
 
@@ -521,7 +597,10 @@ mod tests {
         let ingested = p.pump(SimTime::from_secs(5));
         assert_eq!(ingested, 0);
         assert_eq!(p.metrics().counter("ingest.rejected_unregistered"), 1);
-        assert!(p.context.entity(&"urn:swamp:device:rogue-9".into()).is_none());
+        assert!(p
+            .context
+            .entity(&"urn:swamp:device:rogue-9".into())
+            .is_none());
     }
 
     #[test]
@@ -536,7 +615,9 @@ mod tests {
             entity.to_json().to_compact_string().as_bytes(),
         );
         sealed[14] ^= 0x40;
-        let err = p.ingest_frame(SimTime::ZERO, "probe-1", &sealed).unwrap_err();
+        let err = p
+            .ingest_frame(SimTime::ZERO, "probe-1", &sealed)
+            .unwrap_err();
         assert!(matches!(err, IngestError::AuthenticationFailed(_)));
     }
 
@@ -562,7 +643,9 @@ mod tests {
         let mut p = fog_platform();
         let key = p.keystore.device_key("probe-1").unwrap().key;
         let sealed = key.seal(&[2u8; 12], b"probe-1", b"not json at all");
-        let err = p.ingest_frame(SimTime::ZERO, "probe-1", &sealed).unwrap_err();
+        let err = p
+            .ingest_frame(SimTime::ZERO, "probe-1", &sealed)
+            .unwrap_err();
         assert!(matches!(err, IngestError::MalformedPayload(_)));
     }
 
@@ -597,18 +680,84 @@ mod tests {
         let replica = p.cloud_replica().unwrap();
         assert_eq!(replica.record_count(), 1);
         assert!(replica.latest("urn:swamp:device:probe-1").is_some());
+        // The replicated record is also applied to the cloud-side context
+        // mirror, so cloud consumers see a queryable entity, not raw bytes.
+        let mirror = p.cloud_context().unwrap();
+        let e = mirror.entity(&"urn:swamp:device:probe-1".into()).unwrap();
+        assert_eq!(e.number("moisture_vwc"), Some(0.31));
+    }
+
+    #[test]
+    fn cloud_only_deployment_has_no_mirror_context() {
+        let p = Platform::new(7, DeploymentConfig::CloudOnly);
+        assert!(p.cloud_context().is_none());
+        assert!(p.cloud_replica().is_none());
+    }
+
+    #[test]
+    fn ingest_entities_batch_matches_frame_loop() {
+        // Same updates applied through the batch path and the per-frame
+        // path must leave identical context + history state behind.
+        let mut batch_p = fog_platform();
+        let mut loop_p = fog_platform();
+        let updates: Vec<Entity> = (0..5)
+            .map(|i| telemetry("probe-1", i as f64, 0.2 + 0.01 * i as f64))
+            .collect();
+
+        let applied = batch_p.ingest_entities(SimTime::from_secs(1), updates.clone());
+        assert_eq!(applied, 5);
+        for u in updates {
+            loop_p.ingest_entities(SimTime::from_secs(1), std::iter::once(u));
+        }
+
+        let id = "urn:swamp:device:probe-1".into();
+        assert_eq!(
+            batch_p
+                .context
+                .entity(&id)
+                .unwrap()
+                .to_json()
+                .to_compact_string(),
+            loop_p
+                .context
+                .entity(&id)
+                .unwrap()
+                .to_json()
+                .to_compact_string()
+        );
+        assert_eq!(
+            batch_p.history.range(
+                "urn:swamp:device:probe-1",
+                "moisture_vwc",
+                SimTime::ZERO,
+                SimTime::from_secs(10),
+            ),
+            loop_p.history.range(
+                "urn:swamp:device:probe-1",
+                "moisture_vwc",
+                SimTime::ZERO,
+                SimTime::from_secs(10),
+            )
+        );
+        assert_eq!(
+            batch_p.metrics().counter("ingest.accepted"),
+            loop_p.metrics().counter("ingest.accepted")
+        );
     }
 
     #[test]
     fn authorized_read_enforces_ownership() {
         let mut p = fog_platform();
         // Put an entity in context directly.
-        p.context.upsert(SimTime::ZERO, telemetry("probe-1", 0.0, 0.2));
+        p.context
+            .upsert(SimTime::ZERO, telemetry("probe-1", 0.0, 0.2));
         p.idm.register_user("owner", "pw", &["owner:test"]);
         p.idm.register_user("stranger", "pw", &[]);
         let (owner_token, _) = p.idm.password_grant(SimTime::ZERO, "owner", "pw").unwrap();
-        let (stranger_token, _) =
-            p.idm.password_grant(SimTime::ZERO, "stranger", "pw").unwrap();
+        let (stranger_token, _) = p
+            .idm
+            .password_grant(SimTime::ZERO, "stranger", "pw")
+            .unwrap();
 
         let e = p
             .authorized_read(SimTime::ZERO, &owner_token, "urn:swamp:device:probe-1")
@@ -630,9 +779,13 @@ mod tests {
         let mut p = fog_platform();
         p.idm.register_user("owner", "pw", &["owner:test"]);
         let (token, _) = p.idm.password_grant(SimTime::ZERO, "owner", "pw").unwrap();
-        let d = p.authorize_command(SimTime::ZERO, &token, "probe-1").unwrap();
+        let d = p
+            .authorize_command(SimTime::ZERO, &token, "probe-1")
+            .unwrap();
         assert!(d.is_permit());
-        let d = p.authorize_command(SimTime::ZERO, &token, "other-device").unwrap();
+        let d = p
+            .authorize_command(SimTime::ZERO, &token, "other-device")
+            .unwrap();
         assert!(!d.is_permit());
     }
 }

@@ -84,6 +84,9 @@ pub struct IrrigationService {
     latest_vwc: Vec<Option<f64>>,
     fresh: Vec<bool>,
     cycles: u64,
+    /// Reused drain buffer: keeps the broker queue's and this buffer's
+    /// capacity warm across cycles instead of reallocating each poll.
+    note_buf: Vec<crate::broker::Notification>,
 }
 
 impl IrrigationService {
@@ -102,6 +105,7 @@ impl IrrigationService {
             latest_vwc: vec![None; n],
             fresh: vec![false; n],
             cycles: 0,
+            note_buf: Vec::new(),
         }
     }
 
@@ -117,13 +121,12 @@ impl IrrigationService {
 
     /// Absorbs pending broker notifications into the per-zone estimates.
     fn absorb_notifications(&mut self, broker: &mut ContextBroker) {
-        for note in broker.take_notifications(self.subscription) {
+        broker
+            .drain_notifications_into(self.subscription, &mut self.note_buf)
+            .expect("service subscription stays registered");
+        for note in self.note_buf.drain(..) {
             let id = note.entity.id().as_str();
-            if let Some(zone) = self
-                .zones
-                .iter()
-                .position(|z| z.probe_entity == id)
-            {
+            if let Some(zone) = self.zones.iter().position(|z| z.probe_entity == id) {
                 if let Some(vwc) = note.entity.number("moisture_vwc") {
                     self.latest_vwc[zone] = Some(vwc);
                     self.fresh[zone] = true;
@@ -149,8 +152,8 @@ impl IrrigationService {
         self.cycles += 1;
         let mut decisions = Vec::with_capacity(self.zones.len());
         for (i, zone) in self.zones.iter_mut().enumerate() {
-            let quarantined = detectors.recommendation(&zone.probe_device)
-                == Recommendation::Quarantine;
+            let quarantined =
+                detectors.recommendation(&zone.probe_device) == Recommendation::Quarantine;
             if quarantined {
                 // Never act on untrusted data; hold the zone.
                 decisions.push(ZoneDecision {

@@ -1,0 +1,68 @@
+//! Property-based tests for [`swamp_core::history::HistoryStore`]: appends
+//! in any order — including duplicates and heavy reordering — leave every
+//! series time-sorted and complete, matching a sort-based model.
+
+// Gated: proptest is not resolvable in the offline build environment.
+// See the `proptest-tests` feature note in this crate's Cargo.toml.
+#![cfg(feature = "proptest-tests")]
+
+use proptest::prelude::*;
+use swamp_core::history::HistoryStore;
+use swamp_sim::SimTime;
+
+proptest! {
+    /// Arbitrary interleavings of (series, timestamp, value) appends: each
+    /// series comes back sorted by time and contains exactly the samples
+    /// appended to it, like a stable sort of the inputs.
+    #[test]
+    fn appends_in_any_order_match_sorted_model(
+        ops in prop::collection::vec(
+            (0u8..3, 0u64..1_000, -50.0f64..50.0),
+            0..200,
+        )
+    ) {
+        let mut store = HistoryStore::new();
+        let mut model: Vec<Vec<(u64, f64)>> = vec![Vec::new(); 3];
+        for (series, at_ms, value) in ops {
+            let entity = format!("urn:swamp:device:probe-{series}");
+            store.append(&entity, "moisture_vwc", SimTime::from_millis(at_ms), value);
+            model[series as usize].push((at_ms, value));
+        }
+        for (series, expected) in model.iter_mut().enumerate() {
+            // Stable sort: equal timestamps keep append order, which is
+            // what the binary-search insert (`partition_point` on `>`)
+            // guarantees.
+            expected.sort_by_key(|(at, _)| *at);
+            let entity = format!("urn:swamp:device:probe-{series}");
+            let got = store.range(
+                &entity,
+                "moisture_vwc",
+                SimTime::ZERO,
+                SimTime::from_millis(1_000),
+            );
+            prop_assert_eq!(got.len(), expected.len());
+            for (sample, (at, value)) in got.iter().zip(expected.iter()) {
+                prop_assert_eq!(sample.at, SimTime::from_millis(*at));
+                prop_assert_eq!(sample.value, *value);
+            }
+        }
+    }
+
+    /// Interning is stable: the id handed out for a key never changes, and
+    /// appending through `append_to` is indistinguishable from `append`.
+    #[test]
+    fn interned_ids_are_stable_across_appends(
+        times in prop::collection::vec(0u64..1_000, 1..50)
+    ) {
+        let mut store = HistoryStore::new();
+        let id = store.intern("urn:swamp:device:probe-0", "temperature_c");
+        for &t in &times {
+            store.append_to(id, SimTime::from_millis(t), 1.0);
+            prop_assert_eq!(
+                store.series_id("urn:swamp:device:probe-0", "temperature_c"),
+                Some(id)
+            );
+        }
+        prop_assert_eq!(store.len(), times.len() as u64);
+    }
+}

@@ -1,0 +1,274 @@
+//! Offline stand-in for the [criterion](https://docs.rs/criterion) benchmark
+//! harness, implementing the subset of its API the SWAMP benches use.
+//!
+//! The measurement model is deliberately simple and dependency-free: each
+//! benchmark runs a warmup phase, then `sample_size` timed samples, each
+//! sample timing a batch of iterations sized so one batch takes roughly
+//! `measurement_time / sample_size`. Reported numbers are the median, min
+//! and max per-iteration times, plus throughput when configured. There is
+//! no outlier analysis or regression tracking — swap the workspace
+//! dependency back to crates.io criterion for that.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub use std::hint::black_box;
+
+/// Throughput configuration for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level harness entry point (shim).
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(900),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepts command-line configuration; the shim recognises none and
+    /// ignores benchmark-name filters (all benches run).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== bench group: {name} ==");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            throughput: None,
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+        }
+    }
+
+    /// Prints the final summary (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to report rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            mode: Mode::Warmup {
+                until: self.warm_up_time,
+            },
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_budget: self.measurement_time / self.sample_size as u32,
+            samples_wanted: self.sample_size,
+        };
+        f(&mut bencher);
+        bencher.report(&self.name, &id, self.throughput);
+        self
+    }
+
+    /// Ends the group (prints nothing extra in the shim).
+    pub fn finish(&mut self) {}
+}
+
+enum Mode {
+    Warmup { until: Duration },
+    Measure,
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_budget: Duration,
+    samples_wanted: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, first calibrating batch size during warmup so each
+    /// timed sample runs long enough to be measurable.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: find how many iterations fit the budget.
+        if let Mode::Warmup { until } = self.mode {
+            let warm_start = Instant::now();
+            let mut iters: u64 = 1;
+            loop {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                let elapsed = t0.elapsed();
+                if warm_start.elapsed() >= until {
+                    let per_iter = elapsed.as_secs_f64() / iters as f64;
+                    let budget = self.sample_budget.as_secs_f64();
+                    self.iters_per_sample =
+                        ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+                    break;
+                }
+                iters = (iters * 2).min(1 << 24);
+            }
+            self.mode = Mode::Measure;
+        }
+        // Timed samples.
+        while self.samples.len() < self.samples_wanted {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    fn report(&self, group: &str, id: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{group}/{id}: no samples (Bencher::iter never called)");
+            return;
+        }
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|s| s.as_secs_f64() / self.iters_per_sample as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+        let max = per_iter[per_iter.len() - 1];
+        let rate = match throughput {
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>10.1} MiB/s", n as f64 / median / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.0} elem/s", n as f64 / median)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{group}/{id}: median {} (min {}, max {}, {} samples x {} iters){rate}",
+            fmt_time(median),
+            fmt_time(min),
+            fmt_time(max),
+            self.samples.len(),
+            self.iters_per_sample,
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::Criterion::default().configure_from_args().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_produces_samples() {
+        let mut c = Criterion {
+            sample_size: 5,
+            warm_up_time: Duration::from_millis(5),
+            measurement_time: Duration::from_millis(10),
+        };
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Bytes(64)).sample_size(5);
+        let mut ran = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" µs"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

@@ -247,8 +247,6 @@ mod tests {
     fn ciphertext_differs_from_plaintext() {
         let k = key();
         let frame = k.seal(&[9u8; NONCE_LEN], b"", b"AAAAAAAAAAAAAAAA");
-        assert!(!frame
-            .windows(16)
-            .any(|w| w == b"AAAAAAAAAAAAAAAA"));
+        assert!(!frame.windows(16).any(|w| w == b"AAAAAAAAAAAAAAAA"));
     }
 }

@@ -138,8 +138,7 @@ mod tests {
     fn rfc8439_block_vector() {
         let key = rfc_key();
         let nonce = [
-            0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00,
-            0x00,
+            0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
         ];
         let cipher = ChaCha20::new(&key, &nonce);
         let block = cipher.block(1);
@@ -155,8 +154,7 @@ mod tests {
     fn rfc8439_encryption_vector() {
         let key = rfc_key();
         let nonce = [
-            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00,
-            0x00,
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
         ];
         let plaintext = b"Ladies and Gentlemen of the class of '99: \
 If I could offer you only one tip for the future, sunscreen would be it.";

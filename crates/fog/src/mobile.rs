@@ -218,6 +218,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "contact")]
     fn zero_contact_rejected() {
-        let _ = ContactPlan::new(SimDuration::from_hours(1), SimDuration::ZERO, SimDuration::ZERO);
+        let _ = ContactPlan::new(
+            SimDuration::from_hours(1),
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+        );
     }
 }

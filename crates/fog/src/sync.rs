@@ -143,6 +143,23 @@ impl FogSync {
         Some(seq)
     }
 
+    /// Queues a batch of `(key, payload)` updates, applying the drop policy
+    /// per record — the bulk mirror of [`FogSync::enqueue`], used by the
+    /// platform's batched ingestion path. Returns how many were accepted.
+    pub fn enqueue_batch<'a>(
+        &mut self,
+        now: SimTime,
+        items: impl IntoIterator<Item = (&'a str, Vec<u8>)>,
+    ) -> usize {
+        let mut accepted = 0;
+        for (key, payload) in items {
+            if self.enqueue(now, key, payload).is_some() {
+                accepted += 1;
+            }
+        }
+        accepted
+    }
+
     /// Runs one sync round at `now`: transmits new records and retransmits
     /// unacked ones whose timer expired, up to `batch` transmissions.
     /// Returns how many messages were handed to the network.
@@ -167,7 +184,10 @@ impl FogSync {
                 .expect("seq from buffer scan")
                 .clone();
             let msg = Message::new(SYNC_TOPIC, encode_record(&record));
-            if net.send(now, self.node.clone(), self.cloud.clone(), msg).is_ok() {
+            if net
+                .send(now, self.node.clone(), self.cloud.clone(), msg)
+                .is_ok()
+            {
                 self.stats.transmissions += 1;
                 self.in_flight.insert(seq, now);
                 sent += 1;
@@ -215,6 +235,9 @@ pub struct CloudStore {
     history: Vec<UpdateRecord>,
     seen_seqs: std::collections::BTreeSet<u64>,
     duplicates: u64,
+    /// Cursor into `history`: records before it were already handed out by
+    /// [`CloudStore::drain_new`] to a downstream applier.
+    drained: usize,
 }
 
 impl CloudStore {
@@ -226,6 +249,7 @@ impl CloudStore {
             history: Vec::new(),
             seen_seqs: std::collections::BTreeSet::new(),
             duplicates: 0,
+            drained: 0,
         }
     }
 
@@ -247,6 +271,17 @@ impl CloudStore {
     /// Full accepted history in arrival order.
     pub fn history(&self) -> &[UpdateRecord] {
         &self.history
+    }
+
+    /// Records accepted since the last `drain_new` call, advancing the
+    /// apply cursor. Downstream appliers (e.g. the platform's cloud-side
+    /// context mirror, which batch-upserts these into a broker) call this
+    /// after [`CloudStore::process`] to replicate exactly-once without
+    /// copying records.
+    pub fn drain_new(&mut self) -> &[UpdateRecord] {
+        let from = self.drained;
+        self.drained = self.history.len();
+        &self.history[from..]
     }
 
     /// Drains the cloud inbox, storing records and sending one batched ack
@@ -303,7 +338,9 @@ fn decode_record(bytes: &[u8]) -> Option<UpdateRecord> {
     if bytes.len() < 18 + key_len {
         return None;
     }
-    let key = std::str::from_utf8(&bytes[18..18 + key_len]).ok()?.to_owned();
+    let key = std::str::from_utf8(&bytes[18..18 + key_len])
+        .ok()?
+        .to_owned();
     let payload = bytes[18 + key_len..].to_vec();
     Some(UpdateRecord {
         seq,
@@ -466,7 +503,9 @@ mod tests {
             SimDuration::from_secs(5),
         );
         for i in 0..5 {
-            assert!(sync.enqueue(SimTime::ZERO, &format!("k{i}"), vec![]).is_some());
+            assert!(sync
+                .enqueue(SimTime::ZERO, &format!("k{i}"), vec![])
+                .is_some());
         }
         assert_eq!(sync.pending(), 3);
         assert_eq!(sync.stats().dropped, 2);
@@ -500,6 +539,40 @@ mod tests {
         assert_eq!(cloud.latest("probe").unwrap().payload, b"new");
         assert_eq!(cloud.record_count(), 2);
         assert_eq!(cloud.history().len(), 2);
+    }
+
+    #[test]
+    fn enqueue_batch_matches_loop_and_applies_drop_policy() {
+        let mut sync = FogSync::new(
+            "fog",
+            "cloud",
+            3,
+            DropPolicy::Newest,
+            SimDuration::from_secs(5),
+        );
+        let items: Vec<(&str, Vec<u8>)> = (0..5).map(|i| ("k", vec![i as u8])).collect();
+        let accepted = sync.enqueue_batch(SimTime::ZERO, items);
+        assert_eq!(accepted, 3, "capacity 3, Newest policy refuses overflow");
+        assert_eq!(sync.pending(), 3);
+        assert_eq!(sync.stats().dropped, 2);
+    }
+
+    #[test]
+    fn drain_new_hands_out_each_record_once() {
+        let (mut net, mut sync, mut cloud) = setup(0.0);
+        assert!(cloud.drain_new().is_empty());
+        for i in 0..4 {
+            sync.enqueue(SimTime::ZERO, &format!("k{i}"), vec![i as u8]);
+        }
+        pump(&mut net, &mut sync, &mut cloud, SimTime::ZERO, 20);
+        let first: Vec<u64> = cloud.drain_new().iter().map(|r| r.seq).collect();
+        assert_eq!(first.len(), 4);
+        assert!(cloud.drain_new().is_empty(), "cursor advanced");
+
+        sync.enqueue(SimTime::from_secs(60), "k9", vec![9]);
+        pump(&mut net, &mut sync, &mut cloud, SimTime::from_secs(60), 20);
+        let second: Vec<&str> = cloud.drain_new().iter().map(|r| r.key.as_str()).collect();
+        assert_eq!(second, ["k9"], "only the newly accepted record");
     }
 
     #[test]

@@ -34,6 +34,9 @@ pub mod source;
 pub mod vri;
 
 pub use network::{Allocation, DistributionNetwork, FarmId};
-pub use schedule::{DeficitMaintain, EtReplacement, FixedCalendar, IrrigationPolicy, Rainfed, ThresholdRefill, ZoneView};
+pub use schedule::{
+    DeficitMaintain, EtReplacement, FixedCalendar, IrrigationPolicy, Rainfed, ThresholdRefill,
+    ZoneView,
+};
 pub use source::{DeliveryCost, WaterAccount, WaterSource};
 pub use vri::{compile_plan, Prescription, VriPlan};

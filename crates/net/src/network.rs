@@ -128,12 +128,7 @@ impl Network {
     ///
     /// # Panics
     /// Panics if either node is unregistered.
-    pub fn connect_directed(
-        &mut self,
-        a: impl Into<NodeId>,
-        b: impl Into<NodeId>,
-        spec: LinkSpec,
-    ) {
+    pub fn connect_directed(&mut self, a: impl Into<NodeId>, b: impl Into<NodeId>, spec: LinkSpec) {
         let a = a.into();
         let b = b.into();
         assert!(self.nodes.contains(&a), "unknown node {a}");
@@ -327,7 +322,12 @@ mod tests {
     }
 
     fn lossless() -> LinkSpec {
-        LinkSpec::new(SimDuration::from_millis(10), SimDuration::ZERO, 0.0, 1_000_000)
+        LinkSpec::new(
+            SimDuration::from_millis(10),
+            SimDuration::ZERO,
+            0.0,
+            1_000_000,
+        )
     }
 
     fn basic_net() -> Network {
@@ -342,7 +342,12 @@ mod tests {
     fn send_and_deliver() {
         let mut net = basic_net();
         let id = net
-            .send(SimTime::ZERO, "a", "b", Message::new("t", b"hello".to_vec()))
+            .send(
+                SimTime::ZERO,
+                "a",
+                "b",
+                Message::new("t", b"hello".to_vec()),
+            )
             .unwrap();
         assert_eq!(net.in_flight(), 1);
         net.advance_to(SimTime::from_secs(1));
@@ -421,8 +426,13 @@ mod tests {
     fn tap_captures_transmissions() {
         let mut net = basic_net();
         let tap = net.add_tap("a", "b");
-        net.send(SimTime::ZERO, "a", "b", Message::new("secret", b"yield=9t".to_vec()))
-            .unwrap();
+        net.send(
+            SimTime::ZERO,
+            "a",
+            "b",
+            Message::new("secret", b"yield=9t".to_vec()),
+        )
+        .unwrap();
         // Reverse direction is not captured by this tap.
         net.send(SimTime::ZERO, "b", "a", Message::new("other", vec![]))
             .unwrap();
@@ -440,7 +450,11 @@ mod tests {
                 .unwrap();
         }
         net.advance_to(SimTime::from_secs(1));
-        let payloads: Vec<u8> = net.drain(&n("b")).iter().map(|d| d.message.payload[0]).collect();
+        let payloads: Vec<u8> = net
+            .drain(&n("b"))
+            .iter()
+            .map(|d| d.message.payload[0])
+            .collect();
         assert_eq!(payloads, (0..10).collect::<Vec<_>>());
     }
 

@@ -137,12 +137,7 @@ impl FlowTable {
     }
 
     /// Installs a rule; higher `priority` is consulted first. Returns its id.
-    pub fn install(
-        &mut self,
-        priority: i32,
-        matcher: FlowMatch,
-        action: FlowAction,
-    ) -> RuleId {
+    pub fn install(&mut self, priority: i32, matcher: FlowMatch, action: FlowAction) -> RuleId {
         let id = RuleId(self.next_id);
         self.next_id += 1;
         self.rules.push(FlowRule {

@@ -1,5 +1,9 @@
 //! Property-based tests for the network substrate.
 
+// Gated: proptest is not resolvable in the offline build environment.
+// See the `proptest-tests` feature note in this crate's Cargo.toml.
+#![cfg(feature = "proptest-tests")]
+
 use proptest::prelude::*;
 use swamp_net::broker::topic_matches;
 use swamp_net::frag::{fragment, Reassembler};

@@ -1,0 +1,66 @@
+//! E11c broker-throughput baseline: runs the devices×deployment sweep and
+//! emits `BENCH_e11.json` on stdout (the human-readable table goes to
+//! stderr so redirection captures clean JSON).
+//!
+//! Usage: `cargo run -p swamp-pilots --bin bench_e11 --release \
+//!             [devices ...] > BENCH_e11.json`
+//!
+//! Defaults to fleets of 100, 1 000 and 10 000 devices.
+
+use swamp_codec::json::Json;
+use swamp_pilots::experiments::e11_broker_scale;
+
+fn main() {
+    let mut sizes: Vec<usize> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.parse::<usize>() {
+            Ok(n) if n > 0 => sizes.push(n),
+            _ => {
+                eprintln!("bench_e11: fleet sizes must be positive integers, got {arg:?}");
+                eprintln!("usage: bench_e11 [devices ...]   (default: 100 1000 10000)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if sizes.is_empty() {
+        sizes = vec![100, 1_000, 10_000];
+    }
+    let result = e11_broker_scale(&sizes);
+    eprintln!("{}", result.report());
+
+    let rows: Vec<Json> = result
+        .rows
+        .iter()
+        .map(|r| {
+            Json::object([
+                ("deployment", Json::String(r.deployment.to_owned())),
+                ("devices", Json::Number(r.devices as f64)),
+                ("updates", Json::Number(r.updates as f64)),
+                (
+                    "elapsed_ms",
+                    Json::Number((r.elapsed_ms * 10.0).round() / 10.0),
+                ),
+                ("updates_per_s", Json::Number(r.throughput_per_s.round())),
+                (
+                    "us_per_update",
+                    Json::Number((r.mean_update_us * 100.0).round() / 100.0),
+                ),
+            ])
+        })
+        .collect();
+    let doc = Json::object([
+        ("experiment", Json::String("e11_broker_scale".into())),
+        (
+            "description",
+            Json::String(
+                "Wall-clock ingest throughput of the post-validation broker hot \
+                 path (history appends, batched upsert with subscriber fan-out, \
+                 fog replication) per deployment and fleet size."
+                    .into(),
+            ),
+        ),
+        ("build", Json::String("release".into())),
+        ("rows", Json::Array(rows)),
+    ]);
+    println!("{}", doc.to_pretty_string());
+}

@@ -37,10 +37,7 @@ fn print_report(r: &PilotReport) {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let site_arg = args.get(1).map(String::as_str).unwrap_or("all");
-    let seed: u64 = args
-        .get(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
 
     let sites: Vec<PilotSite> = match site_arg {
         "cbec" => vec![PilotSite::Cbec],
@@ -49,9 +46,7 @@ fn main() {
         "matopiba" => vec![PilotSite::Matopiba],
         "all" => PilotSite::all().to_vec(),
         other => {
-            eprintln!(
-                "unknown pilot {other:?}; use cbec | intercrop | guaspari | matopiba | all"
-            );
+            eprintln!("unknown pilot {other:?}; use cbec | intercrop | guaspari | matopiba | all");
             std::process::exit(2);
         }
     };

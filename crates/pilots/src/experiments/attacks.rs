@@ -8,8 +8,7 @@ use swamp_net::network::Network;
 use swamp_net::sdn::{FlowAction, FlowMatch};
 use swamp_security::attacks::{DosFlooder, SensorTamper, SybilSwarm, TamperMode};
 use swamp_security::behavior::{
-    actuator_takeover_sequence, normal_irrigation_cycle, BehaviorDetector,
-    MarkovBaseline,
+    actuator_takeover_sequence, normal_irrigation_cycle, BehaviorDetector, MarkovBaseline,
 };
 use swamp_security::detect::{spatial_outliers, RateGuard, ZScoreDetector};
 use swamp_sim::{SimDuration, SimRng, SimTime};
@@ -29,7 +28,12 @@ impl E2Result {
     pub fn report(&self) -> Report {
         let mut r = Report::new(
             "E2: DoS flood on the broker — telemetry delivery ratio (20 probes, 10 min)",
-            &["attack_msg_per_s", "unmitigated", "sdn_mitigated", "detect_rounds"],
+            &[
+                "attack_msg_per_s",
+                "unmitigated",
+                "sdn_mitigated",
+                "detect_rounds",
+            ],
         );
         for (rate, unmit, mit, rounds) in &self.rows {
             r.push_row(vec![
@@ -55,7 +59,12 @@ fn dos_scenario(seed: u64, attack_rate: f64, mitigate: bool) -> (f64, usize) {
     net.connect(
         "attacker",
         "broker",
-        LinkSpec::new(SimDuration::from_millis(30), SimDuration::ZERO, 0.0, 1_000_000),
+        LinkSpec::new(
+            SimDuration::from_millis(30),
+            SimDuration::ZERO,
+            0.0,
+            1_000_000,
+        ),
     );
     let probes: Vec<String> = (0..20).map(|i| format!("probe-{i}")).collect();
     for p in &probes {
@@ -63,7 +72,12 @@ fn dos_scenario(seed: u64, attack_rate: f64, mitigate: bool) -> (f64, usize) {
         net.connect(
             p.as_str(),
             "broker",
-            LinkSpec::new(SimDuration::from_millis(30), SimDuration::ZERO, 0.0, 1_000_000),
+            LinkSpec::new(
+                SimDuration::from_millis(30),
+                SimDuration::ZERO,
+                0.0,
+                1_000_000,
+            ),
         );
     }
     // Broker ingress capacity: 50 msg/s total, modeled as an SDN rate limit
@@ -117,9 +131,7 @@ fn dos_scenario(seed: u64, attack_rate: f64, mitigate: bool) -> (f64, usize) {
             }
             if mitigate
                 && mitigated_at_round == usize::MAX
-                && guard
-                    .observe(d.src.as_str(), d.delivered_at)
-                    .is_anomalous()
+                && guard.observe(d.src.as_str(), d.delivered_at).is_anomalous()
                 && d.src.as_str() == "attacker"
             {
                 flagged = true;
@@ -268,7 +280,12 @@ impl E4Result {
     pub fn report(&self) -> Report {
         let mut r = Report::new(
             "E4: Sybil NDVI swarm vs spatial-consistency filter (12 honest sensors)",
-            &["sybils", "sybils_flagged", "ndvi_bias_raw", "ndvi_bias_filtered"],
+            &[
+                "sybils",
+                "sybils_flagged",
+                "ndvi_bias_raw",
+                "ndvi_bias_filtered",
+            ],
         );
         for (n, flagged, raw, filtered) in &self.rows {
             r.push_row(vec![
@@ -299,11 +316,9 @@ pub fn e4_sybil(seed: u64) -> E4Result {
             values.push((100 + j, *v));
         }
 
-        let raw_mean: f64 =
-            values.iter().map(|(_, v)| v).sum::<f64>() / values.len() as f64;
+        let raw_mean: f64 = values.iter().map(|(_, v)| v).sum::<f64>() / values.len() as f64;
         let outliers = spatial_outliers(&values, 0.15);
-        let flagged_sybils =
-            outliers.iter().filter(|&&i| i >= 100).count() as f64;
+        let flagged_sybils = outliers.iter().filter(|&&i| i >= 100).count() as f64;
         let filtered: Vec<f64> = values
             .iter()
             .filter(|(i, _)| !outliers.contains(i))
@@ -456,7 +471,10 @@ mod tests {
         for &(n, flagged, raw, filtered) in &r.rows {
             if n > 0 && n < 12 {
                 assert!(flagged > 0.9, "{n} sybils flagged {flagged}");
-                assert!(filtered < raw, "{n} sybils: filtered {filtered} < raw {raw}");
+                assert!(
+                    filtered < raw,
+                    "{n} sybils: filtered {filtered} < raw {raw}"
+                );
                 assert!(filtered < 0.05, "{n} sybils: residual bias {filtered}");
             }
         }
@@ -470,7 +488,11 @@ mod tests {
     #[test]
     fn e12_behavioral_dominates_point_detector() {
         let r = e12_behavior(42);
-        assert!(r.behavioral.0 > 0.95, "takeover detection {}", r.behavioral.0);
+        assert!(
+            r.behavioral.0 > 0.95,
+            "takeover detection {}",
+            r.behavioral.0
+        );
         assert!(r.behavioral.1 < 0.1, "false alarms {}", r.behavioral.1);
         assert!(
             r.point.0 < 0.1,

@@ -11,15 +11,19 @@ pub mod water;
 
 pub use attacks::{e12_behavior, e2_dos, e3_tamper, e4_sybil};
 pub use platform::{
-    e11_platform_scale, e5_fog_availability, e6_partial_view, e7_auth, e8_crypto,
-    e9_ledger,
+    e11_broker_scale, e11_platform_scale, e5_fog_availability, e6_partial_view, e7_auth, e8_crypto,
+    e9_ledger, BrokerScaleRow, E11BrokerScaleResult,
 };
-pub use water::{e1_water_energy, e10_distribution};
+pub use water::{e10_distribution, e1_water_energy};
 
 use crate::report::Report;
 
 /// Runs every experiment and returns all reports in id order — the
 /// generator behind EXPERIMENTS.md and the `experiments` binary.
+///
+/// E11c ([`e11_broker_scale`]) is deliberately not included: it measures
+/// wall-clock throughput, so its numbers are not bit-reproducible per seed.
+/// The `bench_e11` binary runs it and emits `BENCH_e11.json`.
 pub fn run_all(seed: u64) -> Vec<Report> {
     let e1 = e1_water_energy(seed);
     let e2 = e2_dos(seed);

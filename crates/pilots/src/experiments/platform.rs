@@ -74,18 +74,19 @@ pub fn e5_fog_availability(seed: u64) -> E5Result {
         }
 
         let mut avail = [
-            (DeploymentConfig::CloudOnly, AvailabilityTracker::new(SimDuration::from_hours(1))),
-            (DeploymentConfig::FarmFog, AvailabilityTracker::new(SimDuration::from_hours(1))),
+            (
+                DeploymentConfig::CloudOnly,
+                AvailabilityTracker::new(SimDuration::from_hours(1)),
+            ),
+            (
+                DeploymentConfig::FarmFog,
+                AvailabilityTracker::new(SimDuration::from_hours(1)),
+            ),
         ];
         let mut replicated = 0.0;
         for (config, tracker) in &mut avail {
             let mut platform = Platform::new(seed, *config);
-            platform.register_device(
-                SimTime::ZERO,
-                "probe-1",
-                DeviceKind::SoilProbe,
-                "owner:e5",
-            );
+            platform.register_device(SimTime::ZERO, "probe-1", DeviceKind::SoilProbe, "owner:e5");
             let mut published = 0u64;
             for h in 0..hours {
                 let t = SimTime::from_hours(h);
@@ -221,9 +222,7 @@ pub fn e6_partial_view(seed: u64) -> E6Result {
                 truth.push(x);
             }
             let mean = truth.iter().sum::<f64>() / zones as f64;
-            let sd = (truth.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
-                / zones as f64)
-                .sqrt();
+            let sd = (truth.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / zones as f64).sqrt();
             field_sd_sum += sd;
 
             let step = zones / sensors;
@@ -265,8 +264,16 @@ pub fn e6_partial_view(seed: u64) -> E6Result {
             coverage,
             mae_sum / trials as f64,
             CropProfiler::detection_margin(coverage, field_sd),
-            if checks == 0 { 0.0 } else { fpr0_hits as f64 / checks as f64 },
-            if checks == 0 { 0.0 } else { fpr1_hits as f64 / checks as f64 },
+            if checks == 0 {
+                0.0
+            } else {
+                fpr0_hits as f64 / checks as f64
+            },
+            if checks == 0 {
+                0.0
+            } else {
+                fpr1_hits as f64 / checks as f64
+            },
         ));
     }
     E6Result { rows }
@@ -330,18 +337,54 @@ pub fn e7_auth(_seed: u64) -> E7Result {
     let matopiba_pivot = Resource::new("urn:swamp:matopiba:pivot:1", "owner:matopiba");
 
     let mut matrix = Vec::new();
-    let mut check = |label: &str, token: &swamp_security::identity::Token, res: &Resource, action: Action| {
-        let info = idm.validate(now, token).expect("valid token");
-        let d = pdp.decide(&info, res, action);
-        matrix.push((label.to_owned(), d.is_permit()));
-    };
-    check("owner reads own farm data", &maria, &guaspari_probe, Action::Read);
-    check("owner reads OTHER farm data", &maria, &matopiba_pivot, Action::Read);
-    check("other owner reads guaspari", &carlos, &guaspari_probe, Action::Read);
-    check("agronomist reads guaspari (policy)", &ana, &guaspari_probe, Action::Read);
-    check("agronomist commands guaspari", &ana, &guaspari_probe, Action::Command);
-    check("scheduler commands pivot", &sched, &matopiba_pivot, Action::Command);
-    check("scheduler reads pivot data", &sched, &matopiba_pivot, Action::Read);
+    let mut check =
+        |label: &str, token: &swamp_security::identity::Token, res: &Resource, action: Action| {
+            let info = idm.validate(now, token).expect("valid token");
+            let d = pdp.decide(&info, res, action);
+            matrix.push((label.to_owned(), d.is_permit()));
+        };
+    check(
+        "owner reads own farm data",
+        &maria,
+        &guaspari_probe,
+        Action::Read,
+    );
+    check(
+        "owner reads OTHER farm data",
+        &maria,
+        &matopiba_pivot,
+        Action::Read,
+    );
+    check(
+        "other owner reads guaspari",
+        &carlos,
+        &guaspari_probe,
+        Action::Read,
+    );
+    check(
+        "agronomist reads guaspari (policy)",
+        &ana,
+        &guaspari_probe,
+        Action::Read,
+    );
+    check(
+        "agronomist commands guaspari",
+        &ana,
+        &guaspari_probe,
+        Action::Command,
+    );
+    check(
+        "scheduler commands pivot",
+        &sched,
+        &matopiba_pivot,
+        Action::Command,
+    );
+    check(
+        "scheduler reads pivot data",
+        &sched,
+        &matopiba_pivot,
+        Action::Read,
+    );
 
     // Bulk validation probe.
     let mut validations = 0;
@@ -435,7 +478,13 @@ impl E9Result {
     pub fn report(&self) -> Report {
         let mut r = Report::new(
             "E9: device-lifecycle ledger growth and verification",
-            &["devices", "blocks", "events", "verify_ok", "events_per_device"],
+            &[
+                "devices",
+                "blocks",
+                "events",
+                "verify_ok",
+                "events_per_device",
+            ],
         );
         for (d, b, e, ok, per) in &self.rows {
             r.push_row(vec![
@@ -464,12 +513,16 @@ pub fn e9_ledger(seed: u64) -> E9Result {
                 let id = format!("dev-{}", batch * 10 + i);
                 events.push(LifecycleEvent {
                     device_id: id.clone(),
-                    kind: LifecycleKind::Manufactured { hw_rev: "B1".into() },
+                    kind: LifecycleKind::Manufactured {
+                        hw_rev: "B1".into(),
+                    },
                     at: SimTime::from_hours(batch as u64),
                 });
                 events.push(LifecycleEvent {
                     device_id: id.clone(),
-                    kind: LifecycleKind::Provisioned { owner: "owner:pilot".into() },
+                    kind: LifecycleKind::Provisioned {
+                        owner: "owner:pilot".into(),
+                    },
                     at: SimTime::from_hours(batch as u64),
                 });
                 events.push(LifecycleEvent {
@@ -599,6 +652,126 @@ pub fn e11_platform_scale(seed: u64) -> E11Result {
     }
 }
 
+/// One devices×deployment cell of the E11c broker-throughput sweep.
+#[derive(Clone, Debug)]
+pub struct BrokerScaleRow {
+    /// `cloud_only` or `farm_fog`.
+    pub deployment: &'static str,
+    /// Fleet size.
+    pub devices: usize,
+    /// Entity updates pushed through ingestion.
+    pub updates: u64,
+    /// Wall-clock time spent in the timed region (ingest + pump + drain).
+    pub elapsed_ms: f64,
+    /// Updates per wall-clock second.
+    pub throughput_per_s: f64,
+    /// Mean wall-clock cost per update, microseconds.
+    pub mean_update_us: f64,
+}
+
+/// E11c results: wall-clock ingest throughput of the broker hot path.
+#[derive(Clone, Debug)]
+pub struct E11BrokerScaleResult {
+    /// One row per (deployment, fleet size).
+    pub rows: Vec<BrokerScaleRow>,
+}
+
+impl E11BrokerScaleResult {
+    /// The devices×deployment throughput/latency table.
+    pub fn report(&self) -> Report {
+        let mut r = Report::new(
+            "E11c: broker ingest throughput — post-validation hot path (wall clock, 1 fleet-wide subscriber)",
+            &["deployment", "devices", "updates", "elapsed_ms", "updates_per_s", "us_per_update"],
+        );
+        for row in &self.rows {
+            r.push_row(vec![
+                row.deployment.to_owned(),
+                row.devices.to_string(),
+                row.updates.to_string(),
+                fmt_f(row.elapsed_ms, 1),
+                fmt_f(row.throughput_per_s, 0),
+                fmt_f(row.mean_update_us, 2),
+            ]);
+        }
+        r
+    }
+}
+
+/// Runs E11c: fleets of {100, 1k, 10k} devices (or the given sizes) publish
+/// telemetry rounds into both deployment configurations; measures the
+/// wall-clock cost of the post-validation hot path — history appends,
+/// batched broker upsert with subscriber fan-out, fog replication enqueue,
+/// replication pump and notification drain. Radio/crypto are bypassed
+/// (`Platform::ingest_entities`) so the number isolates the storage and
+/// fan-out layers this PR optimizes, and 10k-device fleets stay feasible.
+pub fn e11_broker_scale(device_counts: &[usize]) -> E11BrokerScaleResult {
+    use swamp_core::broker::SubscriptionFilter;
+    let mut rows = Vec::new();
+    for (config, deployment) in [
+        (DeploymentConfig::CloudOnly, "cloud_only"),
+        (DeploymentConfig::FarmFog, "farm_fog"),
+    ] {
+        for &devices in device_counts {
+            if devices == 0 {
+                continue;
+            }
+            let mut platform = Platform::new(7, config);
+            // One fleet-wide subscriber stands in for the irrigation
+            // service: every update fans out to it and is drained each
+            // round, like `IrrigationService::absorb_notifications`.
+            let sub = platform.context.subscribe(SubscriptionFilter {
+                entity_type: Some("SoilProbe".into()),
+                id_prefix: None,
+                watched_attrs: vec![],
+            });
+            // ~100k updates per cell at the real fleet sizes; the round
+            // cap keeps tiny (test-sized) fleets cheap.
+            let rounds = (100_000 / devices).clamp(5, 1000);
+            let mut drained = Vec::new();
+            let mut updates = 0u64;
+            let mut elapsed = std::time::Duration::ZERO;
+            for round in 0..rounds {
+                let t = SimTime::from_secs(round as u64 * 60);
+                let batch: Vec<Entity> = (0..devices)
+                    .map(|i| {
+                        let mut e = Entity::new(format!("urn:swamp:device:probe-{i}"), "SoilProbe");
+                        e.set("moisture_vwc", 0.2 + (round % 100) as f64 * 0.001);
+                        e.set("seq", round as f64);
+                        e
+                    })
+                    .collect();
+                let start = std::time::Instant::now();
+                updates += platform.ingest_entities(t, batch) as u64;
+                platform.pump(t);
+                platform
+                    .context
+                    .drain_notifications_into(sub, &mut drained)
+                    .expect("fleet subscriber stays registered");
+                elapsed += start.elapsed();
+                drained.clear();
+            }
+            let secs = elapsed.as_secs_f64();
+            rows.push(BrokerScaleRow {
+                deployment,
+                devices,
+                updates,
+                elapsed_ms: secs * 1e3,
+                throughput_per_s: if secs > 0.0 {
+                    updates as f64 / secs
+                } else {
+                    0.0
+                },
+                mean_update_us: if updates > 0 {
+                    secs * 1e6 / updates as f64
+                } else {
+                    0.0
+                },
+            });
+        }
+    }
+    E11BrokerScaleResult { rows }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -614,7 +787,10 @@ mod tests {
         let (frac, cloud, fog, replicated) = *r.rows.last().unwrap();
         assert!(cloud < 1.0 - frac + 0.1, "cloud availability {cloud}");
         assert!((fog - 1.0).abs() < 1e-9, "fog availability {fog}");
-        assert!(replicated > 0.95, "replication after reconnect {replicated}");
+        assert!(
+            replicated > 0.95,
+            "replication after reconnect {replicated}"
+        );
         // Buffer ablation: bigger buffers deliver more history.
         let first = r.buffer_ablation.first().unwrap().1;
         let last = r.buffer_ablation.last().unwrap().1;
@@ -632,7 +808,11 @@ mod tests {
         // margin-adjusted one stays low.
         let sparse = r.rows.last().unwrap();
         assert!(sparse.4 > 0.2, "naive FPR at sparse coverage {}", sparse.4);
-        assert!(sparse.5 < sparse.4 / 2.0, "margin must cut FPR: {:?}", sparse);
+        assert!(
+            sparse.5 < sparse.4 / 2.0,
+            "margin must cut FPR: {:?}",
+            sparse
+        );
     }
 
     #[test]
@@ -678,6 +858,24 @@ mod tests {
             assert_eq!(*per_device, 3);
             assert_eq!(*blocks, (devices / 10) as u64 + 1); // + genesis
         }
+    }
+
+    #[test]
+    fn e11_broker_scale_covers_both_deployments() {
+        // Tiny fleets keep the test fast; the bench_e11 binary runs the
+        // real 100/1k/10k sweep.
+        let r = e11_broker_scale(&[3, 7]);
+        assert_eq!(r.rows.len(), 4, "2 deployments x 2 fleet sizes");
+        for row in &r.rows {
+            let rounds = (100_000 / row.devices).clamp(5, 1000) as u64;
+            assert_eq!(row.updates, rounds * row.devices as u64);
+            assert!(row.throughput_per_s > 0.0);
+            assert!(row.mean_update_us > 0.0);
+        }
+        assert!(r.rows.iter().any(|r| r.deployment == "cloud_only"));
+        assert!(r.rows.iter().any(|r| r.deployment == "farm_fog"));
+        let table = r.report().to_string();
+        assert!(table.contains("updates_per_s"));
     }
 
     #[test]

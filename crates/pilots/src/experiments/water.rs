@@ -9,9 +9,7 @@ use swamp_irrigation::source::WaterSource;
 use swamp_sim::SimRng;
 
 use crate::report::{fmt_f, fmt_pct, Report};
-use crate::season::{
-    heterogeneous_zones, run_season_mode, ApplicationMode, SeasonConfig,
-};
+use crate::season::{heterogeneous_zones, run_season_mode, ApplicationMode, SeasonConfig};
 
 /// One E1 configuration's season totals.
 #[derive(Clone, Debug)]
@@ -98,19 +96,18 @@ impl E1Result {
 
 /// Runs E1.
 pub fn e1_water_energy(seed: u64) -> E1Result {
-    let mk_config = |zones: usize,
-                     policy: Box<dyn Fn() -> Box<dyn IrrigationPolicy>>|
-     -> SeasonConfig {
-        let mut rng = SimRng::seed_from(seed ^ 0xE1);
-        SeasonConfig {
-            climate: ClimateProfile::barreiras(),
-            crop: Crop::soybean(),
-            zones: heterogeneous_zones(zones, 100.0 / zones as f64, &mut rng),
-            sowing_doy: 121,
-            source: WaterSource::matopiba_well(),
-            policy,
-        }
-    };
+    let mk_config =
+        |zones: usize, policy: Box<dyn Fn() -> Box<dyn IrrigationPolicy>>| -> SeasonConfig {
+            let mut rng = SimRng::seed_from(seed ^ 0xE1);
+            SeasonConfig {
+                climate: ClimateProfile::barreiras(),
+                crop: Crop::soybean(),
+                zones: heterogeneous_zones(zones, 100.0 / zones as f64, &mut rng),
+                sowing_doy: 121,
+                source: WaterSource::matopiba_well(),
+                policy,
+            }
+        };
 
     #[derive(Clone, Copy)]
     enum PolicyKind {
@@ -154,12 +151,8 @@ pub fn e1_water_energy(seed: u64) -> E1Result {
     let ablation = [1usize, 2, 4, 8, 16]
         .iter()
         .map(|&groups| {
-            let config = mk_config(
-                16,
-                Box::new(|| Box::new(ThresholdRefill::new(1.0))),
-            );
-            let outcome =
-                run_season_mode(&config, seed, ApplicationMode::Grouped(groups));
+            let config = mk_config(16, Box::new(|| Box::new(ThresholdRefill::new(1.0))));
+            let outcome = run_season_mode(&config, seed, ApplicationMode::Grouped(groups));
             (groups, outcome.account.volume_m3)
         })
         .collect();
@@ -206,9 +199,7 @@ impl E10Result {
 pub fn e10_distribution(seed: u64) -> E10Result {
     let mut rng = SimRng::seed_from(seed ^ 0xE10);
     // Demands: 20 farms, 100–400 m³/day each.
-    let demands: Vec<f64> = (0..20)
-        .map(|_| rng.uniform_range(100.0, 400.0))
-        .collect();
+    let demands: Vec<f64> = (0..20).map(|_| rng.uniform_range(100.0, 400.0)).collect();
     let total_demand: f64 = demands.iter().sum();
 
     let mut rows = Vec::new();
@@ -217,8 +208,7 @@ pub fn e10_distribution(seed: u64) -> E10Result {
         // Two trunks of two branches of five farms each.
         let mut farm_ids = Vec::new();
         for t in 0..2 {
-            let trunk =
-                net.add_junction(net.root(), total_demand * supply_frac * 0.55);
+            let trunk = net.add_junction(net.root(), total_demand * supply_frac * 0.55);
             for b in 0..2 {
                 let branch_capacity = total_demand * supply_frac * 0.30;
                 let branch = net.add_junction(trunk, branch_capacity);

@@ -84,10 +84,10 @@ impl PilotSite {
     /// Sowing day of year (season placement per pilot agronomy).
     pub fn sowing_doy(&self) -> u32 {
         match self {
-            PilotSite::Cbec => 105,      // mid-April transplanting
-            PilotSite::Intercrop => 75,  // spring planting
-            PilotSite::Guaspari => 30,   // pruning places ripening in the dry winter
-            PilotSite::Matopiba => 121,  // dry-season sowing under pivots
+            PilotSite::Cbec => 105,     // mid-April transplanting
+            PilotSite::Intercrop => 75, // spring planting
+            PilotSite::Guaspari => 30,  // pruning places ripening in the dry winter
+            PilotSite::Matopiba => 121, // dry-season sowing under pivots
         }
     }
 

@@ -141,11 +141,7 @@ pub fn run_season(config: &SeasonConfig, seed: u64) -> SeasonOutcome {
 }
 
 /// Runs one season with an explicit application mode.
-pub fn run_season_mode(
-    config: &SeasonConfig,
-    seed: u64,
-    mode: ApplicationMode,
-) -> SeasonOutcome {
+pub fn run_season_mode(config: &SeasonConfig, seed: u64, mode: ApplicationMode) -> SeasonOutcome {
     let mut rng = SimRng::seed_from(seed);
     let mut weather = WeatherGenerator::new(config.climate, rng.split("weather"));
     let season_days = config.crop.season_days();
@@ -221,7 +217,8 @@ pub fn run_season_mode(
                 irrigation_mm: depth,
                 etc_mm: etc_zone,
             });
-            z.crop_state.advance_day(etc_zone, outcome.eta_mm, outcome.ks);
+            z.crop_state
+                .advance_day(etc_zone, outcome.eta_mm, outcome.ks);
         }
     }
 
@@ -265,10 +262,7 @@ mod tests {
     #[test]
     fn irrigated_beats_rainfed_in_dry_season() {
         let rainfed = run_season(&config(Box::new(|| Box::new(Rainfed))), 7);
-        let smart = run_season(
-            &config(Box::new(|| Box::new(ThresholdRefill::new(1.0)))),
-            7,
-        );
+        let smart = run_season(&config(Box::new(|| Box::new(ThresholdRefill::new(1.0)))), 7);
         assert!(
             smart.mean_yield() > rainfed.mean_yield() + 0.2,
             "smart {:.2} vs rainfed {:.2}",
@@ -285,10 +279,7 @@ mod tests {
             &config(Box::new(|| Box::new(FixedCalendar::new(3, 25.0)))),
             7,
         );
-        let smart = run_season(
-            &config(Box::new(|| Box::new(ThresholdRefill::new(1.0)))),
-            7,
-        );
+        let smart = run_season(&config(Box::new(|| Box::new(ThresholdRefill::new(1.0)))), 7);
         assert!(
             smart.account.volume_m3 < fixed.account.volume_m3,
             "smart {:.0} m3 vs fixed {:.0} m3",
@@ -317,10 +308,7 @@ mod tests {
 
     #[test]
     fn outcome_invariants() {
-        let o = run_season(
-            &config(Box::new(|| Box::new(ThresholdRefill::new(1.0)))),
-            9,
-        );
+        let o = run_season(&config(Box::new(|| Box::new(ThresholdRefill::new(1.0)))), 9);
         assert_eq!(o.zones.len(), 8);
         assert_eq!(o.days, Crop::soybean().season_days());
         for z in &o.zones {
@@ -356,8 +344,7 @@ mod tests {
             }
         };
         let full = run_season(&mk(Box::new(|| Box::new(EtReplacement::new(1.0)))), 5);
-        let deficit_run =
-            run_season(&mk(Box::new(|| Box::new(DeficitMaintain::new(0.65)))), 5);
+        let deficit_run = run_season(&mk(Box::new(|| Box::new(DeficitMaintain::new(0.65)))), 5);
         assert!(
             deficit_run.wine_quality() > full.wine_quality(),
             "deficit quality {:.0} vs full {:.0}",

@@ -202,12 +202,7 @@ impl Pdp {
     /// Order: explicit deny > ownership > explicit allow > default deny.
     /// (A deny policy can therefore fence even the owner — e.g. a consortium
     /// lock on gates during maintenance.)
-    pub fn decide(
-        &mut self,
-        token: &TokenInfo,
-        resource: &Resource,
-        action: Action,
-    ) -> Decision {
+    pub fn decide(&mut self, token: &TokenInfo, resource: &Resource, action: Action) -> Decision {
         self.decisions += 1;
         let mut allowed = false;
         for p in &self.policies {
@@ -222,9 +217,7 @@ impl Pdp {
             }
         }
         // Ownership: subject holds the owner scope or *is* the owner string.
-        if token.subject == resource.owner
-            || token.has_scope(&format!("role:{}", resource.owner))
-        {
+        if token.subject == resource.owner || token.has_scope(&format!("role:{}", resource.owner)) {
             return Decision::PermitOwner;
         }
         if allowed {
@@ -244,7 +237,10 @@ mod tests {
     fn token(subject: &str, scopes: &[&str]) -> TokenInfo {
         TokenInfo {
             subject: subject.to_owned(),
-            scopes: scopes.iter().map(|s| (*s).to_owned()).collect::<BTreeSet<_>>(),
+            scopes: scopes
+                .iter()
+                .map(|s| (*s).to_owned())
+                .collect::<BTreeSet<_>>(),
             expires_at: SimTime::from_hours(1),
         }
     }
@@ -338,10 +334,18 @@ mod tests {
             &[Action::Command],
         ));
         assert!(pdp
-            .decide(&token("client:scheduler", &[]), &guaspari_probe(), Action::Command)
+            .decide(
+                &token("client:scheduler", &[]),
+                &guaspari_probe(),
+                Action::Command
+            )
             .is_permit());
         assert!(!pdp
-            .decide(&token("client:other", &[]), &guaspari_probe(), Action::Command)
+            .decide(
+                &token("client:other", &[]),
+                &guaspari_probe(),
+                Action::Command
+            )
             .is_permit());
     }
 
@@ -355,7 +359,9 @@ mod tests {
             &[Action::Read],
         ));
         let r = Resource::new("anything", "owner:x");
-        assert!(pdp.decide(&token("user:a", &[]), &r, Action::Read).is_permit());
+        assert!(pdp
+            .decide(&token("user:a", &[]), &r, Action::Read)
+            .is_permit());
     }
 
     #[test]

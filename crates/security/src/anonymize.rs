@@ -99,8 +99,14 @@ pub fn k_anonymize(
         });
     }
 
-    let area_min = records.iter().map(|r| r.area_ha).fold(f64::INFINITY, f64::min);
-    let area_max = records.iter().map(|r| r.area_ha).fold(f64::NEG_INFINITY, f64::max);
+    let area_min = records
+        .iter()
+        .map(|r| r.area_ha)
+        .fold(f64::INFINITY, f64::min);
+    let area_max = records
+        .iter()
+        .map(|r| r.area_ha)
+        .fold(f64::NEG_INFINITY, f64::max);
     let yield_min = records
         .iter()
         .map(|r| r.yield_t_ha)
@@ -116,8 +122,8 @@ pub fn k_anonymize(
     // occupied cell has ≥ k members wins.
     for buckets in (1..=records.len()).rev() {
         let cell = |r: &YieldRecord| {
-            let a = (((r.area_ha - area_min) / area_span * buckets as f64) as usize)
-                .min(buckets - 1);
+            let a =
+                (((r.area_ha - area_min) / area_span * buckets as f64) as usize).min(buckets - 1);
             let y = (((r.yield_t_ha - yield_min) / yield_span * buckets as f64) as usize)
                 .min(buckets - 1);
             (a, y)
@@ -147,8 +153,7 @@ pub fn k_anonymize(
                     }
                 })
                 .collect();
-            let information_loss =
-                ((area_w / area_span) + (yield_w / yield_span)) / 2.0;
+            let information_loss = ((area_w / area_span) + (yield_w / yield_span)) / 2.0;
             return Ok(AnonymizationReport {
                 records: out,
                 min_class_size: min_class,
@@ -219,10 +224,7 @@ mod tests {
         assert_eq!(report.records.len(), 40);
         // Every original value lies inside its published interval.
         for (orig, anon) in records.iter().zip(&report.records) {
-            assert!(
-                anon.area_range.0 <= orig.area_ha
-                    && orig.area_ha <= anon.area_range.1 + 1e-9
-            );
+            assert!(anon.area_range.0 <= orig.area_ha && orig.area_ha <= anon.area_range.1 + 1e-9);
             assert!(
                 anon.yield_range.0 <= orig.yield_t_ha
                     && orig.yield_t_ha <= anon.yield_range.1 + 1e-9

@@ -63,8 +63,9 @@ impl DosFlooder {
 
     /// Emits the flood for the window `[from, to)`.
     pub fn flood_window(&mut self, net: &mut Network, from: SimTime, to: SimTime) {
-        let interval =
-            SimDuration::from_secs_f64(1.0 / self.rate_per_sec).as_millis().max(1);
+        let interval = SimDuration::from_secs_f64(1.0 / self.rate_per_sec)
+            .as_millis()
+            .max(1);
         let mut t = from;
         while t < to {
             let msg = Message::new("flood/junk", vec![0xAA; self.payload_bytes]);
@@ -121,7 +122,10 @@ impl SensorTamper {
             TamperMode::Offset(o) => value + o,
             TamperMode::Scale(s) => value * s,
             TamperMode::Replace(v) => v,
-            TamperMode::Drift { rate_per_day, start } => {
+            TamperMode::Drift {
+                rate_per_day,
+                start,
+            } => {
                 let days = now.saturating_duration_since(start).as_days_f64();
                 value + rate_per_day * days
             }
@@ -197,7 +201,10 @@ impl Eavesdropper {
     /// Processes captured payloads (from `Network::tap_captures`).
     pub fn process<'a>(&mut self, payloads: impl IntoIterator<Item = &'a [u8]>) {
         for p in payloads {
-            match std::str::from_utf8(p).ok().and_then(|s| Json::parse(s).ok()) {
+            match std::str::from_utf8(p)
+                .ok()
+                .and_then(|s| Json::parse(s).ok())
+            {
                 Some(json) => self
                     .intercepted
                     .push(Interception::Plaintext(json.to_compact_string())),
@@ -363,7 +370,10 @@ mod tests {
             SensorTamper::new(TamperMode::Offset(0.1)).distort(0.2, now),
             0.30000000000000004
         );
-        assert_eq!(SensorTamper::new(TamperMode::Scale(2.0)).distort(0.2, now), 0.4);
+        assert_eq!(
+            SensorTamper::new(TamperMode::Scale(2.0)).distort(0.2, now),
+            0.4
+        );
         assert_eq!(
             SensorTamper::new(TamperMode::Replace(0.9)).distort(0.2, now),
             0.9
@@ -387,8 +397,7 @@ mod tests {
         let mean: f64 = reports.iter().map(|(_, v)| v).sum::<f64>() / 20.0;
         assert!((mean - 0.9).abs() < 0.02);
         // Distinct identities.
-        let unique: std::collections::BTreeSet<_> =
-            reports.iter().map(|(id, _)| id).collect();
+        let unique: std::collections::BTreeSet<_> = reports.iter().map(|(id, _)| id).collect();
         assert_eq!(unique.len(), 20);
     }
 
@@ -396,8 +405,7 @@ mod tests {
     fn eavesdropper_reads_plaintext_not_ciphertext() {
         let mut eve = Eavesdropper::new();
         let plain = br#"{"yield_t_ha": 3.4, "farm": "guaspari"}"#;
-        let sealed = swamp_crypto::SecretKey::derive(b"k", "link")
-            .seal(&[0u8; 12], b"", plain);
+        let sealed = swamp_crypto::SecretKey::derive(b"k", "link").seal(&[0u8; 12], b"", plain);
         eve.process([plain.as_slice(), sealed.as_slice()]);
         assert_eq!(eve.intercepted().len(), 2);
         assert!(matches!(eve.intercepted()[0], Interception::Plaintext(_)));

@@ -118,10 +118,7 @@ impl MarkovBaseline {
         for w in window.windows(2) {
             sum += self.transition_log_prob(&w[0], &w[1]);
         }
-        sum += self.transition_log_prob(
-            window.last().expect("non-empty"),
-            Self::END,
-        );
+        sum += self.transition_log_prob(window.last().expect("non-empty"), Self::END);
         sum / (window.len() + 1) as f64
     }
 }
@@ -139,11 +136,7 @@ impl BehaviorDetector {
     ///
     /// # Panics
     /// Panics if `holdout` is empty.
-    pub fn calibrate(
-        baseline: MarkovBaseline,
-        holdout: &[Vec<EventSymbol>],
-        margin: f64,
-    ) -> Self {
+    pub fn calibrate(baseline: MarkovBaseline, holdout: &[Vec<EventSymbol>], margin: f64) -> Self {
         assert!(!holdout.is_empty(), "need held-out windows to calibrate");
         let min_normal = holdout
             .iter()
@@ -242,8 +235,7 @@ mod tests {
             let c = noisy_cycle(&mut rng);
             baseline.train(&c);
         }
-        let holdout: Vec<Vec<EventSymbol>> =
-            (0..50).map(|_| noisy_cycle(&mut rng)).collect();
+        let holdout: Vec<Vec<EventSymbol>> = (0..50).map(|_| noisy_cycle(&mut rng)).collect();
         BehaviorDetector::calibrate(baseline, &holdout, 0.5)
     }
 

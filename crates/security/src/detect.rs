@@ -236,9 +236,10 @@ impl RateGuard {
     /// Records one message from a source; returns an alert if its current
     /// window is exploding relative to its own baseline or the fleet norm.
     pub fn observe(&mut self, source: &str, now: SimTime) -> Verdict {
-        let entry = self.history.entry(source.to_owned()).or_insert_with(|| {
-            (now, 0, Ewma::new(0.3))
-        });
+        let entry = self
+            .history
+            .entry(source.to_owned())
+            .or_insert_with(|| (now, 0, Ewma::new(0.3)));
         let (window_start, count, baseline) = entry;
         if now.saturating_duration_since(*window_start) >= self.window {
             // Close the window into the baselines and start a new one.
@@ -473,9 +474,9 @@ mod tests {
         let mut now = SimTime::ZERO;
         for _ in 0..50 {
             for i in 0..3u64 {
-                assert!(
-                    !g.observe("ws-1", now + SimDuration::from_secs(i)).is_anomalous()
-                );
+                assert!(!g
+                    .observe("ws-1", now + SimDuration::from_secs(i))
+                    .is_anomalous());
             }
             now += SimDuration::from_secs(10);
         }

@@ -195,7 +195,11 @@ impl IdentityProvider {
         self.counter += 1;
         let body = format!("{}|{}|{}", subject, self.counter, now.as_millis());
         let tag = hmac_sha256(&self.signing_key, body.as_bytes());
-        let token_str = format!("{}.{}", to_hex(&Sha256::digest(body.as_bytes())), to_hex(&tag[..16]));
+        let token_str = format!(
+            "{}.{}",
+            to_hex(&Sha256::digest(body.as_bytes())),
+            to_hex(&tag[..16])
+        );
         self.issued.insert(
             token_str.clone(),
             IssuedToken {
@@ -258,8 +262,7 @@ impl IdentityProvider {
         if !constant_time_eq(&user.password_hash, &hash_secret(password)) {
             return Err(AuthError::InvalidCredentials);
         }
-        let scopes: BTreeSet<Scope> =
-            user.roles.iter().map(|r| format!("role:{r}")).collect();
+        let scopes: BTreeSet<Scope> = user.roles.iter().map(|r| format!("role:{r}")).collect();
         let subject = format!("user:{username}");
         let access = self.mint(subject.clone(), scopes.clone(), now);
         self.counter += 1;
@@ -267,8 +270,7 @@ impl IdentityProvider {
             &self.signing_key,
             format!("refresh|{subject}|{}", self.counter).as_bytes(),
         ));
-        self.refresh
-            .insert(refresh_str.clone(), (subject, scopes));
+        self.refresh.insert(refresh_str.clone(), (subject, scopes));
         Ok((access, Token(refresh_str)))
     }
 
@@ -381,12 +383,7 @@ mod tests {
     fn scope_escalation_rejected() {
         let mut i = idm();
         assert_eq!(
-            i.client_credentials_grant(
-                SimTime::ZERO,
-                "gw",
-                "gw-secret",
-                &["actuator:command"]
-            ),
+            i.client_credentials_grant(SimTime::ZERO, "gw", "gw-secret", &["actuator:command"]),
             Err(AuthError::ScopeNotAllowed("actuator:command".into()))
         );
     }
@@ -453,7 +450,10 @@ mod tests {
     fn forged_token_rejected() {
         let i = idm();
         let forged = Token("deadbeef.cafebabe".to_owned());
-        assert_eq!(i.validate(SimTime::ZERO, &forged), Err(AuthError::InvalidToken));
+        assert_eq!(
+            i.validate(SimTime::ZERO, &forged),
+            Err(AuthError::InvalidToken)
+        );
     }
 
     #[test]

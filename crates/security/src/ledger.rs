@@ -335,9 +335,7 @@ impl Ledger {
             match &event.kind {
                 LifecycleKind::Manufactured { .. } => {}
                 LifecycleKind::Provisioned { owner } => state.owner = Some(owner.clone()),
-                LifecycleKind::Transferred { new_owner } => {
-                    state.owner = Some(new_owner.clone())
-                }
+                LifecycleKind::Transferred { new_owner } => state.owner = Some(new_owner.clone()),
                 LifecycleKind::FirmwareUpdated { version } => {
                     state.firmware = Some(version.clone())
                 }
@@ -456,10 +454,18 @@ mod tests {
             "cbec",
             SimTime::from_secs(1),
             vec![
-                event("probe-1", LifecycleKind::Manufactured { hw_rev: "A2".into() }, 0),
                 event(
                     "probe-1",
-                    LifecycleKind::Provisioned { owner: "owner:cbec".into() },
+                    LifecycleKind::Manufactured {
+                        hw_rev: "A2".into(),
+                    },
+                    0,
+                ),
+                event(
+                    "probe-1",
+                    LifecycleKind::Provisioned {
+                        owner: "owner:cbec".into(),
+                    },
                     1,
                 ),
             ],
@@ -471,7 +477,9 @@ mod tests {
             vec![
                 event(
                     "probe-1",
-                    LifecycleKind::FirmwareUpdated { version: "1.2.0".into() },
+                    LifecycleKind::FirmwareUpdated {
+                        version: "1.2.0".into(),
+                    },
                     2,
                 ),
                 event("probe-1", LifecycleKind::KeyRotated { epoch: 3 }, 2),
@@ -525,7 +533,9 @@ mod tests {
         // produce valid signatures without the authority key.
         let events = vec![event(
             "probe-1",
-            LifecycleKind::Transferred { new_owner: "owner:mallory".into() },
+            LifecycleKind::Transferred {
+                new_owner: "owner:mallory".into(),
+            },
             5,
         )];
         let prev_hash = l.blocks[2].hash.clone();
@@ -551,7 +561,9 @@ mod tests {
             SimTime::from_secs(10),
             vec![event(
                 "probe-1",
-                LifecycleKind::Transferred { new_owner: "owner:guaspari".into() },
+                LifecycleKind::Transferred {
+                    new_owner: "owner:guaspari".into(),
+                },
                 10,
             )],
         )
@@ -565,7 +577,9 @@ mod tests {
             SimTime::from_secs(11),
             vec![event(
                 "probe-1",
-                LifecycleKind::Revoked { reason: "compromised".into() },
+                LifecycleKind::Revoked {
+                    reason: "compromised".into(),
+                },
                 11,
             )],
         )
@@ -582,7 +596,9 @@ mod tests {
             min_key_epoch: Some(2),
             allowed_firmware: vec!["1.2.0".into()],
         };
-        assert!(contract.evaluate(&l.device_state("probe-1")).is_authorized());
+        assert!(contract
+            .evaluate(&l.device_state("probe-1"))
+            .is_authorized());
     }
 
     #[test]
@@ -623,7 +639,9 @@ mod tests {
             SimTime::from_secs(20),
             vec![event(
                 "probe-1",
-                LifecycleKind::Revoked { reason: "stolen".into() },
+                LifecycleKind::Revoked {
+                    reason: "stolen".into(),
+                },
                 20,
             )],
         )
@@ -634,7 +652,11 @@ mod tests {
         l.append(
             "cbec",
             SimTime::from_secs(21),
-            vec![event("probe-2", LifecycleKind::Provisioned { owner: "o".into() }, 21)],
+            vec![event(
+                "probe-2",
+                LifecycleKind::Provisioned { owner: "o".into() },
+                21,
+            )],
         )
         .unwrap();
         l.append(

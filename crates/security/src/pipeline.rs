@@ -15,8 +15,7 @@ use std::collections::BTreeMap;
 use swamp_sim::SimTime;
 
 use crate::detect::{
-    CusumDetector, RangeValidator, SeqEvent, SeqMonitor, Severity, Verdict,
-    ZScoreDetector,
+    CusumDetector, RangeValidator, SeqEvent, SeqMonitor, Severity, Verdict, ZScoreDetector,
 };
 
 /// Evidence type an alert is based on.
@@ -148,11 +147,10 @@ impl DetectorBank {
         severity: Severity,
         value: Option<f64>,
     ) {
-        *self.device_score.entry(device.to_owned()).or_insert(0) +=
-            match severity {
-                Severity::Warning => 1,
-                Severity::Alert => 3,
-            };
+        *self.device_score.entry(device.to_owned()).or_insert(0) += match severity {
+            Severity::Warning => 1,
+            Severity::Alert => 3,
+        };
         self.alerts.push(Alert {
             device: device.to_owned(),
             quantity: quantity.to_owned(),
@@ -194,9 +192,7 @@ impl DetectorBank {
         let z = stream.zscore.observe(value);
         let c = stream.cusum.observe(value);
         let verdict = match (z, c) {
-            (Verdict::Anomalous(s), _) | (_, Verdict::Anomalous(s)) => {
-                Verdict::Anomalous(s)
-            }
+            (Verdict::Anomalous(s), _) | (_, Verdict::Anomalous(s)) => Verdict::Anomalous(s),
             _ => Verdict::Normal,
         };
         if let Verdict::Anomalous(severity) = verdict {
@@ -325,8 +321,7 @@ mod tests {
         let mut caught = false;
         for i in 0..150 {
             let v = 0.25 + 0.0015 * i as f64 + rng.normal_with(0.0, 0.004);
-            if b
-                .observe_value(SimTime::from_secs(40 + i), "p", "moisture_vwc", v)
+            if b.observe_value(SimTime::from_secs(40 + i), "p", "moisture_vwc", v)
                 .is_anomalous()
             {
                 caught = true;

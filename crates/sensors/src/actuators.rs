@@ -126,7 +126,10 @@ impl Pump {
     pub fn energy_kwh(&self, now: SimTime) -> f64 {
         let mut e = self.energy_kwh;
         if self.running {
-            e += self.power_kw * now.saturating_duration_since(self.last_change).as_hours_f64();
+            e += self.power_kw
+                * now
+                    .saturating_duration_since(self.last_change)
+                    .as_hours_f64();
         }
         e
     }
@@ -250,9 +253,7 @@ impl CenterPivot {
             )));
         }
         if let Some(bad) = speeds.iter().find(|s| !(0.05..=1.0).contains(*s)) {
-            return Err(InvalidSpeedPlan(format!(
-                "speed {bad} outside (0.05, 1.0]"
-            )));
+            return Err(InvalidSpeedPlan(format!("speed {bad} outside (0.05, 1.0]")));
         }
         self.sector_speeds = speeds;
         Ok(())
@@ -281,8 +282,7 @@ impl CenterPivot {
             self.last_advance = now.max(self.last_advance);
             return applied;
         }
-        let mut remaining_h =
-            now.duration_since(self.last_advance).as_hours_f64();
+        let mut remaining_h = now.duration_since(self.last_advance).as_hours_f64();
         self.last_advance = now;
         let sector_span = 360.0 / self.sectors as f64;
         let base_deg_per_h = 360.0 / self.base_revolution_h;
@@ -301,8 +301,7 @@ impl CenterPivot {
             let sector = ((self.angle_deg / sector_span) as usize) % self.sectors;
             let speed = self.sector_speeds[sector];
             let deg_per_h = base_deg_per_h * speed;
-            let next_boundary = (self.angle_deg / sector_span).floor() * sector_span
-                + sector_span;
+            let next_boundary = (self.angle_deg / sector_span).floor() * sector_span + sector_span;
             let deg_to_boundary = next_boundary - self.angle_deg;
             // Float rounding can leave the angle a hair short of a boundary
             // (e.g. 3·(360/7) computed as 154.28571428571428 while
@@ -412,15 +411,16 @@ mod tests {
     #[test]
     fn vri_slow_sector_gets_more_water() {
         let mut pivot = CenterPivot::new("p", 4, 12.0, 20.0);
-        pivot
-            .set_sector_speeds(vec![1.0, 0.5, 1.0, 1.0])
-            .unwrap();
+        pivot.set_sector_speeds(vec![1.0, 0.5, 1.0, 1.0]).unwrap();
         pivot.start(SimTime::ZERO);
         // Revolution now takes 3+6+3+3 = 15 h.
         assert!((pivot.revolution_hours() - 15.0).abs() < 1e-9);
         let applied = pivot.advance(t(15));
         assert!((applied[0] - 20.0).abs() < 1e-6);
-        assert!((applied[1] - 40.0).abs() < 1e-6, "slow sector doubles depth");
+        assert!(
+            (applied[1] - 40.0).abs() < 1e-6,
+            "slow sector doubles depth"
+        );
         assert!((applied[2] - 20.0).abs() < 1e-6);
     }
 

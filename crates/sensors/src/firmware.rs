@@ -208,7 +208,10 @@ mod tests {
     fn frame_carries_readings_and_housekeeping() {
         let mut f = fw(1);
         let frame = f
-            .assemble(SimTime::ZERO, &[reading("moisture_vwc", 0.31, SimTime::ZERO)])
+            .assemble(
+                SimTime::ZERO,
+                &[reading("moisture_vwc", 0.31, SimTime::ZERO)],
+            )
             .unwrap();
         assert_eq!(frame.entity.number("moisture_vwc"), Some(0.31));
         assert!(frame.entity.number("battery_fraction").unwrap() > 0.99);
@@ -271,8 +274,7 @@ mod tests {
             .assemble(SimTime::ZERO, &[reading("tmax_c", 25.5, SimTime::ZERO)])
             .unwrap();
         let wire = frame.entity.to_json().to_compact_string();
-        let back =
-            Entity::from_json(&swamp_codec::Json::parse(&wire).unwrap()).unwrap();
+        let back = Entity::from_json(&swamp_codec::Json::parse(&wire).unwrap()).unwrap();
         assert_eq!(back, frame.entity);
     }
 }

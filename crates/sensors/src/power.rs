@@ -68,7 +68,7 @@ impl Battery {
         }
         let dt = now.duration_since(self.last_update);
         let drain = self.idle_drain_mw * dt.as_secs_f64(); // mW·s = mJ
-        // Approximate daylight share of the elapsed interval.
+                                                           // Approximate daylight share of the elapsed interval.
         let daylight_fraction = if dt >= SimDuration::from_days(1) {
             0.5
         } else {
@@ -80,8 +80,7 @@ impl Battery {
             }
         };
         let recharge = self.solar_mw * dt.as_secs_f64() * daylight_fraction;
-        self.remaining_mj =
-            (self.remaining_mj - drain + recharge).clamp(0.0, self.capacity_mj);
+        self.remaining_mj = (self.remaining_mj - drain + recharge).clamp(0.0, self.capacity_mj);
         self.last_update = now;
     }
 

@@ -49,8 +49,7 @@ impl SensorNoise {
     pub fn apply(&self, truth: f64, at: SimTime, rng: &mut SimRng) -> f64 {
         truth
             + self.bias
-            + self.drift_per_day * at.as_millis() as f64
-                / swamp_sim::time::MILLIS_PER_DAY as f64
+            + self.drift_per_day * at.as_millis() as f64 / swamp_sim::time::MILLIS_PER_DAY as f64
             + rng.normal_with(0.0, self.noise_sd)
     }
 }
@@ -175,11 +174,22 @@ impl WeatherStation {
             mk("tmin_c", self.temp_noise.apply(day.tmin_c, at, rng)),
             mk(
                 "rh_mean_pct",
-                self.rh_noise.apply(day.rh_mean_pct, at, rng).clamp(0.0, 100.0),
+                self.rh_noise
+                    .apply(day.rh_mean_pct, at, rng)
+                    .clamp(0.0, 100.0),
             ),
-            mk("wind_2m", (day.wind_2m + rng.normal_with(0.0, 0.2)).max(0.0)),
-            mk("solar_mj", (day.solar_mj + rng.normal_with(0.0, 0.5)).max(0.0)),
-            mk("rain_mm", (day.rain_mm + rng.normal_with(0.0, 0.2)).max(0.0)),
+            mk(
+                "wind_2m",
+                (day.wind_2m + rng.normal_with(0.0, 0.2)).max(0.0),
+            ),
+            mk(
+                "solar_mj",
+                (day.solar_mj + rng.normal_with(0.0, 0.5)).max(0.0),
+            ),
+            mk(
+                "rain_mm",
+                (day.rain_mm + rng.normal_with(0.0, 0.2)).max(0.0),
+            ),
         ]
     }
 }
@@ -353,7 +363,10 @@ mod tests {
             drift_per_day: 0.0,
         };
         let probe = SoilMoistureProbe::new("p", 0, noise);
-        assert_eq!(probe.sample(0.5, SimTime::ZERO, &mut rng()).unwrap().value, 1.0);
+        assert_eq!(
+            probe.sample(0.5, SimTime::ZERO, &mut rng()).unwrap().value,
+            1.0
+        );
     }
 
     #[test]
@@ -392,7 +405,14 @@ mod tests {
         let quantities: Vec<_> = readings.iter().map(|r| r.quantity).collect();
         assert_eq!(
             quantities,
-            vec!["tmax_c", "tmin_c", "rh_mean_pct", "wind_2m", "solar_mj", "rain_mm"]
+            vec![
+                "tmax_c",
+                "tmin_c",
+                "rh_mean_pct",
+                "wind_2m",
+                "solar_mj",
+                "rain_mm"
+            ]
         );
         // Values near truth.
         assert!((readings[0].value - 25.0).abs() < 2.0);

@@ -1,5 +1,9 @@
 //! Property-based tests for the device models.
 
+// Gated: proptest is not resolvable in the offline build environment.
+// See the `proptest-tests` feature note in this crate's Cargo.toml.
+#![cfg(feature = "proptest-tests")]
+
 use proptest::prelude::*;
 use swamp_sensors::actuators::{CenterPivot, Pump};
 use swamp_sensors::power::Battery;

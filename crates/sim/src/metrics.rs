@@ -103,10 +103,7 @@ impl Metrics {
             self.gauges.insert(k.clone(), *v);
         }
         for (k, v) in &other.summaries {
-            self.summaries
-                .entry(k.clone())
-                .or_default()
-                .merge(v);
+            self.summaries.entry(k.clone()).or_default().merge(v);
         }
     }
 

@@ -68,10 +68,7 @@ impl SimRng {
 
     /// Next raw 64 bits (xoshiro256**).
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -166,7 +163,10 @@ impl SimRng {
     /// # Panics
     /// Panics if `lambda <= 0`.
     pub fn exponential(&mut self, lambda: f64) -> f64 {
-        assert!(lambda > 0.0, "exponential rate must be positive, got {lambda}");
+        assert!(
+            lambda > 0.0,
+            "exponential rate must be positive, got {lambda}"
+        );
         // Inverse CDF; 1-u avoids ln(0).
         -(1.0 - self.uniform_f64()).ln() / lambda
     }
@@ -179,7 +179,10 @@ impl SimRng {
     /// # Panics
     /// Panics if `mean` is negative or not finite.
     pub fn poisson(&mut self, mean: f64) -> u64 {
-        assert!(mean.is_finite() && mean >= 0.0, "invalid Poisson mean {mean}");
+        assert!(
+            mean.is_finite() && mean >= 0.0,
+            "invalid Poisson mean {mean}"
+        );
         if mean == 0.0 {
             return 0;
         }
@@ -319,8 +322,7 @@ mod tests {
         let mut r = SimRng::seed_from(17);
         let n = 50_000;
         for target in [0.5, 4.0, 50.0] {
-            let mean: f64 =
-                (0..n).map(|_| r.poisson(target) as f64).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n).map(|_| r.poisson(target) as f64).sum::<f64>() / n as f64;
             assert!(
                 (mean - target).abs() < target.max(1.0) * 0.05,
                 "target {target} mean {mean}"

@@ -107,9 +107,7 @@ impl OnlineStats {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -277,7 +275,11 @@ impl Histogram {
         for (i, &c) in self.bins.iter().enumerate() {
             let next = cum + c as f64;
             if next >= target && c > 0 {
-                let frac = if c == 0 { 0.0 } else { (target - cum) / c as f64 };
+                let frac = if c == 0 {
+                    0.0
+                } else {
+                    (target - cum) / c as f64
+                };
                 return Some(self.lo + (i as f64 + frac.clamp(0.0, 1.0)) * width);
             }
             cum = next;

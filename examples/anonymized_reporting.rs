@@ -51,11 +51,7 @@ fn main() {
             for r in report.records.iter().take(3) {
                 println!(
                     "      {}  area [{:.0}, {:.0}) ha  yield [{:.2}, {:.2}) t/ha",
-                    r.pseudonym,
-                    r.area_range.0,
-                    r.area_range.1,
-                    r.yield_range.0,
-                    r.yield_range.1
+                    r.pseudonym, r.area_range.0, r.area_range.1, r.yield_range.0, r.yield_range.1
                 );
             }
         }

@@ -24,7 +24,12 @@ fn main() {
     let d = net.add_farm(net.root(), 200.0);
     let demands = net.demands();
 
-    let names = ["A (trunk)", "B (branch)", "C (branch tail)", "D (headworks)"];
+    let names = [
+        "A (trunk)",
+        "B (branch)",
+        "C (branch tail)",
+        "D (headworks)",
+    ];
     println!("farm demands: A=300 B=250 C=150 D=200 m3/day; source 800, trunk 500, branch 250\n");
 
     let greedy = net.allocate_greedy_upstream();

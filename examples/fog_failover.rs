@@ -12,7 +12,12 @@ use swamp::sim::{SimDuration, SimTime};
 
 fn run(config: DeploymentConfig, label: &str) {
     let mut platform = Platform::new(7, config);
-    platform.register_device(SimTime::ZERO, "probe-1", DeviceKind::SoilProbe, "owner:farm");
+    platform.register_device(
+        SimTime::ZERO,
+        "probe-1",
+        DeviceKind::SoilProbe,
+        "owner:farm",
+    );
 
     // Internet outage from hour 6 to hour 18 of a 36-hour window.
     let mut outage = OutageSchedule::new();

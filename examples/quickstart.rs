@@ -44,7 +44,9 @@ fn main() {
 
     // Users authenticate via the OAuth2-style identity provider; ownership
     // policies decide who can read the probe.
-    platform.idm.register_user("maria", "vineyard$", &["owner:demo-farm"]);
+    platform
+        .idm
+        .register_user("maria", "vineyard$", &["owner:demo-farm"]);
     platform.idm.register_user("eve", "whatever", &[]);
     let (maria_token, _) = platform
         .idm

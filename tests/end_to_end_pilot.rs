@@ -18,8 +18,18 @@ use swamp::sim::{SimDuration, SimRng, SimTime};
 #[test]
 fn closed_loop_irrigation_through_the_platform() {
     let mut platform = Platform::new(1, DeploymentConfig::FarmFog);
-    platform.register_device(SimTime::ZERO, "probe-z0", DeviceKind::SoilProbe, "owner:farm");
-    platform.register_device(SimTime::ZERO, "pivot-1", DeviceKind::CenterPivot, "owner:farm");
+    platform.register_device(
+        SimTime::ZERO,
+        "probe-z0",
+        DeviceKind::SoilProbe,
+        "owner:farm",
+    );
+    platform.register_device(
+        SimTime::ZERO,
+        "pivot-1",
+        DeviceKind::CenterPivot,
+        "owner:farm",
+    );
 
     let mut truth = SoilWaterBalance::new(SoilProperties::loam(), 0.6, 0.5);
     let probe = SoilMoistureProbe::new("probe-z0", 0, SensorNoise::good(0.005));
@@ -28,12 +38,14 @@ fn closed_loop_irrigation_through_the_platform() {
     let mut pivot = CenterPivot::new("pivot-1", 1, 12.0, 5.0);
 
     platform.idm.register_client("scheduler", "s3cret", &[]);
-    platform.pdp.add_policy(swamp::security::access::Policy::new(
-        swamp::security::access::Effect::Allow,
-        swamp::security::access::SubjectMatch::Exact("client:scheduler".into()),
-        "urn:swamp:device:pivot-1",
-        &[Action::Command],
-    ));
+    platform
+        .pdp
+        .add_policy(swamp::security::access::Policy::new(
+            swamp::security::access::Effect::Allow,
+            swamp::security::access::SubjectMatch::Exact("client:scheduler".into()),
+            "urn:swamp:device:pivot-1",
+            &[Action::Command],
+        ));
 
     let mut irrigated_days = 0;
     let mut driest_platform_view: f64 = 1.0;
@@ -108,7 +120,10 @@ fn closed_loop_irrigation_through_the_platform() {
         });
     }
 
-    assert!(irrigated_days >= 2, "a month at 6 mm/day needs several refills");
+    assert!(
+        irrigated_days >= 2,
+        "a month at 6 mm/day needs several refills"
+    );
     assert!(
         driest_platform_view < 0.22,
         "platform saw the drydown: {driest_platform_view}"

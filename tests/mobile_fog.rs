@@ -59,7 +59,7 @@ fn drone_surveys_offline_and_syncs_at_contacts() {
             net.advance_to(t + SimDuration::from_secs(60));
             sync.poll_acks(&mut net);
         }
-        t = t + SimDuration::from_mins(5);
+        t += SimDuration::from_mins(5);
     }
     // Final docking to flush the tail.
     net.set_link_up(&"drone".into(), &"farm-fog".into(), true);
@@ -75,7 +75,10 @@ fn drone_surveys_offline_and_syncs_at_contacts() {
         }
     }
 
-    assert!(surveys > 400, "most of the circuit is out of range: {surveys}");
+    assert!(
+        surveys > 400,
+        "most of the circuit is out of range: {surveys}"
+    );
     assert_eq!(sync.pending(), 0, "backlog fully drained");
     assert_eq!(base.record_count() as u64, surveys, "no survey lost");
     // The link actually cycled: at least 5 up/down transitions in 12 h of
@@ -88,6 +91,9 @@ fn drone_surveys_offline_and_syncs_at_contacts() {
         let key = swamp::sensors::probes::zone_quantity(zone);
         let rec = base.latest(key).expect("zone reported");
         let value = f64::from_be_bytes(rec.payload.as_slice().try_into().unwrap());
-        assert!((value - truth).abs() < 0.1, "zone {zone}: {value} vs {truth}");
+        assert!(
+            (value - truth).abs() < 0.1,
+            "zone {zone}: {value} vs {truth}"
+        );
     }
 }

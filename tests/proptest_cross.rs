@@ -1,5 +1,9 @@
 //! Cross-crate property tests on system invariants.
 
+// Gated: proptest is not resolvable in the offline build environment.
+// See the `proptest-tests` feature note in this crate's Cargo.toml.
+#![cfg(feature = "proptest-tests")]
+
 use proptest::prelude::*;
 
 use swamp::agro::soil::{SoilProperties, SoilWaterBalance, WaterFlux};

@@ -35,7 +35,8 @@ fn impossible_values_auto_quarantine_the_device() {
     // frame authenticates (the attacker holds the device), the value is
     // stored once — and the device is immediately quarantined.
     let f = sealed(&p, "victim", 0.0, 7.5, 2);
-    p.ingest_frame(SimTime::from_secs(10), "victim", &f).unwrap();
+    p.ingest_frame(SimTime::from_secs(10), "victim", &f)
+        .unwrap();
     assert_eq!(
         p.detectors.recommendation("victim"),
         Recommendation::Quarantine
@@ -51,14 +52,16 @@ fn impossible_values_auto_quarantine_the_device() {
 
     // The honest peer is untouched.
     let f = sealed(&p, "honest", 1.0, 0.25, 4);
-    p.ingest_frame(SimTime::from_secs(30), "honest", &f).unwrap();
+    p.ingest_frame(SimTime::from_secs(30), "honest", &f)
+        .unwrap();
     assert_eq!(p.detectors.recommendation("honest"), Recommendation::Trust);
 
     // Operator review clears and re-enables the device.
     p.detectors.clear_device("victim");
     p.registry.set_enabled("victim", true).unwrap();
     let f = sealed(&p, "victim", 2.0, 0.22, 5);
-    p.ingest_frame(SimTime::from_secs(40), "victim", &f).unwrap();
+    p.ingest_frame(SimTime::from_secs(40), "victim", &f)
+        .unwrap();
 }
 
 #[test]

@@ -9,15 +9,18 @@ use swamp::crypto::keystore::KeyEpoch;
 use swamp::net::link::LinkSpec;
 use swamp::net::message::Message;
 use swamp::security::attacks::{Eavesdropper, Interception, ReplayAttacker};
-use swamp::security::ledger::{
-    DeviceContract, Ledger, LifecycleEvent, LifecycleKind,
-};
+use swamp::security::ledger::{DeviceContract, Ledger, LifecycleEvent, LifecycleKind};
 use swamp::sensors::device::DeviceKind;
 use swamp::sim::{SimDuration, SimTime};
 
 fn platform_with_probe() -> Platform {
     let mut p = Platform::new(99, DeploymentConfig::FarmFog);
-    p.register_device(SimTime::ZERO, "probe-1", DeviceKind::SoilProbe, "owner:farm");
+    p.register_device(
+        SimTime::ZERO,
+        "probe-1",
+        DeviceKind::SoilProbe,
+        "owner:farm",
+    );
     p
 }
 
@@ -86,7 +89,11 @@ fn replayed_sealed_frame_is_rejected() {
     assert_eq!(injected, 1);
     p.pump(SimTime::from_secs(120));
     assert_eq!(p.metrics().counter("ingest.rejected_replay"), 1);
-    assert_eq!(p.metrics().counter("ingest.accepted"), 1, "only the original");
+    assert_eq!(
+        p.metrics().counter("ingest.accepted"),
+        1,
+        "only the original"
+    );
 }
 
 /// Sensor tampering in flight: any bit flip fails authentication.
@@ -101,7 +108,10 @@ fn in_flight_modification_fails_authentication() {
         let err = p
             .ingest_frame(SimTime::ZERO, "probe-1", &tampered)
             .unwrap_err();
-        assert!(matches!(err, IngestError::AuthenticationFailed(_)), "idx {idx}");
+        assert!(
+            matches!(err, IngestError::AuthenticationFailed(_)),
+            "idx {idx}"
+        );
     }
     // Untampered frame still ingests (the checks above were side-effect-free).
     frame.truncate(frame.len()); // no-op, clarity
@@ -155,12 +165,16 @@ fn revoked_device_is_cut_off_everywhere() {
             vec![
                 LifecycleEvent {
                     device_id: "probe-1".into(),
-                    kind: LifecycleKind::Provisioned { owner: "owner:farm".into() },
+                    kind: LifecycleKind::Provisioned {
+                        owner: "owner:farm".into(),
+                    },
                     at: SimTime::ZERO,
                 },
                 LifecycleEvent {
                     device_id: "probe-1".into(),
-                    kind: LifecycleKind::Revoked { reason: "compromised".into() },
+                    kind: LifecycleKind::Revoked {
+                        reason: "compromised".into(),
+                    },
                     at: SimTime::from_secs(10),
                 },
             ],
@@ -185,7 +199,9 @@ fn revoked_device_is_cut_off_everywhere() {
 
     // The smart contract refuses the device too.
     let state = ledger.device_state("probe-1");
-    assert!(!DeviceContract::provisioned_only().evaluate(&state).is_authorized());
+    assert!(!DeviceContract::provisioned_only()
+        .evaluate(&state)
+        .is_authorized());
     assert!(ledger.verify().is_ok());
 }
 
