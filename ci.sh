@@ -12,6 +12,15 @@ cargo fmt --check
 echo "== cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# The platform path must not panic on reachable errors: unwrap/panic are
+# denied in the core and fog library targets via in-source
+# `#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]`
+# (command-line -D flags would leak to every workspace dependency cargo
+# re-checks). Tests keep their unwraps; documented invariants use expect
+# with a # Panics section. This step lints exactly those two lib targets.
+echo "== cargo clippy -p swamp-core -p swamp-fog --lib (deny unwrap/panic)"
+cargo clippy -p swamp-core -p swamp-fog --lib -- -D warnings
+
 echo "== tier-1: cargo build --release"
 cargo build --release
 

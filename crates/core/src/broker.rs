@@ -272,7 +272,7 @@ impl ContextBroker {
             .map_or(&[], Vec::as_slice);
         let any: &[SubscriptionId] = &self.subs_any_type;
         let (mut i, mut j) = (0, 0);
-        while i < typed.len() || j < any.len() {
+        loop {
             let sub_id = match (typed.get(i), any.get(j)) {
                 (Some(&a), Some(&b)) => {
                     if a < b {
@@ -291,20 +291,23 @@ impl ContextBroker {
                     j += 1;
                     b
                 }
-                (None, None) => unreachable!("loop condition"),
+                (None, None) => break,
             };
-            let filter = self.subscriptions.get(&sub_id).expect("indexed sub exists");
+            // Unsubscribe removes ids from both indexes, so an indexed sub
+            // always resolves; a stale entry is simply skipped.
+            let Some(filter) = self.subscriptions.get(&sub_id) else {
+                continue;
+            };
             if filter.matches(&snapshot, &changed) {
                 self.notifications += 1;
-                self.queues
-                    .get_mut(&sub_id)
-                    .expect("queue exists")
-                    .push(Notification {
+                if let Some(queue) = self.queues.get_mut(&sub_id) {
+                    queue.push(Notification {
                         subscription: sub_id,
                         entity: Arc::clone(&snapshot),
                         changed_attrs: Arc::clone(&changed),
                         at: now,
                     });
+                }
             }
         }
         changed
@@ -331,12 +334,9 @@ impl ContextBroker {
             .get(entity_type)
             .into_iter()
             .flatten()
-            .map(|id| {
-                self.entities
-                    .get(id)
-                    .expect("type index entry has entity")
-                    .as_ref()
-            })
+            // Removal prunes the type index, so every indexed id resolves;
+            // filter_map keeps the iterator total without a panic path.
+            .filter_map(|id| self.entities.get(id).map(Arc::as_ref))
     }
 
     /// Removes an entity; returns whether it existed.

@@ -101,6 +101,10 @@ impl HistoryStore {
 
     /// Interns (entity, attr), creating an empty series if new. Key strings
     /// are only allocated here, on first sight of a series.
+    ///
+    /// # Panics
+    /// Panics past 2^32 distinct series (the 32-bit id space; a simulated
+    /// deployment is orders of magnitude smaller).
     pub fn intern(&mut self, entity: &str, attr: &str) -> SeriesId {
         if let Some(id) = self.series_id(entity, attr) {
             return id;
@@ -172,9 +176,7 @@ impl HistoryStore {
         to: SimTime,
     ) -> Option<WindowAggregate> {
         let samples = self.range(entity, attr, from, to);
-        if samples.is_empty() {
-            return None;
-        }
+        let last = samples.last()?.value;
         let mut stats = OnlineStats::new();
         for s in samples {
             stats.push(s.value);
@@ -184,7 +186,7 @@ impl HistoryStore {
             mean: stats.mean(),
             min: stats.min(),
             max: stats.max(),
-            last: samples.last().expect("non-empty").value,
+            last,
         })
     }
 

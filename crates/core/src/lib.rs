@@ -4,6 +4,8 @@
 //!
 //! - [`broker`] — NGSI-like context broker with subscriptions (Orion
 //!   analogue).
+//! - [`error`] — the unified, non-panicking [`Error`] type wrapping
+//!   ingest/network/sync/registry failures.
 //! - [`history`] — per-attribute time-series store (STH-Comet analogue).
 //! - [`registry`] — device registry consulted by secure ingestion.
 //! - [`platform`] — the assembled platform: simulated network + sealed
@@ -23,8 +25,9 @@
 //! use swamp_sensors::device::DeviceKind;
 //! use swamp_sim::SimTime;
 //!
-//! let mut p = Platform::new(7, DeploymentConfig::FarmFog);
-//! p.register_device(SimTime::ZERO, "probe-1", DeviceKind::SoilProbe, "owner:demo");
+//! let mut p = Platform::builder(DeploymentConfig::FarmFog).seed(7).build();
+//! p.register_device(SimTime::ZERO, "probe-1", DeviceKind::SoilProbe, "owner:demo")
+//!     .unwrap();
 //!
 //! let mut update = Entity::new("urn:swamp:device:probe-1", "SoilProbe");
 //! update.set("moisture_vwc", 0.24);
@@ -33,14 +36,23 @@
 //! p.pump(SimTime::from_secs(60));
 //! ```
 
+// The platform path must not panic on reachable errors (fallible APIs
+// return `swamp_core::Error`); remaining `expect`s document invariants.
+// Scoped to the library build so tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
 pub mod broker;
+pub mod error;
 pub mod history;
 pub mod platform;
 pub mod registry;
 pub mod service;
 
 pub use broker::{ContextBroker, Notification, SubscriptionFilter, SubscriptionId};
+pub use error::Error;
 pub use history::{HistoryStore, Sample, WindowAggregate};
-pub use platform::{DeploymentConfig, IngestError, Platform};
+pub use platform::{
+    DeploymentConfig, Fallback, IngestError, Platform, PlatformBuilder, SyncHealth,
+};
 pub use registry::{DeviceRecord, DeviceRegistry};
 pub use service::{IrrigationService, ManagedZone, ZoneDecision};

@@ -3,23 +3,40 @@
 //! describes ("smart algorithms and analytics in the cloud, fog-based smart
 //! decisions located on the farm premises").
 //!
-//! One [`Platform`] instance is one pilot deployment. Devices are
-//! registered (keystore provisioning + registry), publish sealed NGSI
-//! entity updates over the simulated network, and the ingestion pipeline
-//! authenticates, replay-checks and stores them. In the
-//! [`DeploymentConfig::FarmFog`] configuration the context lives on the
-//! farm fog node and is replicated to the cloud via store-and-forward, so
-//! the platform keeps serving during Internet outages.
+//! One [`Platform`] instance is one pilot deployment, assembled by
+//! [`PlatformBuilder`] (see [`Platform::builder`]). Devices are registered
+//! (keystore provisioning + registry), publish sealed NGSI entity updates
+//! over the simulated network, and the ingestion pipeline authenticates,
+//! replay-checks and stores them.
+//!
+//! Both deployment configurations now ride the same retry/ack engine over
+//! the unreliable uplink ([`swamp_fog::sync::FogSync`]):
+//!
+//! - [`DeploymentConfig::FarmFog`] — the context lives on the farm fog
+//!   node; accepted updates are replicated to the cloud store-and-forward,
+//!   so the platform keeps serving during Internet outages.
+//! - [`DeploymentConfig::CloudOnly`] — the gateway store-and-forwards
+//!   sealed frames to the cloud through the same engine (replacing the old
+//!   fire-and-forget relay, which silently lost frames to uplink loss).
+//!
+//! The engine's [`DegradedMode`] is surfaced through
+//! [`Platform::sync_health`] and [`Platform::active_fallback`], and
+//! deterministic faults (loss/duplication/reordering/partitions) can be
+//! injected at build time with [`PlatformBuilder::fault_plan`] and
+//! [`PlatformBuilder::uplink_outages`].
 
 use swamp_codec::json::Json;
 use swamp_codec::ngsi::Entity;
 use swamp_crypto::aead::NonceSequence;
 use swamp_crypto::keystore::Keystore;
-use swamp_fog::availability::ServedBy;
-use swamp_fog::sync::{CloudStore, DropPolicy, FogSync};
+use swamp_fog::availability::{OutageSchedule, ServedBy};
+use swamp_fog::sync::{
+    CloudStore, DegradedMode, DropPolicy, FogSync, SyncStats, ACK_TOPIC, SYNC_TOPIC,
+};
+use swamp_net::fault::FaultPlan;
 use swamp_net::link::LinkSpec;
-use swamp_net::message::{Message, NodeId};
-use swamp_net::network::{Network, SendError};
+use swamp_net::message::{Delivery, Message, NodeId};
+use swamp_net::network::Network;
 use swamp_security::access::{Action, Decision, Pdp, Resource};
 use swamp_security::detect::{RangeValidator, SeqEvent, SeqMonitor};
 use swamp_security::identity::{AuthError, IdentityProvider, Token};
@@ -29,14 +46,16 @@ use swamp_sim::metrics::Metrics;
 use swamp_sim::{SimDuration, SimTime};
 
 use crate::broker::ContextBroker;
+use crate::error::Error;
 use crate::history::HistoryStore;
 use crate::registry::DeviceRegistry;
 
 /// Where the platform's decision logic runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DeploymentConfig {
-    /// Everything in the cloud; the farm is a dumb relay. Vulnerable to
-    /// Internet outages.
+    /// Everything in the cloud; the farm gateway store-and-forwards sealed
+    /// frames upstream. Decisions stall during Internet outages, but
+    /// telemetry is buffered rather than lost.
     CloudOnly,
     /// A farm-premises fog node hosts the context broker and decisions;
     /// the cloud receives replicated state asynchronously.
@@ -70,6 +89,34 @@ impl std::fmt::Display for IngestError {
 }
 impl std::error::Error for IngestError {}
 
+/// The degraded-behavior fallback a deployment is currently exercising,
+/// per the paper's requirement that the platform keep functioning "even in
+/// case of Internet disconnections using local components".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fallback {
+    /// CloudOnly: the gateway is buffering sealed frames until the uplink
+    /// recovers; decisions are stalled.
+    GatewayBuffering,
+    /// FarmFog: irrigation decisions continue at the fog node; cloud
+    /// replication is catching up in the background.
+    LocalControl,
+}
+
+/// Snapshot of the uplink replication engine's health.
+#[derive(Clone, Copy, Debug)]
+pub struct SyncHealth {
+    /// The engine's degraded-mode state.
+    pub mode: DegradedMode,
+    /// When the engine entered the current mode.
+    pub mode_since: SimTime,
+    /// Records buffered awaiting cloud acknowledgement.
+    pub pending: usize,
+    /// Records transmitted and awaiting an ack or retry timer.
+    pub in_flight: usize,
+    /// Cumulative transmission/ack counters.
+    pub stats: SyncStats,
+}
+
 /// The assembled platform.
 pub struct Platform {
     config: DeploymentConfig,
@@ -98,6 +145,12 @@ pub struct Platform {
     /// the [`CloudStore`] are batch-upserted here, so cloud dashboards can
     /// query broker state even though decisions run at the fog.
     cloud_context: Option<ContextBroker>,
+    /// CloudOnly: the gateway's store-and-forward engine toward the cloud.
+    /// Deliberately not exposed through [`Platform::cloud_replica`] — it
+    /// carries sealed frames in transit, not replicated context.
+    relay_sync: Option<FogSync>,
+    /// CloudOnly: cloud-side receiver/deduplicator for relayed frames.
+    relay_store: Option<CloudStore>,
     metrics: Metrics,
 }
 
@@ -111,38 +164,204 @@ pub mod nodes {
     pub const GATEWAY: &str = "farm-gw";
 }
 
-impl Platform {
-    /// Builds a platform in the given deployment configuration.
-    pub fn new(seed: u64, config: DeploymentConfig) -> Self {
+/// Assembles a [`Platform`] with named, defaulted knobs: seed, uplink
+/// retry/backoff tuning, auto-quarantine, and deterministic fault
+/// injection.
+///
+/// # Example
+/// ```
+/// use swamp_core::platform::{DeploymentConfig, Platform};
+/// use swamp_sim::SimDuration;
+///
+/// let p = Platform::builder(DeploymentConfig::FarmFog)
+///     .seed(42)
+///     .sync_base_timeout(SimDuration::from_secs(30))
+///     .sync_backoff(2.0, SimDuration::from_secs(240))
+///     .build();
+/// assert_eq!(p.config(), DeploymentConfig::FarmFog);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PlatformBuilder {
+    seed: u64,
+    config: DeploymentConfig,
+    sync_capacity: usize,
+    sync_policy: DropPolicy,
+    sync_base_timeout: SimDuration,
+    sync_backoff_factor: f64,
+    sync_max_backoff: SimDuration,
+    sync_jitter: f64,
+    sync_max_in_flight: usize,
+    auto_quarantine: bool,
+    fault_plan: Option<FaultPlan>,
+    uplink_outages: Vec<(SimTime, SimTime)>,
+}
+
+impl PlatformBuilder {
+    fn new(config: DeploymentConfig) -> Self {
+        PlatformBuilder {
+            seed: 0,
+            config,
+            sync_capacity: 100_000,
+            sync_policy: DropPolicy::Oldest,
+            sync_base_timeout: SimDuration::from_secs(60),
+            sync_backoff_factor: 2.0,
+            sync_max_backoff: SimDuration::from_secs(480),
+            sync_jitter: 0.1,
+            sync_max_in_flight: 1024,
+            auto_quarantine: false,
+            fault_plan: None,
+            uplink_outages: Vec::new(),
+        }
+    }
+
+    /// Seeds every stochastic process (network, fault plan, retry jitter).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Capacity of the uplink store-and-forward buffer.
+    pub fn sync_capacity(mut self, capacity: usize) -> Self {
+        self.sync_capacity = capacity;
+        self
+    }
+
+    /// What the uplink buffer drops when full.
+    pub fn sync_drop_policy(mut self, policy: DropPolicy) -> Self {
+        self.sync_policy = policy;
+        self
+    }
+
+    /// First-retransmission timeout of the uplink engine.
+    pub fn sync_base_timeout(mut self, timeout: SimDuration) -> Self {
+        self.sync_base_timeout = timeout;
+        self
+    }
+
+    /// Exponential backoff multiplier and cap for uplink retries.
+    pub fn sync_backoff(mut self, factor: f64, cap: SimDuration) -> Self {
+        self.sync_backoff_factor = factor;
+        self.sync_max_backoff = cap;
+        self
+    }
+
+    /// Jitter fraction applied to uplink retry timers (`[0, 1]`).
+    pub fn sync_jitter(mut self, fraction: f64) -> Self {
+        self.sync_jitter = fraction;
+        self
+    }
+
+    /// Maximum unacknowledged records in flight on the uplink.
+    pub fn sync_max_in_flight(mut self, window: usize) -> Self {
+        self.sync_max_in_flight = window;
+        self
+    }
+
+    /// Enables automatic quarantine of devices the detection pipeline
+    /// flags (see [`Platform::set_auto_quarantine`]).
+    pub fn auto_quarantine(mut self, on: bool) -> Self {
+        self.auto_quarantine = on;
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan on the network
+    /// fabric (loss, duplication, reordering, delay, partitions).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Schedules farm↔cloud uplink partitions from an outage schedule:
+    /// each `[start, end)` window becomes a fault-plan partition on the
+    /// uplink pair (creating a fault plan if none was supplied).
+    pub fn uplink_outages(mut self, schedule: &OutageSchedule) -> Self {
+        self.uplink_outages.extend_from_slice(schedule.windows());
+        self
+    }
+
+    /// Builds the platform.
+    ///
+    /// # Panics
+    /// Panics if [`PlatformBuilder::uplink_outages`] windows overlap
+    /// partitions already scheduled on the uplink pair in a supplied
+    /// [`PlatformBuilder::fault_plan`] (both sources are caller-authored
+    /// configuration, so the overlap is a configuration bug).
+    pub fn build(self) -> Platform {
+        let PlatformBuilder {
+            seed,
+            config,
+            sync_capacity,
+            sync_policy,
+            sync_base_timeout,
+            sync_backoff_factor,
+            sync_max_backoff,
+            sync_jitter,
+            sync_max_in_flight,
+            auto_quarantine,
+            mut fault_plan,
+            uplink_outages,
+        } = self;
+
         let mut net = Network::new(seed);
         net.add_node(nodes::CLOUD);
-        match config {
-            DeploymentConfig::CloudOnly => {
-                net.add_node(nodes::GATEWAY);
-                net.connect(nodes::GATEWAY, nodes::CLOUD, LinkSpec::rural_internet());
-            }
-            DeploymentConfig::FarmFog => {
-                net.add_node(nodes::FOG);
-                net.connect(nodes::FOG, nodes::CLOUD, LinkSpec::rural_internet());
-            }
-        }
-        let (fog_sync, cloud_store) = match config {
-            DeploymentConfig::FarmFog => (
-                Some(FogSync::new(
-                    nodes::FOG,
-                    nodes::CLOUD,
-                    100_000,
-                    DropPolicy::Oldest,
-                    SimDuration::from_secs(60),
-                )),
-                Some(CloudStore::new(nodes::CLOUD)),
-            ),
-            DeploymentConfig::CloudOnly => (None, None),
+        let farm = match config {
+            DeploymentConfig::CloudOnly => nodes::GATEWAY,
+            DeploymentConfig::FarmFog => nodes::FOG,
         };
+        net.add_node(farm);
+        net.connect(farm, nodes::CLOUD, LinkSpec::rural_internet());
+
+        if !uplink_outages.is_empty() {
+            let plan = fault_plan.get_or_insert_with(|| FaultPlan::new(seed));
+            plan.add_partitions_from(farm, nodes::CLOUD, uplink_outages)
+                .expect("uplink outage windows overlap partitions already in the fault plan");
+        }
+        if let Some(plan) = fault_plan {
+            net.install_fault_plan(plan);
+        }
+
+        let uplink_engine = |node: &str| {
+            FogSync::builder(node, nodes::CLOUD)
+                .capacity(sync_capacity)
+                .drop_policy(sync_policy)
+                .base_timeout(sync_base_timeout)
+                .backoff(sync_backoff_factor, sync_max_backoff)
+                .jitter(sync_jitter)
+                .max_in_flight(sync_max_in_flight)
+                .seed(seed ^ 0x73796e635f656e67) // "sync_eng"
+                .build()
+        };
+        let (fog_sync, cloud_store, relay_sync, relay_store) = match config {
+            DeploymentConfig::FarmFog => (
+                Some(uplink_engine(nodes::FOG)),
+                Some(CloudStore::new(nodes::CLOUD)),
+                None,
+                None,
+            ),
+            DeploymentConfig::CloudOnly => (
+                None,
+                None,
+                Some(uplink_engine(nodes::GATEWAY)),
+                // In-order release: relayed frames feed the per-device
+                // sequence monitor, which rejects any frame that arrives
+                // behind one it has already seen — and retransmissions on
+                // a lossy uplink reorder freely. The hold cap only kicks
+                // in for seqs the gateway's bounded buffer dropped before
+                // transmitting (everything else retries until acked), so
+                // a generous hour bounds the stall without ever rejecting
+                // a live record.
+                Some(CloudStore::in_order(
+                    nodes::CLOUD,
+                    SimDuration::from_hours(1),
+                )),
+            ),
+        };
+
         let mut detectors = DetectorBank::new();
         detectors.configure_quantity("moisture_vwc", RangeValidator::soil_moisture());
         detectors.configure_quantity("battery_fraction", RangeValidator::new(0.0, 1.0));
         detectors.configure_quantity("rh_mean_pct", RangeValidator::new(0.0, 100.0));
+
         Platform {
             config,
             net,
@@ -153,14 +372,30 @@ impl Platform {
             idm: IdentityProvider::new(b"swamp-idm-signing", SimDuration::from_hours(8)),
             pdp: Pdp::new(),
             detectors,
-            auto_quarantine: false,
+            auto_quarantine,
             seq: SeqMonitor::new(),
             device_nonces: std::collections::BTreeMap::new(),
             cloud_context: fog_sync.as_ref().map(|_| ContextBroker::new()),
             fog_sync,
             cloud_store,
+            relay_sync,
+            relay_store,
             metrics: Metrics::new(),
         }
+    }
+}
+
+impl Platform {
+    /// Starts building a platform in the given deployment configuration.
+    pub fn builder(config: DeploymentConfig) -> PlatformBuilder {
+        PlatformBuilder::new(config)
+    }
+
+    /// Builds a platform in the given deployment configuration with
+    /// default tuning.
+    #[deprecated(since = "0.2.0", note = "use Platform::builder")]
+    pub fn new(seed: u64, config: DeploymentConfig) -> Self {
+        Platform::builder(config).seed(seed).build()
     }
 
     /// The deployment configuration.
@@ -196,7 +431,10 @@ impl Platform {
         &self.metrics
     }
 
-    /// The cloud replica store, if this is a fog deployment.
+    /// The cloud replica store, if this is a fog deployment. (The CloudOnly
+    /// gateway relay also uses a store internally, but it holds sealed
+    /// frames in transit, not replicated context, so it is not exposed
+    /// here.)
     pub fn cloud_replica(&self) -> Option<&CloudStore> {
         self.cloud_store.as_ref()
     }
@@ -208,42 +446,81 @@ impl Platform {
         self.cloud_context.as_ref()
     }
 
+    /// The uplink store-and-forward engine: fog→cloud replication
+    /// (FarmFog) or the gateway relay (CloudOnly).
+    fn uplink_engine(&self) -> Option<&FogSync> {
+        self.fog_sync.as_ref().or(self.relay_sync.as_ref())
+    }
+
+    /// Health snapshot of the uplink retry engine, in either
+    /// configuration.
+    pub fn sync_health(&self) -> Option<SyncHealth> {
+        self.uplink_engine().map(|s| SyncHealth {
+            mode: s.mode(),
+            mode_since: s.mode_since(),
+            pending: s.pending(),
+            in_flight: s.in_flight(),
+            stats: s.stats(),
+        })
+    }
+
+    /// The uplink engine's degraded-mode state (`Connected` if the
+    /// deployment has no uplink engine).
+    pub fn degraded_mode(&self) -> DegradedMode {
+        self.uplink_engine().map(FogSync::mode).unwrap_or_default()
+    }
+
+    /// The fallback behavior currently active, if the uplink engine has
+    /// left `Connected`: the CloudOnly gateway buffers, a FarmFog node
+    /// keeps deciding locally.
+    pub fn active_fallback(&self) -> Option<Fallback> {
+        if self.degraded_mode() == DegradedMode::Connected {
+            return None;
+        }
+        Some(match self.config {
+            DeploymentConfig::CloudOnly => Fallback::GatewayBuffering,
+            DeploymentConfig::FarmFog => Fallback::LocalControl,
+        })
+    }
+
     /// Registers a field device: network node + link, key provisioning and
     /// registry entry.
     ///
-    /// # Panics
-    /// Panics if the device id collides with an existing node.
+    /// # Errors
+    /// [`Error::Registry`] if the device id is already registered; no
+    /// platform state changes in that case.
     pub fn register_device(
         &mut self,
         now: SimTime,
         device_id: &str,
         kind: DeviceKind,
         owner: &str,
-    ) {
+    ) -> Result<(), Error> {
+        // Registry first: it is the fallible step, and erroring before any
+        // other mutation keeps registration atomic.
+        self.registry.register(device_id, kind, owner, now)?;
         self.net.add_node(device_id);
         let farm = self.farm_node();
         self.net.connect(device_id, farm, LinkSpec::lpwan_field());
         self.keystore.provision(device_id);
-        self.registry
-            .register(device_id, kind, owner, now)
-            .expect("device id collision");
         self.device_nonces.insert(
             device_id.to_owned(),
             NonceSequence::new(self.device_nonces.len() as u32 + 1),
         );
+        Ok(())
     }
 
     /// Device-side publish: seals the entity with the device's provisioned
     /// key and offers it to the network toward the farm node.
     ///
     /// # Errors
-    /// Returns the network error if the send is refused synchronously.
+    /// [`Error::Send`] if the network refuses the send synchronously.
     pub fn device_publish(
         &mut self,
         now: SimTime,
         device_id: &str,
         entity: &Entity,
-    ) -> Result<(), SendError> {
+    ) -> Result<(), Error> {
         let key = self
             .keystore
             .device_key(device_id)
@@ -273,32 +550,48 @@ impl Platform {
                 Message::new(format!("telemetry/{device_id}"), sealed),
             )
             .map(|_| ())
+            .map_err(Error::from)
     }
 
-    /// Advances the network and processes everything that arrived: relays
-    /// (CloudOnly), secure ingestion, fog→cloud replication. Returns the
-    /// number of entity updates ingested this round.
+    /// Advances the network and processes everything that arrived: the
+    /// gateway relay (CloudOnly), secure ingestion, replication acks and
+    /// fog→cloud replication. Returns the number of entity updates
+    /// ingested this round.
     pub fn pump(&mut self, now: SimTime) -> usize {
         self.net.advance_to(now);
 
-        // CloudOnly: the gateway relays farm traffic to the cloud.
-        if self.config == DeploymentConfig::CloudOnly {
+        // CloudOnly: the gateway store-and-forwards farm traffic to the
+        // cloud through the retry/ack engine (the old fire-and-forget
+        // relay lost frames to uplink loss with no retransmission).
+        if let Some(relay) = &mut self.relay_sync {
             let gw: NodeId = nodes::GATEWAY.into();
-            let deliveries = self.net.drain(&gw);
-            for d in deliveries {
-                let _ = self
-                    .net
-                    .send(d.delivered_at.max(now), gw.clone(), nodes::CLOUD, d.message);
+            for d in self.net.drain(&gw) {
+                if d.message.topic == ACK_TOPIC {
+                    if relay.process_ack(now, &d.message.payload).is_err() {
+                        self.metrics.incr("relay.malformed_ack");
+                    }
+                } else if d.message.topic != SYNC_TOPIC
+                    && relay
+                        .enqueue(now, &d.message.topic, d.message.payload)
+                        .is_err()
+                {
+                    self.metrics.incr("relay.refused");
+                }
             }
+            relay.sync_round(&mut self.net, now, 256);
             self.net.advance_to(now);
         }
 
-        // Ingest at the platform node: authenticate/validate every arrived
-        // frame, then apply the surviving updates as one batch (amortized
-        // broker routing and fog enqueueing).
+        // One drain of the platform node's inbox, routed by topic: sealed
+        // telemetry to validation, relayed records to the relay store
+        // (CloudOnly), ack payloads to the retry engine (FarmFog — these
+        // used to be discarded by the telemetry filter here, leaving every
+        // record to retransmit until the cloud's duplicate path re-acked
+        // it).
         let node = self.platform_node();
         let deliveries = self.net.drain(&node);
         let mut batch: Vec<Entity> = Vec::new();
+        let mut relayed: Vec<Delivery> = Vec::new();
         for d in deliveries {
             if let Some(device_id) = d.message.topic.strip_prefix("telemetry/") {
                 let device_id = device_id.to_owned();
@@ -306,8 +599,44 @@ impl Platform {
                     Ok(entity) => batch.push(entity),
                     Err(e) => self.count_rejection(&e),
                 }
+            } else if d.message.topic == SYNC_TOPIC {
+                relayed.push(d);
+            } else if d.message.topic == ACK_TOPIC {
+                if let Some(sync) = &mut self.fog_sync {
+                    if sync.process_ack(now, &d.message.payload).is_err() {
+                        self.metrics.incr("sync.malformed_ack");
+                    }
+                }
             }
         }
+
+        // CloudOnly: store/dedup the relayed records, ack the gateway, and
+        // ingest the sealed frames they carry.
+        if let Some(store) = &mut self.relay_store {
+            let dup_before = store.duplicates();
+            store.process_deliveries(&mut self.net, now, relayed);
+            let dup_delta = store.duplicates() - dup_before;
+            if dup_delta > 0 {
+                self.metrics
+                    .incr_by("relay.duplicates_discarded", dup_delta);
+            }
+            let frames: Vec<(String, Vec<u8>)> = store
+                .drain_ready(now)
+                .into_iter()
+                .map(|r| (r.key, r.payload))
+                .collect();
+            self.net.advance_to(now);
+            for (key, payload) in frames {
+                if let Some(device_id) = key.strip_prefix("telemetry/") {
+                    let device_id = device_id.to_owned();
+                    match self.validate_frame(now, &device_id, &payload) {
+                        Ok(entity) => batch.push(entity),
+                        Err(e) => self.count_rejection(&e),
+                    }
+                }
+            }
+        }
+
         let ingested = self.ingest_entities(now, batch);
 
         // Fog→cloud replication; newly accepted records are batch-applied
@@ -317,7 +646,7 @@ impl Platform {
             self.net.advance_to(now);
             store.process(&mut self.net, now);
             self.net.advance_to(now);
-            sync.poll_acks(&mut self.net);
+            sync.poll_acks(&mut self.net, now);
             if let Some(cloud_ctx) = &mut self.cloud_context {
                 let replicated = store.drain_new().iter().filter_map(|r| {
                     let text = std::str::from_utf8(&r.payload).ok()?;
@@ -442,8 +771,10 @@ impl Platform {
             batch.push(entity);
         }
         // Fog deployments replicate the accepted updates to the cloud.
+        // Entity ids are far below the sync key-length limit, so a refusal
+        // here is a policy outcome worth a metric, never a lost batch.
         if let Some(sync) = &mut self.fog_sync {
-            sync.enqueue_batch(
+            let enqueued = sync.enqueue_batch(
                 now,
                 batch.iter().map(|e| {
                     (
@@ -452,6 +783,9 @@ impl Platform {
                     )
                 }),
             );
+            if enqueued.is_err() {
+                self.metrics.incr("ingest.replication_refused");
+            }
         }
         self.context.upsert_batch(now, batch);
         applied
@@ -542,13 +876,16 @@ mod tests {
     }
 
     fn fog_platform() -> Platform {
-        let mut p = Platform::new(42, DeploymentConfig::FarmFog);
+        let mut p = Platform::builder(DeploymentConfig::FarmFog)
+            .seed(42)
+            .build();
         p.register_device(
             SimTime::ZERO,
             "probe-1",
             DeviceKind::SoilProbe,
             "owner:test",
-        );
+        )
+        .unwrap();
         p
     }
 
@@ -582,6 +919,21 @@ mod tests {
             .last("urn:swamp:device:probe-1", "moisture_vwc")
             .is_some());
         assert!(p.metrics().counter("ingest.accepted") >= 1);
+    }
+
+    #[test]
+    fn duplicate_registration_is_a_typed_error() {
+        let mut p = fog_platform();
+        let err = p
+            .register_device(
+                SimTime::ZERO,
+                "probe-1",
+                DeviceKind::SoilProbe,
+                "owner:test",
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::Registry(_)));
+        assert!(err.to_string().contains("registry"));
     }
 
     #[test]
@@ -651,8 +1003,10 @@ mod tests {
 
     #[test]
     fn fog_keeps_serving_during_outage_cloud_only_does_not() {
-        let mut fog = Platform::new(1, DeploymentConfig::FarmFog);
-        let mut cloud = Platform::new(1, DeploymentConfig::CloudOnly);
+        let mut fog = Platform::builder(DeploymentConfig::FarmFog).seed(1).build();
+        let mut cloud = Platform::builder(DeploymentConfig::CloudOnly)
+            .seed(1)
+            .build();
         assert_eq!(fog.service_point(), Some(ServedBy::Fog));
         assert_eq!(cloud.service_point(), Some(ServedBy::Cloud));
         fog.set_internet(false);
@@ -685,13 +1039,136 @@ mod tests {
         let mirror = p.cloud_context().unwrap();
         let e = mirror.entity(&"urn:swamp:device:probe-1".into()).unwrap();
         assert_eq!(e.number("moisture_vwc"), Some(0.31));
+        // The ack made it back to the fog engine (regression: acks used to
+        // be discarded by the pump's telemetry filter, so every record
+        // retransmitted forever).
+        let health = p.sync_health().unwrap();
+        assert_eq!(health.pending, 0);
+        assert!(health.stats.acked >= 1);
     }
 
     #[test]
     fn cloud_only_deployment_has_no_mirror_context() {
-        let p = Platform::new(7, DeploymentConfig::CloudOnly);
+        let p = Platform::builder(DeploymentConfig::CloudOnly)
+            .seed(7)
+            .build();
         assert!(p.cloud_context().is_none());
         assert!(p.cloud_replica().is_none());
+        // It still has an uplink engine (the gateway relay).
+        assert!(p.sync_health().is_some());
+    }
+
+    #[test]
+    fn cloud_only_relay_retries_through_uplink_loss() {
+        let mut p = Platform::builder(DeploymentConfig::CloudOnly)
+            .seed(11)
+            .sync_base_timeout(SimDuration::from_secs(20))
+            .build();
+        p.register_device(
+            SimTime::ZERO,
+            "probe-1",
+            DeviceKind::SoilProbe,
+            "owner:test",
+        )
+        .unwrap();
+        // Make the gateway→cloud hop very lossy: the retry engine must
+        // still get every frame through (the old relay just lost them).
+        let mut plan = swamp_net::FaultPlan::new(5);
+        plan.set_link_faults(
+            nodes::GATEWAY,
+            nodes::CLOUD,
+            swamp_net::FaultSpec::lossy(0.5),
+        )
+        .unwrap();
+        p.net.install_fault_plan(plan);
+
+        let mut ingested = 0;
+        let mut seq = 0.0;
+        for i in 1..40 {
+            if ingested == 0 {
+                p.device_publish(
+                    SimTime::from_secs(i * 30),
+                    "probe-1",
+                    &telemetry("probe-1", seq, 0.3),
+                )
+                .unwrap();
+                seq += 1.0;
+            }
+            ingested += p.pump(SimTime::from_secs(i * 30 + 15));
+        }
+        assert!(ingested > 0, "relay must deliver through 50% uplink loss");
+        let health = p.sync_health().unwrap();
+        assert!(health.stats.transmissions >= health.stats.acked);
+        assert!(health.stats.acked >= 1);
+    }
+
+    #[test]
+    fn degraded_mode_surfaces_through_platform() {
+        let mut p = Platform::builder(DeploymentConfig::FarmFog)
+            .seed(3)
+            .sync_base_timeout(SimDuration::from_secs(10))
+            .sync_jitter(0.0)
+            .build();
+        p.register_device(
+            SimTime::ZERO,
+            "probe-1",
+            DeviceKind::SoilProbe,
+            "owner:test",
+        )
+        .unwrap();
+        assert_eq!(p.degraded_mode(), DegradedMode::Connected);
+        assert_eq!(p.active_fallback(), None);
+
+        p.set_internet(false);
+        p.ingest_entities(SimTime::from_secs(1), [telemetry("probe-1", 0.0, 0.25)]);
+        // Each pump's refused sync round is a strike; walk into Degraded.
+        for i in 1..4 {
+            p.pump(SimTime::from_secs(1 + i * 60));
+        }
+        assert_ne!(p.degraded_mode(), DegradedMode::Connected);
+        assert_eq!(p.active_fallback(), Some(Fallback::LocalControl));
+        // The fog keeps serving decisions locally throughout.
+        assert_eq!(p.service_point(), Some(ServedBy::Fog));
+
+        // Heal the uplink: replication drains and the engine reconnects.
+        p.set_internet(true);
+        for i in 0..6 {
+            p.pump(SimTime::from_secs(400 + i * 60));
+        }
+        assert_eq!(p.degraded_mode(), DegradedMode::Connected);
+        assert_eq!(p.active_fallback(), None);
+        assert_eq!(p.cloud_replica().unwrap().record_count(), 1);
+    }
+
+    #[test]
+    fn builder_uplink_outages_partition_the_fault_plan() {
+        let mut schedule = OutageSchedule::new();
+        schedule.add_outage(SimTime::from_secs(10), SimTime::from_secs(500));
+        let mut p = Platform::builder(DeploymentConfig::FarmFog)
+            .seed(9)
+            .sync_base_timeout(SimDuration::from_secs(30))
+            .uplink_outages(&schedule)
+            .build();
+        p.register_device(
+            SimTime::ZERO,
+            "probe-1",
+            DeviceKind::SoilProbe,
+            "owner:test",
+        )
+        .unwrap();
+        p.ingest_entities(SimTime::from_secs(1), [telemetry("probe-1", 0.0, 0.3)]);
+        // Inside the outage window nothing replicates.
+        for i in 1..5 {
+            p.pump(SimTime::from_secs(i * 60));
+        }
+        assert_eq!(p.cloud_replica().unwrap().record_count(), 0);
+        assert!(p.net.metrics().counter("net.fault.partitioned") > 0);
+        // After the window the retry engine recovers on its own.
+        for i in 0..8 {
+            p.pump(SimTime::from_secs(520 + i * 60));
+        }
+        assert_eq!(p.cloud_replica().unwrap().record_count(), 1);
+        assert_eq!(p.degraded_mode(), DegradedMode::Connected);
     }
 
     #[test]
@@ -743,6 +1220,14 @@ mod tests {
             batch_p.metrics().counter("ingest.accepted"),
             loop_p.metrics().counter("ingest.accepted")
         );
+    }
+
+    #[test]
+    fn deprecated_constructor_still_builds() {
+        #[allow(deprecated)]
+        let p = Platform::new(42, DeploymentConfig::FarmFog);
+        assert_eq!(p.config(), DeploymentConfig::FarmFog);
+        assert!(p.sync_health().is_some());
     }
 
     #[test]

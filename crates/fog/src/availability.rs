@@ -120,6 +120,13 @@ impl OutageSchedule {
         self.windows.iter().any(|&(s, e)| t >= s && t < e)
     }
 
+    /// The sorted, non-overlapping `[start, end)` windows — e.g. to feed
+    /// into `swamp_net::FaultPlan::add_partitions_from` so the fault plan
+    /// partitions exactly when this schedule says the uplink is down.
+    pub fn windows(&self) -> &[(SimTime, SimTime)] {
+        &self.windows
+    }
+
     /// Total scheduled downtime.
     pub fn total_downtime(&self) -> SimDuration {
         self.windows

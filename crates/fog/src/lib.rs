@@ -7,7 +7,9 @@
 //! the central pivot irrigation mechanisms)". This crate provides:
 //!
 //! - [`sync`] — store-and-forward fog→cloud replication with bounded
-//!   buffers, ack/retransmit, and an idempotent cloud store.
+//!   buffers, an ack/retransmit engine (exponential backoff with jitter,
+//!   bounded in-flight window, degraded-mode state machine), and an
+//!   idempotent cloud store.
 //! - [`availability`] — interval-level availability accounting and outage
 //!   schedules for the disconnection experiments (E5).
 //! - [`mobile`] — contact-plan-driven connectivity for drone/pivot fog
@@ -19,14 +21,22 @@
 //! use swamp_fog::sync::{DropPolicy, FogSync};
 //! use swamp_sim::{SimDuration, SimTime};
 //!
-//! let mut sync = FogSync::new("farm-fog", "cloud", 10_000,
-//!                             DropPolicy::Oldest, SimDuration::from_secs(30));
+//! let mut sync = FogSync::builder("farm-fog", "cloud")
+//!     .capacity(10_000)
+//!     .drop_policy(DropPolicy::Oldest)
+//!     .base_timeout(SimDuration::from_secs(30))
+//!     .build();
 //! // Uplink down: updates keep accumulating locally.
 //! for hour in 0..48 {
-//!     sync.enqueue(SimTime::from_hours(hour), "probe-1", vec![hour as u8]);
+//!     sync.enqueue(SimTime::from_hours(hour), "probe-1", vec![hour as u8]).unwrap();
 //! }
 //! assert_eq!(sync.pending(), 48);
 //! ```
+
+// The replication path must not panic on reachable errors (fallible APIs
+// return `SyncError`); remaining `expect`s document invariants. Scoped to
+// the library build so tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
 pub mod availability;
 pub mod mobile;
@@ -34,4 +44,6 @@ pub mod sync;
 
 pub use availability::{AvailabilityTracker, OutageSchedule, ServedBy};
 pub use mobile::{ContactPlan, MobileLinkDriver};
-pub use sync::{CloudStore, DropPolicy, FogSync, SyncStats};
+pub use sync::{
+    AckOutcome, CloudStore, DegradedMode, DropPolicy, FogSync, FogSyncBuilder, SyncError, SyncStats,
+};

@@ -5,18 +5,152 @@
 //! to keep the platform running properly." [`FogSync`] buffers context
 //! updates while the uplink is down or lossy and replays them with an
 //! ack/retransmit protocol; [`CloudStore`] is the receiving end,
-//! deduplicating by sequence number so retransmissions are idempotent.
+//! deduplicating per source by sequence number so retransmissions and
+//! injected wire duplicates are idempotent.
+//!
+//! ## Retry engine
+//!
+//! Each transmitted record carries a per-record retry timer. The k-th
+//! retransmission of a record is scheduled `min(base · factor^k, cap)`
+//! after the previous attempt, de-synchronized by a multiplicative jitter
+//! drawn from the engine's own seeded RNG (so runs stay reproducible).
+//! At most `max_in_flight` records may be awaiting acknowledgement; new
+//! records queue behind the window. Acks release records exactly once —
+//! late or duplicated acks are suppressed and counted, never double-advance
+//! [`SyncStats`].
+//!
+//! ## Degraded-mode state machine
+//!
+//! The engine grades its uplink from end-to-end evidence only (retry
+//! timers expiring without acks), which is the only signal that exists
+//! under a silent partition:
+//!
+//! ```text
+//!            strikes ≥ degraded_after        strikes ≥ offline_after
+//! Connected ─────────────────────────▶ Degraded ─────────────────────▶ Offline
+//!     ▲                                   │                               │
+//!     └────────────── any ack ────────────┴───────────── any ack ─────────┘
+//! ```
+//!
+//! A *strike* is a sync round in which at least one retry timer expired
+//! (or a send was refused outright); any released ack resets the count.
+//! The platform maps the mode to deployment-specific fallbacks: a
+//! CloudOnly gateway keeps buffering, a FarmFog node falls back to local
+//! irrigation control.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use swamp_net::message::{Message, NodeId};
-use swamp_net::network::Network;
-use swamp_sim::{SimDuration, SimTime};
+use swamp_net::message::{Delivery, Message, NodeId};
+use swamp_net::network::{Network, SendError};
+use swamp_sim::{SimDuration, SimRng, SimTime};
 
 /// Topic used for fog→cloud data records.
 pub const SYNC_TOPIC: &str = "fog/sync/data";
 /// Topic used for cloud→fog acknowledgements.
 pub const ACK_TOPIC: &str = "fog/sync/ack";
+
+/// Longest encodable record key, in bytes (the wire format uses a 16-bit
+/// length prefix).
+pub const MAX_KEY_LEN: usize = u16::MAX as usize;
+
+/// Why a sync operation was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SyncError {
+    /// The bounded buffer is full and the drop policy refuses new records.
+    BufferFull {
+        /// Configured buffer capacity.
+        capacity: usize,
+    },
+    /// The record key exceeds [`MAX_KEY_LEN`] and cannot be encoded.
+    KeyTooLong {
+        /// Actual key length in bytes.
+        len: usize,
+    },
+    /// An ack payload was not a whole number of 8-byte sequence numbers.
+    MalformedAck {
+        /// Payload length in bytes.
+        len: usize,
+    },
+    /// The network refused the transmission synchronously.
+    Send(SendError),
+}
+
+impl std::fmt::Display for SyncError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SyncError::BufferFull { capacity } => {
+                write!(f, "sync buffer full (capacity {capacity})")
+            }
+            SyncError::KeyTooLong { len } => {
+                write!(f, "record key of {len} bytes exceeds {MAX_KEY_LEN}")
+            }
+            SyncError::MalformedAck { len } => {
+                write!(f, "ack payload of {len} bytes is not a multiple of 8")
+            }
+            SyncError::Send(e) => write!(f, "send refused: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SyncError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SyncError::Send(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SendError> for SyncError {
+    fn from(e: SendError) -> Self {
+        SyncError::Send(e)
+    }
+}
+
+/// Uplink health as judged by the retry engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DegradedMode {
+    /// Acks are flowing; the uplink is presumed healthy.
+    #[default]
+    Connected,
+    /// Retry timers are expiring; the uplink is suspect.
+    Degraded,
+    /// Sustained timeouts; the uplink is presumed down.
+    Offline,
+}
+
+impl std::fmt::Display for DegradedMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DegradedMode::Connected => "connected",
+            DegradedMode::Degraded => "degraded",
+            DegradedMode::Offline => "offline",
+        })
+    }
+}
+
+/// What one ack payload (or one inbox drain) accomplished.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AckOutcome {
+    /// Buffered records released (first ack for each).
+    pub released: usize,
+    /// Acks for records already released (suppressed).
+    pub duplicate: usize,
+    /// Acks for sequence numbers this engine never had in its buffer
+    /// (e.g. records evicted by the drop policy before their ack arrived).
+    pub unknown: usize,
+    /// Ack messages whose payload failed to decode (inbox drains only).
+    pub malformed: usize,
+}
+
+impl AckOutcome {
+    fn absorb(&mut self, other: AckOutcome) {
+        self.released += other.released;
+        self.duplicate += other.duplicate;
+        self.unknown += other.unknown;
+        self.malformed += other.malformed;
+    }
+}
 
 /// A buffered context update.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -49,19 +183,184 @@ pub struct SyncStats {
     pub dropped: u64,
     /// Data transmissions (including retransmits).
     pub transmissions: u64,
+    /// Retransmissions only (a subset of `transmissions`).
+    pub retransmissions: u64,
     /// Updates confirmed by the cloud.
     pub acked: u64,
+    /// Acks that arrived for already-released records (suppressed).
+    pub duplicate_acks: u64,
+    /// Retry timers that expired awaiting an ack.
+    pub timeouts: u64,
 }
 
-/// Fog-side sync engine: bounded buffer + ack/retransmit.
+/// Per-record transmission state while awaiting an ack.
+#[derive(Clone, Copy, Debug)]
+struct FlightState {
+    /// Transmissions so far (≥ 1 once in flight).
+    attempts: u32,
+    /// When the next retransmission is due.
+    next_retry: SimTime,
+}
+
+/// Builds a [`FogSync`] with named, defaulted retry parameters.
+///
+/// Out-of-range values are clamped into their valid domain rather than
+/// rejected (capacity and window to ≥ 1, backoff factor to ≥ 1, jitter to
+/// `[0, 1]`), so `build` cannot fail.
 ///
 /// # Example
 /// ```
 /// use swamp_fog::sync::{DropPolicy, FogSync};
-/// use swamp_sim::{SimDuration, SimTime};
-/// let mut sync = FogSync::new("fog", "cloud", 100, DropPolicy::Oldest,
-///                             SimDuration::from_secs(30));
-/// sync.enqueue(SimTime::ZERO, "probe-1", b"vwc=0.2".to_vec());
+/// use swamp_sim::SimDuration;
+///
+/// let sync = FogSync::builder("fog", "cloud")
+///     .capacity(10_000)
+///     .drop_policy(DropPolicy::Oldest)
+///     .base_timeout(SimDuration::from_secs(10))
+///     .backoff(2.0, SimDuration::from_secs(120))
+///     .jitter(0.1)
+///     .max_in_flight(256)
+///     .build();
+/// assert_eq!(sync.pending(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FogSyncBuilder {
+    node: NodeId,
+    cloud: NodeId,
+    capacity: usize,
+    policy: DropPolicy,
+    base_timeout: SimDuration,
+    backoff_factor: f64,
+    max_backoff: SimDuration,
+    jitter: f64,
+    max_in_flight: usize,
+    degraded_after: u32,
+    offline_after: u32,
+    seed: u64,
+}
+
+impl FogSyncBuilder {
+    fn new(node: NodeId, cloud: NodeId) -> Self {
+        FogSyncBuilder {
+            node,
+            cloud,
+            capacity: 100_000,
+            policy: DropPolicy::Oldest,
+            base_timeout: SimDuration::from_secs(30),
+            backoff_factor: 2.0,
+            max_backoff: SimDuration::from_secs(480),
+            jitter: 0.1,
+            max_in_flight: 1024,
+            degraded_after: 2,
+            offline_after: 6,
+            seed: 0x666f675f73796e63, // "fog_sync"
+        }
+    }
+
+    /// Buffer capacity in records (clamped to ≥ 1). Default 100 000.
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity.max(1);
+        self
+    }
+
+    /// What to drop when the buffer is full. Default [`DropPolicy::Oldest`].
+    pub fn drop_policy(mut self, policy: DropPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Timeout before the first retransmission. Default 30 s.
+    pub fn base_timeout(mut self, timeout: SimDuration) -> Self {
+        self.base_timeout = timeout;
+        self
+    }
+
+    /// Exponential backoff: each retry waits `factor` times longer than the
+    /// previous one (clamped to ≥ 1), never beyond `cap`. Default ×2,
+    /// capped at 480 s. A factor of 1 gives the classic constant-interval
+    /// retransmit.
+    pub fn backoff(mut self, factor: f64, cap: SimDuration) -> Self {
+        self.backoff_factor = if factor.is_finite() {
+            factor.max(1.0)
+        } else {
+            1.0
+        };
+        self.max_backoff = cap;
+        self
+    }
+
+    /// Multiplicative jitter fraction applied to every retry interval
+    /// (clamped to `[0, 1]`): an interval `d` becomes uniform in
+    /// `[d·(1−j), d·(1+j)]`. Default 0.1.
+    pub fn jitter(mut self, fraction: f64) -> Self {
+        self.jitter = if fraction.is_finite() {
+            fraction.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        self
+    }
+
+    /// Maximum records awaiting acknowledgement at once (clamped to ≥ 1).
+    /// Default 1024.
+    pub fn max_in_flight(mut self, window: usize) -> Self {
+        self.max_in_flight = window.max(1);
+        self
+    }
+
+    /// Strike thresholds for the degraded-mode state machine: the number of
+    /// consecutive timeout rounds before entering `Degraded` and `Offline`
+    /// (each clamped to ≥ 1, `offline` to ≥ `degraded`). Default 2 and 6.
+    pub fn degraded_thresholds(mut self, degraded: u32, offline: u32) -> Self {
+        self.degraded_after = degraded.max(1);
+        self.offline_after = offline.max(self.degraded_after);
+        self
+    }
+
+    /// Seed for the jitter RNG stream. Defaults to a fixed engine seed, so
+    /// set this when running multiple engines that must not synchronize.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the engine. Infallible: invalid parameters were clamped by
+    /// their setters.
+    pub fn build(self) -> FogSync {
+        FogSync {
+            node: self.node,
+            cloud: self.cloud,
+            capacity: self.capacity,
+            policy: self.policy,
+            base_timeout: self.base_timeout,
+            backoff_factor: self.backoff_factor,
+            max_backoff: self.max_backoff,
+            jitter: self.jitter,
+            max_in_flight: self.max_in_flight,
+            degraded_after: self.degraded_after,
+            offline_after: self.offline_after,
+            rng: SimRng::seed_from(self.seed),
+            buffer: VecDeque::new(),
+            in_flight: BTreeMap::new(),
+            released: BTreeSet::new(),
+            next_seq: 0,
+            strikes: 0,
+            mode: DegradedMode::Connected,
+            mode_since: SimTime::ZERO,
+            stats: SyncStats::default(),
+        }
+    }
+}
+
+/// Fog-side sync engine: bounded buffer + ack/retransmit with exponential
+/// backoff, a bounded in-flight window, and a degraded-mode state machine.
+///
+/// # Example
+/// ```
+/// use swamp_fog::sync::FogSync;
+/// use swamp_sim::SimTime;
+/// let mut sync = FogSync::builder("fog", "cloud").build();
+/// sync.enqueue(SimTime::ZERO, "probe-1", b"vwc=0.2".to_vec()).unwrap();
 /// assert_eq!(sync.pending(), 1);
 /// ```
 #[derive(Clone, Debug)]
@@ -70,19 +369,40 @@ pub struct FogSync {
     cloud: NodeId,
     capacity: usize,
     policy: DropPolicy,
-    retransmit_after: SimDuration,
+    base_timeout: SimDuration,
+    backoff_factor: f64,
+    max_backoff: SimDuration,
+    jitter: f64,
+    max_in_flight: usize,
+    degraded_after: u32,
+    offline_after: u32,
+    rng: SimRng,
     buffer: VecDeque<UpdateRecord>,
-    /// seq → last transmission time (in-flight, awaiting ack).
-    in_flight: BTreeMap<u64, SimTime>,
+    /// seq → retry state (in-flight, awaiting ack).
+    in_flight: BTreeMap<u64, FlightState>,
+    /// Seqs already released by an ack (for duplicate-ack suppression).
+    released: BTreeSet<u64>,
     next_seq: u64,
+    /// Consecutive strike rounds (timeouts / refused sends) without an ack.
+    strikes: u32,
+    mode: DegradedMode,
+    mode_since: SimTime,
     stats: SyncStats,
 }
 
 impl FogSync {
-    /// Creates a sync engine for the fog node talking to the cloud node.
+    /// Starts building a sync engine for the fog node talking to the cloud
+    /// node. See [`FogSyncBuilder`] for the tunable knobs and defaults.
+    pub fn builder(node: impl Into<NodeId>, cloud: impl Into<NodeId>) -> FogSyncBuilder {
+        FogSyncBuilder::new(node.into(), cloud.into())
+    }
+
+    /// Creates a sync engine with positional arguments and the legacy
+    /// constant-interval retransmit behavior (no backoff, no jitter, an
+    /// unbounded in-flight window).
     ///
-    /// # Panics
-    /// Panics if `capacity == 0`.
+    /// Capacity 0 is clamped to 1.
+    #[deprecated(since = "0.2.0", note = "use FogSync::builder")]
     pub fn new(
         node: impl Into<NodeId>,
         cloud: impl Into<NodeId>,
@@ -90,18 +410,14 @@ impl FogSync {
         policy: DropPolicy,
         retransmit_after: SimDuration,
     ) -> Self {
-        assert!(capacity > 0, "buffer capacity must be positive");
-        FogSync {
-            node: node.into(),
-            cloud: cloud.into(),
-            capacity,
-            policy,
-            retransmit_after,
-            buffer: VecDeque::new(),
-            in_flight: BTreeMap::new(),
-            next_seq: 0,
-            stats: SyncStats::default(),
-        }
+        FogSync::builder(node, cloud)
+            .capacity(capacity)
+            .drop_policy(policy)
+            .base_timeout(retransmit_after)
+            .backoff(1.0, retransmit_after)
+            .jitter(0.0)
+            .max_in_flight(usize::MAX)
+            .build()
     }
 
     /// Buffered (not yet acked) update count.
@@ -109,14 +425,36 @@ impl FogSync {
         self.buffer.len()
     }
 
+    /// Records currently awaiting acknowledgement.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
     /// Counters.
     pub fn stats(&self) -> SyncStats {
         self.stats
     }
 
-    /// Queues one update, applying the drop policy when full. Returns the
-    /// sequence number, or `None` if this update was refused (Newest policy).
-    pub fn enqueue(&mut self, now: SimTime, key: &str, payload: Vec<u8>) -> Option<u64> {
+    /// Current uplink health as judged by the retry engine.
+    pub fn mode(&self) -> DegradedMode {
+        self.mode
+    }
+
+    /// When the engine entered its current mode.
+    pub fn mode_since(&self) -> SimTime {
+        self.mode_since
+    }
+
+    /// Queues one update, applying the drop policy when full.
+    ///
+    /// # Errors
+    /// [`SyncError::KeyTooLong`] if the key cannot be encoded (nothing is
+    /// enqueued); [`SyncError::BufferFull`] if the buffer is full under
+    /// [`DropPolicy::Newest`] (the update is refused and counted dropped).
+    pub fn enqueue(&mut self, now: SimTime, key: &str, payload: Vec<u8>) -> Result<u64, SyncError> {
+        if key.len() > MAX_KEY_LEN {
+            return Err(SyncError::KeyTooLong { len: key.len() });
+        }
         if self.buffer.len() >= self.capacity {
             match self.policy {
                 DropPolicy::Oldest => {
@@ -127,7 +465,9 @@ impl FogSync {
                 }
                 DropPolicy::Newest => {
                     self.stats.dropped += 1;
-                    return None;
+                    return Err(SyncError::BufferFull {
+                        capacity: self.capacity,
+                    });
                 }
             }
         }
@@ -140,92 +480,209 @@ impl FogSync {
             created_at: now,
         });
         self.stats.enqueued += 1;
-        Some(seq)
+        Ok(seq)
     }
 
-    /// Queues a batch of `(key, payload)` updates, applying the drop policy
-    /// per record — the bulk mirror of [`FogSync::enqueue`], used by the
-    /// platform's batched ingestion path. Returns how many were accepted.
+    /// Queues a batch of `(key, payload)` updates — the bulk mirror of
+    /// [`FogSync::enqueue`], used by the platform's batched ingestion path.
+    /// Validates every key before enqueuing anything, then applies the drop
+    /// policy per record. Returns how many were accepted; refusals under
+    /// [`DropPolicy::Newest`] are a policy outcome (counted in
+    /// [`SyncStats::dropped`]), not an error.
+    ///
+    /// # Errors
+    /// [`SyncError::KeyTooLong`] if any key cannot be encoded — in that
+    /// case no update from the batch is enqueued.
     pub fn enqueue_batch<'a>(
         &mut self,
         now: SimTime,
         items: impl IntoIterator<Item = (&'a str, Vec<u8>)>,
-    ) -> usize {
+    ) -> Result<usize, SyncError> {
+        let items: Vec<(&str, Vec<u8>)> = items.into_iter().collect();
+        if let Some(&(key, _)) = items.iter().find(|(k, _)| k.len() > MAX_KEY_LEN) {
+            return Err(SyncError::KeyTooLong { len: key.len() });
+        }
         let mut accepted = 0;
         for (key, payload) in items {
-            if self.enqueue(now, key, payload).is_some() {
-                accepted += 1;
+            match self.enqueue(now, key, payload) {
+                Ok(_) => accepted += 1,
+                Err(SyncError::BufferFull { .. }) => {}
+                Err(other) => return Err(other), // unreachable post-validation
             }
         }
-        accepted
+        Ok(accepted)
     }
 
-    /// Runs one sync round at `now`: transmits new records and retransmits
-    /// unacked ones whose timer expired, up to `batch` transmissions.
+    /// The retry interval for a record that has been transmitted `attempts`
+    /// times: `min(base · factor^(attempts−1), cap)`, jittered.
+    fn retry_interval(&mut self, attempts: u32) -> SimDuration {
+        let base_ms = self.base_timeout.as_millis() as f64;
+        let cap_ms = self.max_backoff.as_millis().max(1) as f64;
+        let exp = attempts.saturating_sub(1).min(48);
+        let mut ms = base_ms * self.backoff_factor.powi(exp as i32);
+        if !ms.is_finite() || ms > cap_ms {
+            ms = cap_ms;
+        }
+        if self.jitter > 0.0 {
+            let u = self.rng.uniform_f64();
+            ms *= 1.0 + self.jitter * (2.0 * u - 1.0);
+        }
+        SimDuration::from_millis(ms.max(1.0) as u64)
+    }
+
+    /// Runs one sync round at `now`: transmits new records (subject to the
+    /// in-flight window) and retransmits records whose retry timer expired,
+    /// up to `batch` transmissions. Feeds the degraded-mode state machine.
     /// Returns how many messages were handed to the network.
     pub fn sync_round(&mut self, net: &mut Network, now: SimTime, batch: usize) -> usize {
-        let mut sent = 0;
-        // Collect seqs to send first (borrow discipline).
-        let due: Vec<u64> = self
-            .buffer
-            .iter()
-            .filter(|r| match self.in_flight.get(&r.seq) {
-                None => true,
-                Some(&last) => now.saturating_duration_since(last) >= self.retransmit_after,
-            })
-            .take(batch)
-            .map(|r| r.seq)
-            .collect();
-        for seq in due {
-            let record = self
-                .buffer
-                .iter()
-                .find(|r| r.seq == seq)
-                .expect("seq from buffer scan")
-                .clone();
-            let msg = Message::new(SYNC_TOPIC, encode_record(&record));
-            if net
-                .send(now, self.node.clone(), self.cloud.clone(), msg)
-                .is_ok()
-            {
-                self.stats.transmissions += 1;
-                self.in_flight.insert(seq, now);
-                sent += 1;
-            } else {
-                break; // no route / denied: try next round
+        // Plan the round in one pass over the buffer: no re-scans, no
+        // panics. Window accounting: retransmits occupy existing window
+        // slots; only first transmissions consume new ones.
+        let mut planned: Vec<(u64, Vec<u8>, u32)> = Vec::new();
+        let mut window_used = self.in_flight.len();
+        let mut expired = 0u64;
+        for r in &self.buffer {
+            if planned.len() >= batch {
+                break;
             }
+            match self.in_flight.get(&r.seq) {
+                None => {
+                    if window_used >= self.max_in_flight {
+                        continue;
+                    }
+                    window_used += 1;
+                    planned.push((r.seq, encode_record(r), 0));
+                }
+                Some(f) if now >= f.next_retry => {
+                    expired += 1;
+                    planned.push((r.seq, encode_record(r), f.attempts));
+                }
+                Some(_) => {}
+            }
+        }
+        self.stats.timeouts += expired;
+
+        let mut sent = 0;
+        let mut refused = false;
+        for (seq, encoded, prior_attempts) in planned {
+            let msg = Message::new(SYNC_TOPIC, encoded);
+            match net.send(now, self.node.clone(), self.cloud.clone(), msg) {
+                Ok(_) => {
+                    self.stats.transmissions += 1;
+                    if prior_attempts > 0 {
+                        self.stats.retransmissions += 1;
+                    }
+                    let attempts = prior_attempts + 1;
+                    let next_retry = now.saturating_add(self.retry_interval(attempts));
+                    self.in_flight.insert(
+                        seq,
+                        FlightState {
+                            attempts,
+                            next_retry,
+                        },
+                    );
+                    sent += 1;
+                }
+                Err(_) => {
+                    // No route / denied: a synchronous refusal. Stop the
+                    // round and let the state machine register the strike.
+                    refused = true;
+                    break;
+                }
+            }
+        }
+
+        if expired > 0 || refused {
+            self.strikes = self.strikes.saturating_add(1);
+            let mode = if self.strikes >= self.offline_after {
+                DegradedMode::Offline
+            } else if self.strikes >= self.degraded_after {
+                DegradedMode::Degraded
+            } else {
+                self.mode
+            };
+            self.set_mode(mode, now);
         }
         sent
     }
 
-    /// Processes an ack payload from the cloud, releasing confirmed records.
-    pub fn process_ack(&mut self, payload: &[u8]) {
+    /// Processes an ack payload from the cloud at `now`, releasing
+    /// confirmed records exactly once. Any released record resets the
+    /// degraded-mode state machine to `Connected`.
+    ///
+    /// # Errors
+    /// [`SyncError::MalformedAck`] if the payload is not a whole number of
+    /// 8-byte sequence numbers (nothing is released).
+    pub fn process_ack(&mut self, now: SimTime, payload: &[u8]) -> Result<AckOutcome, SyncError> {
+        if !payload.len().is_multiple_of(8) {
+            return Err(SyncError::MalformedAck { len: payload.len() });
+        }
+        let mut outcome = AckOutcome::default();
         for seq in decode_acks(payload) {
             let before = self.buffer.len();
             self.buffer.retain(|r| r.seq != seq);
             if self.buffer.len() != before {
                 self.stats.acked += 1;
+                self.released.insert(seq);
+                outcome.released += 1;
+            } else if self.released.contains(&seq) {
+                self.stats.duplicate_acks += 1;
+                outcome.duplicate += 1;
+            } else {
+                outcome.unknown += 1;
             }
             self.in_flight.remove(&seq);
         }
+        if outcome.released > 0 {
+            self.strikes = 0;
+            self.set_mode(DegradedMode::Connected, now);
+        }
+        Ok(outcome)
     }
 
-    /// Drains the fog node's network inbox, handling ack messages. Returns
-    /// the number of acks processed.
-    pub fn poll_acks(&mut self, net: &mut Network) -> usize {
-        let mut count = 0;
+    /// Drains the fog node's network inbox at `now`, handling ack messages.
+    /// Malformed ack payloads are counted in the outcome rather than
+    /// aborting the drain (bytes off the wire are not the caller's fault).
+    pub fn poll_acks(&mut self, net: &mut Network, now: SimTime) -> AckOutcome {
+        let mut total = AckOutcome::default();
         let deliveries = net.drain(&self.node.clone());
         for d in deliveries {
             if d.message.topic == ACK_TOPIC {
-                self.process_ack(&d.message.payload);
-                count += 1;
+                match self.process_ack(now, &d.message.payload) {
+                    Ok(outcome) => total.absorb(outcome),
+                    Err(_) => total.malformed += 1,
+                }
             }
         }
-        count
+        total
+    }
+
+    fn set_mode(&mut self, mode: DegradedMode, now: SimTime) {
+        if self.mode != mode {
+            self.mode = mode;
+            self.mode_since = now;
+        }
     }
 }
 
-/// Cloud-side receiving store: deduplicates by sequence and acks.
+/// Per-source reorder state for [`CloudStore::drain_ready`]: records are
+/// held back until every smaller sequence number has been released, so a
+/// downstream consumer sees each source's stream in send order even though
+/// retransmissions arrive out of order.
+#[derive(Clone, Debug)]
+struct ReorderBuffer {
+    /// Safety valve: a held record older than this releases anyway (its
+    /// gap can only be a record the *sender* dropped pre-transmission —
+    /// the ack protocol retries everything else until it lands).
+    max_hold: SimDuration,
+    /// Next sequence number to release, per source.
+    next: BTreeMap<NodeId, u64>,
+    /// Accepted records awaiting release: seq → (record, held since).
+    held: BTreeMap<NodeId, BTreeMap<u64, (UpdateRecord, SimTime)>>,
+}
+
+/// Cloud-side receiving store: deduplicates per source by sequence number
+/// and sends batched acks.
 #[derive(Clone, Debug)]
 pub struct CloudStore {
     node: NodeId,
@@ -233,11 +690,15 @@ pub struct CloudStore {
     latest: BTreeMap<String, UpdateRecord>,
     /// Full history (append order of acceptance).
     history: Vec<UpdateRecord>,
-    seen_seqs: std::collections::BTreeSet<u64>,
+    /// Accepted seqs per source node (two fogs may both start at seq 0).
+    seen_seqs: BTreeMap<NodeId, BTreeSet<u64>>,
     duplicates: u64,
     /// Cursor into `history`: records before it were already handed out by
     /// [`CloudStore::drain_new`] to a downstream applier.
     drained: usize,
+    /// In-order release state, present when built with
+    /// [`CloudStore::in_order`].
+    reorder: Option<ReorderBuffer>,
 }
 
 impl CloudStore {
@@ -247,10 +708,30 @@ impl CloudStore {
             node: node.into(),
             latest: BTreeMap::new(),
             history: Vec::new(),
-            seen_seqs: std::collections::BTreeSet::new(),
+            seen_seqs: BTreeMap::new(),
             duplicates: 0,
             drained: 0,
+            reorder: None,
         }
+    }
+
+    /// Creates a store whose [`CloudStore::drain_ready`] releases each
+    /// source's records in sequence order, holding out-of-order arrivals
+    /// until the gap before them fills (or `max_hold` elapses — the
+    /// safety valve for sequence numbers the sender's bounded buffer
+    /// dropped before ever transmitting, which would otherwise stall the
+    /// stream forever). Consumers that replay-check or order-check the
+    /// stream (e.g. a per-device sequence monitor behind a gateway relay)
+    /// need this: retransmitted records routinely overtake each other on
+    /// a lossy uplink.
+    pub fn in_order(node: impl Into<NodeId>, max_hold: SimDuration) -> Self {
+        let mut store = CloudStore::new(node);
+        store.reorder = Some(ReorderBuffer {
+            max_hold,
+            next: BTreeMap::new(),
+            held: BTreeMap::new(),
+        });
+        store
     }
 
     /// Unique records accepted.
@@ -284,10 +765,70 @@ impl CloudStore {
         &self.history[from..]
     }
 
+    /// Records ready for an order-sensitive consumer. On a store built
+    /// with [`CloudStore::in_order`], returns newly accepted records in
+    /// per-source sequence order, holding back any record whose
+    /// predecessors have not yet arrived; on a plain store this is
+    /// [`CloudStore::drain_new`] in arrival order.
+    pub fn drain_ready(&mut self, now: SimTime) -> Vec<UpdateRecord> {
+        let Some(reorder) = &mut self.reorder else {
+            return self.drain_new().to_vec();
+        };
+        // Keep the plain drain cursor coherent even in in-order mode.
+        self.drained = self.history.len();
+        let mut out = Vec::new();
+        for (source, held) in &mut reorder.held {
+            let next = reorder.next.entry(source.clone()).or_insert(0);
+            loop {
+                if let Some((record, _)) = held.remove(next) {
+                    out.push(record);
+                    *next += 1;
+                    continue;
+                }
+                // Gap at `next`. Only skip it if the oldest held record
+                // has waited past the safety valve: the sender retries
+                // every accepted record until acked, so a persistent gap
+                // means the sender itself dropped that sequence number.
+                match held.iter().next() {
+                    Some((&seq, &(_, held_since))) if now - held_since >= reorder.max_hold => {
+                        *next = seq;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        out
+    }
+
+    /// Records currently held back by the in-order release buffer
+    /// (always 0 on a plain store).
+    pub fn held_back(&self) -> usize {
+        self.reorder
+            .as_ref()
+            .map(|r| r.held.values().map(BTreeMap::len).sum())
+            .unwrap_or(0)
+    }
+
     /// Drains the cloud inbox, storing records and sending one batched ack
-    /// per sync source. Returns the number of new records accepted.
+    /// per sync source. Every decodable record is acked — including
+    /// duplicates, whose earlier ack may have been lost. Returns the number
+    /// of new records accepted.
     pub fn process(&mut self, net: &mut Network, now: SimTime) -> usize {
         let deliveries = net.drain(&self.node.clone());
+        self.process_deliveries(net, now, deliveries)
+    }
+
+    /// Processes an already-drained batch of deliveries — for callers that
+    /// share the cloud node's inbox with other consumers and therefore
+    /// drain once and route by topic themselves. Non-[`SYNC_TOPIC`]
+    /// deliveries are skipped. Same storage/ack semantics as
+    /// [`CloudStore::process`].
+    pub fn process_deliveries(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        deliveries: impl IntoIterator<Item = Delivery>,
+    ) -> usize {
         let mut accepted = 0;
         let mut acks: BTreeMap<NodeId, Vec<u64>> = BTreeMap::new();
         for d in deliveries {
@@ -296,8 +837,20 @@ impl CloudStore {
             }
             if let Some(record) = decode_record(&d.message.payload) {
                 acks.entry(d.src.clone()).or_default().push(record.seq);
-                if self.seen_seqs.insert(record.seq) {
+                if self
+                    .seen_seqs
+                    .entry(d.src.clone())
+                    .or_default()
+                    .insert(record.seq)
+                {
                     self.latest.insert(record.key.clone(), record.clone());
+                    if let Some(reorder) = &mut self.reorder {
+                        reorder
+                            .held
+                            .entry(d.src.clone())
+                            .or_default()
+                            .insert(record.seq, (record.clone(), now));
+                    }
                     self.history.push(record);
                     accepted += 1;
                 } else {
@@ -306,6 +859,8 @@ impl CloudStore {
             }
         }
         for (fog, seqs) in acks {
+            // Ack sends may race a partition window; the fog's retry engine
+            // covers the loss, so a refused ack send is deliberately ignored.
             let _ = net.send(
                 now,
                 self.node.clone(),
@@ -317,13 +872,17 @@ impl CloudStore {
     }
 }
 
+/// Encodes a record. Infallible: key length was validated against
+/// [`MAX_KEY_LEN`] at enqueue time (the 16-bit length prefix cannot
+/// truncate).
 fn encode_record(r: &UpdateRecord) -> Vec<u8> {
     let key_bytes = r.key.as_bytes();
+    let key_len = key_bytes.len().min(MAX_KEY_LEN) as u16;
     let mut out = Vec::with_capacity(8 + 8 + 2 + key_bytes.len() + r.payload.len());
     out.extend_from_slice(&r.seq.to_be_bytes());
     out.extend_from_slice(&r.created_at.as_millis().to_be_bytes());
-    out.extend_from_slice(&(key_bytes.len() as u16).to_be_bytes());
-    out.extend_from_slice(key_bytes);
+    out.extend_from_slice(&key_len.to_be_bytes());
+    out.extend_from_slice(&key_bytes[..key_len as usize]);
     out.extend_from_slice(&r.payload);
     out
 }
@@ -358,10 +917,16 @@ fn encode_acks(seqs: &[u64]) -> Vec<u8> {
     out
 }
 
+/// Decodes a validated ack payload (callers check `len % 8 == 0`); a
+/// trailing partial chunk would be silently ignored by `chunks_exact`.
 fn decode_acks(bytes: &[u8]) -> Vec<u64> {
     bytes
         .chunks_exact(8)
-        .map(|c| u64::from_be_bytes(c.try_into().expect("chunk of 8")))
+        .map(|c| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(c);
+            u64::from_be_bytes(b)
+        })
         .collect()
 }
 
@@ -384,13 +949,13 @@ mod tests {
                 10_000_000,
             ),
         );
-        let sync = FogSync::new(
-            "fog",
-            "cloud",
-            1000,
-            DropPolicy::Oldest,
-            SimDuration::from_secs(5),
-        );
+        let sync = FogSync::builder("fog", "cloud")
+            .capacity(1000)
+            .drop_policy(DropPolicy::Oldest)
+            .base_timeout(SimDuration::from_secs(5))
+            .backoff(2.0, SimDuration::from_secs(60))
+            .jitter(0.0)
+            .build();
         (net, sync, CloudStore::new("cloud"))
     }
 
@@ -410,7 +975,7 @@ mod tests {
             cloud.process(net, now);
             now += SimDuration::from_secs(1);
             net.advance_to(now);
-            sync.poll_acks(net);
+            sync.poll_acks(net, now);
             now += SimDuration::from_secs(5);
             if sync.pending() == 0 {
                 break;
@@ -436,26 +1001,34 @@ mod tests {
     fn clean_link_syncs_everything() {
         let (mut net, mut sync, mut cloud) = setup(0.0);
         for i in 0..50 {
-            sync.enqueue(SimTime::ZERO, &format!("key-{i}"), vec![i as u8]);
+            sync.enqueue(SimTime::ZERO, &format!("key-{i}"), vec![i as u8])
+                .unwrap();
         }
         pump(&mut net, &mut sync, &mut cloud, SimTime::ZERO, 20);
         assert_eq!(sync.pending(), 0);
         assert_eq!(cloud.record_count(), 50);
         assert_eq!(sync.stats().acked, 50);
         assert!(cloud.latest("key-7").is_some());
+        assert_eq!(sync.mode(), DegradedMode::Connected);
     }
 
     #[test]
     fn lossy_link_recovers_via_retransmit() {
         let (mut net, mut sync, mut cloud) = setup(0.3);
         for i in 0..100 {
-            sync.enqueue(SimTime::ZERO, &format!("key-{i}"), vec![i as u8]);
+            sync.enqueue(SimTime::ZERO, &format!("key-{i}"), vec![i as u8])
+                .unwrap();
         }
         pump(&mut net, &mut sync, &mut cloud, SimTime::ZERO, 200);
         assert_eq!(sync.pending(), 0, "all records eventually acked");
         assert_eq!(cloud.record_count(), 100);
         // Loss forces retransmissions beyond the original 100.
         assert!(sync.stats().transmissions > 100);
+        assert_eq!(
+            sync.stats().transmissions - sync.stats().retransmissions,
+            100,
+            "every record was first-transmitted exactly once"
+        );
     }
 
     #[test]
@@ -464,7 +1037,8 @@ mod tests {
         net.set_link_up(&"fog".into(), &"cloud".into(), false);
         let mut now = SimTime::ZERO;
         for i in 0..30 {
-            sync.enqueue(now, &format!("key-{i}"), vec![i as u8]);
+            sync.enqueue(now, &format!("key-{i}"), vec![i as u8])
+                .unwrap();
             sync.sync_round(&mut net, now, 8);
             now += SimDuration::from_secs(60);
             net.advance_to(now);
@@ -483,7 +1057,7 @@ mod tests {
     #[test]
     fn duplicates_are_idempotent() {
         let (mut net, mut sync, mut cloud) = setup(0.0);
-        sync.enqueue(SimTime::ZERO, "k", b"v".to_vec());
+        sync.enqueue(SimTime::ZERO, "k", b"v".to_vec()).unwrap();
         // Transmit twice without processing acks (retransmit timer forced).
         sync.sync_round(&mut net, SimTime::ZERO, 8);
         sync.sync_round(&mut net, SimTime::from_secs(10), 8);
@@ -493,19 +1067,154 @@ mod tests {
         assert_eq!(cloud.duplicates(), 1);
     }
 
+    fn sync_delivery(seq: u64, now: SimTime) -> Delivery {
+        let record = UpdateRecord {
+            seq,
+            key: format!("k{seq}"),
+            payload: vec![seq as u8],
+            created_at: now,
+        };
+        Delivery {
+            id: swamp_net::message::MsgId(seq),
+            src: "fog".into(),
+            dst: "cloud".into(),
+            message: Message::new(SYNC_TOPIC, encode_record(&record)),
+            sent_at: now,
+            delivered_at: now,
+        }
+    }
+
+    #[test]
+    fn in_order_store_holds_gaps_until_they_fill() {
+        let mut net = Network::new(1);
+        net.add_node("fog");
+        net.add_node("cloud");
+        net.connect("fog", "cloud", LinkSpec::farm_lan());
+        let mut store = CloudStore::in_order("cloud", SimDuration::from_secs(600));
+
+        // Seqs 0, 2, 3 arrive; 1 is still in flight (retransmitting).
+        let t = SimTime::from_secs(1);
+        store.process_deliveries(&mut net, t, [0, 2, 3].map(|s| sync_delivery(s, t)));
+        let ready = store.drain_ready(t);
+        assert_eq!(ready.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(store.held_back(), 2);
+        // All three were accepted (and acked) regardless of release order.
+        assert_eq!(store.record_count(), 3);
+
+        // The gap fills: the whole contiguous run releases, in seq order.
+        let t2 = SimTime::from_secs(5);
+        store.process_deliveries(&mut net, t2, [sync_delivery(1, t2)]);
+        let ready = store.drain_ready(t2);
+        assert_eq!(
+            ready.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(store.held_back(), 0);
+    }
+
+    #[test]
+    fn in_order_store_skips_a_dead_gap_after_max_hold() {
+        let mut net = Network::new(1);
+        net.add_node("fog");
+        net.add_node("cloud");
+        net.connect("fog", "cloud", LinkSpec::farm_lan());
+        let mut store = CloudStore::in_order("cloud", SimDuration::from_secs(600));
+
+        // Seq 0 never arrives (dropped at the sender pre-transmission).
+        let t = SimTime::from_secs(1);
+        store.process_deliveries(&mut net, t, [1, 2].map(|s| sync_delivery(s, t)));
+        assert!(store.drain_ready(t).is_empty());
+        assert!(store.drain_ready(SimTime::from_secs(500)).is_empty());
+        // Past the hold cap the stream unblocks in order.
+        let ready = store.drain_ready(SimTime::from_secs(700));
+        assert_eq!(ready.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn plain_store_drain_ready_is_arrival_order() {
+        let mut net = Network::new(1);
+        net.add_node("fog");
+        net.add_node("cloud");
+        net.connect("fog", "cloud", LinkSpec::farm_lan());
+        let mut store = CloudStore::new("cloud");
+        let t = SimTime::from_secs(1);
+        store.process_deliveries(&mut net, t, [2, 0].map(|s| sync_delivery(s, t)));
+        let ready = store.drain_ready(t);
+        assert_eq!(ready.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![2, 0]);
+        assert_eq!(store.held_back(), 0);
+        // The cursor advanced: nothing is double-released.
+        assert!(store.drain_ready(t).is_empty());
+    }
+
+    #[test]
+    fn duplicate_acks_never_double_advance_stats() {
+        let (mut net, mut sync, mut cloud) = setup(0.0);
+        sync.enqueue(SimTime::ZERO, "k", b"v".to_vec()).unwrap();
+        sync.sync_round(&mut net, SimTime::ZERO, 8);
+        net.advance_to(SimTime::from_secs(1));
+        cloud.process(&mut net, SimTime::from_secs(1));
+        net.advance_to(SimTime::from_secs(2));
+        let d = net.poll(&"fog".into()).unwrap();
+        assert_eq!(d.message.topic, ACK_TOPIC);
+
+        let now = SimTime::from_secs(2);
+        let first = sync.process_ack(now, &d.message.payload).unwrap();
+        assert_eq!(first.released, 1);
+        assert_eq!(sync.stats().acked, 1);
+
+        // The same ack replayed (e.g. an injected wire duplicate) is
+        // suppressed: stats.acked does not advance.
+        let second = sync.process_ack(now, &d.message.payload).unwrap();
+        assert_eq!(second.released, 0);
+        assert_eq!(second.duplicate, 1);
+        assert_eq!(sync.stats().acked, 1);
+        assert_eq!(sync.stats().duplicate_acks, 1);
+
+        // An ack for a seq this engine never buffered is merely unknown.
+        let stray = sync.process_ack(now, &encode_acks(&[999])).unwrap();
+        assert_eq!(stray.unknown, 1);
+        assert_eq!(sync.stats().acked, 1);
+    }
+
+    #[test]
+    fn malformed_ack_is_a_typed_error() {
+        let (_, mut sync, _) = setup(0.0);
+        assert_eq!(
+            sync.process_ack(SimTime::ZERO, &[1, 2, 3]),
+            Err(SyncError::MalformedAck { len: 3 })
+        );
+    }
+
+    #[test]
+    fn oversized_key_is_refused_before_encoding() {
+        let (_, mut sync, _) = setup(0.0);
+        let giant = "k".repeat(MAX_KEY_LEN + 1);
+        assert_eq!(
+            sync.enqueue(SimTime::ZERO, &giant, vec![]),
+            Err(SyncError::KeyTooLong {
+                len: MAX_KEY_LEN + 1
+            })
+        );
+        assert_eq!(sync.pending(), 0);
+        // A batch containing one bad key enqueues nothing.
+        let items: Vec<(&str, Vec<u8>)> = vec![("ok", vec![]), (&giant, vec![])];
+        assert!(matches!(
+            sync.enqueue_batch(SimTime::ZERO, items),
+            Err(SyncError::KeyTooLong { .. })
+        ));
+        assert_eq!(sync.pending(), 0);
+    }
+
     #[test]
     fn bounded_buffer_drop_oldest() {
-        let mut sync = FogSync::new(
-            "fog",
-            "cloud",
-            3,
-            DropPolicy::Oldest,
-            SimDuration::from_secs(5),
-        );
+        let mut sync = FogSync::builder("fog", "cloud")
+            .capacity(3)
+            .drop_policy(DropPolicy::Oldest)
+            .build();
         for i in 0..5 {
             assert!(sync
                 .enqueue(SimTime::ZERO, &format!("k{i}"), vec![])
-                .is_some());
+                .is_ok());
         }
         assert_eq!(sync.pending(), 3);
         assert_eq!(sync.stats().dropped, 2);
@@ -516,16 +1225,16 @@ mod tests {
 
     #[test]
     fn bounded_buffer_drop_newest() {
-        let mut sync = FogSync::new(
-            "fog",
-            "cloud",
-            2,
-            DropPolicy::Newest,
-            SimDuration::from_secs(5),
+        let mut sync = FogSync::builder("fog", "cloud")
+            .capacity(2)
+            .drop_policy(DropPolicy::Newest)
+            .build();
+        assert!(sync.enqueue(SimTime::ZERO, "k0", vec![]).is_ok());
+        assert!(sync.enqueue(SimTime::ZERO, "k1", vec![]).is_ok());
+        assert_eq!(
+            sync.enqueue(SimTime::ZERO, "k2", vec![]),
+            Err(SyncError::BufferFull { capacity: 2 })
         );
-        assert!(sync.enqueue(SimTime::ZERO, "k0", vec![]).is_some());
-        assert!(sync.enqueue(SimTime::ZERO, "k1", vec![]).is_some());
-        assert!(sync.enqueue(SimTime::ZERO, "k2", vec![]).is_none());
         assert_eq!(sync.pending(), 2);
         assert_eq!(sync.stats().dropped, 1);
     }
@@ -533,8 +1242,10 @@ mod tests {
     #[test]
     fn latest_reflects_newest_record_per_key() {
         let (mut net, mut sync, mut cloud) = setup(0.0);
-        sync.enqueue(SimTime::ZERO, "probe", b"old".to_vec());
-        sync.enqueue(SimTime::from_secs(1), "probe", b"new".to_vec());
+        sync.enqueue(SimTime::ZERO, "probe", b"old".to_vec())
+            .unwrap();
+        sync.enqueue(SimTime::from_secs(1), "probe", b"new".to_vec())
+            .unwrap();
         pump(&mut net, &mut sync, &mut cloud, SimTime::from_secs(1), 20);
         assert_eq!(cloud.latest("probe").unwrap().payload, b"new");
         assert_eq!(cloud.record_count(), 2);
@@ -543,15 +1254,12 @@ mod tests {
 
     #[test]
     fn enqueue_batch_matches_loop_and_applies_drop_policy() {
-        let mut sync = FogSync::new(
-            "fog",
-            "cloud",
-            3,
-            DropPolicy::Newest,
-            SimDuration::from_secs(5),
-        );
+        let mut sync = FogSync::builder("fog", "cloud")
+            .capacity(3)
+            .drop_policy(DropPolicy::Newest)
+            .build();
         let items: Vec<(&str, Vec<u8>)> = (0..5).map(|i| ("k", vec![i as u8])).collect();
-        let accepted = sync.enqueue_batch(SimTime::ZERO, items);
+        let accepted = sync.enqueue_batch(SimTime::ZERO, items).unwrap();
         assert_eq!(accepted, 3, "capacity 3, Newest policy refuses overflow");
         assert_eq!(sync.pending(), 3);
         assert_eq!(sync.stats().dropped, 2);
@@ -562,14 +1270,15 @@ mod tests {
         let (mut net, mut sync, mut cloud) = setup(0.0);
         assert!(cloud.drain_new().is_empty());
         for i in 0..4 {
-            sync.enqueue(SimTime::ZERO, &format!("k{i}"), vec![i as u8]);
+            sync.enqueue(SimTime::ZERO, &format!("k{i}"), vec![i as u8])
+                .unwrap();
         }
         pump(&mut net, &mut sync, &mut cloud, SimTime::ZERO, 20);
         let first: Vec<u64> = cloud.drain_new().iter().map(|r| r.seq).collect();
         assert_eq!(first.len(), 4);
         assert!(cloud.drain_new().is_empty(), "cursor advanced");
 
-        sync.enqueue(SimTime::from_secs(60), "k9", vec![9]);
+        sync.enqueue(SimTime::from_secs(60), "k9", vec![9]).unwrap();
         pump(&mut net, &mut sync, &mut cloud, SimTime::from_secs(60), 20);
         let second: Vec<&str> = cloud.drain_new().iter().map(|r| r.key.as_str()).collect();
         assert_eq!(second, ["k9"], "only the newly accepted record");
@@ -579,10 +1288,199 @@ mod tests {
     fn batch_limit_respected() {
         let (mut net, mut sync, _) = setup(0.0);
         for i in 0..20 {
-            sync.enqueue(SimTime::ZERO, &format!("k{i}"), vec![]);
+            sync.enqueue(SimTime::ZERO, &format!("k{i}"), vec![])
+                .unwrap();
         }
         let sent = sync.sync_round(&mut net, SimTime::ZERO, 5);
         assert_eq!(sent, 5);
         assert_eq!(sync.stats().transmissions, 5);
+    }
+
+    #[test]
+    fn in_flight_window_bounds_unacked_records() {
+        let (mut net, _, _) = setup(0.0);
+        let mut sync = FogSync::builder("fog", "cloud")
+            .base_timeout(SimDuration::from_secs(5))
+            .max_in_flight(4)
+            .jitter(0.0)
+            .build();
+        for i in 0..20 {
+            sync.enqueue(SimTime::ZERO, &format!("k{i}"), vec![])
+                .unwrap();
+        }
+        // No acks will arrive (we never run the cloud side): the window
+        // pins the engine at 4 unacked records regardless of rounds.
+        let sent = sync.sync_round(&mut net, SimTime::ZERO, 64);
+        assert_eq!(sent, 4);
+        assert_eq!(sync.in_flight(), 4);
+        let sent = sync.sync_round(&mut net, SimTime::from_secs(1), 64);
+        assert_eq!(sent, 0, "window full, timers not yet expired");
+        // After expiry only the 4 in-flight records retransmit.
+        let sent = sync.sync_round(&mut net, SimTime::from_secs(10), 64);
+        assert_eq!(sent, 4);
+        assert_eq!(sync.in_flight(), 4);
+        assert_eq!(sync.stats().retransmissions, 4);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let (mut net, _, _) = setup(0.0);
+        let mut sync = FogSync::builder("fog", "cloud")
+            .base_timeout(SimDuration::from_secs(10))
+            .backoff(2.0, SimDuration::from_secs(40))
+            .jitter(0.0)
+            .build();
+        sync.enqueue(SimTime::ZERO, "k", vec![]).unwrap();
+
+        // Attempts at t=0; retries due at +10, then +20, then +40 (cap),
+        // then +40 again. Probe just before/at each boundary.
+        let mut now = SimTime::ZERO;
+        assert_eq!(sync.sync_round(&mut net, now, 8), 1);
+        for expect_gap in [10u64, 20, 40, 40] {
+            let before = now + SimDuration::from_secs(expect_gap - 1);
+            assert_eq!(sync.sync_round(&mut net, before, 8), 0, "not yet due");
+            now += SimDuration::from_secs(expect_gap);
+            assert_eq!(
+                sync.sync_round(&mut net, now, 8),
+                1,
+                "due at +{expect_gap}s"
+            );
+        }
+    }
+
+    #[test]
+    fn jitter_spreads_retries_deterministically() {
+        let run = |seed| {
+            let mut net = Network::new(5);
+            net.add_node("fog");
+            net.add_node("cloud");
+            net.connect("fog", "cloud", LinkSpec::farm_lan());
+            let mut sync = FogSync::builder("fog", "cloud")
+                .base_timeout(SimDuration::from_secs(10))
+                .jitter(0.5)
+                .seed(seed)
+                .build();
+            sync.enqueue(SimTime::ZERO, "k", vec![]).unwrap();
+            sync.sync_round(&mut net, SimTime::ZERO, 8);
+            // Sample the schedule by probing when the retry fires.
+            let mut fired_at = 0;
+            for s in 1..=20 {
+                if sync.sync_round(&mut net, SimTime::from_secs(s), 8) == 1 {
+                    fired_at = s;
+                    break;
+                }
+            }
+            fired_at
+        };
+        assert_eq!(run(1), run(1), "same seed, same schedule");
+        let samples: Vec<u64> = (0..16).map(run).collect();
+        assert!(
+            samples.iter().any(|&s| s != samples[0]),
+            "jitter varies across seeds: {samples:?}"
+        );
+        // All within the ±50% band around 10s.
+        assert!(samples.iter().all(|&s| (5..=15).contains(&s)));
+    }
+
+    #[test]
+    fn degraded_mode_walks_down_and_recovers() {
+        let (mut net, _, mut cloud) = setup(0.0);
+        let mut sync = FogSync::builder("fog", "cloud")
+            .base_timeout(SimDuration::from_secs(5))
+            .backoff(1.0, SimDuration::from_secs(5))
+            .jitter(0.0)
+            .degraded_thresholds(2, 4)
+            .build();
+        net.set_link_up(&"fog".into(), &"cloud".into(), false);
+        sync.enqueue(SimTime::ZERO, "k", vec![]).unwrap();
+
+        let mut now = SimTime::ZERO;
+        sync.sync_round(&mut net, now, 8);
+        assert_eq!(
+            sync.mode(),
+            DegradedMode::Connected,
+            "first send, no strike"
+        );
+        for _ in 0..1 {
+            now += SimDuration::from_secs(6);
+            sync.sync_round(&mut net, now, 8);
+        }
+        assert_eq!(sync.mode(), DegradedMode::Connected, "one strike tolerated");
+        now += SimDuration::from_secs(6);
+        sync.sync_round(&mut net, now, 8);
+        assert_eq!(sync.mode(), DegradedMode::Degraded);
+        let degraded_since = sync.mode_since();
+        assert_eq!(degraded_since, now);
+        for _ in 0..2 {
+            now += SimDuration::from_secs(6);
+            sync.sync_round(&mut net, now, 8);
+        }
+        assert_eq!(sync.mode(), DegradedMode::Offline);
+
+        // Heal: one delivered+acked record restores Connected.
+        net.set_link_up(&"fog".into(), &"cloud".into(), true);
+        now += SimDuration::from_secs(6);
+        sync.sync_round(&mut net, now, 8);
+        now += SimDuration::from_secs(1);
+        net.advance_to(now);
+        cloud.process(&mut net, now);
+        now += SimDuration::from_secs(1);
+        net.advance_to(now);
+        let outcome = sync.poll_acks(&mut net, now);
+        assert_eq!(outcome.released, 1);
+        assert_eq!(sync.mode(), DegradedMode::Connected);
+        assert_eq!(sync.mode_since(), now);
+    }
+
+    #[test]
+    fn deprecated_constructor_maps_to_legacy_behavior() {
+        #[allow(deprecated)]
+        let mut sync = FogSync::new(
+            "fog",
+            "cloud",
+            0, // clamped to 1 instead of panicking
+            DropPolicy::Oldest,
+            SimDuration::from_secs(5),
+        );
+        assert!(sync.enqueue(SimTime::ZERO, "k", vec![]).is_ok());
+        assert_eq!(sync.pending(), 1);
+    }
+
+    #[test]
+    fn builder_clamps_out_of_range_parameters() {
+        let mut sync = FogSync::builder("fog", "cloud")
+            .capacity(0)
+            .backoff(0.5, SimDuration::from_secs(10))
+            .jitter(7.0)
+            .max_in_flight(0)
+            .degraded_thresholds(0, 0)
+            .build();
+        // Capacity clamped to 1: a second record evicts under Oldest.
+        sync.enqueue(SimTime::ZERO, "a", vec![]).unwrap();
+        sync.enqueue(SimTime::ZERO, "b", vec![]).unwrap();
+        assert_eq!(sync.pending(), 1);
+        assert_eq!(sync.stats().dropped, 1);
+    }
+
+    #[test]
+    fn two_sources_with_colliding_seqs_both_accepted() {
+        let mut net = Network::new(13);
+        net.add_node("fog-a");
+        net.add_node("fog-b");
+        net.add_node("cloud");
+        net.connect("fog-a", "cloud", LinkSpec::farm_lan());
+        net.connect("fog-b", "cloud", LinkSpec::farm_lan());
+        let mut a = FogSync::builder("fog-a", "cloud").jitter(0.0).build();
+        let mut b = FogSync::builder("fog-b", "cloud").jitter(0.0).build();
+        let mut cloud = CloudStore::new("cloud");
+        // Both engines start at seq 0: per-source dedup must keep both.
+        a.enqueue(SimTime::ZERO, "ka", b"va".to_vec()).unwrap();
+        b.enqueue(SimTime::ZERO, "kb", b"vb".to_vec()).unwrap();
+        a.sync_round(&mut net, SimTime::ZERO, 8);
+        b.sync_round(&mut net, SimTime::ZERO, 8);
+        net.advance_to(SimTime::from_secs(1));
+        cloud.process(&mut net, SimTime::from_secs(1));
+        assert_eq!(cloud.record_count(), 2);
+        assert_eq!(cloud.duplicates(), 0);
     }
 }

@@ -1,0 +1,138 @@
+//! Property-based tests for the fog→cloud retry engine under random
+//! fault plans: exactly-once delivery, duplicate-ack suppression and
+//! monotone history ordering.
+
+// Gated: proptest is not resolvable in the offline build environment.
+// See the `proptest-tests` feature note in this crate's Cargo.toml.
+#![cfg(feature = "proptest-tests")]
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use swamp_fog::sync::{CloudStore, DegradedMode, DropPolicy, FogSync};
+use swamp_net::link::LinkSpec;
+use swamp_net::network::Network;
+use swamp_net::{FaultPlan, FaultSpec};
+use swamp_sim::{SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Under any random fault plan (loss + duplication + reordering, with
+    /// or without a partition window), every enqueued record reaches the
+    /// cloud store exactly once and the engine ends reconnected.
+    #[test]
+    fn exactly_once_under_random_fault_plans(
+        seed in any::<u64>(),
+        drop_prob in 0.0f64..0.4,
+        duplicate_prob in 0.0f64..0.3,
+        reorder_prob in 0.0f64..0.5,
+        records in 1u64..120,
+        partition in any::<bool>(),
+    ) {
+        let mut net = Network::new(seed);
+        net.add_node("fog");
+        net.add_node("cloud");
+        net.connect("fog", "cloud", LinkSpec::rural_internet());
+
+        let mut plan = FaultPlan::new(seed ^ 0xfa);
+        plan.set_link_faults("fog", "cloud", FaultSpec {
+            drop_prob,
+            duplicate_prob,
+            reorder_prob,
+            ..FaultSpec::default()
+        }).expect("probabilities are in range by construction");
+        if partition {
+            plan.add_partition(
+                "fog",
+                "cloud",
+                SimTime::from_secs(100),
+                SimTime::from_secs(400),
+            ).expect("non-empty window");
+        }
+        net.install_fault_plan(plan);
+
+        let mut sync = FogSync::builder("fog", "cloud")
+            .capacity(4_096)
+            .drop_policy(DropPolicy::Oldest)
+            .base_timeout(SimDuration::from_secs(15))
+            .backoff(2.0, SimDuration::from_secs(90))
+            .jitter(0.25)
+            .max_in_flight(32)
+            .seed(seed ^ 0x5e)
+            .build();
+        let mut store = CloudStore::new("cloud");
+
+        for i in 0..records {
+            sync.enqueue(SimTime::from_secs(i), &format!("k{i:04}"), vec![i as u8])
+                .expect("under capacity");
+        }
+
+        let mut now = SimTime::from_secs(records);
+        for _ in 0..2_000 {
+            sync.sync_round(&mut net, now, 32);
+            now += SimDuration::from_secs(2);
+            net.advance_to(now);
+            store.process(&mut net, now);
+            now += SimDuration::from_secs(2);
+            net.advance_to(now);
+            sync.poll_acks(&mut net, now);
+            now += SimDuration::from_secs(6);
+            if sync.pending() == 0 {
+                break;
+            }
+        }
+
+        prop_assert_eq!(sync.pending(), 0, "backlog drains");
+        prop_assert_eq!(store.record_count() as u64, records, "exactly-once apply");
+        let unique: BTreeSet<u64> = store.history().iter().map(|r| r.seq).collect();
+        prop_assert_eq!(unique.len() as u64, records, "no seq applied twice");
+        prop_assert_eq!(sync.mode(), DegradedMode::Connected, "engine reconnects");
+        // Creation timestamps in the store's per-key latest view are the
+        // enqueue times, untouched by network reordering.
+        for i in 0..records {
+            let rec = store.latest(&format!("k{i:04}")).expect("key present");
+            prop_assert_eq!(rec.created_at, SimTime::from_secs(i));
+        }
+    }
+
+    /// Replaying any ack payload a second time releases nothing further
+    /// and only grows the duplicate counters.
+    #[test]
+    fn duplicate_acks_are_suppressed(seed in any::<u64>(), records in 1u64..40) {
+        let mut net = Network::new(seed);
+        net.add_node("fog");
+        net.add_node("cloud");
+        net.connect("fog", "cloud", LinkSpec::farm_lan());
+
+        let mut sync = FogSync::builder("fog", "cloud")
+            .base_timeout(SimDuration::from_secs(10))
+            .jitter(0.0)
+            .build();
+        let mut store = CloudStore::new("cloud");
+        for i in 0..records {
+            sync.enqueue(SimTime::ZERO, &format!("k{i}"), vec![1]).expect("under capacity");
+        }
+        let now = SimTime::from_secs(1);
+        sync.sync_round(&mut net, now, 1_024);
+        net.advance_to(SimTime::from_secs(5));
+        store.process(&mut net, SimTime::from_secs(5));
+        net.advance_to(SimTime::from_secs(10));
+
+        // Capture the ack payload and apply it twice.
+        let deliveries = net.drain(&"fog".into());
+        prop_assert!(!deliveries.is_empty());
+        let mut released = 0;
+        let mut dup_outcome = None;
+        for d in &deliveries {
+            let first = sync.process_ack(now, &d.message.payload).expect("well-formed ack");
+            released += first.released;
+            let again = sync.process_ack(now, &d.message.payload).expect("well-formed ack");
+            prop_assert_eq!(again.released, 0, "second apply releases nothing");
+            dup_outcome = Some(again.duplicate);
+        }
+        prop_assert_eq!(released as u64, records);
+        prop_assert!(dup_outcome.unwrap_or(0) > 0);
+        prop_assert_eq!(sync.stats().acked, records);
+    }
+}

@@ -12,6 +12,8 @@
 //! - [`frag`] — 6LoWPAN-style fragmentation/reassembly for small radio MTUs.
 //! - [`network`] — the event-driven fabric: inboxes, taps (eavesdroppers),
 //!   partitions (Internet disconnection), and metrics.
+//! - [`fault`] — deterministic fault injection: seeded per-link
+//!   drop/duplicate/reorder/delay processes and scheduled partitions.
 //! - [`broker`] — an MQTT-style pub/sub broker with `+`/`#` wildcards and
 //!   retained messages.
 //! - [`sdn`] — an SDN flow table giving the security layer the paper's
@@ -47,6 +49,7 @@
 //! ```
 
 pub mod broker;
+pub mod fault;
 pub mod frag;
 pub mod link;
 pub mod lpwan;
@@ -55,6 +58,7 @@ pub mod network;
 pub mod sdn;
 
 pub use broker::{topic_matches, Broker};
+pub use fault::{FaultConfigError, FaultPlan, FaultSpec};
 pub use link::LinkSpec;
 pub use message::{Delivery, Message, MsgId, NodeId};
 pub use network::{Network, SendError};

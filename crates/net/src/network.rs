@@ -10,8 +10,9 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use swamp_sim::metrics::Metrics;
-use swamp_sim::{EventQueue, SimRng, SimTime};
+use swamp_sim::{EventQueue, SimDuration, SimRng, SimTime};
 
+use crate::fault::{FaultOutcome, FaultPlan};
 use crate::link::{Link, LinkSpec, TxOutcome};
 use crate::message::{Delivery, Message, MsgId, NodeId};
 use crate::sdn::{FlowTable, Verdict};
@@ -69,6 +70,7 @@ pub struct Network {
     inboxes: BTreeMap<NodeId, VecDeque<Delivery>>,
     taps: Vec<((NodeId, NodeId), Vec<Delivery>)>,
     flow_table: FlowTable,
+    fault_plan: Option<FaultPlan>,
     rng: SimRng,
     metrics: Metrics,
     next_id: u64,
@@ -94,6 +96,7 @@ impl Network {
             inboxes: BTreeMap::new(),
             taps: Vec::new(),
             flow_table: FlowTable::new(),
+            fault_plan: None,
             rng: SimRng::seed_from(seed ^ 0x6e65745f73696d), // "net_sim"
             metrics: Metrics::new(),
             next_id: 0,
@@ -153,6 +156,28 @@ impl Network {
         self.links
             .get(&(a.clone(), b.clone()))
             .is_some_and(Link::is_up)
+    }
+
+    /// Installs a fault plan; every subsequent [`Network::send`] consults
+    /// it. Replaces any previously installed plan.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// Removes the installed fault plan, returning it (with its stats).
+    pub fn clear_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.fault_plan.take()
+    }
+
+    /// Read access to the installed fault plan.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Mutable access to the installed fault plan (to add partitions or
+    /// change specs mid-scenario).
+    pub fn fault_plan_mut(&mut self) -> Option<&mut FaultPlan> {
+        self.fault_plan.as_mut()
     }
 
     /// Mutable access to the SDN flow table (the controller's handle).
@@ -239,6 +264,26 @@ impl Network {
             }
         }
 
+        // Fault injection: the plan rules first (partitions are absolute;
+        // injected loss is on top of the link's own loss process), then the
+        // link model decides the fate of whatever the plan let through.
+        let extra_delays = match &mut self.fault_plan {
+            Some(plan) => match plan.sample(now, &src, &dst) {
+                FaultOutcome::Partitioned => {
+                    self.metrics.incr("net.fault.partitioned");
+                    self.metrics.incr("net.lost");
+                    return Ok(id);
+                }
+                FaultOutcome::Dropped => {
+                    self.metrics.incr("net.fault.dropped");
+                    self.metrics.incr("net.lost");
+                    return Ok(id);
+                }
+                FaultOutcome::Deliver(delays) => delays,
+            },
+            None => vec![SimDuration::ZERO],
+        };
+
         match link.offer(size, &mut self.rng) {
             TxOutcome::Lost => {
                 self.metrics.incr("net.lost");
@@ -246,19 +291,30 @@ impl Network {
             }
             TxOutcome::Delivered(delay) => {
                 self.metrics.incr("net.sent");
-                self.metrics
-                    .observe("net.latency_ms", delay.as_millis() as f64);
-                self.queue.schedule(
-                    now + delay,
-                    Delivery {
-                        id,
-                        src,
-                        dst,
-                        message,
-                        sent_at: now,
-                        delivered_at: now + delay,
-                    },
+                self.metrics.observe(
+                    "net.latency_ms",
+                    (delay + extra_delays[0]).as_millis() as f64,
                 );
+                // One scheduled copy per fault-plan delay entry: the first is
+                // the primary copy, the rest are injected wire duplicates
+                // (same MsgId — they are echoes of one transmission).
+                for (i, extra) in extra_delays.iter().enumerate() {
+                    if i > 0 {
+                        self.metrics.incr("net.fault.duplicated");
+                    }
+                    let total = delay + *extra;
+                    self.queue.schedule(
+                        now + total,
+                        Delivery {
+                            id,
+                            src: src.clone(),
+                            dst: dst.clone(),
+                            message: message.clone(),
+                            sent_at: now,
+                            delivered_at: now + total,
+                        },
+                    );
+                }
                 Ok(id)
             }
         }
@@ -500,6 +556,87 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn fault_plan_partition_loses_messages_then_heals() {
+        use crate::fault::FaultPlan;
+        let mut net = basic_net();
+        let mut plan = FaultPlan::new(1);
+        plan.add_partition("a", "b", SimTime::ZERO, SimTime::from_secs(10))
+            .unwrap();
+        net.install_fault_plan(plan);
+
+        net.send(SimTime::ZERO, "a", "b", Message::new("t", vec![]))
+            .unwrap();
+        net.advance_to(SimTime::from_secs(5));
+        assert_eq!(net.inbox_len(&n("b")), 0);
+        assert_eq!(net.metrics().counter("net.fault.partitioned"), 1);
+
+        // After the window closes the same link delivers again.
+        net.send(SimTime::from_secs(10), "a", "b", Message::new("t", vec![]))
+            .unwrap();
+        net.advance_to(SimTime::from_secs(20));
+        assert_eq!(net.inbox_len(&n("b")), 1);
+    }
+
+    #[test]
+    fn fault_plan_injects_drops_and_duplicates() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let mut net = basic_net();
+        let mut plan = FaultPlan::new(2);
+        plan.set_link_faults(
+            "a",
+            "b",
+            FaultSpec {
+                drop_prob: 0.5,
+                duplicate_prob: 0.5,
+                ..FaultSpec::default()
+            },
+        )
+        .unwrap();
+        net.install_fault_plan(plan);
+
+        for _ in 0..400 {
+            net.send(SimTime::ZERO, "a", "b", Message::new("t", vec![]))
+                .unwrap();
+        }
+        net.advance_to(SimTime::from_secs(30));
+        let dropped = net.metrics().counter("net.fault.dropped");
+        let duplicated = net.metrics().counter("net.fault.duplicated");
+        assert!((130..270).contains(&dropped), "dropped {dropped}");
+        assert!(duplicated > 50, "duplicated {duplicated}");
+        // Every injected duplicate is one extra delivery on the same MsgId.
+        assert_eq!(
+            net.metrics().counter("net.delivered"),
+            400 - dropped + duplicated
+        );
+    }
+
+    #[test]
+    fn fault_plan_extra_delay_inflates_latency() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let mut net = basic_net();
+        let mut plan = FaultPlan::new(3);
+        plan.set_link_faults(
+            "a",
+            "b",
+            FaultSpec {
+                extra_delay: SimDuration::from_secs(2),
+                ..FaultSpec::default()
+            },
+        )
+        .unwrap();
+        net.install_fault_plan(plan);
+        net.send(SimTime::ZERO, "a", "b", Message::new("t", vec![]))
+            .unwrap();
+        net.advance_to(SimTime::from_secs(10));
+        let d = net.poll(&n("b")).unwrap();
+        assert!(d.latency() >= SimDuration::from_secs(2));
+        // The plan (with its stats) can be reclaimed for reporting.
+        let plan = net.clear_fault_plan().unwrap();
+        assert_eq!(plan.stats().dropped, 0);
+        assert!(net.fault_plan().is_none());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Prints every experiment report (E1–E12) — the generator for
+//! Prints every experiment report (E1–E13) — the generator for
 //! EXPERIMENTS.md.
 //!
 //! Usage: `cargo run -p swamp-pilots --bin experiments --release [seed]`

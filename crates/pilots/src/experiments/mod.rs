@@ -7,6 +7,7 @@
 
 pub mod attacks;
 pub mod platform;
+pub mod resilience;
 pub mod water;
 
 pub use attacks::{e12_behavior, e2_dos, e3_tamper, e4_sybil};
@@ -14,6 +15,7 @@ pub use platform::{
     e11_broker_scale, e11_platform_scale, e5_fog_availability, e6_partial_view, e7_auth, e8_crypto,
     e9_ledger, BrokerScaleRow, E11BrokerScaleResult,
 };
+pub use resilience::{e13_resilience, E13Result, E13Row};
 pub use water::{e10_distribution, e1_water_energy};
 
 use crate::report::Report;
@@ -37,6 +39,7 @@ pub fn run_all(seed: u64) -> Vec<Report> {
     let e10 = e10_distribution(seed);
     let e11 = e11_platform_scale(seed);
     let e12 = e12_behavior(seed);
+    let e13 = e13_resilience(seed);
     vec![
         e1.report(),
         e1.ablation_report(),
@@ -53,5 +56,6 @@ pub fn run_all(seed: u64) -> Vec<Report> {
         e11.report(),
         e11.ablation_report(),
         e12.report(),
+        e13.report(),
     ]
 }

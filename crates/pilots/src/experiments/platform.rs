@@ -85,8 +85,10 @@ pub fn e5_fog_availability(seed: u64) -> E5Result {
         ];
         let mut replicated = 0.0;
         for (config, tracker) in &mut avail {
-            let mut platform = Platform::new(seed, *config);
-            platform.register_device(SimTime::ZERO, "probe-1", DeviceKind::SoilProbe, "owner:e5");
+            let mut platform = Platform::builder(*config).seed(seed).build();
+            platform
+                .register_device(SimTime::ZERO, "probe-1", DeviceKind::SoilProbe, "owner:e5")
+                .expect("fresh platform has no registered devices");
             let mut published = 0u64;
             for h in 0..hours {
                 let t = SimTime::from_hours(h);
@@ -133,16 +135,16 @@ pub fn e5_fog_availability(seed: u64) -> E5Result {
         net.add_node("cloud");
         net.connect("fog", "cloud", LinkSpec::rural_internet());
         net.set_link_up(&"fog".into(), &"cloud".into(), false);
-        let mut sync = FogSync::new(
-            "fog",
-            "cloud",
-            capacity,
-            DropPolicy::Oldest,
-            SimDuration::from_secs(30),
-        );
+        let mut sync = FogSync::builder("fog", "cloud")
+            .capacity(capacity)
+            .drop_policy(DropPolicy::Oldest)
+            .base_timeout(SimDuration::from_secs(30))
+            .backoff(1.0, SimDuration::from_secs(30))
+            .jitter(0.0)
+            .build();
         let mut cloud = CloudStore::new("cloud");
         for i in 0..1000u64 {
-            sync.enqueue(SimTime::from_secs(i), &format!("k{i}"), vec![0u8; 16]);
+            let _ = sync.enqueue(SimTime::from_secs(i), &format!("k{i}"), vec![0u8; 16]);
         }
         net.set_link_up(&"fog".into(), &"cloud".into(), true);
         let mut now = SimTime::from_secs(2000);
@@ -153,7 +155,7 @@ pub fn e5_fog_availability(seed: u64) -> E5Result {
             cloud.process(&mut net, now);
             now += SimDuration::from_secs(2);
             net.advance_to(now);
-            sync.poll_acks(&mut net);
+            sync.poll_acks(&mut net, now);
             now += SimDuration::from_secs(30);
             if sync.pending() == 0 {
                 break;
@@ -592,10 +594,14 @@ impl E11Result {
 pub fn e11_platform_scale(seed: u64) -> E11Result {
     let mut rows = Vec::new();
     for devices in [5usize, 20, 50, 100] {
-        let mut platform = Platform::new(seed ^ devices as u64, DeploymentConfig::FarmFog);
+        let mut platform = Platform::builder(DeploymentConfig::FarmFog)
+            .seed(seed ^ devices as u64)
+            .build();
         let ids: Vec<String> = (0..devices).map(|i| format!("probe-{i}")).collect();
         for id in &ids {
-            platform.register_device(SimTime::ZERO, id, DeviceKind::SoilProbe, "owner:scale");
+            platform
+                .register_device(SimTime::ZERO, id, DeviceKind::SoilProbe, "owner:scale")
+                .expect("unique probe ids");
         }
         let mut offered = 0u64;
         for minute in 0..60u64 {
@@ -715,7 +721,7 @@ pub fn e11_broker_scale(device_counts: &[usize]) -> E11BrokerScaleResult {
             if devices == 0 {
                 continue;
             }
-            let mut platform = Platform::new(7, config);
+            let mut platform = Platform::builder(config).seed(7).build();
             // One fleet-wide subscriber stands in for the irrigation
             // service: every update fans out to it and is drained each
             // round, like `IrrigationService::absorb_notifications`.

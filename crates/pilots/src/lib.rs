@@ -7,7 +7,7 @@
 //!   yield → water/energy/cost accounting) over heterogeneous zones.
 //! - [`pilots`] — CBEC, Intercrop, Guaspari, MATOPIBA configurations with
 //!   smart-vs-baseline comparisons.
-//! - [`experiments`] — E1–E12, one per claim/challenge in the paper (see
+//! - [`experiments`] — E1–E13, one per claim/challenge in the paper (see
 //!   EXPERIMENTS.md), all seeded and reproducible.
 //! - [`report`] — the result tables the harness prints.
 //!

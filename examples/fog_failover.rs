@@ -11,13 +11,15 @@ use swamp::sensors::device::DeviceKind;
 use swamp::sim::{SimDuration, SimTime};
 
 fn run(config: DeploymentConfig, label: &str) {
-    let mut platform = Platform::new(7, config);
-    platform.register_device(
-        SimTime::ZERO,
-        "probe-1",
-        DeviceKind::SoilProbe,
-        "owner:farm",
-    );
+    let mut platform = Platform::builder(config).seed(7).build();
+    platform
+        .register_device(
+            SimTime::ZERO,
+            "probe-1",
+            DeviceKind::SoilProbe,
+            "owner:farm",
+        )
+        .unwrap();
 
     // Internet outage from hour 6 to hour 18 of a 36-hour window.
     let mut outage = OutageSchedule::new();

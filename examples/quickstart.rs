@@ -12,17 +12,21 @@ use swamp::sim::{SimDuration, SimTime};
 fn main() {
     // A farm-fog deployment: the context broker lives on the farm premises
     // and keeps working through Internet outages.
-    let mut platform = Platform::new(42, DeploymentConfig::FarmFog);
+    let mut platform = Platform::builder(DeploymentConfig::FarmFog)
+        .seed(42)
+        .build();
 
     // Register a soil-moisture probe owned by the demo farm. This creates
     // its network node + LPWAN link, provisions its link key, and records
     // it in the device registry.
-    platform.register_device(
-        SimTime::ZERO,
-        "probe-ne-1",
-        DeviceKind::SoilProbe,
-        "owner:demo-farm",
-    );
+    platform
+        .register_device(
+            SimTime::ZERO,
+            "probe-ne-1",
+            DeviceKind::SoilProbe,
+            "owner:demo-farm",
+        )
+        .unwrap();
 
     // The device publishes an NGSI entity update. It is sealed with the
     // device key (ChaCha20 + HMAC) and crosses the lossy field radio.

@@ -17,19 +17,23 @@ use swamp::sim::{SimDuration, SimRng, SimTime};
 /// applies water, and the true soil recovers.
 #[test]
 fn closed_loop_irrigation_through_the_platform() {
-    let mut platform = Platform::new(1, DeploymentConfig::FarmFog);
-    platform.register_device(
-        SimTime::ZERO,
-        "probe-z0",
-        DeviceKind::SoilProbe,
-        "owner:farm",
-    );
-    platform.register_device(
-        SimTime::ZERO,
-        "pivot-1",
-        DeviceKind::CenterPivot,
-        "owner:farm",
-    );
+    let mut platform = Platform::builder(DeploymentConfig::FarmFog).seed(1).build();
+    platform
+        .register_device(
+            SimTime::ZERO,
+            "probe-z0",
+            DeviceKind::SoilProbe,
+            "owner:farm",
+        )
+        .unwrap();
+    platform
+        .register_device(
+            SimTime::ZERO,
+            "pivot-1",
+            DeviceKind::CenterPivot,
+            "owner:farm",
+        )
+        .unwrap();
 
     let mut truth = SoilWaterBalance::new(SoilProperties::loam(), 0.6, 0.5);
     let probe = SoilMoistureProbe::new("probe-z0", 0, SensorNoise::good(0.005));
@@ -156,8 +160,10 @@ fn four_pilots_one_platform() {
 /// (no loss, no duplication at the replica).
 #[test]
 fn outage_replication_is_lossless_and_idempotent() {
-    let mut platform = Platform::new(3, DeploymentConfig::FarmFog);
-    platform.register_device(SimTime::ZERO, "probe-1", DeviceKind::SoilProbe, "owner:x");
+    let mut platform = Platform::builder(DeploymentConfig::FarmFog).seed(3).build();
+    platform
+        .register_device(SimTime::ZERO, "probe-1", DeviceKind::SoilProbe, "owner:x")
+        .unwrap();
     platform.set_internet(false);
 
     let mut accepted = 0;

@@ -20,13 +20,13 @@ fn drone_surveys_offline_and_syncs_at_contacts() {
     // 15 minutes docked per 2-hour survey circuit.
     let plan = ContactPlan::drone_survey();
     let mut driver = MobileLinkDriver::new(plan);
-    let mut sync = FogSync::new(
-        "drone",
-        "farm-fog",
-        10_000,
-        DropPolicy::Oldest,
-        SimDuration::from_secs(30),
-    );
+    let mut sync = FogSync::builder("drone", "farm-fog")
+        .capacity(10_000)
+        .drop_policy(DropPolicy::Oldest)
+        .base_timeout(SimDuration::from_secs(30))
+        .backoff(1.0, SimDuration::from_secs(30))
+        .jitter(0.0)
+        .build();
     let mut base = CloudStore::new("farm-fog");
     let camera = NdviCamera::new("drone-cam");
     let mut rng = SimRng::seed_from(5);
@@ -48,7 +48,8 @@ fn drone_surveys_offline_and_syncs_at_contacts() {
             // Out of range: surveying. One zone pass per tick.
             let readings = camera.survey(&truth_ndvi, t, &mut rng);
             for r in readings {
-                sync.enqueue(t, r.quantity, r.value.to_be_bytes().to_vec());
+                sync.enqueue(t, r.quantity, r.value.to_be_bytes().to_vec())
+                    .unwrap();
                 surveys += 1;
             }
         } else {
@@ -57,7 +58,7 @@ fn drone_surveys_offline_and_syncs_at_contacts() {
             net.advance_to(t + SimDuration::from_secs(30));
             base.process(&mut net, t + SimDuration::from_secs(30));
             net.advance_to(t + SimDuration::from_secs(60));
-            sync.poll_acks(&mut net);
+            sync.poll_acks(&mut net, t + SimDuration::from_secs(60));
         }
         t += SimDuration::from_mins(5);
     }
@@ -69,7 +70,7 @@ fn drone_surveys_offline_and_syncs_at_contacts() {
         net.advance_to(at + SimDuration::from_secs(20));
         base.process(&mut net, at + SimDuration::from_secs(20));
         net.advance_to(at + SimDuration::from_secs(40));
-        sync.poll_acks(&mut net);
+        sync.poll_acks(&mut net, at + SimDuration::from_secs(40));
         if sync.pending() == 0 {
             break;
         }

@@ -118,8 +118,8 @@ proptest! {
         temp in -20.0f64..55.0,
         battery in 0.0f64..1.0,
     ) {
-        let mut p = Platform::new(12, DeploymentConfig::FarmFog);
-        p.register_device(SimTime::ZERO, "probe", DeviceKind::SoilProbe, "owner:prop");
+        let mut p = Platform::builder(DeploymentConfig::FarmFog).seed(12).build();
+        p.register_device(SimTime::ZERO, "probe", DeviceKind::SoilProbe, "owner:prop").unwrap();
         let key = p.keystore.device_key("probe").unwrap().key;
         let mut e = Entity::new("urn:swamp:device:probe", "SoilProbe");
         e.set("moisture_vwc", vwc);

@@ -22,10 +22,14 @@ fn sealed(p: &Platform, device: &str, seq: f64, vwc: f64, nonce: u8) -> Vec<u8> 
 
 #[test]
 fn impossible_values_auto_quarantine_the_device() {
-    let mut p = Platform::new(21, DeploymentConfig::FarmFog);
+    let mut p = Platform::builder(DeploymentConfig::FarmFog)
+        .seed(21)
+        .build();
     p.set_auto_quarantine(true);
-    p.register_device(SimTime::ZERO, "victim", DeviceKind::SoilProbe, "owner:x");
-    p.register_device(SimTime::ZERO, "honest", DeviceKind::SoilProbe, "owner:x");
+    p.register_device(SimTime::ZERO, "victim", DeviceKind::SoilProbe, "owner:x")
+        .unwrap();
+    p.register_device(SimTime::ZERO, "honest", DeviceKind::SoilProbe, "owner:x")
+        .unwrap();
 
     // Honest traffic flows.
     let f = sealed(&p, "honest", 0.0, 0.24, 1);
@@ -66,8 +70,11 @@ fn impossible_values_auto_quarantine_the_device() {
 
 #[test]
 fn quarantine_off_by_default_but_alerts_still_raised() {
-    let mut p = Platform::new(22, DeploymentConfig::FarmFog);
-    p.register_device(SimTime::ZERO, "d", DeviceKind::SoilProbe, "owner:x");
+    let mut p = Platform::builder(DeploymentConfig::FarmFog)
+        .seed(22)
+        .build();
+    p.register_device(SimTime::ZERO, "d", DeviceKind::SoilProbe, "owner:x")
+        .unwrap();
     let f = sealed(&p, "d", 0.0, 9.0, 1);
     p.ingest_frame(SimTime::ZERO, "d", &f).unwrap();
     // Alert exists, recommendation is quarantine, but the registry still
@@ -81,9 +88,12 @@ fn quarantine_off_by_default_but_alerts_still_raised() {
 
 #[test]
 fn tamper_step_attack_is_caught_and_cut_off() {
-    let mut p = Platform::new(23, DeploymentConfig::FarmFog);
+    let mut p = Platform::builder(DeploymentConfig::FarmFog)
+        .seed(23)
+        .build();
     p.set_auto_quarantine(true);
-    p.register_device(SimTime::ZERO, "probe", DeviceKind::SoilProbe, "owner:x");
+    p.register_device(SimTime::ZERO, "probe", DeviceKind::SoilProbe, "owner:x")
+        .unwrap();
 
     // 60 in-range baseline frames.
     let mut seq = 0.0;

@@ -14,13 +14,16 @@ use swamp::sensors::device::DeviceKind;
 use swamp::sim::{SimDuration, SimTime};
 
 fn platform_with_probe() -> Platform {
-    let mut p = Platform::new(99, DeploymentConfig::FarmFog);
+    let mut p = Platform::builder(DeploymentConfig::FarmFog)
+        .seed(99)
+        .build();
     p.register_device(
         SimTime::ZERO,
         "probe-1",
         DeviceKind::SoilProbe,
         "owner:farm",
-    );
+    )
+    .unwrap();
     p
 }
 
@@ -210,9 +213,11 @@ fn revoked_device_is_cut_off_everywhere() {
 #[test]
 fn sdn_quarantine_is_surgical() {
     use swamp::net::sdn::{FlowAction, FlowMatch};
-    let mut p = Platform::new(5, DeploymentConfig::FarmFog);
-    p.register_device(SimTime::ZERO, "good", DeviceKind::SoilProbe, "owner:x");
-    p.register_device(SimTime::ZERO, "bad", DeviceKind::SoilProbe, "owner:x");
+    let mut p = Platform::builder(DeploymentConfig::FarmFog).seed(5).build();
+    p.register_device(SimTime::ZERO, "good", DeviceKind::SoilProbe, "owner:x")
+        .unwrap();
+    p.register_device(SimTime::ZERO, "bad", DeviceKind::SoilProbe, "owner:x")
+        .unwrap();
 
     p.net
         .flow_table_mut()
