@@ -21,6 +21,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo clippy -p swamp-core -p swamp-fog --lib (deny unwrap/panic)"
 cargo clippy -p swamp-core -p swamp-fog --lib -- -D warnings
 
+# Workspace invariants the compiler can't see: determinism (no wall
+# clocks/OS entropy outside sanctioned harnesses), panic-freedom in all
+# lib targets, no silent Result discards, the crate-layering DAG, and no
+# internal callers of deprecated shims. Exceptions live in
+# analyzer.allow.toml with written justifications; see DESIGN.md §10.
+echo "== swamp-analyzer --deny-all"
+cargo run -q -p swamp-analyzer -- --deny-all
+
+echo "== rustdoc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== tier-1: cargo build --release"
 cargo build --release
 

@@ -1,0 +1,404 @@
+//! A small Rust lexer: just enough tokenization for invariant checking.
+//!
+//! The analyzer never needs types or name resolution — every rule works on
+//! token patterns (`Instant :: now`, `. unwrap (`, `let _ =`) plus a map of
+//! which lines belong to `#[cfg(test)]` items. So this lexer produces a flat
+//! token stream with line numbers and a side-channel of doc comments (used
+//! to honor `# Panics` sections). It understands the lexical shapes that
+//! would otherwise cause false positives: nested block comments, raw
+//! strings, byte strings, char literals vs. lifetimes, and raw identifiers.
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (including `_` and raw `r#idents`).
+    Ident(String),
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+    /// Any string-like literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    /// Contents are dropped — rules must never match inside string data.
+    Str,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal (split at `.`, which rules never care about).
+    Num,
+    /// Lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// One line of doc comment text (`///`, `//!`, `/** */`, `/*! */`).
+#[derive(Clone, Debug)]
+pub struct DocLine {
+    pub line: u32,
+    pub text: String,
+}
+
+/// Lexer output: the token stream and every doc-comment line.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub docs: Vec<DocLine>,
+}
+
+/// Tokenizes Rust source. Never fails: unexpected bytes are skipped, and an
+/// unterminated literal simply ends the stream (the compiler proper is the
+/// authority on well-formedness; we only need a faithful token shape for
+/// code that already builds).
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Lexed {
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b if b.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'r' if self.raw_string_ahead() => self.raw_string(),
+                b'b' if self.peek(1) == Some(b'"') => {
+                    self.pos += 1;
+                    self.quoted_string();
+                }
+                b'b' if self.peek(1) == Some(b'r') && self.raw_string_ahead_at(1) => {
+                    self.pos += 1;
+                    self.raw_string();
+                }
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    self.pos += 1;
+                    self.char_literal();
+                }
+                b'"' => self.quoted_string(),
+                b'\'' => self.quote(),
+                b'r' if self.peek(1) == Some(b'#') && is_ident_start(self.peek(2)) => {
+                    // Raw identifier r#type.
+                    self.pos += 2;
+                    self.ident();
+                }
+                b if is_ident_start(Some(b)) => self.ident(),
+                b if b.is_ascii_digit() => self.number(),
+                _ => {
+                    self.push(Tok::Punct(b as char));
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, tok: Tok) {
+        self.out.tokens.push(Token {
+            tok,
+            line: self.line,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        // `///` and `//!` are doc comments; `////…` is not (rustdoc rule).
+        let is_doc =
+            (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!");
+        if is_doc {
+            self.out.docs.push(DocLine {
+                line: self.line,
+                text,
+            });
+        }
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let start_line = self.line;
+        let mut depth = 0u32;
+        while let Some(b) = self.peek(0) {
+            if b == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if b == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                if b == b'\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        // `/** … */` and `/*! … */` are doc comments (`/**/` and `/***/`
+        // are not — they have no body).
+        if (text.starts_with("/**") && !text.starts_with("/***") && text.len() > 5)
+            || text.starts_with("/*!")
+        {
+            for (i, l) in text.lines().enumerate() {
+                self.out.docs.push(DocLine {
+                    line: start_line + i as u32,
+                    text: l.to_owned(),
+                });
+            }
+        }
+    }
+
+    fn raw_string_ahead(&self) -> bool {
+        self.raw_string_ahead_at(0)
+    }
+
+    /// Is `r"…"` / `r#"…"#` (any number of hashes) starting at offset `at`?
+    fn raw_string_ahead_at(&self, at: usize) -> bool {
+        if self.peek(at) != Some(b'r') {
+            return false;
+        }
+        let mut i = at + 1;
+        while self.peek(i) == Some(b'#') {
+            i += 1;
+        }
+        self.peek(i) == Some(b'"')
+    }
+
+    fn raw_string(&mut self) {
+        // At `r`: count hashes, then scan for `"` followed by that many `#`.
+        self.pos += 1;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some(b'\n') => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                Some(b'"') => {
+                    let mut ok = true;
+                    for h in 0..hashes {
+                        if self.peek(1 + h) != Some(b'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    self.pos += 1;
+                    if ok {
+                        self.pos += hashes;
+                        break;
+                    }
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+        self.push(Tok::Str);
+    }
+
+    fn quoted_string(&mut self) {
+        self.push(Tok::Str);
+        self.pos += 1; // opening quote
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    return;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// At a `'`: disambiguate char literal from lifetime.
+    fn quote(&mut self) {
+        if self.peek(1) == Some(b'\\') {
+            self.char_literal();
+            return;
+        }
+        // `'x'` is a char; `'x` followed by anything else is a lifetime
+        // (or a label). `'static`, `'a`, `'_`.
+        if is_ident_start(self.peek(1)) {
+            let mut i = 2;
+            while is_ident_continue(self.peek(i)) {
+                i += 1;
+            }
+            if self.peek(i) == Some(b'\'') && i == 2 {
+                self.char_literal();
+            } else {
+                self.push(Tok::Lifetime);
+                self.pos += i;
+            }
+        } else {
+            self.char_literal();
+        }
+    }
+
+    fn char_literal(&mut self) {
+        self.push(Tok::Char);
+        self.pos += 1; // opening quote
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => self.pos += 2,
+                b'\'' => {
+                    self.pos += 1;
+                    return;
+                }
+                b'\n' => return, // malformed; bail at line end
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while is_ident_continue(self.peek(0)) {
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push(Tok::Ident(text));
+    }
+
+    fn number(&mut self) {
+        // Digits plus alphanumerics and underscores covers hex/octal/suffix
+        // forms; `.` is deliberately excluded so `0..10` lexes as
+        // `Num .. Num` and `1.5` as `Num . Num` — no rule inspects numbers.
+        self.push(Tok::Num);
+        while is_ident_continue(self.peek(0)) {
+            self.pos += 1;
+        }
+    }
+}
+
+fn is_ident_start(b: Option<u8>) -> bool {
+    matches!(b, Some(c) if c == b'_' || c.is_ascii_alphabetic())
+}
+
+fn is_ident_continue(b: Option<u8>) -> bool {
+    matches!(b, Some(c) if c == b'_' || c.is_ascii_alphanumeric())
+}
+
+/// True if the token at `i` is the identifier `name`.
+pub fn is_ident(tokens: &[Token], i: usize, name: &str) -> bool {
+    matches!(tokens.get(i), Some(Token { tok: Tok::Ident(s), .. }) if s == name)
+}
+
+/// True if the token at `i` is the punctuation `c`.
+pub fn is_punct(tokens: &[Token], i: usize, c: char) -> bool {
+    matches!(tokens.get(i), Some(Token { tok: Tok::Punct(p), .. }) if *p == c)
+}
+
+/// True if tokens at `i` spell `a :: b`.
+pub fn is_path2(tokens: &[Token], i: usize, a: &str, b: &str) -> bool {
+    is_ident(tokens, i, a)
+        && is_punct(tokens, i + 1, ':')
+        && is_punct(tokens, i + 2, ':')
+        && is_ident(tokens, i + 3, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            // Instant::now in a comment
+            /* block Instant */
+            /* nested /* Instant */ still comment */
+            let s = "Instant::now()";
+            let r = r#"Instant "quoted" here"#;
+            let b = b"Instant";
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|s| s == "Instant"), "{ids:?}");
+        assert!(ids.iter().any(|s| s == "real_ident"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { let c = 'x'; x }";
+        let lx = lex(src);
+        let lifetimes = lx.tokens.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        let chars = lx.tokens.iter().filter(|t| t.tok == Tok::Char).count();
+        assert_eq!(lifetimes, 3);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn doc_comments_are_captured_with_lines() {
+        let src = "/// # Panics\n/// on bad input\nfn f() {}\n";
+        let lx = lex(src);
+        assert_eq!(lx.docs.len(), 2);
+        assert_eq!(lx.docs[0].line, 1);
+        assert!(lx.docs[0].text.contains("# Panics"));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "let a = \"two\nlines\";\nInstant::now();\n";
+        let lx = lex(src);
+        let inst = lx
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("Instant".into()))
+            .map(|t| t.line);
+        assert_eq!(inst, Some(3));
+    }
+
+    #[test]
+    fn raw_idents_lex_as_idents() {
+        let ids = idents("let r#type = 1; let x = r\"raw\";");
+        assert!(ids.iter().any(|s| s == "type"));
+    }
+}

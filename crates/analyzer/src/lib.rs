@@ -1,0 +1,364 @@
+//! # swamp-analyzer — offline workspace invariant checker
+//!
+//! The reproduction's security claims (tamper/replay/Sybil refutation) rest
+//! on two properties the compiler does not enforce: every experiment is
+//! bit-for-bit deterministic, and every platform path is non-panicking with
+//! honest `Result` handling. This crate checks those properties — plus the
+//! crate-layering DAG and the deprecated-API contract from PR 2 — as named
+//! lint rules over the workspace sources, with a committed allowlist
+//! (`analyzer.allow.toml`) for documented exceptions and a JSON report for
+//! tooling. `ci.sh` runs it with `--deny-all`; a violation fails CI.
+//!
+//! Rules: `determinism`, `panic-freedom`, `error-discard`, `layering`,
+//! `deprecated-api` — see each module under [`rules`] for exact semantics
+//! and DESIGN.md §10 for rationale. The analyzer is dependency-free and
+//! lexes Rust itself ([`lexer`]); it needs no type information because
+//! every invariant is a token-shape or manifest property.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
+pub mod allowlist;
+pub mod lexer;
+pub mod manifest;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use allowlist::AllowEntry;
+use manifest::Manifest;
+use rules::Finding;
+use source::{SourceFile, TargetKind};
+
+/// Analyzer configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Workspace root (the directory holding the top-level `Cargo.toml`).
+    pub root: PathBuf,
+    /// Allowlist path; defaults to `<root>/analyzer.allow.toml`. A missing
+    /// file means an empty allowlist.
+    pub allowlist: Option<PathBuf>,
+    /// If non-empty, only run rules with these names.
+    pub only_rules: Vec<String>,
+}
+
+impl Config {
+    pub fn new(root: impl Into<PathBuf>) -> Config {
+        Config {
+            root: root.into(),
+            allowlist: None,
+            only_rules: Vec::new(),
+        }
+    }
+}
+
+/// A finding suppressed by an allowlist entry (kept for the report).
+#[derive(Clone, Debug)]
+pub struct AllowedFinding {
+    pub finding: Finding,
+    pub allow_path: String,
+    pub justification: String,
+}
+
+/// Full analysis result.
+#[derive(Clone, Debug, Default)]
+pub struct Analysis {
+    /// Violations after allowlist filtering, sorted by (path, line, rule).
+    pub findings: Vec<Finding>,
+    /// Violations matched by an allowlist entry.
+    pub allowed: Vec<AllowedFinding>,
+    pub files_scanned: usize,
+    pub manifests_checked: usize,
+}
+
+/// Analyzer-level failures (I/O, malformed workspace).
+#[derive(Debug)]
+pub enum AnalyzerError {
+    Io {
+        path: PathBuf,
+        error: std::io::Error,
+    },
+    NotAWorkspace(PathBuf),
+}
+
+impl fmt::Display for AnalyzerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzerError::Io { path, error } => {
+                write!(f, "io error at {}: {error}", path.display())
+            }
+            AnalyzerError::NotAWorkspace(p) => {
+                write!(f, "{} does not contain a Cargo.toml", p.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalyzerError {}
+
+/// One package discovered in the workspace.
+struct Package {
+    manifest: Manifest,
+    manifest_rel: String,
+    /// (absolute path, workspace-relative path, target kind)
+    sources: Vec<(PathBuf, String, TargetKind)>,
+}
+
+/// Runs the full analysis over the workspace at `config.root`.
+pub fn run(config: &Config) -> Result<Analysis, AnalyzerError> {
+    let root = &config.root;
+    if !root.join("Cargo.toml").is_file() {
+        return Err(AnalyzerError::NotAWorkspace(root.clone()));
+    }
+    let packages = discover_packages(root)?;
+    let member_names: Vec<String> = packages
+        .iter()
+        .filter(|p| !p.manifest.name.is_empty())
+        .map(|p| p.manifest.name.clone())
+        .collect();
+
+    let mut raw: Vec<Finding> = Vec::new();
+
+    // Manifest rules.
+    rules::layering::check_table(&mut raw);
+    let mut manifests_checked = 0;
+    for pkg in &packages {
+        if pkg.manifest.name.is_empty() {
+            continue;
+        }
+        manifests_checked += 1;
+        rules::layering::check(&pkg.manifest, &pkg.manifest_rel, &member_names, &mut raw);
+    }
+
+    // Source rules.
+    let mut files_scanned = 0;
+    for pkg in &packages {
+        for (abs, rel, kind) in &pkg.sources {
+            let text = read(abs)?;
+            let file = SourceFile::parse(rel, &pkg.manifest.name, *kind, &text);
+            rules::check_source(&file, &mut raw);
+            files_scanned += 1;
+        }
+    }
+
+    if !config.only_rules.is_empty() {
+        raw.retain(|f| config.only_rules.iter().any(|r| r == f.rule));
+    }
+
+    // Allowlist.
+    let allow_path = config
+        .allowlist
+        .clone()
+        .unwrap_or_else(|| root.join("analyzer.allow.toml"));
+    let (entries, allow_errors) = if allow_path.is_file() {
+        allowlist::parse(&read(&allow_path)?, rules::RULE_NAMES)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    let allow_rel = rel_of(root, &allow_path);
+    for e in &allow_errors {
+        raw.push(Finding {
+            rule: "allowlist-error",
+            path: allow_rel.clone(),
+            line: e.line,
+            message: e.message.clone(),
+            snippet: String::new(),
+        });
+    }
+
+    let mut analysis = Analysis {
+        files_scanned,
+        manifests_checked,
+        ..Analysis::default()
+    };
+    let mut used = vec![false; entries.len()];
+    for f in raw {
+        match entries
+            .iter()
+            .enumerate()
+            .find(|(_, e)| e.matches(f.rule, &f.path, &f.snippet))
+        {
+            Some((idx, e)) => {
+                used[idx] = true;
+                analysis.allowed.push(AllowedFinding {
+                    finding: f,
+                    allow_path: e.path.clone(),
+                    justification: e.justification.clone(),
+                });
+            }
+            None => analysis.findings.push(f),
+        }
+    }
+    // Stale entries are findings too: exceptions must not outlive their
+    // violations.
+    for (idx, e) in entries.iter().enumerate() {
+        if !used[idx] {
+            analysis.findings.push(Finding {
+                rule: "allowlist-unused",
+                path: allow_rel.clone(),
+                line: e.defined_at,
+                message: format!(
+                    "stale allowlist entry (rule `{}`, path `{}`): nothing matches it; remove it",
+                    e.rule, e.path
+                ),
+                snippet: String::new(),
+            });
+        }
+    }
+
+    analysis
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(analysis)
+}
+
+/// Convenience for rule fixtures: analyze one source string as if it were a
+/// file at `rel_path` in package `package` with the given target kind.
+pub fn analyze_str(rel_path: &str, package: &str, kind: TargetKind, src: &str) -> Vec<Finding> {
+    let file = SourceFile::parse(rel_path, package, kind, src);
+    let mut out = Vec::new();
+    rules::check_source(&file, &mut out);
+    out
+}
+
+/// Applies allowlist entries to findings (fixture-test helper mirroring the
+/// driver's matching logic). Returns (kept, allowed).
+pub fn apply_allowlist(
+    findings: Vec<Finding>,
+    entries: &[AllowEntry],
+) -> (Vec<Finding>, Vec<AllowedFinding>) {
+    let mut kept = Vec::new();
+    let mut allowed = Vec::new();
+    for f in findings {
+        match entries
+            .iter()
+            .find(|e| e.matches(f.rule, &f.path, &f.snippet))
+        {
+            Some(e) => allowed.push(AllowedFinding {
+                finding: f,
+                allow_path: e.path.clone(),
+                justification: e.justification.clone(),
+            }),
+            None => kept.push(f),
+        }
+    }
+    (kept, allowed)
+}
+
+fn read(path: &Path) -> Result<String, AnalyzerError> {
+    std::fs::read_to_string(path).map_err(|error| AnalyzerError::Io {
+        path: path.to_owned(),
+        error,
+    })
+}
+
+fn rel_of(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Finds workspace packages: the root package (if the root manifest has a
+/// `[package]` section) plus every `crates/*` directory with a Cargo.toml.
+fn discover_packages(root: &Path) -> Result<Vec<Package>, AnalyzerError> {
+    let mut packages = Vec::new();
+    let mut package_dirs = vec![root.to_owned()];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut subdirs: Vec<PathBuf> = list_dir(&crates_dir)?
+            .into_iter()
+            .filter(|p| p.join("Cargo.toml").is_file())
+            .collect();
+        subdirs.sort();
+        package_dirs.extend(subdirs);
+    }
+    for dir in package_dirs {
+        let manifest_path = dir.join("Cargo.toml");
+        if !manifest_path.is_file() {
+            continue;
+        }
+        let manifest = manifest::parse(&read(&manifest_path)?);
+        if manifest.name.is_empty() && dir != root {
+            continue;
+        }
+        let mut sources = Vec::new();
+        if !manifest.name.is_empty() {
+            collect_sources(root, &dir, &mut sources)?;
+        }
+        packages.push(Package {
+            manifest_rel: rel_of(root, &manifest_path),
+            manifest,
+            sources,
+        });
+    }
+    Ok(packages)
+}
+
+/// Collects `.rs` files of one package, classifying them by target kind.
+fn collect_sources(
+    root: &Path,
+    pkg_dir: &Path,
+    out: &mut Vec<(PathBuf, String, TargetKind)>,
+) -> Result<(), AnalyzerError> {
+    let kinds: &[(&str, TargetKind)] = &[
+        ("src", TargetKind::Lib),
+        ("tests", TargetKind::Test),
+        ("benches", TargetKind::Bench),
+        ("examples", TargetKind::Example),
+    ];
+    for (sub, kind) in kinds {
+        let dir = pkg_dir.join(sub);
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        walk_rs(&dir, &mut files)?;
+        files.sort();
+        for f in files {
+            let rel = rel_of(root, &f);
+            // `src/bin/**` is a bin target, not part of the library.
+            let kind = if *kind == TargetKind::Lib && rel.contains("/src/bin/") {
+                TargetKind::Bin
+            } else {
+                *kind
+            };
+            out.push((f, rel, kind));
+        }
+    }
+    Ok(())
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), AnalyzerError> {
+    for entry in list_dir(dir)? {
+        if entry.is_dir() {
+            // Never descend into nested packages or build output.
+            if entry.join("Cargo.toml").is_file() || entry.ends_with("target") {
+                continue;
+            }
+            walk_rs(&entry, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+fn list_dir(dir: &Path) -> Result<Vec<PathBuf>, AnalyzerError> {
+    let rd = std::fs::read_dir(dir).map_err(|error| AnalyzerError::Io {
+        path: dir.to_owned(),
+        error,
+    })?;
+    let mut out = Vec::new();
+    for entry in rd {
+        let entry = entry.map_err(|error| AnalyzerError::Io {
+            path: dir.to_owned(),
+            error,
+        })?;
+        out.push(entry.path());
+    }
+    out.sort();
+    Ok(out)
+}

@@ -1,0 +1,112 @@
+//! CLI for the SWAMP workspace invariant checker.
+//!
+//! ```text
+//! swamp-analyzer [--root DIR] [--deny-all] [--json PATH|-] [--rule NAME]…
+//!                [--allowlist PATH] [--list-rules] [--verbose]
+//! ```
+//!
+//! Exit codes: 0 clean (or advisory mode), 2 findings under `--deny-all`,
+//! 3 analyzer error. CI runs `cargo run -p swamp-analyzer -- --deny-all`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use swamp_analyzer::{report, rules, Config};
+
+struct Args {
+    config: Config,
+    deny_all: bool,
+    json: Option<String>,
+    list_rules: bool,
+    verbose: bool,
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("swamp-analyzer: {msg}");
+            eprintln!(
+                "usage: swamp-analyzer [--root DIR] [--deny-all] [--json PATH|-] \
+                 [--rule NAME]... [--allowlist PATH] [--list-rules] [--verbose]"
+            );
+            return ExitCode::from(3);
+        }
+    };
+    if args.list_rules {
+        for r in rules::RULE_NAMES {
+            println!("{r}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let analysis = match swamp_analyzer::run(&args.config) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("swamp-analyzer: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    if let Some(target) = &args.json {
+        let doc = report::to_json(&analysis);
+        if target == "-" {
+            print!("{doc}");
+        } else if let Err(e) = std::fs::write(target, &doc) {
+            eprintln!("swamp-analyzer: cannot write {target}: {e}");
+            return ExitCode::from(3);
+        }
+    }
+    eprint!("{}", report::to_text(&analysis, args.verbose));
+    if args.deny_all && !analysis.findings.is_empty() {
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        config: Config::new(default_root()),
+        deny_all: false,
+        json: None,
+        list_rules: false,
+        verbose: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny-all" => args.deny_all = true,
+            "--list-rules" => args.list_rules = true,
+            "--verbose" | "-v" => args.verbose = true,
+            "--root" => args.config.root = PathBuf::from(want(&mut it, "--root")?),
+            "--json" => args.json = Some(want(&mut it, "--json")?),
+            "--allowlist" => {
+                args.config.allowlist = Some(PathBuf::from(want(&mut it, "--allowlist")?));
+            }
+            "--rule" => {
+                let name = want(&mut it, "--rule")?;
+                if !rules::RULE_NAMES.contains(&name.as_str()) {
+                    return Err(format!("unknown rule `{name}` (try --list-rules)"));
+                }
+                args.config.only_rules.push(name);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn want(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    it.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+/// Default workspace root: the current directory if it holds a Cargo.toml
+/// (the `ci.sh` case), else `CARGO_MANIFEST_DIR/../..` (running from
+/// somewhere else via `cargo run -p swamp-analyzer`).
+fn default_root() -> PathBuf {
+    let cwd = PathBuf::from(".");
+    if cwd.join("Cargo.toml").is_file() {
+        return cwd;
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+}

@@ -1,0 +1,127 @@
+//! Report rendering: human-readable text and a machine-readable JSON
+//! document (hand-rolled writer — the analyzer is dependency-free).
+
+use crate::rules::Finding;
+use crate::Analysis;
+
+/// Renders the analysis as pretty-printed JSON.
+pub fn to_json(analysis: &Analysis) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!(
+        "  \"files_scanned\": {},\n  \"manifests_checked\": {},\n",
+        analysis.files_scanned, analysis.manifests_checked
+    ));
+    s.push_str(&format!(
+        "  \"finding_count\": {},\n  \"allowed_count\": {},\n",
+        analysis.findings.len(),
+        analysis.allowed.len()
+    ));
+    s.push_str("  \"findings\": [\n");
+    for (i, f) in analysis.findings.iter().enumerate() {
+        s.push_str(&finding_json(f, "    "));
+        s.push_str(if i + 1 < analysis.findings.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  ],\n  \"allowed\": [\n");
+    for (i, a) in analysis.allowed.iter().enumerate() {
+        let mut obj = finding_json(&a.finding, "    ");
+        // Splice the justification into the object.
+        obj.truncate(obj.len() - 2); // drop " }"
+        obj.push_str(&format!(
+            ", \"justification\": {} }}",
+            json_str(&a.justification)
+        ));
+        s.push_str(&obj);
+        s.push_str(if i + 1 < analysis.allowed.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn finding_json(f: &Finding, indent: &str) -> String {
+    format!(
+        "{indent}{{ \"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \"snippet\": {} }}",
+        json_str(f.rule),
+        json_str(&f.path),
+        f.line,
+        json_str(&f.message),
+        json_str(&f.snippet),
+    )
+}
+
+/// JSON string escaping.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders findings as compiler-style text diagnostics.
+pub fn to_text(analysis: &Analysis, verbose: bool) -> String {
+    let mut s = String::new();
+    for f in &analysis.findings {
+        s.push_str(&format!(
+            "error[{}]: {}\n  --> {}:{}\n",
+            f.rule, f.message, f.path, f.line
+        ));
+        if !f.snippet.is_empty() {
+            s.push_str(&format!("   | {}\n", f.snippet));
+        }
+    }
+    if verbose {
+        for a in &analysis.allowed {
+            let f = &a.finding;
+            s.push_str(&format!(
+                "allowed[{}]: {} ({}:{})\n  justification: {}\n",
+                f.rule, f.message, f.path, f.line, a.justification
+            ));
+        }
+    }
+    s.push_str(&format!(
+        "swamp-analyzer: {} file(s), {} manifest(s) checked; {} finding(s), {} allowlisted\n",
+        analysis.files_scanned,
+        analysis.manifests_checked,
+        analysis.findings.len(),
+        analysis.allowed.len()
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn empty_analysis_renders() {
+        let a = Analysis::default();
+        let j = to_json(&a);
+        assert!(j.contains("\"finding_count\": 0"));
+        let t = to_text(&a, true);
+        assert!(t.contains("0 finding(s)"));
+    }
+}

@@ -1,0 +1,54 @@
+//! Rule `deprecated-api`: the PR-2 compatibility shims `Platform::new` and
+//! `FogSync::new` exist so external users get a deprecation window, but
+//! *internal* code must use the builders — otherwise the shims' frozen
+//! defaults fossilize inside the workspace and can never be retired.
+//!
+//! Flagged everywhere (lib, bin, tests, benches, examples) except inside
+//! the `#[cfg(test)]` modules of the files that define them, which keep one
+//! exercising test each so the shims stay compiled and behaviorally pinned
+//! until removal.
+
+use crate::lexer::is_path2;
+use crate::source::SourceFile;
+
+use super::Finding;
+
+pub const NAME: &str = "deprecated-api";
+
+/// (type, method, defining file, replacement)
+const DEPRECATED: &[(&str, &str, &str, &str)] = &[
+    (
+        "Platform",
+        "new",
+        "crates/core/src/platform.rs",
+        "Platform::builder(config).seed(seed).build()",
+    ),
+    (
+        "FogSync",
+        "new",
+        "crates/fog/src/sync.rs",
+        "FogSync::builder(node, cloud)…build()",
+    ),
+];
+
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    let tokens = &file.tokens;
+    for i in 0..tokens.len() {
+        for (ty, method, defining_file, replacement) in DEPRECATED {
+            if !is_path2(tokens, i, ty, method) {
+                continue;
+            }
+            let line = tokens[i].line;
+            // The defining file's own unit tests pin the shim's behavior.
+            if file.rel_path == *defining_file && file.is_test_line(line) {
+                continue;
+            }
+            out.push(Finding::at(
+                NAME,
+                file,
+                line,
+                format!("internal caller of deprecated `{ty}::{method}`: use `{replacement}`"),
+            ));
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Rule `determinism`: every experiment must be bit-for-bit reproducible
+//! from its seed, so wall clocks and OS entropy are banned from platform
+//! code, and hash-order iteration must not feed serialized output.
+//!
+//! Two checks:
+//!
+//! 1. **Wall-clock / entropy tokens.** `Instant`, `SystemTime`,
+//!    `UNIX_EPOCH`, `thread_rng`, `from_entropy` are flagged in lib and bin
+//!    targets outside `#[cfg(test)]`. The `criterion` shim package is the
+//!    one sanctioned wall-clock site (benchmarks measure real time by
+//!    definition). Use `swamp_sim::SimTime` / seeded `SimRng` instead.
+//! 2. **Unordered iteration feeding serialization.** In files that emit
+//!    reports or serialized documents, iterating a `HashMap`/`HashSet`
+//!    local or field leaks hash order into output. Flagged when a name
+//!    declared with a `HashMap`/`HashSet` type is iterated
+//!    (`.iter()`/`.keys()`/`.values()`/`.into_iter()`/`for … in`) in a file
+//!    that also mentions a serialization marker (`to_json`, `Report`,
+//!    `push_row`, `to_markdown`, `to_pretty_string`, `to_compact_string`).
+//!    Use `BTreeMap`/`BTreeSet`, or collect and sort before emitting.
+
+use crate::lexer::{is_ident, is_punct, Tok};
+use crate::source::{SourceFile, TargetKind};
+
+use super::Finding;
+
+pub const NAME: &str = "determinism";
+
+const BANNED: &[(&str, &str)] = &[
+    (
+        "Instant",
+        "use swamp_sim::SimTime (sim clock) instead of the wall clock",
+    ),
+    (
+        "SystemTime",
+        "use swamp_sim::SimTime (sim clock) instead of the wall clock",
+    ),
+    (
+        "UNIX_EPOCH",
+        "use swamp_sim::SimTime (sim clock) instead of the wall clock",
+    ),
+    (
+        "thread_rng",
+        "use a seeded swamp_sim::SimRng stream instead of OS entropy",
+    ),
+    (
+        "from_entropy",
+        "use a seeded swamp_sim::SimRng stream instead of OS entropy",
+    ),
+];
+
+const SERIALIZATION_MARKERS: &[&str] = &[
+    "to_json",
+    "to_markdown",
+    "to_pretty_string",
+    "to_compact_string",
+    "push_row",
+    "Report",
+];
+
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !matches!(file.kind, TargetKind::Lib | TargetKind::Bin) {
+        return;
+    }
+    // The criterion shim is the sanctioned wall-clock harness.
+    if file.package == "criterion" {
+        return;
+    }
+    let tokens = &file.tokens;
+    // A `use std::time::Instant` line and each call site all flag, which
+    // is intentional — removal fixes every finding at once.
+    for t in tokens.iter() {
+        let Tok::Ident(name) = &t.tok else { continue };
+        let Some((_, fix)) = BANNED.iter().find(|(b, _)| b == name) else {
+            continue;
+        };
+        if file.is_test_line(t.line) {
+            continue;
+        }
+        out.push(Finding::at(
+            NAME,
+            file,
+            t.line,
+            format!("non-deterministic API `{name}`: {fix}"),
+        ));
+    }
+    check_hash_iteration(file, out);
+}
+
+fn check_hash_iteration(file: &SourceFile, out: &mut Vec<Finding>) {
+    let tokens = &file.tokens;
+    let mentions_serialization = tokens
+        .iter()
+        .any(|t| matches!(&t.tok, Tok::Ident(s) if SERIALIZATION_MARKERS.contains(&s.as_str())));
+    if !mentions_serialization {
+        return;
+    }
+    // Names bound to a HashMap/HashSet type: `name: HashMap<…>` fields and
+    // arguments, and `let name = HashMap::new()` / `HashSet::from(…)`.
+    let mut hash_names: Vec<String> = Vec::new();
+    for i in 0..tokens.len() {
+        let is_hash_ty = matches!(&tokens[i].tok,
+            Tok::Ident(s) if s == "HashMap" || s == "HashSet");
+        if !is_hash_ty {
+            continue;
+        }
+        // `name : [&] ['a] [mut] HashMap` (field, param, or annotated let).
+        let mut j = i;
+        while j >= 1 {
+            match &tokens[j - 1].tok {
+                Tok::Punct('&') | Tok::Lifetime => j -= 1,
+                Tok::Ident(s) if s == "mut" => j -= 1,
+                _ => break,
+            }
+        }
+        if j >= 2 && is_punct(tokens, j - 1, ':') && !is_punct(tokens, j - 2, ':') {
+            if let Some(Tok::Ident(name)) = tokens.get(j - 2).map(|t| &t.tok) {
+                hash_names.push(name.clone());
+            }
+        }
+        // `let name = HashMap::new(…)` / `= HashSet::with_capacity(…)`.
+        if i >= 2 && is_punct(tokens, i - 1, '=') {
+            if let Some(Tok::Ident(name)) = tokens.get(i - 2).map(|t| &t.tok) {
+                hash_names.push(name.clone());
+            }
+        }
+    }
+    if hash_names.is_empty() {
+        return;
+    }
+    for i in 0..tokens.len() {
+        let Tok::Ident(name) = &tokens[i].tok else {
+            continue;
+        };
+        if !hash_names.contains(name) || file.is_test_line(tokens[i].line) {
+            continue;
+        }
+        // `name.iter()` / `.keys()` / `.values()` / `.into_iter()`.
+        let method_iter = is_punct(tokens, i + 1, '.')
+            && matches!(tokens.get(i + 2).map(|t| &t.tok),
+                Some(Tok::Ident(m)) if m == "iter" || m == "keys" || m == "values" || m == "into_iter")
+            && is_punct(tokens, i + 3, '(');
+        // `for x in name` / `for x in &name` (next token ends the header).
+        let for_iter = (is_ident(tokens, i.wrapping_sub(1), "in")
+            || (is_punct(tokens, i.wrapping_sub(1), '&')
+                && is_ident(tokens, i.wrapping_sub(2), "in")))
+            && is_punct(tokens, i + 1, '{');
+        if method_iter || for_iter {
+            out.push(Finding::at(
+                NAME,
+                file,
+                tokens[i].line,
+                format!(
+                    "hash-order iteration of `{name}` in a file that serializes output; \
+                     use BTreeMap/BTreeSet or sort before emitting"
+                ),
+            ));
+        }
+    }
+}

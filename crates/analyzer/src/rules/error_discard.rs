@@ -1,0 +1,95 @@
+//! Rule `error-discard`: silently dropping a `Result` in library code hides
+//! failures the platform is contractually required to surface (PR 2's
+//! non-panicking Result API is only honest if callers look at it).
+//!
+//! Flagged in non-test library code:
+//!
+//! - `let _ = …;` — the classic discard. A lexer cannot prove the
+//!   right-hand side is a `Result`, so *every* wildcard discard is flagged:
+//!   either the value is worth handling (handle or count it) or the
+//!   discard is deliberate (allowlist it with a justification).
+//!   `let _name = …` and partial destructuring are not flagged.
+//! - `….ok();` as a statement — converts a `Result` to an `Option` and
+//!   drops it on the floor.
+
+use crate::lexer::{is_ident, is_punct, Tok};
+use crate::source::{SourceFile, TargetKind};
+
+use super::Finding;
+
+pub const NAME: &str = "error-discard";
+
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file.kind != TargetKind::Lib {
+        return;
+    }
+    let tokens = &file.tokens;
+    for i in 0..tokens.len() {
+        let line = tokens[i].line;
+        if file.is_test_line(line) {
+            continue;
+        }
+        // `let _ =` (not `let _x`, not `let (_, …)`).
+        if is_ident(tokens, i, "let")
+            && is_ident(tokens, i + 1, "_")
+            && is_punct(tokens, i + 2, '=')
+            && !is_punct(tokens, i + 3, '=')
+        {
+            out.push(Finding::at(
+                NAME,
+                file,
+                line,
+                "`let _ = …` discards a value in library code: handle it, count it, \
+                 or allowlist the discard with a justification"
+                    .to_owned(),
+            ));
+            continue;
+        }
+        // `.ok();` — statement-position Result discard. `let y = x.ok();`,
+        // `return x.ok();` and other value-position uses don't match: the
+        // statement must not bind, assign or flow its value anywhere.
+        if is_punct(tokens, i, '.')
+            && is_ident(tokens, i + 1, "ok")
+            && is_punct(tokens, i + 2, '(')
+            && is_punct(tokens, i + 3, ')')
+            && is_punct(tokens, i + 4, ';')
+            && statement_is_expression(tokens, i)
+        {
+            out.push(Finding::at(
+                NAME,
+                file,
+                line,
+                "statement-position `.ok();` discards a Result in library code: \
+                 handle it, count it, or allowlist with a justification"
+                    .to_owned(),
+            ));
+        }
+    }
+}
+
+/// Walks back from token `i` to the start of the enclosing statement and
+/// returns true if the statement is a bare expression (its value is
+/// dropped): no `let`, no assignment, no `return`/`break`/`match`/`=>` arm
+/// between the statement boundary and here.
+fn statement_is_expression(tokens: &[crate::lexer::Token], i: usize) -> bool {
+    let mut j = i;
+    let mut depth = 0u32; // balanced (…)/[…] groups inside the chain
+    while j > 0 {
+        j -= 1;
+        match &tokens[j].tok {
+            Tok::Punct(')') | Tok::Punct(']') => depth += 1,
+            Tok::Punct('(') | Tok::Punct('[') if depth > 0 => depth -= 1,
+            _ if depth > 0 => {}
+            // An unbalanced open paren means the value is a call argument.
+            Tok::Punct('(') | Tok::Punct('[') => return false,
+            Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') => return true,
+            // Value flows somewhere: assignment, tuple/argument position.
+            Tok::Punct('=') | Tok::Punct(',') => return false,
+            Tok::Ident(s) if s == "let" || s == "return" || s == "break" || s == "match" => {
+                return false;
+            }
+            _ => {}
+        }
+    }
+    true
+}

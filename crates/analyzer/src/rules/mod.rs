@@ -1,0 +1,57 @@
+//! The lint rules. Each rule is a pure function from parsed sources (or
+//! manifests) to findings; `crate::run` wires them to the workspace walk
+//! and the allowlist.
+
+pub mod deprecated;
+pub mod determinism;
+pub mod error_discard;
+pub mod layering;
+pub mod panic_freedom;
+
+use crate::source::SourceFile;
+
+/// Names of every source + manifest rule, in report order. The pseudo-rules
+/// `allowlist-unused` and `allowlist-error` are emitted by the driver.
+pub const RULE_NAMES: &[&str] = &[
+    determinism::NAME,
+    panic_freedom::NAME,
+    error_discard::NAME,
+    layering::NAME,
+    deprecated::NAME,
+    "allowlist-unused",
+    "allowlist-error",
+];
+
+/// One violation.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Rule name (one of [`RULE_NAMES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    pub message: String,
+    /// Trimmed source line, used for display and allowlist `contains`.
+    pub snippet: String,
+}
+
+impl Finding {
+    pub fn at(rule: &'static str, file: &SourceFile, line: u32, message: String) -> Finding {
+        Finding {
+            rule,
+            path: file.rel_path.clone(),
+            line,
+            message,
+            snippet: file.snippet(line).to_owned(),
+        }
+    }
+}
+
+/// Runs every source-level rule over one file.
+pub fn check_source(file: &SourceFile, out: &mut Vec<Finding>) {
+    determinism::check(file, out);
+    panic_freedom::check(file, out);
+    error_discard::check(file, out);
+    deprecated::check(file, out);
+}

@@ -1,0 +1,93 @@
+//! Rule `panic-freedom`: no reachable panic in any library target.
+//!
+//! PR 2 introduced the unified `swamp_core::Error` Result API and denied
+//! `unwrap`/`panic` in the core and fog lib targets via in-source clippy
+//! attributes; this rule extends the contract to *every* lib target so the
+//! platform path can never die on a reachable error.
+//!
+//! Flagged in non-test library code:
+//!
+//! - `.unwrap()` — always (convert to `?`, a match, or a documented
+//!   `expect`).
+//! - `.expect(…)` — unless the enclosing `fn` documents the invariant with
+//!   a rustdoc `# Panics` section, or the receiver is `self` in a file
+//!   that defines its own `fn expect(` (a parser combinator, not
+//!   `Option::expect`).
+//! - `panic!`, `unreachable!`, `todo!`, `unimplemented!` — always
+//!   (restructure, or allowlist with a written justification).
+//!
+//! `assert!`/`debug_assert!` stay legal: they state invariants whose
+//! violation is a bug, the same contract as arithmetic overflow checks.
+
+use crate::lexer::{is_punct, Tok};
+use crate::source::{SourceFile, TargetKind};
+
+use super::Finding;
+
+pub const NAME: &str = "panic-freedom";
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file.kind != TargetKind::Lib {
+        return;
+    }
+    let tokens = &file.tokens;
+    for i in 0..tokens.len() {
+        let Tok::Ident(name) = &tokens[i].tok else {
+            continue;
+        };
+        let line = tokens[i].line;
+        if file.is_test_line(line) {
+            continue;
+        }
+        if name == "unwrap"
+            && i >= 1
+            && is_punct(tokens, i - 1, '.')
+            && is_punct(tokens, i + 1, '(')
+        {
+            out.push(Finding::at(
+                NAME,
+                file,
+                line,
+                "`.unwrap()` in library code: use `?`, a match, or a documented `expect`"
+                    .to_owned(),
+            ));
+            continue;
+        }
+        if name == "expect"
+            && i >= 1
+            && is_punct(tokens, i - 1, '.')
+            && is_punct(tokens, i + 1, '(')
+        {
+            if file.in_panics_documented_fn(line) {
+                continue;
+            }
+            // `self.expect(…)` where the file defines `fn expect(` is the
+            // type's own method (e.g. the JSON parser combinator).
+            let receiver_is_self = i >= 2
+                && matches!(tokens.get(i - 2).map(|t| &t.tok),
+                    Some(Tok::Ident(r)) if r == "self");
+            if receiver_is_self && file.defines_expect_method {
+                continue;
+            }
+            out.push(Finding::at(
+                NAME,
+                file,
+                line,
+                "`.expect(…)` without a `# Panics` doc section on the enclosing fn: \
+                 document the invariant, or handle the error"
+                    .to_owned(),
+            ));
+            continue;
+        }
+        if PANIC_MACROS.contains(&name.as_str()) && is_punct(tokens, i + 1, '!') {
+            out.push(Finding::at(
+                NAME,
+                file,
+                line,
+                format!("`{name}!` in library code: restructure to return an error"),
+            ));
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! Source-file model: token stream plus the structural facts rules need —
+//! which lines are test-only code, which function bodies are covered by a
+//! rustdoc `# Panics` section, and which Cargo target a file belongs to.
+
+use crate::lexer::{self, DocLine, Lexed, Tok, Token};
+
+/// Which Cargo target a source file belongs to. Rules scope themselves by
+/// target kind: panic-freedom and error-discard apply to library code only,
+/// determinism also covers binaries, deprecated-API covers everything.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TargetKind {
+    /// `src/**` excluding `src/bin/**`.
+    Lib,
+    /// `src/bin/**` or a `[[bin]]`-declared path.
+    Bin,
+    /// `tests/**` integration tests.
+    Test,
+    /// `benches/**`.
+    Bench,
+    /// `examples/**`.
+    Example,
+}
+
+/// An inclusive 1-based line range.
+#[derive(Clone, Copy, Debug)]
+pub struct LineSpan {
+    pub start: u32,
+    pub end: u32,
+}
+
+impl LineSpan {
+    pub fn contains(&self, line: u32) -> bool {
+        self.start <= line && line <= self.end
+    }
+}
+
+/// A `fn` item body span and whether its doc comment has a `# Panics`
+/// section (the documented-panic escape hatch for `expect`).
+#[derive(Clone, Copy, Debug)]
+pub struct FnSpan {
+    pub span: LineSpan,
+    pub panics_documented: bool,
+}
+
+/// A lexed source file with the structural maps rules consume.
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel_path: String,
+    /// Package (crate) the file belongs to.
+    pub package: String,
+    pub kind: TargetKind,
+    pub tokens: Vec<Token>,
+    /// Raw source lines, for finding snippets and allowlist `contains`.
+    pub lines: Vec<String>,
+    /// Line ranges of items behind `#[cfg(test)]` / `#[test]` /
+    /// `#[should_panic]` attributes.
+    test_spans: Vec<LineSpan>,
+    /// Every `fn` body, with its `# Panics` doc status.
+    fn_spans: Vec<FnSpan>,
+    /// The file declares its own `fn expect(` — method calls through `self`
+    /// are then the parser's combinator, not `Option::expect`.
+    pub defines_expect_method: bool,
+}
+
+impl SourceFile {
+    pub fn parse(rel_path: &str, package: &str, kind: TargetKind, src: &str) -> SourceFile {
+        let lexed = lexer::lex(src);
+        let test_spans = find_test_spans(&lexed.tokens);
+        let fn_spans = find_fn_spans(&lexed);
+        let defines_expect_method = lexed.tokens.windows(2).any(|w| {
+            matches!((&w[0].tok, &w[1].tok),
+                (Tok::Ident(a), Tok::Ident(b)) if a == "fn" && b == "expect")
+        });
+        SourceFile {
+            rel_path: rel_path.to_owned(),
+            package: package.to_owned(),
+            kind,
+            tokens: lexed.tokens,
+            lines: src.lines().map(str::to_owned).collect(),
+            test_spans,
+            fn_spans,
+            defines_expect_method,
+        }
+    }
+
+    /// Is this line inside test-only code? Integration tests, benches and
+    /// examples are test-like as a whole.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        !matches!(self.kind, TargetKind::Lib | TargetKind::Bin)
+            || self.test_spans.iter().any(|s| s.contains(line))
+    }
+
+    /// Is this line inside a `fn` whose rustdoc has a `# Panics` section?
+    pub fn in_panics_documented_fn(&self, line: u32) -> bool {
+        self.fn_spans
+            .iter()
+            .any(|f| f.panics_documented && f.span.contains(line))
+    }
+
+    /// The trimmed source text of a 1-based line (empty if out of range).
+    pub fn snippet(&self, line: u32) -> &str {
+        self.lines
+            .get(line as usize - 1)
+            .map(|s| s.trim())
+            .unwrap_or("")
+    }
+}
+
+/// Finds items guarded by a test-only attribute and returns their line
+/// spans. An attribute guards the next item; the item's extent is found by
+/// brace matching (or the terminating `;` for braceless items).
+fn find_test_spans(tokens: &[Token]) -> Vec<LineSpan> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if lexer::is_punct(tokens, i, '#') && lexer::is_punct(tokens, i + 1, '[') {
+            let (attr_idents, after) = read_attr(tokens, i + 2);
+            if attr_is_test_only(&attr_idents) {
+                // Skip any further attributes between this one and the item.
+                let mut j = after;
+                while lexer::is_punct(tokens, j, '#') && lexer::is_punct(tokens, j + 1, '[') {
+                    let (_, next) = read_attr(tokens, j + 2);
+                    j = next;
+                }
+                let start = tokens.get(i).map(|t| t.line).unwrap_or(1);
+                let end = item_end(tokens, j);
+                spans.push(LineSpan { start, end });
+                i = after;
+                continue;
+            }
+            i = after;
+            continue;
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// A flattened attribute element: identifiers plus grouping parens, enough
+/// structure to understand `not(…)` scoping inside `cfg`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum AttrAtom {
+    Ident(String),
+    Open,
+    Close,
+}
+
+/// Reads an attribute starting just inside `#[`, returning its flattened
+/// atoms and the index just past the closing `]`.
+fn read_attr(tokens: &[Token], mut i: usize) -> (Vec<AttrAtom>, usize) {
+    let mut depth = 1u32; // the `[` we are inside
+    let mut atoms = Vec::new();
+    while i < tokens.len() {
+        match &tokens[i].tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (atoms, i + 1);
+                }
+            }
+            Tok::Punct('(') => atoms.push(AttrAtom::Open),
+            Tok::Punct(')') => atoms.push(AttrAtom::Close),
+            Tok::Ident(s) => atoms.push(AttrAtom::Ident(s.clone())),
+            _ => {}
+        }
+        i += 1;
+    }
+    (atoms, i)
+}
+
+/// Does this attribute make the next item test-only?
+///
+/// - `#[test]`, `#[should_panic]`, `#[bench]` → yes.
+/// - `#[cfg(…)]` → yes iff `test` appears outside any `not(…)` group, so
+///   `#[cfg(test)]` and `#[cfg(all(test, unix))]` count while
+///   `#[cfg(not(test))]` does not.
+/// - `#[cfg_attr(…)]` → never: the item itself is always compiled.
+fn attr_is_test_only(atoms: &[AttrAtom]) -> bool {
+    match atoms.first() {
+        Some(AttrAtom::Ident(first))
+            if first == "test" || first == "should_panic" || first == "bench" =>
+        {
+            true
+        }
+        Some(AttrAtom::Ident(first)) if first == "cfg" => {
+            let mut not_depth = 0u32; // paren depth inside a not(…) group
+            let mut i = 1;
+            while i < atoms.len() {
+                match &atoms[i] {
+                    AttrAtom::Ident(s)
+                        if s == "not" && atoms.get(i + 1) == Some(&AttrAtom::Open) =>
+                    {
+                        not_depth += 1;
+                        i += 2;
+                        continue;
+                    }
+                    AttrAtom::Open if not_depth > 0 => not_depth += 1,
+                    AttrAtom::Close if not_depth > 0 => not_depth -= 1,
+                    AttrAtom::Ident(s) if s == "test" && not_depth == 0 => return true,
+                    _ => {}
+                }
+                i += 1;
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+/// The last line of the item starting at token `i`: the matching `}` of the
+/// first top-level brace, or the first top-level `;` if one comes first
+/// (trait method declarations, `use` items, macro invocation statements).
+fn item_end(tokens: &[Token], i: usize) -> u32 {
+    let mut depth = 0i32;
+    let mut j = i;
+    let mut entered = false;
+    while j < tokens.len() {
+        match tokens[j].tok {
+            Tok::Punct('{') => {
+                depth += 1;
+                entered = true;
+            }
+            Tok::Punct('}') => {
+                depth -= 1;
+                if entered && depth <= 0 {
+                    return tokens[j].line;
+                }
+            }
+            Tok::Punct(';') if !entered && depth == 0 => return tokens[j].line,
+            _ => {}
+        }
+        j += 1;
+    }
+    tokens.last().map(|t| t.line).unwrap_or(1)
+}
+
+/// Finds every `fn` body span and marks those whose attached doc block has
+/// a `# Panics` section. The doc block for a fn at line L is the contiguous
+/// run of doc-comment lines directly above L, allowing attribute-only and
+/// blank lines in between (`/// docs`, `#[inline]`, `fn f()`).
+fn find_fn_spans(lexed: &Lexed) -> Vec<FnSpan> {
+    let tokens = &lexed.tokens;
+    // Lines occupied by attributes: tokens inside `#[…]` runs.
+    let mut attr_lines = std::collections::BTreeSet::new();
+    let mut code_lines = std::collections::BTreeSet::new();
+    {
+        let mut i = 0;
+        while i < tokens.len() {
+            if lexer::is_punct(tokens, i, '#') && lexer::is_punct(tokens, i + 1, '[') {
+                let from = tokens[i].line;
+                let (_, after) = read_attr(tokens, i + 2);
+                let to = tokens
+                    .get(after.saturating_sub(1))
+                    .map(|t| t.line)
+                    .unwrap_or(from);
+                for l in from..=to {
+                    attr_lines.insert(l);
+                }
+                i = after;
+            } else {
+                code_lines.insert(tokens[i].line);
+                i += 1;
+            }
+        }
+    }
+
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if lexer::is_ident(tokens, i, "fn") {
+            let fn_line = tokens[i].line;
+            let panics_documented =
+                doc_block_has_panics(&lexed.docs, &attr_lines, &code_lines, fn_line);
+            // Body: first `{` at paren/bracket depth 0; a `;` first means a
+            // bodiless declaration.
+            let mut j = i + 1;
+            let mut paren = 0i32;
+            let mut body_start = None;
+            while j < tokens.len() {
+                match tokens[j].tok {
+                    Tok::Punct('(') | Tok::Punct('[') => paren += 1,
+                    Tok::Punct(')') | Tok::Punct(']') => paren -= 1,
+                    Tok::Punct(';') if paren == 0 => break,
+                    Tok::Punct('{') if paren == 0 => {
+                        body_start = Some(j);
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(open) = body_start {
+                let end = item_end(tokens, open);
+                spans.push(FnSpan {
+                    span: LineSpan {
+                        start: fn_line,
+                        end,
+                    },
+                    panics_documented,
+                });
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Does the doc block attached to an item at `item_line` contain
+/// `# Panics`? Walk upward from the line above the item, skipping attribute
+/// lines and blank (token-free, doc-free) lines, then consume the
+/// contiguous doc block.
+fn doc_block_has_panics(
+    docs: &[DocLine],
+    attr_lines: &std::collections::BTreeSet<u32>,
+    code_lines: &std::collections::BTreeSet<u32>,
+    item_line: u32,
+) -> bool {
+    let doc_lines: std::collections::BTreeMap<u32, &str> =
+        docs.iter().map(|d| (d.line, d.text.as_str())).collect();
+    let mut l = item_line.saturating_sub(1);
+    // Skip attribute lines directly above the item.
+    while l >= 1 && attr_lines.contains(&l) && !doc_lines.contains_key(&l) {
+        l -= 1;
+    }
+    // Consume the doc block.
+    let mut found = false;
+    while l >= 1 {
+        if let Some(text) = doc_lines.get(&l) {
+            if text.contains("# Panics") {
+                found = true;
+            }
+            l -= 1;
+        } else if attr_lines.contains(&l) && !code_lines.contains(&l) {
+            // `#[cfg_attr(…)]` interleaved inside the doc block.
+            l -= 1;
+        } else {
+            break;
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib(src: &str) -> SourceFile {
+        SourceFile::parse("x/src/lib.rs", "x", TargetKind::Lib, src)
+    }
+
+    #[test]
+    fn cfg_test_module_lines_are_test_lines() {
+        let src = "\
+fn real() {}
+#[cfg(test)]
+mod tests {
+    fn helper() { value.unwrap(); }
+}
+fn after() {}
+";
+        let f = lib(src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(4));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn test_attr_guards_single_fn() {
+        let src = "\
+#[test]
+fn t() {
+    boom();
+}
+fn real() {}
+";
+        let f = lib(src);
+        assert!(f.is_test_line(3));
+        assert!(!f.is_test_line(5));
+    }
+
+    #[test]
+    fn panics_doc_covers_fn_body() {
+        let src = "\
+/// Creates a thing.
+///
+/// # Panics
+/// Panics on bad input.
+#[inline]
+pub fn new(x: u32) -> u32 {
+    x.checked_add(1).expect(\"bad input\")
+}
+pub fn other() -> u32 {
+    1
+}
+";
+        let f = lib(src);
+        assert!(f.in_panics_documented_fn(7));
+        assert!(!f.in_panics_documented_fn(10));
+    }
+
+    #[test]
+    fn cfg_not_test_and_cfg_attr_are_not_test_only() {
+        let src = "\
+#[cfg(not(test))]
+fn prod_only() { x.unwrap(); }
+#[cfg_attr(not(test), deny(clippy::unwrap_used))]
+fn always() { y.unwrap(); }
+#[cfg(all(test, unix))]
+fn test_only() {}
+";
+        let f = lib(src);
+        assert!(!f.is_test_line(2));
+        assert!(!f.is_test_line(4));
+        assert!(f.is_test_line(6));
+    }
+
+    #[test]
+    fn integration_tests_are_entirely_test_code() {
+        let f = SourceFile::parse("x/tests/t.rs", "x", TargetKind::Test, "fn a() {}");
+        assert!(f.is_test_line(1));
+    }
+
+    #[test]
+    fn expect_method_definition_detected() {
+        let f = lib("impl P { fn expect(&mut self, b: u8) -> R { r() } }");
+        assert!(f.defines_expect_method);
+        assert!(!lib("fn other() {}").defines_expect_method);
+    }
+}

@@ -1,0 +1,147 @@
+//! End-to-end CLI tests: the binary must exit non-zero on a seeded
+//! violation under `--deny-all` and zero on a clean workspace, with the
+//! finding visible in the JSON report.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_swamp-analyzer")
+}
+
+/// A scratch workspace under the OS temp dir; removed on drop. The name is
+/// keyed by pid + a caller tag, so parallel test binaries don't collide.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("swamp-analyzer-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn write(&self, rel: &str, content: &str) {
+        let path = self.0.join(rel);
+        fs::create_dir_all(path.parent().expect("rel has a parent")).expect("mkdir");
+        fs::write(path, content).expect("write fixture file");
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Lays down a one-member workspace; `lib_src` becomes the member's lib.rs.
+fn seed_workspace(ws: &Scratch, lib_src: &str) {
+    ws.write("Cargo.toml", "[workspace]\nmembers = [\"crates/net\"]\n");
+    ws.write(
+        "crates/net/Cargo.toml",
+        "[package]\nname = \"swamp-net\"\nversion = \"0.1.0\"\nedition = \"2021\"\n",
+    );
+    ws.write("crates/net/src/lib.rs", lib_src);
+}
+
+#[test]
+fn deny_all_fails_on_seeded_violation_and_reports_it() {
+    let ws = Scratch::new("bad");
+    seed_workspace(
+        &ws,
+        "pub fn stamp() -> u128 {\n    std::time::Instant::now().elapsed().as_millis()\n}\n",
+    );
+    let out = Command::new(bin())
+        .args(["--root"])
+        .arg(ws.path())
+        .args(["--deny-all", "--json", "-"])
+        .output()
+        .expect("spawn analyzer");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"rule\": \"determinism\""), "{json}");
+    assert!(json.contains("crates/net/src/lib.rs"), "{json}");
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("error[determinism]"), "{text}");
+}
+
+#[test]
+fn deny_all_passes_on_clean_workspace() {
+    let ws = Scratch::new("clean");
+    seed_workspace(&ws, "pub fn double(x: u64) -> u64 {\n    x * 2\n}\n");
+    let out = Command::new(bin())
+        .args(["--root"])
+        .arg(ws.path())
+        .args(["--deny-all"])
+        .output()
+        .expect("spawn analyzer");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn allowlist_downgrades_finding_but_stale_entry_fails() {
+    let ws = Scratch::new("allow");
+    seed_workspace(
+        &ws,
+        "pub fn f(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n",
+    );
+    ws.write(
+        "analyzer.allow.toml",
+        r#"[[allow]]
+rule = "panic-freedom"
+path = "crates/net/src/lib.rs"
+justification = "fixture: documented scratch exception"
+"#,
+    );
+    let out = Command::new(bin())
+        .args(["--root"])
+        .arg(ws.path())
+        .args(["--deny-all"])
+        .output()
+        .expect("spawn analyzer");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Fix the code but keep the entry: the stale exception itself fails.
+    ws.write(
+        "crates/net/src/lib.rs",
+        "pub fn f(v: Option<u32>) -> u32 { v.unwrap_or(0) }\n",
+    );
+    let out = Command::new(bin())
+        .args(["--root"])
+        .arg(ws.path())
+        .args(["--deny-all"])
+        .output()
+        .expect("spawn analyzer");
+    assert_eq!(out.status.code(), Some(2));
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("allowlist-unused"), "{text}");
+}
+
+#[test]
+fn unknown_rule_flag_is_a_usage_error() {
+    let out = Command::new(bin())
+        .args(["--rule", "no-such-rule"])
+        .output()
+        .expect("spawn analyzer");
+    assert_eq!(out.status.code(), Some(3));
+}

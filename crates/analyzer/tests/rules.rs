@@ -1,0 +1,307 @@
+//! Fixture tests: for every rule, one snippet that must trip it and one
+//! that must stay clean, exercised through the same `analyze_str` path the
+//! workspace walk uses.
+
+use swamp_analyzer::allowlist;
+use swamp_analyzer::manifest;
+use swamp_analyzer::rules::{layering, Finding, RULE_NAMES};
+use swamp_analyzer::source::TargetKind;
+use swamp_analyzer::{analyze_str, apply_allowlist};
+
+fn lib(src: &str) -> Vec<Finding> {
+    analyze_str("crates/x/src/lib.rs", "swamp-x", TargetKind::Lib, src)
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+// ---------------------------------------------------------------- determinism
+
+#[test]
+fn determinism_flags_wall_clock_and_entropy() {
+    let bad = r#"
+        pub fn now_ms() -> u128 {
+            let t = std::time::Instant::now();
+            t.elapsed().as_millis()
+        }
+        pub fn seed() -> u64 { rand::thread_rng().gen() }
+    "#;
+    let f = lib(bad);
+    let det: Vec<_> = f.iter().filter(|f| f.rule == "determinism").collect();
+    assert!(det.len() >= 2, "Instant and thread_rng both flag: {f:?}");
+    assert!(det.iter().any(|f| f.message.contains("Instant")));
+    assert!(det.iter().any(|f| f.message.contains("thread_rng")));
+}
+
+#[test]
+fn determinism_ignores_tests_benches_and_criterion() {
+    let in_test = r#"
+        #[cfg(test)]
+        mod tests {
+            #[test]
+            fn timing() { let _t = std::time::Instant::now(); }
+        }
+    "#;
+    assert!(lib(in_test).iter().all(|f| f.rule != "determinism"));
+    // Bench targets are outside the rule's scope entirely.
+    let f = analyze_str(
+        "crates/x/benches/b.rs",
+        "swamp-x",
+        TargetKind::Bench,
+        "fn main() { let t = std::time::Instant::now(); }",
+    );
+    assert!(f.is_empty(), "{f:?}");
+    // The criterion shim is the sanctioned wall-clock site.
+    let f = analyze_str(
+        "crates/criterion-shim/src/lib.rs",
+        "criterion",
+        TargetKind::Lib,
+        "pub fn timer() -> std::time::Instant { std::time::Instant::now() }",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn determinism_flags_hash_iteration_feeding_serialization() {
+    let bad = r#"
+        use std::collections::HashMap;
+        pub fn to_json(counters: &HashMap<String, u64>) -> String {
+            let mut out = String::new();
+            for (k, v) in counters.iter() {
+                out.push_str(&format!("{k}={v},"));
+            }
+            out
+        }
+    "#;
+    let f = lib(bad);
+    assert!(
+        f.iter()
+            .any(|f| f.rule == "determinism" && f.message.contains("hash-order")),
+        "{f:?}"
+    );
+}
+
+#[test]
+fn determinism_allows_btree_iteration_in_serializers() {
+    let good = r#"
+        use std::collections::BTreeMap;
+        pub fn to_json(counters: &BTreeMap<String, u64>) -> String {
+            let mut out = String::new();
+            for (k, v) in counters.iter() {
+                out.push_str(&format!("{k}={v},"));
+            }
+            out
+        }
+    "#;
+    assert!(lib(good).is_empty(), "{:?}", lib(good));
+}
+
+// -------------------------------------------------------------- panic-freedom
+
+#[test]
+fn panic_freedom_flags_unwrap_expect_and_macros() {
+    let bad = r#"
+        pub fn f(v: Option<u32>) -> u32 { v.unwrap() }
+        pub fn g(v: Option<u32>) -> u32 { v.expect("always set") }
+        pub fn h(x: u32) -> u32 {
+            match x { 0 => unreachable!("impossible"), n => n }
+        }
+    "#;
+    let f = lib(bad);
+    let pf: Vec<_> = f.iter().filter(|f| f.rule == "panic-freedom").collect();
+    assert_eq!(pf.len(), 3, "{f:?}");
+}
+
+#[test]
+fn panic_freedom_exempts_documented_panics_and_tests() {
+    let good = r#"
+        /// Returns the value.
+        ///
+        /// # Panics
+        /// Panics if `v` is `None` — callers guarantee it is set.
+        pub fn f(v: Option<u32>) -> u32 { v.expect("caller guarantees Some") }
+
+        pub fn safe(v: Option<u32>) -> u32 { v.unwrap_or(0) }
+
+        /// Asserting invariants stays legal.
+        pub fn idx(xs: &[u32], i: usize) -> u32 {
+            assert!(i < xs.len(), "bounds");
+            xs[i]
+        }
+
+        #[cfg(test)]
+        mod tests {
+            #[test]
+            fn t() { Some(1u32).unwrap(); panic!("fine in tests"); }
+        }
+    "#;
+    assert!(lib(good).is_empty(), "{:?}", lib(good));
+}
+
+#[test]
+fn panic_freedom_exempts_own_expect_combinator() {
+    let parser = r#"
+        impl Parser {
+            fn expect(&mut self, b: u8) -> Result<(), Error> { self.eat(b) }
+            pub fn array(&mut self) -> Result<(), Error> {
+                self.expect(b'[')
+            }
+        }
+    "#;
+    assert!(lib(parser).is_empty(), "{:?}", lib(parser));
+    // But `Option::expect` through a non-self receiver still flags there.
+    let mixed = r#"
+        impl Parser {
+            fn expect(&mut self, b: u8) -> Result<(), Error> { self.eat(b) }
+            pub fn first(v: Option<u8>) -> u8 { v.expect("non-empty") }
+        }
+    "#;
+    assert_eq!(rules_of(&lib(mixed)), vec!["panic-freedom"]);
+}
+
+// -------------------------------------------------------------- error-discard
+
+#[test]
+fn error_discard_flags_wildcard_let_and_statement_ok() {
+    let bad = r#"
+        pub fn f(r: Result<u32, ()>) {
+            let _ = r;
+        }
+        pub fn g(m: &mut std::collections::BTreeMap<u32, u32>) {
+            m.remove(&1).ok_or(()).ok();
+        }
+    "#;
+    let f = lib(bad);
+    let ed: Vec<_> = f.iter().filter(|f| f.rule == "error-discard").collect();
+    assert_eq!(ed.len(), 2, "{f:?}");
+}
+
+#[test]
+fn error_discard_allows_bindings_and_value_position_ok() {
+    let good = r#"
+        pub fn f(r: Result<u32, ()>) -> Option<u32> {
+            let _kept = r;
+            let v = Some(3u32);
+            let as_opt = Err::<u32, ()>(()).ok();
+            foo(v.ok_or(()).ok());
+            return as_opt;
+        }
+        fn foo(_v: Option<u32>) {}
+    "#;
+    assert!(lib(good).is_empty(), "{:?}", lib(good));
+}
+
+#[test]
+fn error_discard_only_applies_to_lib_targets() {
+    let f = analyze_str(
+        "crates/x/src/bin/tool.rs",
+        "swamp-x",
+        TargetKind::Bin,
+        "fn main() { let _ = std::fs::remove_file(\"x\"); }",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+// ------------------------------------------------------------------- layering
+
+#[test]
+fn layering_flags_undeclared_edge_and_unknown_package() {
+    let members: Vec<String> = layering::ALLOWED_DEPS
+        .iter()
+        .map(|(n, _)| (*n).to_owned())
+        .collect();
+    // swamp-net must not depend on swamp-core (inverted layer).
+    let m = manifest::parse(
+        "[package]\nname = \"swamp-net\"\n[dependencies]\nswamp-core = { path = \"../core\" }\n",
+    );
+    let mut out = Vec::new();
+    layering::check(&m, "crates/net/Cargo.toml", &members, &mut out);
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert!(out[0].message.contains("swamp-core"));
+
+    // A package absent from the table is itself a finding.
+    let m = manifest::parse("[package]\nname = \"swamp-rogue\"\n");
+    let mut out = Vec::new();
+    layering::check(&m, "crates/rogue/Cargo.toml", &members, &mut out);
+    assert_eq!(out.len(), 1, "{out:?}");
+
+    // A declared edge passes.
+    let m = manifest::parse(
+        "[package]\nname = \"swamp-fog\"\n[dependencies]\nswamp-net = { path = \"../net\" }\n",
+    );
+    let mut out = Vec::new();
+    layering::check(&m, "crates/fog/Cargo.toml", &members, &mut out);
+    assert!(out.is_empty(), "{out:?}");
+}
+
+#[test]
+fn layering_table_is_internally_consistent() {
+    let mut out = Vec::new();
+    layering::check_table(&mut out);
+    assert!(out.is_empty(), "DAG table broken: {out:?}");
+}
+
+// ------------------------------------------------------------- deprecated-api
+
+#[test]
+fn deprecated_api_flags_shim_callers_anywhere_but_their_own_tests() {
+    let bad = "pub fn make() -> Platform { Platform::new(DeploymentConfig::CloudOnly, 1) }";
+    let f = analyze_str("crates/x/src/lib.rs", "swamp-x", TargetKind::Lib, bad);
+    assert!(
+        f.iter()
+            .any(|f| f.rule == "deprecated-api" && f.message.contains("builder")),
+        "{f:?}"
+    );
+    // Unlike most rules, deprecated-api also covers test targets: migrating
+    // tests off the shim is the point.
+    let f = analyze_str(
+        "crates/x/tests/t.rs",
+        "swamp-x",
+        TargetKind::Test,
+        "fn t() { let _s = FogSync::new(\"fog\", \"cloud\", 8); }",
+    );
+    assert!(f.iter().any(|f| f.rule == "deprecated-api"), "{f:?}");
+    // The shim's own unit tests pin its behavior and stay exempt.
+    let f = analyze_str(
+        "crates/core/src/platform.rs",
+        "swamp-core",
+        TargetKind::Lib,
+        r#"
+        #[cfg(test)]
+        mod tests {
+            #[test]
+            fn shim_still_works() { let _p = Platform::new(Config::CloudOnly, 1); }
+        }
+        "#,
+    );
+    assert!(f.iter().all(|f| f.rule != "deprecated-api"), "{f:?}");
+}
+
+#[test]
+fn deprecated_api_ignores_other_types_new() {
+    let good = "pub fn f() -> Network { Network::new(7) }";
+    assert!(lib(good).is_empty(), "{:?}", lib(good));
+}
+
+// ------------------------------------------------------------------ allowlist
+
+#[test]
+fn allowlist_suppresses_matching_findings_only() {
+    let findings = lib("pub fn f(v: Option<u32>) -> u32 { v.unwrap() }\npub fn g() { let _ = std::fs::remove_file(\"x\"); }");
+    assert_eq!(findings.len(), 2);
+    let (entries, errors) = allowlist::parse(
+        r#"
+[[allow]]
+rule = "panic-freedom"
+path = "crates/x/"
+justification = "fixture: harness code may abort loudly"
+"#,
+        RULE_NAMES,
+    );
+    assert!(errors.is_empty(), "{errors:?}");
+    let (kept, allowed) = apply_allowlist(findings, &entries);
+    assert_eq!(rules_of(&kept), vec!["error-discard"]);
+    assert_eq!(allowed.len(), 1);
+    assert!(allowed[0].justification.contains("abort loudly"));
+}

@@ -1,0 +1,38 @@
+//! The dogfood test: the shipped workspace itself must be clean under every
+//! rule — any violation is either fixed or carries a justified allowlist
+//! entry. This is the same check `ci.sh` runs via `--deny-all`.
+
+use std::path::PathBuf;
+
+use swamp_analyzer::{run, Config};
+
+#[test]
+fn shipped_workspace_is_clean_under_deny_all() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let analysis = run(&Config::new(root)).expect("analyzer runs on the shipped tree");
+    assert!(
+        analysis.findings.is_empty(),
+        "workspace has unallowlisted findings:\n{}",
+        analysis
+            .findings
+            .iter()
+            .map(|f| format!("  {}:{} [{}] {}", f.path, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Sanity: the walk really covered the tree.
+    assert!(
+        analysis.files_scanned > 100,
+        "only {} files scanned",
+        analysis.files_scanned
+    );
+    assert!(
+        analysis.manifests_checked >= 12,
+        "only {} manifests",
+        analysis.manifests_checked
+    );
+    // Every allowlisted exception carries its written justification.
+    assert!(analysis.allowed.iter().all(|a| a.justification.len() >= 10));
+}

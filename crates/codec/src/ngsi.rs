@@ -179,7 +179,7 @@ impl AttrValue {
                 AttrValue::GeoPoint(lat, lon)
             }
             Json::Array(items) if items.iter().all(|i| i.as_f64().is_some()) => {
-                AttrValue::NumberList(items.iter().map(|i| i.as_f64().unwrap()).collect())
+                AttrValue::NumberList(items.iter().filter_map(Json::as_f64).collect())
             }
             other => AttrValue::Structured(other.clone()),
         }

@@ -738,8 +738,13 @@ impl Platform {
         if self.auto_quarantine
             && self.detectors.recommendation(device_id) == Recommendation::Quarantine
         {
-            let _ = self.registry.set_enabled(device_id, false);
-            self.metrics.incr("ingest.quarantined");
+            // `is_active` above proved the device is registered, so the
+            // disable cannot miss; if the registry ever disagrees, count it
+            // rather than silently dropping the quarantine.
+            match self.registry.set_enabled(device_id, false) {
+                Ok(()) => self.metrics.incr("ingest.quarantined"),
+                Err(_) => self.metrics.incr("ingest.quarantine_failed"),
+            }
         }
         Ok(entity)
     }

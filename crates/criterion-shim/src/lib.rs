@@ -182,7 +182,7 @@ impl Bencher {
             .iter()
             .map(|s| s.as_secs_f64() / self.iters_per_sample as f64)
             .collect();
-        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        per_iter.sort_by(f64::total_cmp);
         let median = per_iter[per_iter.len() / 2];
         let min = per_iter[0];
         let max = per_iter[per_iter.len() - 1];

@@ -693,6 +693,10 @@ pub struct CloudStore {
     /// Accepted seqs per source node (two fogs may both start at seq 0).
     seen_seqs: BTreeMap<NodeId, BTreeSet<u64>>,
     duplicates: u64,
+    /// Ack sends the network refused (e.g. during a partition window); the
+    /// fog's retry engine covers the loss, so a refusal is counted, never
+    /// an error.
+    acks_refused: u64,
     /// Cursor into `history`: records before it were already handed out by
     /// [`CloudStore::drain_new`] to a downstream applier.
     drained: usize,
@@ -710,6 +714,7 @@ impl CloudStore {
             history: Vec::new(),
             seen_seqs: BTreeMap::new(),
             duplicates: 0,
+            acks_refused: 0,
             drained: 0,
             reorder: None,
         }
@@ -742,6 +747,12 @@ impl CloudStore {
     /// Duplicate transmissions discarded.
     pub fn duplicates(&self) -> u64 {
         self.duplicates
+    }
+
+    /// Ack sends refused by the network (the sender's retry engine covers
+    /// the resulting retransmission).
+    pub fn acks_refused(&self) -> u64 {
+        self.acks_refused
     }
 
     /// Latest payload for a key.
@@ -860,13 +871,18 @@ impl CloudStore {
         }
         for (fog, seqs) in acks {
             // Ack sends may race a partition window; the fog's retry engine
-            // covers the loss, so a refused ack send is deliberately ignored.
-            let _ = net.send(
-                now,
-                self.node.clone(),
-                fog,
-                Message::new(ACK_TOPIC, encode_acks(&seqs)),
-            );
+            // covers the loss, so a refused ack send is counted, not fatal.
+            if net
+                .send(
+                    now,
+                    self.node.clone(),
+                    fog,
+                    Message::new(ACK_TOPIC, encode_acks(&seqs)),
+                )
+                .is_err()
+            {
+                self.acks_refused += 1;
+            }
         }
         accepted
     }

@@ -116,7 +116,10 @@ impl Reassembler {
         }
         entry.2.entry(frag.index).or_insert(frag.data);
         if entry.2.len() == entry.1 as usize {
-            let (_, _, parts) = self.pending.remove(&frag.tag).expect("just inserted");
+            // Move the parts out before dropping the table entry — no
+            // second lookup, no unreachable-miss to panic on.
+            let parts = std::mem::take(&mut entry.2);
+            self.pending.remove(&frag.tag);
             self.completed += 1;
             let mut out = Vec::new();
             for (_, part) in parts {

@@ -25,7 +25,12 @@ fn main() {
     if sizes.is_empty() {
         sizes = vec![100, 1_000, 10_000];
     }
-    let result = e11_broker_scale(&sizes);
+    // The library is clock-free; the binary owns the wall clock.
+    let result = e11_broker_scale(&sizes, |run| {
+        let start = std::time::Instant::now();
+        run();
+        start.elapsed().as_secs_f64()
+    });
     eprintln!("{}", result.report());
 
     let rows: Vec<Json> = result

@@ -89,7 +89,6 @@ pub fn e5_fog_availability(seed: u64) -> E5Result {
             platform
                 .register_device(SimTime::ZERO, "probe-1", DeviceKind::SoilProbe, "owner:e5")
                 .expect("fresh platform has no registered devices");
-            let mut published = 0u64;
             for h in 0..hours {
                 let t = SimTime::from_hours(h);
                 platform.set_internet(!schedule.is_down(t));
@@ -98,7 +97,6 @@ pub fn e5_fog_availability(seed: u64) -> E5Result {
                 e.set("moisture_vwc", 0.2 + (h as f64 * 0.001));
                 e.set("seq", h as f64);
                 let _ = platform.device_publish(t, "probe-1", &e);
-                published += 1;
                 platform.pump(t + SimDuration::from_mins(30));
                 tracker.record(platform.service_point());
             }
@@ -115,7 +113,6 @@ pub fn e5_fog_availability(seed: u64) -> E5Result {
                 // Against what actually ingested (LPWAN loses some frames).
                 let ingested = platform.metrics().counter("ingest.accepted") as f64;
                 replicated = if ingested > 0.0 { got / ingested } else { 1.0 };
-                let _ = published;
             }
         }
         rows.push((
@@ -328,12 +325,18 @@ pub fn e7_auth(_seed: u64) -> E7Result {
     ));
 
     let now = SimTime::ZERO;
-    let (maria, _) = idm.password_grant(now, "maria", "pw").unwrap();
-    let (carlos, _) = idm.password_grant(now, "carlos", "pw").unwrap();
-    let (ana, _) = idm.password_grant(now, "ana", "pw").unwrap();
+    let (maria, _) = idm
+        .password_grant(now, "maria", "pw")
+        .expect("maria was registered above");
+    let (carlos, _) = idm
+        .password_grant(now, "carlos", "pw")
+        .expect("carlos was registered above");
+    let (ana, _) = idm
+        .password_grant(now, "ana", "pw")
+        .expect("ana was registered above");
     let sched = idm
         .client_credentials_grant(now, "scheduler", "secret", &["actuator:command"])
-        .unwrap();
+        .expect("scheduler client was registered above");
 
     let guaspari_probe = Resource::new("urn:swamp:guaspari:probe:1", "owner:guaspari");
     let matopiba_pivot = Resource::new("urn:swamp:matopiba:pivot:1", "owner:matopiba");
@@ -536,7 +539,7 @@ pub fn e9_ledger(seed: u64) -> E9Result {
             total_events += events.len();
             ledger
                 .append("consortium", SimTime::from_hours(batch as u64), events)
-                .unwrap();
+                .expect("consortium authority was registered above");
         }
         let ok = ledger.verify().is_ok();
         let audited = ledger.device_history("dev-0").len();
@@ -710,7 +713,20 @@ impl E11BrokerScaleResult {
 /// replication pump and notification drain. Radio/crypto are bypassed
 /// (`Platform::ingest_entities`) so the number isolates the storage and
 /// fan-out layers this PR optimizes, and 10k-device fleets stay feasible.
-pub fn e11_broker_scale(device_counts: &[usize]) -> E11BrokerScaleResult {
+///
+/// The caller supplies the clock: `time_round` receives one round's body
+/// and returns the wall-clock seconds it took, and must run the body
+/// exactly once. This keeps the library free of ambient time sources —
+/// only the `bench_e11` binary (and the unit test) touch
+/// `std::time::Instant`.
+///
+/// # Panics
+/// Panics if the fleet subscriber registered at the start of a cell
+/// disappears mid-run — impossible unless the broker drops subscriptions.
+pub fn e11_broker_scale(
+    device_counts: &[usize],
+    mut time_round: impl FnMut(&mut dyn FnMut()) -> f64,
+) -> E11BrokerScaleResult {
     use swamp_core::broker::SubscriptionFilter;
     let mut rows = Vec::new();
     for (config, deployment) in [
@@ -735,7 +751,7 @@ pub fn e11_broker_scale(device_counts: &[usize]) -> E11BrokerScaleResult {
             let rounds = (100_000 / devices).clamp(5, 1000);
             let mut drained = Vec::new();
             let mut updates = 0u64;
-            let mut elapsed = std::time::Duration::ZERO;
+            let mut secs = 0.0f64;
             for round in 0..rounds {
                 let t = SimTime::from_secs(round as u64 * 60);
                 let batch: Vec<Entity> = (0..devices)
@@ -746,17 +762,19 @@ pub fn e11_broker_scale(device_counts: &[usize]) -> E11BrokerScaleResult {
                         e
                     })
                     .collect();
-                let start = std::time::Instant::now();
-                updates += platform.ingest_entities(t, batch) as u64;
-                platform.pump(t);
-                platform
-                    .context
-                    .drain_notifications_into(sub, &mut drained)
-                    .expect("fleet subscriber stays registered");
-                elapsed += start.elapsed();
+                let mut batch = Some(batch);
+                secs += time_round(&mut || {
+                    if let Some(b) = batch.take() {
+                        updates += platform.ingest_entities(t, b) as u64;
+                    }
+                    platform.pump(t);
+                    platform
+                        .context
+                        .drain_notifications_into(sub, &mut drained)
+                        .expect("fleet subscriber stays registered");
+                });
                 drained.clear();
             }
-            let secs = elapsed.as_secs_f64();
             rows.push(BrokerScaleRow {
                 deployment,
                 devices,
@@ -870,7 +888,11 @@ mod tests {
     fn e11_broker_scale_covers_both_deployments() {
         // Tiny fleets keep the test fast; the bench_e11 binary runs the
         // real 100/1k/10k sweep.
-        let r = e11_broker_scale(&[3, 7]);
+        let r = e11_broker_scale(&[3, 7], |run| {
+            let start = std::time::Instant::now();
+            run();
+            start.elapsed().as_secs_f64()
+        });
         assert_eq!(r.rows.len(), 4, "2 deployments x 2 fleet sizes");
         for row in &r.rows {
             let rounds = (100_000 / row.devices).clamp(5, 1000) as u64;

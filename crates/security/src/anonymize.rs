@@ -119,50 +119,52 @@ pub fn k_anonymize(
     let yield_span = (yield_max - yield_min).max(1e-9);
 
     // Try bucket counts from fine to coarse; the first grid where every
-    // occupied cell has ≥ k members wins.
-    for buckets in (1..=records.len()).rev() {
-        let cell = |r: &YieldRecord| {
-            let a =
-                (((r.area_ha - area_min) / area_span * buckets as f64) as usize).min(buckets - 1);
-            let y = (((r.yield_t_ha - yield_min) / yield_span * buckets as f64) as usize)
-                .min(buckets - 1);
-            (a, y)
-        };
+    // occupied cell has ≥ k members wins. A 1×1 grid always qualifies
+    // (all ≥ k records land in one class), so the search cannot fail.
+    let cell = |r: &YieldRecord, buckets: usize| {
+        let a = (((r.area_ha - area_min) / area_span * buckets as f64) as usize).min(buckets - 1);
+        let y =
+            (((r.yield_t_ha - yield_min) / yield_span * buckets as f64) as usize).min(buckets - 1);
+        (a, y)
+    };
+    let min_class_for = |buckets: usize| {
         let mut counts = std::collections::BTreeMap::new();
         for r in records {
-            *counts.entry(cell(r)).or_insert(0usize) += 1;
+            *counts.entry(cell(r, buckets)).or_insert(0usize) += 1;
         }
-        let min_class = counts.values().copied().min().unwrap_or(0);
-        if min_class >= k {
-            let area_w = area_span / buckets as f64;
-            let yield_w = yield_span / buckets as f64;
-            let out = records
-                .iter()
-                .map(|r| {
-                    let (a, y) = cell(r);
-                    AnonymizedRecord {
-                        pseudonym: pseudo.pseudonym(&r.farm_id),
-                        area_range: (
-                            area_min + a as f64 * area_w,
-                            area_min + (a + 1) as f64 * area_w,
-                        ),
-                        yield_range: (
-                            yield_min + y as f64 * yield_w,
-                            yield_min + (y + 1) as f64 * yield_w,
-                        ),
-                    }
-                })
-                .collect();
-            let information_loss = ((area_w / area_span) + (yield_w / yield_span)) / 2.0;
-            return Ok(AnonymizationReport {
-                records: out,
-                min_class_size: min_class,
-                reidentification_risk: 1.0 / min_class as f64,
-                information_loss,
-            });
-        }
-    }
-    unreachable!("a 1x1 grid always puts all >= k records in one class")
+        counts.values().copied().min().unwrap_or(0)
+    };
+    let buckets = (1..=records.len())
+        .rev()
+        .find(|&b| min_class_for(b) >= k)
+        .unwrap_or(1);
+    let min_class = min_class_for(buckets);
+    let area_w = area_span / buckets as f64;
+    let yield_w = yield_span / buckets as f64;
+    let out = records
+        .iter()
+        .map(|r| {
+            let (a, y) = cell(r, buckets);
+            AnonymizedRecord {
+                pseudonym: pseudo.pseudonym(&r.farm_id),
+                area_range: (
+                    area_min + a as f64 * area_w,
+                    area_min + (a + 1) as f64 * area_w,
+                ),
+                yield_range: (
+                    yield_min + y as f64 * yield_w,
+                    yield_min + (y + 1) as f64 * yield_w,
+                ),
+            }
+        })
+        .collect();
+    let information_loss = ((area_w / area_span) + (yield_w / yield_span)) / 2.0;
+    Ok(AnonymizationReport {
+        records: out,
+        min_class_size: min_class,
+        reidentification_risk: 1.0 / min_class as f64,
+        information_loss,
+    })
 }
 
 /// Errors from [`k_anonymize`].

@@ -84,7 +84,9 @@ impl MarkovBaseline {
         for w in sequence.windows(2) {
             push(&w[0], &w[1]);
         }
-        push(sequence.last().expect("non-empty"), Self::END);
+        if let Some(last) = sequence.last() {
+            push(last, Self::END);
+        }
     }
 
     /// Transitions observed during training.
@@ -118,7 +120,9 @@ impl MarkovBaseline {
         for w in window.windows(2) {
             sum += self.transition_log_prob(&w[0], &w[1]);
         }
-        sum += self.transition_log_prob(window.last().expect("non-empty"), Self::END);
+        if let Some(last) = window.last() {
+            sum += self.transition_log_prob(last, Self::END);
+        }
         sum / (window.len() + 1) as f64
     }
 }

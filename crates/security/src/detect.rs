@@ -242,15 +242,13 @@ impl RateGuard {
             .or_insert_with(|| (now, 0, Ewma::new(0.3)));
         let (window_start, count, baseline) = entry;
         if now.saturating_duration_since(*window_start) >= self.window {
-            // Close the window into the baselines and start a new one.
+            // Close the window into the baselines and start a new one;
+            // this observation opens the new window.
             let closed = *count as f64;
             baseline.push(closed);
             *window_start = now;
-            *count = 0;
+            *count = 1;
             self.fleet.push(closed);
-            // Re-borrow after the fleet update.
-            let entry = self.history.get_mut(source).expect("just inserted");
-            entry.1 += 1;
             return self.check(source, now);
         }
         *count += 1;
@@ -356,7 +354,7 @@ pub fn spatial_outliers(values: &[(usize, f64)], threshold: f64) -> Vec<usize> {
         return Vec::new(); // no robust consensus possible
     }
     let mut sorted: Vec<f64> = values.iter().map(|(_, v)| *v).collect();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sensor values"));
+    sorted.sort_by(f64::total_cmp);
     let median = sorted[sorted.len() / 2];
     values
         .iter()

@@ -247,6 +247,10 @@ impl Ledger {
     ///
     /// # Errors
     /// [`LedgerError::UnknownAuthority`] if the authority is unregistered.
+    ///
+    /// # Panics
+    /// Never in practice: the genesis block is created in [`Ledger::default`]
+    /// and blocks are never removed, so the chain tail is always present.
     pub fn append(
         &mut self,
         authority: &str,

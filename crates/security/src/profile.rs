@@ -105,19 +105,18 @@ impl CropProfiler {
                     return Some(v);
                 }
                 // Nearest observed neighbors left and right.
-                let left = (0..z).rev().find(|&i| direct[i].is_some());
-                let right = (z + 1..self.zones).find(|&i| direct[i].is_some());
+                // Carry the observed values with the indices so nothing
+                // needs a second (panicking) lookup.
+                let left = (0..z).rev().find_map(|i| direct[i].map(|v| (i, v)));
+                let right = (z + 1..self.zones).find_map(|i| direct[i].map(|v| (i, v)));
                 match (left, right) {
-                    (Some(l), Some(r)) => {
+                    (Some((l, vl)), Some((r, vr))) => {
                         let dl = (z - l) as f64;
                         let dr = (r - z) as f64;
-                        let vl = direct[l].expect("found above");
-                        let vr = direct[r].expect("found above");
                         // Inverse-distance weighting.
                         Some((vl / dl + vr / dr) / (1.0 / dl + 1.0 / dr))
                     }
-                    (Some(l), None) => direct[l],
-                    (None, Some(r)) => direct[r],
+                    (Some((_, v)), None) | (None, Some((_, v))) => Some(v),
                     (None, None) => None,
                 }
             })
