@@ -38,6 +38,13 @@ cargo build --release
 echo "== tier-1: cargo test -q"
 cargo test -q
 
+# Observability must stay effectively free on the ingest+pump hot path:
+# bench_obs times the same workload with instrumentation live vs muted
+# (best-of-3 interleaved) and --check fails the build if the aggregate
+# overhead exceeds 5%. Uses the release binaries built above.
+echo "== bench-guard: obs overhead <= 5% (bench_obs --check)"
+cargo run --release -q -p swamp-pilots --bin bench_obs -- --check 100 1000 > /dev/null
+
 echo "== cargo test --workspace -q"
 cargo test --workspace -q
 

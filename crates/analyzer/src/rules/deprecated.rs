@@ -1,14 +1,26 @@
-//! Rule `deprecated-api`: the PR-2 compatibility shims `Platform::new` and
-//! `FogSync::new` exist so external users get a deprecation window, but
-//! *internal* code must use the builders — otherwise the shims' frozen
-//! defaults fossilize inside the workspace and can never be retired.
+//! Rule `deprecated-api`: compatibility shims exist so external users get
+//! a deprecation window, but *internal* code must use the replacements —
+//! otherwise the shims' frozen defaults fossilize inside the workspace and
+//! can never be retired.
 //!
-//! Flagged everywhere (lib, bin, tests, benches, examples) except inside
-//! the `#[cfg(test)]` modules of the files that define them, which keep one
-//! exercising test each so the shims stay compiled and behaviorally pinned
-//! until removal.
+//! Two shapes of shim are policed:
+//!
+//! - **Constructors** (`Platform::new`, `FogSync::new`, from PR 2): flagged
+//!   everywhere except inside the `#[cfg(test)]` modules of the files that
+//!   define them, which keep one exercising test each so the shims stay
+//!   compiled and behaviorally pinned until removal.
+//! - **String-keyed `Metrics` mutators** (`.incr(…)`, `.incr_by(…)`,
+//!   `metrics.observe(…)`, from PR 4): the old registry hashes a string
+//!   key per event and silently mints counters on typos. New
+//!   instrumentation must register typed handles on `swamp_obs::Obs` and
+//!   record through them. `Metrics` itself stays as a read-compat view.
+//!   Mutator calls are flagged in non-test code everywhere except the
+//!   defining file `crates/sim/src/metrics.rs`; test code keeps the shims
+//!   pinned. `.observe(…)` / `.set_gauge(…)` are only flagged on a
+//!   receiver literally named `metrics`, since `observe` is also the name
+//!   of the *new* snapshot API (`platform.observe()`).
 
-use crate::lexer::is_path2;
+use crate::lexer::{is_ident, is_path2, is_punct};
 use crate::source::SourceFile;
 
 use super::Finding;
@@ -31,6 +43,14 @@ const DEPRECATED: &[(&str, &str, &str, &str)] = &[
     ),
 ];
 
+/// The string-keyed `Metrics` registry and its defining file. Methods in
+/// [`ANY_RECEIVER_MUTATORS`] are unambiguous (no other workspace type has
+/// them); methods in [`METRICS_RECEIVER_MUTATORS`] collide with the new
+/// obs API names and are only flagged on a receiver named `metrics`.
+const METRICS_DEFINING_FILE: &str = "crates/sim/src/metrics.rs";
+const ANY_RECEIVER_MUTATORS: &[&str] = &["incr", "incr_by"];
+const METRICS_RECEIVER_MUTATORS: &[&str] = &["observe", "set_gauge"];
+
 pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
     let tokens = &file.tokens;
     for i in 0..tokens.len() {
@@ -48,6 +68,40 @@ pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
                 file,
                 line,
                 format!("internal caller of deprecated `{ty}::{method}`: use `{replacement}`"),
+            ));
+        }
+    }
+    // `Metrics` mutator calls: `<recv> . <method> (`. The defining file
+    // keeps its impl and pinning tests; test code elsewhere may exercise
+    // the shims too (deprecation attrs still warn there at compile time).
+    if file.rel_path == METRICS_DEFINING_FILE {
+        return;
+    }
+    for i in 0..tokens.len() {
+        if !is_punct(tokens, i, '.') || !is_punct(tokens, i + 2, '(') {
+            continue;
+        }
+        let line = tokens[i].line;
+        if file.is_test_line(line) {
+            continue;
+        }
+        let any = ANY_RECEIVER_MUTATORS
+            .iter()
+            .any(|m| is_ident(tokens, i + 1, m));
+        let named = METRICS_RECEIVER_MUTATORS
+            .iter()
+            .any(|m| is_ident(tokens, i + 1, m))
+            && i > 0
+            && is_ident(tokens, i - 1, "metrics");
+        if any || named {
+            out.push(Finding::at(
+                NAME,
+                file,
+                line,
+                "string-keyed `Metrics` mutator: register a typed handle on \
+                 `swamp_obs::Obs` and record through it; `Metrics` is a \
+                 read-compat view only"
+                    .to_owned(),
             ));
         }
     }

@@ -26,18 +26,23 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
     ("swamp-crypto", &[]),
     ("swamp-analyzer", &[]),
     ("criterion", &[]),
-    ("swamp-net", &["swamp-sim"]),
+    ("swamp-obs", &["swamp-sim"]),
+    ("swamp-net", &["swamp-sim", "swamp-obs"]),
     ("swamp-agro", &["swamp-sim"]),
     ("swamp-sensors", &["swamp-sim", "swamp-codec", "swamp-agro"]),
     (
         "swamp-irrigation",
         &["swamp-sim", "swamp-agro", "swamp-sensors"],
     ),
-    ("swamp-fog", &["swamp-sim", "swamp-net", "swamp-codec"]),
+    (
+        "swamp-fog",
+        &["swamp-sim", "swamp-obs", "swamp-net", "swamp-codec"],
+    ),
     (
         "swamp-security",
         &[
             "swamp-sim",
+            "swamp-obs",
             "swamp-codec",
             "swamp-crypto",
             "swamp-net",
@@ -49,6 +54,7 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
         "swamp-core",
         &[
             "swamp-sim",
+            "swamp-obs",
             "swamp-codec",
             "swamp-crypto",
             "swamp-net",
@@ -62,6 +68,7 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
         "swamp-pilots",
         &[
             "swamp-sim",
+            "swamp-obs",
             "swamp-codec",
             "swamp-crypto",
             "swamp-net",
@@ -77,6 +84,7 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
         "swamp-bench",
         &[
             "swamp-sim",
+            "swamp-obs",
             "swamp-codec",
             "swamp-crypto",
             "swamp-net",
@@ -94,6 +102,7 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
         "swamp",
         &[
             "swamp-sim",
+            "swamp-obs",
             "swamp-codec",
             "swamp-crypto",
             "swamp-net",

@@ -284,6 +284,58 @@ fn deprecated_api_ignores_other_types_new() {
     assert!(lib(good).is_empty(), "{:?}", lib(good));
 }
 
+#[test]
+fn deprecated_api_flags_metrics_mutators_in_lib_code() {
+    for bad in [
+        "pub fn f(m: &mut Metrics) { m.incr(\"x\"); }",
+        "pub fn f(m: &mut Metrics) { m.incr_by(\"x\", 3); }",
+        "pub fn f(metrics: &mut Metrics) { metrics.observe(\"lat\", 1.0); }",
+        "pub fn f(metrics: &mut Metrics) { metrics.set_gauge(\"depth\", 2.0); }",
+    ] {
+        let f = lib(bad);
+        assert!(
+            f.iter()
+                .any(|f| f.rule == "deprecated-api" && f.message.contains("typed handle")),
+            "expected a finding for {bad:?}: {f:?}"
+        );
+    }
+}
+
+#[test]
+fn deprecated_api_metrics_mutators_spare_tests_views_and_the_new_obs_api() {
+    // Test code keeps the shims behaviorally pinned (rustc's deprecation
+    // warnings still fire there).
+    let f = analyze_str(
+        "crates/x/src/lib.rs",
+        "swamp-x",
+        TargetKind::Lib,
+        r#"
+        #[cfg(test)]
+        mod tests {
+            #[test]
+            fn shim() { let mut m = Metrics::new(); m.incr("x"); }
+        }
+        "#,
+    );
+    assert!(f.iter().all(|f| f.rule != "deprecated-api"), "{f:?}");
+    // `observe` on any other receiver is the *new* snapshot API.
+    for good in [
+        "pub fn f(p: &Platform) -> ObsSnapshot { p.observe() }",
+        "pub fn f(m: &mut Metrics) { m.set_counter(\"x\", 4); }",
+        "pub fn f(b: &mut DetectorBank, t: SimTime) { b.observe_value(t, \"d\", \"q\", 1.0); }",
+    ] {
+        assert!(lib(good).is_empty(), "{good:?}: {:?}", lib(good));
+    }
+    // The defining file keeps its impl (`self.incr_by(name, 1)`).
+    let f = analyze_str(
+        "crates/sim/src/metrics.rs",
+        "swamp-sim",
+        TargetKind::Lib,
+        "impl Metrics { pub fn incr(&mut self, name: &str) { self.incr_by(name, 1); } }",
+    );
+    assert!(f.iter().all(|f| f.rule != "deprecated-api"), "{f:?}");
+}
+
 // ------------------------------------------------------------------ allowlist
 
 #[test]

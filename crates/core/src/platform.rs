@@ -37,6 +37,7 @@ use swamp_net::fault::FaultPlan;
 use swamp_net::link::LinkSpec;
 use swamp_net::message::{Delivery, Message, NodeId};
 use swamp_net::network::Network;
+use swamp_obs::{Counter, Level, Obs, ObsSnapshot, Span};
 use swamp_security::access::{Action, Decision, Pdp, Resource};
 use swamp_security::detect::{RangeValidator, SeqEvent, SeqMonitor};
 use swamp_security::identity::{AuthError, IdentityProvider, Token};
@@ -151,7 +152,50 @@ pub struct Platform {
     relay_sync: Option<FogSync>,
     /// CloudOnly: cloud-side receiver/deduplicator for relayed frames.
     relay_store: Option<CloudStore>,
-    metrics: Metrics,
+    obs: Obs,
+    ins: PlatformInstruments,
+}
+
+/// Typed handles for the platform's own instruments (`ingest.*`,
+/// `relay.*`, `platform.*` spans); the network, uplink engine, cloud store
+/// and detector bank each own their instruments, merged on demand by
+/// [`Platform::observe`].
+struct PlatformInstruments {
+    accepted: Counter,
+    rejected_unregistered: Counter,
+    rejected_auth: Counter,
+    rejected_malformed: Counter,
+    rejected_replay: Counter,
+    quarantined: Counter,
+    quarantine_failed: Counter,
+    replication_refused: Counter,
+    sync_malformed_ack: Counter,
+    relay_malformed_ack: Counter,
+    relay_refused: Counter,
+    relay_duplicates_discarded: Counter,
+    pump_span: Span,
+    ingest_span: Span,
+}
+
+impl PlatformInstruments {
+    fn register(obs: &mut Obs) -> PlatformInstruments {
+        PlatformInstruments {
+            accepted: obs.counter("ingest.accepted"),
+            rejected_unregistered: obs.counter("ingest.rejected_unregistered"),
+            rejected_auth: obs.counter("ingest.rejected_auth"),
+            rejected_malformed: obs.counter("ingest.rejected_malformed"),
+            rejected_replay: obs.counter("ingest.rejected_replay"),
+            quarantined: obs.counter("ingest.quarantined"),
+            quarantine_failed: obs.counter("ingest.quarantine_failed"),
+            replication_refused: obs.counter("ingest.replication_refused"),
+            sync_malformed_ack: obs.counter("sync.malformed_ack"),
+            relay_malformed_ack: obs.counter("relay.malformed_ack"),
+            relay_refused: obs.counter("relay.refused"),
+            relay_duplicates_discarded: obs.counter("relay.duplicates_discarded"),
+            pump_span: obs.span("platform.pump"),
+            ingest_span: obs.span("platform.ingest"),
+        }
+    }
 }
 
 /// Node names used by the platform topology.
@@ -362,6 +406,8 @@ impl PlatformBuilder {
         detectors.configure_quantity("battery_fraction", RangeValidator::new(0.0, 1.0));
         detectors.configure_quantity("rh_mean_pct", RangeValidator::new(0.0, 100.0));
 
+        let mut obs = Obs::new();
+        let ins = PlatformInstruments::register(&mut obs);
         Platform {
             config,
             net,
@@ -380,7 +426,8 @@ impl PlatformBuilder {
             cloud_store,
             relay_sync,
             relay_store,
-            metrics: Metrics::new(),
+            obs,
+            ins,
         }
     }
 }
@@ -426,9 +473,55 @@ impl Platform {
         }
     }
 
-    /// Ingest/platform metrics.
-    pub fn metrics(&self) -> &Metrics {
-        &self.metrics
+    /// One merged, typed snapshot of every subsystem's instruments: the
+    /// platform's own `ingest.*`/`relay.*` counters and `platform.*` spans,
+    /// the network's `net.*` instruments, the uplink engine's `sync.*`
+    /// instruments, the cloud store's `cloud.*` counters and the detector
+    /// bank's `security.*` instruments. Counters with the same name add,
+    /// gauges take the later value, summaries merge, events interleave by
+    /// `(tick, seq)` — with each deployment owning exactly one engine and
+    /// one store, merged names never collide in practice.
+    pub fn observe(&self) -> ObsSnapshot {
+        let mut snap = self.obs.snapshot();
+        snap.merge(&self.net.observe());
+        if let Some(engine) = self.uplink_engine() {
+            snap.merge(&engine.observe());
+        }
+        if let Some(store) = self.cloud_store.as_ref().or(self.relay_store.as_ref()) {
+            snap.merge(&store.observe());
+        }
+        snap.merge(&self.detectors.observe());
+        snap
+    }
+
+    /// Enables or disables instrumentation across every subsystem (the
+    /// uninstrumented baseline for overhead benchmarks).
+    pub fn set_obs_enabled(&mut self, enabled: bool) {
+        self.obs.set_enabled(enabled);
+        self.net.set_obs_enabled(enabled);
+        if let Some(s) = &mut self.fog_sync {
+            s.set_obs_enabled(enabled);
+        }
+        if let Some(s) = &mut self.relay_sync {
+            s.set_obs_enabled(enabled);
+        }
+        if let Some(s) = &mut self.cloud_store {
+            s.set_obs_enabled(enabled);
+        }
+        if let Some(s) = &mut self.relay_store {
+            s.set_obs_enabled(enabled);
+        }
+        self.detectors.set_obs_enabled(enabled);
+    }
+
+    /// Ingest/platform metrics, as a legacy string-keyed view over
+    /// [`Platform::observe`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "read through Platform::observe(); this materializes a Metrics copy per call"
+    )]
+    pub fn metrics(&self) -> Metrics {
+        self.observe().to_metrics()
     }
 
     /// The cloud replica store, if this is a fog deployment. (The CloudOnly
@@ -454,6 +547,11 @@ impl Platform {
 
     /// Health snapshot of the uplink retry engine, in either
     /// configuration.
+    #[deprecated(
+        since = "0.1.0",
+        note = "read sync.* counters and the sync.pending/in_flight/mode gauges through \
+                Platform::observe(); Platform::degraded_mode() still exposes the mode enum"
+    )]
     pub fn sync_health(&self) -> Option<SyncHealth> {
         self.uplink_engine().map(|s| SyncHealth {
             mode: s.mode(),
@@ -558,6 +656,13 @@ impl Platform {
     /// fog→cloud replication. Returns the number of entity updates
     /// ingested this round.
     pub fn pump(&mut self, now: SimTime) -> usize {
+        let token = self.obs.enter(self.ins.pump_span);
+        let ingested = self.pump_inner(now);
+        self.obs.exit(token);
+        ingested
+    }
+
+    fn pump_inner(&mut self, now: SimTime) -> usize {
         self.net.advance_to(now);
 
         // CloudOnly: the gateway store-and-forwards farm traffic to the
@@ -568,14 +673,14 @@ impl Platform {
             for d in self.net.drain(&gw) {
                 if d.message.topic == ACK_TOPIC {
                     if relay.process_ack(now, &d.message.payload).is_err() {
-                        self.metrics.incr("relay.malformed_ack");
+                        self.obs.inc(self.ins.relay_malformed_ack);
                     }
                 } else if d.message.topic != SYNC_TOPIC
                     && relay
                         .enqueue(now, &d.message.topic, d.message.payload)
                         .is_err()
                 {
-                    self.metrics.incr("relay.refused");
+                    self.obs.inc(self.ins.relay_refused);
                 }
             }
             relay.sync_round(&mut self.net, now, 256);
@@ -604,7 +709,7 @@ impl Platform {
             } else if d.message.topic == ACK_TOPIC {
                 if let Some(sync) = &mut self.fog_sync {
                     if sync.process_ack(now, &d.message.payload).is_err() {
-                        self.metrics.incr("sync.malformed_ack");
+                        self.obs.inc(self.ins.sync_malformed_ack);
                     }
                 }
             }
@@ -617,8 +722,7 @@ impl Platform {
             store.process_deliveries(&mut self.net, now, relayed);
             let dup_delta = store.duplicates() - dup_before;
             if dup_delta > 0 {
-                self.metrics
-                    .incr_by("relay.duplicates_discarded", dup_delta);
+                self.obs.add(self.ins.relay_duplicates_discarded, dup_delta);
             }
             let frames: Vec<(String, Vec<u8>)> = store
                 .drain_ready(now)
@@ -660,13 +764,13 @@ impl Platform {
     }
 
     fn count_rejection(&mut self, e: &IngestError) {
-        let key = match e {
-            IngestError::UnregisteredDevice(_) => "ingest.rejected_unregistered",
-            IngestError::AuthenticationFailed(_) => "ingest.rejected_auth",
-            IngestError::MalformedPayload(_) => "ingest.rejected_malformed",
-            IngestError::Replay(_) => "ingest.rejected_replay",
+        let handle = match e {
+            IngestError::UnregisteredDevice(_) => self.ins.rejected_unregistered,
+            IngestError::AuthenticationFailed(_) => self.ins.rejected_auth,
+            IngestError::MalformedPayload(_) => self.ins.rejected_malformed,
+            IngestError::Replay(_) => self.ins.rejected_replay,
         };
-        self.metrics.incr(key);
+        self.obs.inc(handle);
     }
 
     /// The secure ingestion path for one sealed frame: validation followed
@@ -742,8 +846,15 @@ impl Platform {
             // disable cannot miss; if the registry ever disagrees, count it
             // rather than silently dropping the quarantine.
             match self.registry.set_enabled(device_id, false) {
-                Ok(()) => self.metrics.incr("ingest.quarantined"),
-                Err(_) => self.metrics.incr("ingest.quarantine_failed"),
+                Ok(()) => {
+                    self.obs.inc(self.ins.quarantined);
+                    self.obs.event(Level::Warn, "ingest.quarantine", device_id);
+                }
+                Err(_) => {
+                    self.obs.inc(self.ins.quarantine_failed);
+                    self.obs
+                        .event(Level::Error, "ingest.quarantine_failed", device_id);
+                }
             }
         }
         Ok(entity)
@@ -762,6 +873,7 @@ impl Platform {
         now: SimTime,
         entities: impl IntoIterator<Item = Entity>,
     ) -> usize {
+        let token = self.obs.enter(self.ins.ingest_span);
         let mut applied = 0;
         let mut batch: Vec<Entity> = Vec::new();
         for entity in entities {
@@ -771,7 +883,7 @@ impl Platform {
                     self.history.append(entity.id().as_str(), name, at, v);
                 }
             }
-            self.metrics.incr("ingest.accepted");
+            self.obs.inc(self.ins.accepted);
             applied += 1;
             batch.push(entity);
         }
@@ -789,10 +901,11 @@ impl Platform {
                 }),
             );
             if enqueued.is_err() {
-                self.metrics.incr("ingest.replication_refused");
+                self.obs.inc(self.ins.replication_refused);
             }
         }
         self.context.upsert_batch(now, batch);
+        self.obs.exit(token);
         applied
     }
 
@@ -923,7 +1036,20 @@ mod tests {
             .history
             .last("urn:swamp:device:probe-1", "moisture_vwc")
             .is_some());
-        assert!(p.metrics().counter("ingest.accepted") >= 1);
+        assert!(p.observe().counter("ingest.accepted").unwrap() >= 1);
+        // The pump and ingest spans nest: every pump entered the span, and
+        // ingest ran inside it.
+        let snap = p.observe();
+        assert!(snap.span("platform.pump").unwrap().count >= 1);
+        assert!(
+            snap.span("platform.pump")
+                .unwrap()
+                .children
+                .get("platform.ingest")
+                .copied()
+                .unwrap_or(0)
+                >= 1
+        );
     }
 
     #[test]
@@ -953,7 +1079,10 @@ mod tests {
         p.device_publish(SimTime::ZERO, "rogue-9", &fake).unwrap();
         let ingested = p.pump(SimTime::from_secs(5));
         assert_eq!(ingested, 0);
-        assert_eq!(p.metrics().counter("ingest.rejected_unregistered"), 1);
+        assert_eq!(
+            p.observe().counter("ingest.rejected_unregistered").unwrap(),
+            1
+        );
         assert!(p
             .context
             .entity(&"urn:swamp:device:rogue-9".into())
@@ -1047,9 +1176,16 @@ mod tests {
         // The ack made it back to the fog engine (regression: acks used to
         // be discarded by the pump's telemetry filter, so every record
         // retransmitted forever).
+        let snap = p.observe();
+        assert_eq!(snap.gauge("sync.pending").unwrap(), Some(0.0));
+        assert!(snap.counter("sync.acked").unwrap() >= 1);
+
+        // The deprecated SyncHealth shim stays consistent with the typed
+        // snapshot.
+        #[allow(deprecated)]
         let health = p.sync_health().unwrap();
         assert_eq!(health.pending, 0);
-        assert!(health.stats.acked >= 1);
+        assert_eq!(health.stats.acked, snap.counter("sync.acked").unwrap());
     }
 
     #[test]
@@ -1059,8 +1195,9 @@ mod tests {
             .build();
         assert!(p.cloud_context().is_none());
         assert!(p.cloud_replica().is_none());
-        // It still has an uplink engine (the gateway relay).
-        assert!(p.sync_health().is_some());
+        // It still has an uplink engine (the gateway relay): its sync.*
+        // instruments show up in the merged snapshot.
+        assert!(p.observe().counter("sync.enqueued").is_ok());
     }
 
     #[test]
@@ -1102,9 +1239,17 @@ mod tests {
             ingested += p.pump(SimTime::from_secs(i * 30 + 15));
         }
         assert!(ingested > 0, "relay must deliver through 50% uplink loss");
-        let health = p.sync_health().unwrap();
-        assert!(health.stats.transmissions >= health.stats.acked);
-        assert!(health.stats.acked >= 1);
+        let snap = p.observe();
+        assert!(snap.counter("sync.transmissions").unwrap() >= snap.counter("sync.acked").unwrap());
+        assert!(snap.counter("sync.acked").unwrap() >= 1);
+        // The engine's backoff timing is captured per retry.
+        assert!(
+            snap.summary("sync.retry_interval_ms")
+                .unwrap()
+                .stats
+                .count()
+                >= snap.counter("sync.transmissions").unwrap()
+        );
     }
 
     #[test]
@@ -1167,7 +1312,7 @@ mod tests {
             p.pump(SimTime::from_secs(i * 60));
         }
         assert_eq!(p.cloud_replica().unwrap().record_count(), 0);
-        assert!(p.net.metrics().counter("net.fault.partitioned") > 0);
+        assert!(p.net.observe().counter("net.fault.partitioned").unwrap() > 0);
         // After the window the retry engine recovers on its own.
         for i in 0..8 {
             p.pump(SimTime::from_secs(520 + i * 60));
@@ -1222,14 +1367,14 @@ mod tests {
             )
         );
         assert_eq!(
-            batch_p.metrics().counter("ingest.accepted"),
-            loop_p.metrics().counter("ingest.accepted")
+            batch_p.observe().counter("ingest.accepted").unwrap(),
+            loop_p.observe().counter("ingest.accepted").unwrap()
         );
     }
 
     #[test]
+    #[allow(deprecated)]
     fn deprecated_constructor_still_builds() {
-        #[allow(deprecated)]
         let p = Platform::new(42, DeploymentConfig::FarmFog);
         assert_eq!(p.config(), DeploymentConfig::FarmFog);
         assert!(p.sync_health().is_some());

@@ -42,6 +42,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use swamp_net::message::{Delivery, Message, NodeId};
 use swamp_net::network::{Network, SendError};
+use swamp_obs::{Counter, Gauge, Hist, Level, Obs, ObsSnapshot, Span};
 use swamp_sim::{SimDuration, SimRng, SimTime};
 
 /// Topic used for fog→cloud data records.
@@ -175,6 +176,10 @@ pub enum DropPolicy {
 }
 
 /// Counters for a sync endpoint.
+///
+/// Since the observability redesign this is a *view* materialized by
+/// [`FogSync::stats`] from the engine's typed `swamp-obs` handles, not the
+/// backing store itself.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SyncStats {
     /// Updates accepted into the buffer.
@@ -191,6 +196,43 @@ pub struct SyncStats {
     pub duplicate_acks: u64,
     /// Retry timers that expired awaiting an ack.
     pub timeouts: u64,
+}
+
+/// Typed handles for the fog engine's instruments (`sync.*`), registered
+/// once at build time so every hot-path update is an indexed add.
+#[derive(Clone, Debug)]
+struct SyncInstruments {
+    enqueued: Counter,
+    dropped: Counter,
+    transmissions: Counter,
+    retransmissions: Counter,
+    acked: Counter,
+    duplicate_acks: Counter,
+    timeouts: Counter,
+    pending: Gauge,
+    in_flight: Gauge,
+    mode: Gauge,
+    retry_interval_ms: Hist,
+    round_span: Span,
+}
+
+impl SyncInstruments {
+    fn register(obs: &mut Obs) -> SyncInstruments {
+        SyncInstruments {
+            enqueued: obs.counter("sync.enqueued"),
+            dropped: obs.counter("sync.dropped"),
+            transmissions: obs.counter("sync.transmissions"),
+            retransmissions: obs.counter("sync.retransmissions"),
+            acked: obs.counter("sync.acked"),
+            duplicate_acks: obs.counter("sync.duplicate_acks"),
+            timeouts: obs.counter("sync.timeouts"),
+            pending: obs.gauge("sync.pending"),
+            in_flight: obs.gauge("sync.in_flight"),
+            mode: obs.gauge("sync.mode"),
+            retry_interval_ms: obs.hist("sync.retry_interval_ms", 0.0, 600_000.0, 64),
+            round_span: obs.span("sync.round"),
+        }
+    }
 }
 
 /// Per-record transmission state while awaiting an ack.
@@ -327,6 +369,8 @@ impl FogSyncBuilder {
     /// Builds the engine. Infallible: invalid parameters were clamped by
     /// their setters.
     pub fn build(self) -> FogSync {
+        let mut obs = Obs::new();
+        let ins = SyncInstruments::register(&mut obs);
         FogSync {
             node: self.node,
             cloud: self.cloud,
@@ -347,7 +391,8 @@ impl FogSyncBuilder {
             strikes: 0,
             mode: DegradedMode::Connected,
             mode_since: SimTime::ZERO,
-            stats: SyncStats::default(),
+            obs,
+            ins,
         }
     }
 }
@@ -387,7 +432,8 @@ pub struct FogSync {
     strikes: u32,
     mode: DegradedMode,
     mode_since: SimTime,
-    stats: SyncStats,
+    obs: Obs,
+    ins: SyncInstruments,
 }
 
 impl FogSync {
@@ -430,9 +476,30 @@ impl FogSync {
         self.in_flight.len()
     }
 
-    /// Counters.
+    /// Counters, materialized from the engine's typed `swamp-obs` handles.
     pub fn stats(&self) -> SyncStats {
-        self.stats
+        SyncStats {
+            enqueued: self.obs.value(self.ins.enqueued),
+            dropped: self.obs.value(self.ins.dropped),
+            transmissions: self.obs.value(self.ins.transmissions),
+            retransmissions: self.obs.value(self.ins.retransmissions),
+            acked: self.obs.value(self.ins.acked),
+            duplicate_acks: self.obs.value(self.ins.duplicate_acks),
+            timeouts: self.obs.value(self.ins.timeouts),
+        }
+    }
+
+    /// Typed snapshot of the engine's instruments: the `sync.*` counters,
+    /// the `sync.pending` / `sync.in_flight` / `sync.mode` gauges, the
+    /// `sync.retry_interval_ms` backoff histogram, the `sync.round` span
+    /// and the `sync.mode` degradation-transition events.
+    pub fn observe(&self) -> ObsSnapshot {
+        self.obs.snapshot()
+    }
+
+    /// Enables or disables instrumentation (for uninstrumented baselines).
+    pub fn set_obs_enabled(&mut self, enabled: bool) {
+        self.obs.set_enabled(enabled);
     }
 
     /// Current uplink health as judged by the retry engine.
@@ -460,11 +527,11 @@ impl FogSync {
                 DropPolicy::Oldest => {
                     if let Some(old) = self.buffer.pop_front() {
                         self.in_flight.remove(&old.seq);
-                        self.stats.dropped += 1;
+                        self.obs.inc(self.ins.dropped);
                     }
                 }
                 DropPolicy::Newest => {
-                    self.stats.dropped += 1;
+                    self.obs.inc(self.ins.dropped);
                     return Err(SyncError::BufferFull {
                         capacity: self.capacity,
                     });
@@ -479,7 +546,7 @@ impl FogSync {
             payload,
             created_at: now,
         });
-        self.stats.enqueued += 1;
+        self.obs.inc(self.ins.enqueued);
         Ok(seq)
     }
 
@@ -527,7 +594,9 @@ impl FogSync {
             let u = self.rng.uniform_f64();
             ms *= 1.0 + self.jitter * (2.0 * u - 1.0);
         }
-        SimDuration::from_millis(ms.max(1.0) as u64)
+        let ms = ms.max(1.0);
+        self.obs.record(self.ins.retry_interval_ms, ms);
+        SimDuration::from_millis(ms as u64)
     }
 
     /// Runs one sync round at `now`: transmits new records (subject to the
@@ -535,6 +604,7 @@ impl FogSync {
     /// up to `batch` transmissions. Feeds the degraded-mode state machine.
     /// Returns how many messages were handed to the network.
     pub fn sync_round(&mut self, net: &mut Network, now: SimTime, batch: usize) -> usize {
+        let token = self.obs.enter(self.ins.round_span);
         // Plan the round in one pass over the buffer: no re-scans, no
         // panics. Window accounting: retransmits occupy existing window
         // slots; only first transmissions consume new ones.
@@ -560,7 +630,7 @@ impl FogSync {
                 Some(_) => {}
             }
         }
-        self.stats.timeouts += expired;
+        self.obs.add(self.ins.timeouts, expired);
 
         let mut sent = 0;
         let mut refused = false;
@@ -568,9 +638,9 @@ impl FogSync {
             let msg = Message::new(SYNC_TOPIC, encoded);
             match net.send(now, self.node.clone(), self.cloud.clone(), msg) {
                 Ok(_) => {
-                    self.stats.transmissions += 1;
+                    self.obs.inc(self.ins.transmissions);
                     if prior_attempts > 0 {
-                        self.stats.retransmissions += 1;
+                        self.obs.inc(self.ins.retransmissions);
                     }
                     let attempts = prior_attempts + 1;
                     let next_retry = now.saturating_add(self.retry_interval(attempts));
@@ -603,6 +673,8 @@ impl FogSync {
             };
             self.set_mode(mode, now);
         }
+        self.refresh_gauges();
+        self.obs.exit(token);
         sent
     }
 
@@ -622,11 +694,11 @@ impl FogSync {
             let before = self.buffer.len();
             self.buffer.retain(|r| r.seq != seq);
             if self.buffer.len() != before {
-                self.stats.acked += 1;
+                self.obs.inc(self.ins.acked);
                 self.released.insert(seq);
                 outcome.released += 1;
             } else if self.released.contains(&seq) {
-                self.stats.duplicate_acks += 1;
+                self.obs.inc(self.ins.duplicate_acks);
                 outcome.duplicate += 1;
             } else {
                 outcome.unknown += 1;
@@ -637,6 +709,7 @@ impl FogSync {
             self.strikes = 0;
             self.set_mode(DegradedMode::Connected, now);
         }
+        self.refresh_gauges();
         Ok(outcome)
     }
 
@@ -659,9 +732,34 @@ impl FogSync {
 
     fn set_mode(&mut self, mode: DegradedMode, now: SimTime) {
         if self.mode != mode {
+            // Downgrades warn; recovery to Connected is informational.
+            let level = if mode == DegradedMode::Connected {
+                Level::Info
+            } else {
+                Level::Warn
+            };
+            self.obs.event(
+                level,
+                "sync.mode",
+                &format!("{}->{} @{}ms", self.mode, mode, now.as_millis()),
+            );
             self.mode = mode;
             self.mode_since = now;
         }
+    }
+
+    /// Refreshes the buffer-occupancy and mode gauges after a round or an
+    /// ack drain (the points where they can change).
+    fn refresh_gauges(&mut self) {
+        self.obs.set(self.ins.pending, self.buffer.len() as f64);
+        self.obs
+            .set(self.ins.in_flight, self.in_flight.len() as f64);
+        let mode = match self.mode {
+            DegradedMode::Connected => 0.0,
+            DegradedMode::Degraded => 1.0,
+            DegradedMode::Offline => 2.0,
+        };
+        self.obs.set(self.ins.mode, mode);
     }
 }
 
@@ -681,6 +779,27 @@ struct ReorderBuffer {
     held: BTreeMap<NodeId, BTreeMap<u64, (UpdateRecord, SimTime)>>,
 }
 
+/// Typed handles for the cloud store's instruments (`cloud.*`).
+#[derive(Clone, Debug)]
+struct CloudInstruments {
+    accepted: Counter,
+    duplicates: Counter,
+    /// Ack sends the network refused (e.g. during a partition window); the
+    /// fog's retry engine covers the loss, so a refusal is counted, never
+    /// an error.
+    acks_refused: Counter,
+}
+
+impl CloudInstruments {
+    fn register(obs: &mut Obs) -> CloudInstruments {
+        CloudInstruments {
+            accepted: obs.counter("cloud.accepted"),
+            duplicates: obs.counter("cloud.duplicates"),
+            acks_refused: obs.counter("cloud.acks_refused"),
+        }
+    }
+}
+
 /// Cloud-side receiving store: deduplicates per source by sequence number
 /// and sends batched acks.
 #[derive(Clone, Debug)]
@@ -692,31 +811,30 @@ pub struct CloudStore {
     history: Vec<UpdateRecord>,
     /// Accepted seqs per source node (two fogs may both start at seq 0).
     seen_seqs: BTreeMap<NodeId, BTreeSet<u64>>,
-    duplicates: u64,
-    /// Ack sends the network refused (e.g. during a partition window); the
-    /// fog's retry engine covers the loss, so a refusal is counted, never
-    /// an error.
-    acks_refused: u64,
     /// Cursor into `history`: records before it were already handed out by
     /// [`CloudStore::drain_new`] to a downstream applier.
     drained: usize,
     /// In-order release state, present when built with
     /// [`CloudStore::in_order`].
     reorder: Option<ReorderBuffer>,
+    obs: Obs,
+    ins: CloudInstruments,
 }
 
 impl CloudStore {
     /// Creates a store living at the given cloud node.
     pub fn new(node: impl Into<NodeId>) -> Self {
+        let mut obs = Obs::new();
+        let ins = CloudInstruments::register(&mut obs);
         CloudStore {
             node: node.into(),
             latest: BTreeMap::new(),
             history: Vec::new(),
             seen_seqs: BTreeMap::new(),
-            duplicates: 0,
-            acks_refused: 0,
             drained: 0,
             reorder: None,
+            obs,
+            ins,
         }
     }
 
@@ -746,13 +864,28 @@ impl CloudStore {
 
     /// Duplicate transmissions discarded.
     pub fn duplicates(&self) -> u64 {
-        self.duplicates
+        self.obs.value(self.ins.duplicates)
     }
 
     /// Ack sends refused by the network (the sender's retry engine covers
     /// the resulting retransmission).
+    #[deprecated(
+        since = "0.1.0",
+        note = "read cloud.acks_refused through CloudStore::observe()"
+    )]
     pub fn acks_refused(&self) -> u64 {
-        self.acks_refused
+        self.obs.value(self.ins.acks_refused)
+    }
+
+    /// Typed snapshot of the store's instruments (`cloud.accepted`,
+    /// `cloud.duplicates`, `cloud.acks_refused`).
+    pub fn observe(&self) -> ObsSnapshot {
+        self.obs.snapshot()
+    }
+
+    /// Enables or disables instrumentation (for uninstrumented baselines).
+    pub fn set_obs_enabled(&mut self, enabled: bool) {
+        self.obs.set_enabled(enabled);
     }
 
     /// Latest payload for a key.
@@ -863,9 +996,10 @@ impl CloudStore {
                             .insert(record.seq, (record.clone(), now));
                     }
                     self.history.push(record);
+                    self.obs.inc(self.ins.accepted);
                     accepted += 1;
                 } else {
-                    self.duplicates += 1;
+                    self.obs.inc(self.ins.duplicates);
                 }
             }
         }
@@ -881,7 +1015,7 @@ impl CloudStore {
                 )
                 .is_err()
             {
-                self.acks_refused += 1;
+                self.obs.inc(self.ins.acks_refused);
             }
         }
         accepted
@@ -1446,6 +1580,28 @@ mod tests {
         assert_eq!(outcome.released, 1);
         assert_eq!(sync.mode(), DegradedMode::Connected);
         assert_eq!(sync.mode_since(), now);
+
+        // Each transition left one sync.mode event; recovery is Info.
+        let snap = sync.observe();
+        let transitions: Vec<String> = snap
+            .events()
+            .iter()
+            .filter(|e| e.code == "sync.mode")
+            .map(|e| e.detail.split(" @").next().unwrap_or("").to_owned())
+            .collect();
+        assert_eq!(
+            transitions,
+            [
+                "connected->degraded",
+                "degraded->offline",
+                "offline->connected"
+            ]
+        );
+        assert_eq!(snap.gauge("sync.mode").unwrap(), Some(0.0));
+        assert_eq!(
+            snap.counter("sync.timeouts").unwrap(),
+            sync.stats().timeouts
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
+use swamp_obs::{Counter, Hist, Level, Obs, ObsSnapshot, Span};
 use swamp_sim::metrics::Metrics;
 use swamp_sim::{EventQueue, SimDuration, SimRng, SimTime};
 
@@ -72,8 +73,45 @@ pub struct Network {
     flow_table: FlowTable,
     fault_plan: Option<FaultPlan>,
     rng: SimRng,
-    metrics: Metrics,
+    obs: Obs,
+    ins: NetInstruments,
+    /// Directed links currently observed inside a partition window, for
+    /// partition start/end event edges.
+    partitioned: BTreeSet<(NodeId, NodeId)>,
     next_id: u64,
+}
+
+/// Pre-registered typed handles for the network's instruments: every
+/// hot-path update in [`Network::send`]/[`Network::advance_to`] is an
+/// indexed add, never a string lookup.
+struct NetInstruments {
+    offered: Counter,
+    sdn_dropped: Counter,
+    fault_partitioned: Counter,
+    fault_dropped: Counter,
+    fault_duplicated: Counter,
+    lost: Counter,
+    sent: Counter,
+    delivered: Counter,
+    latency_ms: Hist,
+    send_span: Span,
+}
+
+impl NetInstruments {
+    fn register(obs: &mut Obs) -> NetInstruments {
+        NetInstruments {
+            offered: obs.counter("net.offered"),
+            sdn_dropped: obs.counter("net.sdn_dropped"),
+            fault_partitioned: obs.counter("net.fault.partitioned"),
+            fault_dropped: obs.counter("net.fault.dropped"),
+            fault_duplicated: obs.counter("net.fault.duplicated"),
+            lost: obs.counter("net.lost"),
+            sent: obs.counter("net.sent"),
+            delivered: obs.counter("net.delivered"),
+            latency_ms: obs.hist("net.latency_ms", 0.0, 10_000.0, 100),
+            send_span: obs.span("net.send"),
+        }
+    }
 }
 
 impl std::fmt::Debug for Network {
@@ -89,6 +127,8 @@ impl std::fmt::Debug for Network {
 impl Network {
     /// Creates an empty network with a deterministic RNG seed.
     pub fn new(seed: u64) -> Self {
+        let mut obs = Obs::new();
+        let ins = NetInstruments::register(&mut obs);
         Network {
             nodes: BTreeSet::new(),
             links: BTreeMap::new(),
@@ -98,7 +138,9 @@ impl Network {
             flow_table: FlowTable::new(),
             fault_plan: None,
             rng: SimRng::seed_from(seed ^ 0x6e65745f73696d), // "net_sim"
-            metrics: Metrics::new(),
+            obs,
+            ins,
+            partitioned: BTreeSet::new(),
             next_id: 0,
         }
     }
@@ -223,8 +265,19 @@ impl Network {
         dst: impl Into<NodeId>,
         message: Message,
     ) -> Result<MsgId, SendError> {
-        let src = src.into();
-        let dst = dst.into();
+        let token = self.obs.enter(self.ins.send_span);
+        let result = self.send_inner(now, src.into(), dst.into(), message);
+        self.obs.exit(token);
+        result
+    }
+
+    fn send_inner(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        message: Message,
+    ) -> Result<MsgId, SendError> {
         if !self.nodes.contains(&src) {
             return Err(SendError::UnknownNode(src));
         }
@@ -232,20 +285,19 @@ impl Network {
             return Err(SendError::UnknownNode(dst));
         }
         let size = message.wire_size();
-        self.metrics.incr("net.offered");
+        self.obs.inc(self.ins.offered);
 
         let verdict = self
             .flow_table
             .classify(now, &src, &dst, &message.topic, size);
         if let Verdict::Drop(_) = verdict {
-            self.metrics.incr("net.sdn_dropped");
+            self.obs.inc(self.ins.sdn_dropped);
             return Err(SendError::Denied);
         }
 
-        let link = self
-            .links
-            .get(&(src.clone(), dst.clone()))
-            .ok_or_else(|| SendError::NoRoute(src.clone(), dst.clone()))?;
+        if !self.links.contains_key(&(src.clone(), dst.clone())) {
+            return Err(SendError::NoRoute(src, dst));
+        }
 
         let id = MsgId(self.next_id);
         self.next_id += 1;
@@ -270,29 +322,45 @@ impl Network {
         let extra_delays = match &mut self.fault_plan {
             Some(plan) => match plan.sample(now, &src, &dst) {
                 FaultOutcome::Partitioned => {
-                    self.metrics.incr("net.fault.partitioned");
-                    self.metrics.incr("net.lost");
+                    self.obs.inc(self.ins.fault_partitioned);
+                    self.obs.inc(self.ins.lost);
+                    if self.partitioned.insert((src.clone(), dst.clone())) {
+                        self.obs.event(
+                            Level::Warn,
+                            "net.partition.start",
+                            &format!("{src}->{dst}"),
+                        );
+                    }
                     return Ok(id);
                 }
                 FaultOutcome::Dropped => {
-                    self.metrics.incr("net.fault.dropped");
-                    self.metrics.incr("net.lost");
+                    self.obs.inc(self.ins.fault_dropped);
+                    self.obs.inc(self.ins.lost);
+                    self.note_partition_healed(&src, &dst);
                     return Ok(id);
                 }
-                FaultOutcome::Deliver(delays) => delays,
+                FaultOutcome::Deliver(delays) => {
+                    self.note_partition_healed(&src, &dst);
+                    delays
+                }
             },
             None => vec![SimDuration::ZERO],
         };
 
+        // Re-borrow the link (checked before fault sampling; the fault arm
+        // above needed `&mut self`, so the borrow could not be held across).
+        let Some(link) = self.links.get(&(src.clone(), dst.clone())) else {
+            return Err(SendError::NoRoute(src, dst));
+        };
         match link.offer(size, &mut self.rng) {
             TxOutcome::Lost => {
-                self.metrics.incr("net.lost");
+                self.obs.inc(self.ins.lost);
                 Ok(id)
             }
             TxOutcome::Delivered(delay) => {
-                self.metrics.incr("net.sent");
-                self.metrics.observe(
-                    "net.latency_ms",
+                self.obs.inc(self.ins.sent);
+                self.obs.record(
+                    self.ins.latency_ms,
                     (delay + extra_delays[0]).as_millis() as f64,
                 );
                 // One scheduled copy per fault-plan delay entry: the first is
@@ -300,7 +368,7 @@ impl Network {
                 // (same MsgId — they are echoes of one transmission).
                 for (i, extra) in extra_delays.iter().enumerate() {
                     if i > 0 {
-                        self.metrics.incr("net.fault.duplicated");
+                        self.obs.inc(self.ins.fault_duplicated);
                     }
                     let total = delay + *extra;
                     self.queue.schedule(
@@ -320,11 +388,20 @@ impl Network {
         }
     }
 
+    /// Marks a (src → dst) link healed if it was inside a partition window,
+    /// emitting the partition-end event edge.
+    fn note_partition_healed(&mut self, src: &NodeId, dst: &NodeId) {
+        if self.partitioned.remove(&(src.clone(), dst.clone())) {
+            self.obs
+                .event(Level::Info, "net.partition.end", &format!("{src}->{dst}"));
+        }
+    }
+
     /// Processes all deliveries up to and including `horizon`, moving them
     /// into the destination inboxes.
     pub fn advance_to(&mut self, horizon: SimTime) {
         while let Some((_, delivery)) = self.queue.pop_until(horizon) {
-            self.metrics.incr("net.delivered");
+            self.obs.inc(self.ins.delivered);
             self.inboxes
                 .entry(delivery.dst.clone())
                 .or_default()
@@ -360,10 +437,28 @@ impl Network {
         self.queue.now()
     }
 
-    /// Aggregate counters (`net.offered`, `net.sent`, `net.lost`,
-    /// `net.delivered`, `net.sdn_dropped`, `net.latency_ms`).
-    pub fn metrics(&self) -> &Metrics {
-        &self.metrics
+    /// Typed snapshot of the network's instruments (`net.offered`,
+    /// `net.sent`, `net.lost`, `net.delivered`, `net.sdn_dropped`,
+    /// `net.fault.*` counters, the `net.latency_ms` histogram, the
+    /// `net.send` span and `net.partition.*` events).
+    pub fn observe(&self) -> ObsSnapshot {
+        self.obs.snapshot()
+    }
+
+    /// Enables or disables instrumentation (disabled = uninstrumented
+    /// baseline for overhead benchmarks). Handles stay valid; updates
+    /// become no-ops.
+    pub fn set_obs_enabled(&mut self, enabled: bool) {
+        self.obs.set_enabled(enabled);
+    }
+
+    /// Aggregate counters, as a legacy string-keyed view.
+    #[deprecated(
+        since = "0.1.0",
+        note = "read through Network::observe(); this materializes a Metrics copy per call"
+    )]
+    pub fn metrics(&self) -> Metrics {
+        self.observe().to_metrics()
     }
 }
 
@@ -457,7 +552,7 @@ mod tests {
             .unwrap();
         net.advance_to(SimTime::from_secs(10));
         assert_eq!(net.inbox_len(&n("b")), 0);
-        assert_eq!(net.metrics().counter("net.lost"), 1);
+        assert_eq!(net.observe().counter("net.lost").unwrap(), 1);
 
         net.set_link_up(&n("a"), &n("b"), true);
         net.send(net.now(), "a", "b", Message::new("t", vec![]))
@@ -475,7 +570,7 @@ mod tests {
             net.send(SimTime::ZERO, "a", "b", Message::new("t", vec![])),
             Err(SendError::Denied)
         );
-        assert_eq!(net.metrics().counter("net.sdn_dropped"), 1);
+        assert_eq!(net.observe().counter("net.sdn_dropped").unwrap(), 1);
     }
 
     #[test]
@@ -522,10 +617,32 @@ mod tests {
                 .unwrap();
         }
         net.advance_to(SimTime::from_secs(1));
-        assert_eq!(net.metrics().counter("net.offered"), 5);
-        assert_eq!(net.metrics().counter("net.sent"), 5);
-        assert_eq!(net.metrics().counter("net.delivered"), 5);
-        assert_eq!(net.metrics().summary("net.latency_ms").unwrap().count(), 5);
+        let snap = net.observe();
+        assert_eq!(snap.counter("net.offered").unwrap(), 5);
+        assert_eq!(snap.counter("net.sent").unwrap(), 5);
+        assert_eq!(snap.counter("net.delivered").unwrap(), 5);
+        assert_eq!(snap.summary("net.latency_ms").unwrap().stats.count(), 5);
+        // Every send is one span entry/exit.
+        assert_eq!(snap.span("net.send").unwrap().count, 5);
+    }
+
+    #[test]
+    fn unknown_instrument_name_is_an_error() {
+        let net = basic_net();
+        assert!(net.observe().counter("net.typo").is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_metrics_view_matches_snapshot() {
+        let mut net = basic_net();
+        net.send(SimTime::ZERO, "a", "b", Message::new("t", vec![]))
+            .unwrap();
+        net.advance_to(SimTime::from_secs(1));
+        let m = net.metrics();
+        assert_eq!(m.counter("net.offered"), 1);
+        assert_eq!(m.counter("net.delivered"), 1);
+        assert_eq!(m.summary("net.latency_ms").unwrap().count(), 1);
     }
 
     #[test]
@@ -549,9 +666,10 @@ mod tests {
                     .unwrap();
             }
             net.advance_to(SimTime::from_secs(60));
+            let snap = net.observe();
             (
-                net.metrics().counter("net.delivered"),
-                net.metrics().summary("net.latency_ms").unwrap().mean(),
+                snap.counter("net.delivered").unwrap(),
+                snap.summary("net.latency_ms").unwrap().stats.mean(),
             )
         };
         assert_eq!(run(7), run(7));
@@ -571,13 +689,19 @@ mod tests {
             .unwrap();
         net.advance_to(SimTime::from_secs(5));
         assert_eq!(net.inbox_len(&n("b")), 0);
-        assert_eq!(net.metrics().counter("net.fault.partitioned"), 1);
+        assert_eq!(net.observe().counter("net.fault.partitioned").unwrap(), 1);
 
         // After the window closes the same link delivers again.
         net.send(SimTime::from_secs(10), "a", "b", Message::new("t", vec![]))
             .unwrap();
         net.advance_to(SimTime::from_secs(20));
         assert_eq!(net.inbox_len(&n("b")), 1);
+
+        // The partition window shows up as a start/end event pair.
+        let snap = net.observe();
+        let codes: Vec<&str> = snap.events().iter().map(|e| e.code.as_str()).collect();
+        assert_eq!(codes, ["net.partition.start", "net.partition.end"]);
+        assert_eq!(snap.events()[0].detail, "a->b");
     }
 
     #[test]
@@ -602,13 +726,14 @@ mod tests {
                 .unwrap();
         }
         net.advance_to(SimTime::from_secs(30));
-        let dropped = net.metrics().counter("net.fault.dropped");
-        let duplicated = net.metrics().counter("net.fault.duplicated");
+        let snap = net.observe();
+        let dropped = snap.counter("net.fault.dropped").unwrap();
+        let duplicated = snap.counter("net.fault.duplicated").unwrap();
         assert!((130..270).contains(&dropped), "dropped {dropped}");
         assert!(duplicated > 50, "duplicated {duplicated}");
         // Every injected duplicate is one extra delivery on the same MsgId.
         assert_eq!(
-            net.metrics().counter("net.delivered"),
+            net.observe().counter("net.delivered").unwrap(),
             400 - dropped + duplicated
         );
     }

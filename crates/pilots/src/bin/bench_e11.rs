@@ -8,7 +8,8 @@
 //! Defaults to fleets of 100, 1 000 and 10 000 devices.
 
 use swamp_codec::json::Json;
-use swamp_pilots::experiments::e11_broker_scale;
+use swamp_obs::ObsReport;
+use swamp_pilots::experiments::e11_broker_scale_observed;
 
 fn main() {
     let mut sizes: Vec<usize> = Vec::new();
@@ -26,12 +27,22 @@ fn main() {
         sizes = vec![100, 1_000, 10_000];
     }
     // The library is clock-free; the binary owns the wall clock.
-    let result = e11_broker_scale(&sizes, |run| {
+    let (result, obs_reports) = e11_broker_scale_observed(&sizes, |run| {
         let start = std::time::Instant::now();
         run();
         start.elapsed().as_secs_f64()
     });
     eprintln!("{}", result.report());
+
+    // Deterministic per-cell observability snapshots, written next to the
+    // bench JSON (which goes to stdout via redirection).
+    match std::fs::write(
+        "OBS_e11.json",
+        ObsReport::array_to_json_string(&obs_reports),
+    ) {
+        Ok(()) => eprintln!("wrote OBS_e11.json ({} cell reports)", obs_reports.len()),
+        Err(e) => eprintln!("bench_e11: could not write OBS_e11.json: {e}"),
+    }
 
     let rows: Vec<Json> = result
         .rows

@@ -10,7 +10,8 @@
 //! JSON bit-for-bit.
 
 use swamp_codec::json::Json;
-use swamp_pilots::experiments::e13_resilience;
+use swamp_obs::ObsReport;
+use swamp_pilots::experiments::e13_resilience_observed;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -25,8 +26,22 @@ fn main() {
             }
         },
     };
-    let result = e13_resilience(seed);
+    let (result, obs_reports) = e13_resilience_observed(seed);
     eprintln!("{}", result.report());
+
+    // Deterministic per-cell observability snapshots, written next to the
+    // bench JSON (which goes to stdout via redirection). Same seed, same
+    // bytes — see the obs_determinism integration test.
+    match std::fs::write(
+        "OBS_resilience.json",
+        ObsReport::array_to_json_string(&obs_reports),
+    ) {
+        Ok(()) => eprintln!(
+            "wrote OBS_resilience.json ({} cell reports)",
+            obs_reports.len()
+        ),
+        Err(e) => eprintln!("bench_resilience: could not write OBS_resilience.json: {e}"),
+    }
 
     let rows: Vec<Json> = result
         .rows

@@ -12,10 +12,10 @@ pub mod water;
 
 pub use attacks::{e12_behavior, e2_dos, e3_tamper, e4_sybil};
 pub use platform::{
-    e11_broker_scale, e11_platform_scale, e5_fog_availability, e6_partial_view, e7_auth, e8_crypto,
-    e9_ledger, BrokerScaleRow, E11BrokerScaleResult,
+    e11_broker_scale, e11_broker_scale_observed, e11_platform_scale, e5_fog_availability,
+    e6_partial_view, e7_auth, e8_crypto, e9_ledger, BrokerScaleRow, E11BrokerScaleResult,
 };
-pub use resilience::{e13_resilience, E13Result, E13Row};
+pub use resilience::{e13_resilience, e13_resilience_observed, E13Result, E13Row};
 pub use water::{e10_distribution, e1_water_energy};
 
 use crate::report::Report;

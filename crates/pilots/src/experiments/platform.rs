@@ -11,6 +11,7 @@ use swamp_fog::sync::{CloudStore, DropPolicy, FogSync};
 use swamp_net::link::LinkSpec;
 use swamp_net::lpwan::{LpwanConfig, LpwanRadio, TxDecision};
 use swamp_net::network::Network;
+use swamp_obs::ObsReport;
 use swamp_security::access::{Action, Pdp, Policy, Resource};
 use swamp_security::identity::IdentityProvider;
 use swamp_security::ledger::{Ledger, LifecycleEvent, LifecycleKind};
@@ -111,7 +112,10 @@ pub fn e5_fog_availability(seed: u64) -> E5Result {
                     .map(|c| c.record_count() as f64)
                     .unwrap_or(0.0);
                 // Against what actually ingested (LPWAN loses some frames).
-                let ingested = platform.metrics().counter("ingest.accepted") as f64;
+                let ingested = platform
+                    .observe()
+                    .counter("ingest.accepted")
+                    .expect("registered counter") as f64;
                 replicated = if ingested > 0.0 { got / ingested } else { 1.0 };
             }
         }
@@ -623,12 +627,11 @@ pub fn e11_platform_scale(seed: u64) -> E11Result {
             platform.pump(t + SimDuration::from_secs(59));
         }
         platform.pump(SimTime::from_hours(2));
-        let accepted = platform.metrics().counter("ingest.accepted");
-        let latency = platform
-            .net
-            .metrics()
+        let snap = platform.observe();
+        let accepted = snap.counter("ingest.accepted").expect("registered counter");
+        let latency = snap
             .summary("net.latency_ms")
-            .map(|s| s.mean())
+            .map(|s| s.stats.mean())
             .unwrap_or(0.0);
         rows.push((
             devices,
@@ -725,10 +728,26 @@ impl E11BrokerScaleResult {
 /// disappears mid-run — impossible unless the broker drops subscriptions.
 pub fn e11_broker_scale(
     device_counts: &[usize],
-    mut time_round: impl FnMut(&mut dyn FnMut()) -> f64,
+    time_round: impl FnMut(&mut dyn FnMut()) -> f64,
 ) -> E11BrokerScaleResult {
+    e11_broker_scale_observed(device_counts, time_round).0
+}
+
+/// Runs E11c and also returns one deterministic [`ObsReport`] per cell
+/// (labelled `e11/<deployment>/<devices>`). Wall-clock timing only feeds
+/// the bench rows; every instrumented quantity in the reports is sim-time
+/// driven, so the reports are byte-identical across runs regardless of
+/// machine speed.
+///
+/// # Panics
+/// Same as [`e11_broker_scale`].
+pub fn e11_broker_scale_observed(
+    device_counts: &[usize],
+    mut time_round: impl FnMut(&mut dyn FnMut()) -> f64,
+) -> (E11BrokerScaleResult, Vec<ObsReport>) {
     use swamp_core::broker::SubscriptionFilter;
     let mut rows = Vec::new();
+    let mut reports = Vec::new();
     for (config, deployment) in [
         (DeploymentConfig::CloudOnly, "cloud_only"),
         (DeploymentConfig::FarmFog, "farm_fog"),
@@ -791,9 +810,11 @@ pub fn e11_broker_scale(
                     0.0
                 },
             });
+            let label = format!("e11/{deployment}/{devices}");
+            reports.push(ObsReport::new(&label, 7, platform.observe()));
         }
     }
-    E11BrokerScaleResult { rows }
+    (E11BrokerScaleResult { rows }, reports)
 }
 
 #[cfg(test)]

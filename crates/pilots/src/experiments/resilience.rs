@@ -14,6 +14,7 @@ use swamp_core::platform::{nodes, DeploymentConfig, Platform};
 use swamp_fog::availability::OutageSchedule;
 use swamp_fog::sync::DegradedMode;
 use swamp_net::{FaultPlan, FaultSpec};
+use swamp_obs::ObsReport;
 use swamp_sensors::device::DeviceKind;
 use swamp_sim::{SimDuration, SimTime};
 
@@ -107,7 +108,7 @@ fn severity(mode: DegradedMode) -> u8 {
 /// Runs one cell: two devices publish every 5 min for 6 h over an uplink
 /// with the given injected loss and a partition from hour 2 to hour 3,
 /// then the run drains for up to 2 more hours of minute-grained pumps.
-fn run_cell(seed: u64, config: DeploymentConfig, loss: f64) -> E13Row {
+fn run_cell(seed: u64, config: DeploymentConfig, loss: f64) -> (E13Row, ObsReport) {
     let outage_start = SimTime::from_hours(2);
     let outage_end = SimTime::from_hours(3);
     let mut schedule = OutageSchedule::new();
@@ -160,17 +161,19 @@ fn run_cell(seed: u64, config: DeploymentConfig, loss: f64) -> E13Row {
             }
         }
         if t >= outage_end && recovered_at.is_none() {
-            if let Some(h) = platform.sync_health() {
-                if h.pending == 0 && h.in_flight == 0 {
-                    recovered_at = Some(t);
-                }
+            // Gauges are refreshed at the end of every sync round, and
+            // nothing enqueues between the pump above and this read, so
+            // they equal the engine's live queue depths here.
+            let snap = platform.observe();
+            let pending = snap.gauge("sync.pending").expect("registered gauge");
+            let in_flight = snap.gauge("sync.in_flight").expect("registered gauge");
+            if pending == Some(0.0) && in_flight == Some(0.0) {
+                recovered_at = Some(t);
             }
         }
     }
 
-    let health = platform
-        .sync_health()
-        .expect("both deployment configs run an uplink engine");
+    let snap = platform.observe();
     let (delivered, duplicate_applies, duplicates_discarded) = match config {
         DeploymentConfig::FarmFog => {
             let store = platform
@@ -188,39 +191,57 @@ fn run_cell(seed: u64, config: DeploymentConfig, loss: f64) -> E13Row {
             // The relay store dedups before validation, so any copy that
             // slipped through would be caught (and counted) by the
             // replay defense at ingest.
-            platform.metrics().counter("ingest.accepted"),
-            platform.metrics().counter("ingest.rejected_replay"),
-            platform.metrics().counter("relay.duplicates_discarded"),
+            snap.counter("ingest.accepted").expect("registered counter"),
+            snap.counter("ingest.rejected_replay")
+                .expect("registered counter"),
+            snap.counter("relay.duplicates_discarded")
+                .expect("registered counter"),
         ),
     };
     let recovery_secs = recovered_at
         .map(|t| (t - outage_end).as_secs())
         .unwrap_or(u64::MAX);
 
-    E13Row {
-        deployment: match config {
-            DeploymentConfig::CloudOnly => "cloud-only",
-            DeploymentConfig::FarmFog => "farm-fog",
-        },
+    let deployment = match config {
+        DeploymentConfig::CloudOnly => "cloud-only",
+        DeploymentConfig::FarmFog => "farm-fog",
+    };
+    let row = E13Row {
+        deployment,
         loss,
-        offered: health.stats.enqueued,
+        offered: snap.counter("sync.enqueued").expect("registered counter"),
         delivered,
         duplicate_applies,
         duplicates_discarded,
-        retransmissions: health.stats.retransmissions,
+        retransmissions: snap
+            .counter("sync.retransmissions")
+            .expect("registered counter"),
         mode_during_outage: worst_outage_mode,
-        final_mode: health.mode,
+        final_mode: platform.degraded_mode(),
         recovery_secs,
-    }
+    };
+    let label = format!("e13/{deployment}/loss{:02}", (loss * 100.0).round() as u32);
+    (row, ObsReport::new(&label, seed, snap))
 }
 
 /// Runs E13: loss sweep × both deployment configs.
 pub fn e13_resilience(seed: u64) -> E13Result {
+    e13_resilience_observed(seed).0
+}
+
+/// Runs E13 and also returns one deterministic [`ObsReport`] per cell
+/// (labelled `e13/<deployment>/loss<pct>`), for export next to the bench
+/// artifacts. The reports are sim-time only: the same seed must serialize
+/// byte-identically.
+pub fn e13_resilience_observed(seed: u64) -> (E13Result, Vec<ObsReport>) {
     let mut rows = Vec::new();
+    let mut reports = Vec::new();
     for config in [DeploymentConfig::CloudOnly, DeploymentConfig::FarmFog] {
         for loss in [0.0, 0.01, 0.10, 0.30] {
-            rows.push(run_cell(seed, config, loss));
+            let (row, report) = run_cell(seed, config, loss);
+            rows.push(row);
+            reports.push(report);
         }
     }
-    E13Result { rows }
+    (E13Result { rows }, reports)
 }

@@ -1,0 +1,65 @@
+//! Byte-level determinism of the exported observability reports: two
+//! fresh seed-42 runs of E11 and E13 must serialize to identical JSON.
+//!
+//! This is the regression gate for the obs subsystem's core promise —
+//! ticks, counters, histograms, span trees and event logs are all pure
+//! functions of the seed, with no wall-clock or hash-order leakage. E11
+//! is driven with a constant fake clock so the (machine-dependent) bench
+//! timing cannot leak into the comparison; everything the reports contain
+//! is sim-time driven anyway.
+
+use swamp_obs::ObsReport;
+use swamp_pilots::experiments::{e11_broker_scale_observed, e13_resilience_observed};
+
+/// Fake clock for the E11 harness: every round "takes" 1 ms.
+fn fake_clock(run: &mut dyn FnMut()) -> f64 {
+    run();
+    1e-3
+}
+
+#[test]
+fn e13_obs_reports_are_byte_identical_across_runs() {
+    let (_, first) = e13_resilience_observed(42);
+    let (_, second) = e13_resilience_observed(42);
+    let a = ObsReport::array_to_json_string(&first);
+    let b = ObsReport::array_to_json_string(&second);
+    assert_eq!(a, b, "seed-42 E13 obs export must be byte-stable");
+    // Sanity: the export actually contains the sweep, not an empty shell.
+    assert_eq!(first.len(), 8, "2 deployments x 4 loss rates");
+    assert!(a.contains("\"label\": \"e13/farm-fog/loss10\""));
+    assert!(a.contains("sync.retransmissions"));
+    assert!(a.contains("net.partition.start"));
+}
+
+#[test]
+fn e11_obs_reports_are_byte_identical_across_runs() {
+    // Small fleet: this gate is about byte stability, not scale.
+    let (_, first) = e11_broker_scale_observed(&[20], fake_clock);
+    let (_, second) = e11_broker_scale_observed(&[20], fake_clock);
+    let a = ObsReport::array_to_json_string(&first);
+    let b = ObsReport::array_to_json_string(&second);
+    assert_eq!(a, b, "E11 obs export must be byte-stable");
+    assert_eq!(first.len(), 2, "one report per deployment config");
+    assert!(a.contains("\"label\": \"e11/cloud_only/20\""));
+    assert!(a.contains("platform.pump"));
+}
+
+#[test]
+fn e13_rows_match_their_obs_reports() {
+    // The table values and the exported snapshots must be two views of
+    // the same run, not two runs.
+    let (result, reports) = e13_resilience_observed(42);
+    for (row, report) in result.rows.iter().zip(&reports) {
+        assert_eq!(report.seed, 42);
+        assert_eq!(
+            row.offered,
+            report.snapshot.counter("sync.enqueued").unwrap(),
+            "row/report divergence for {}",
+            report.label
+        );
+        assert_eq!(
+            row.retransmissions,
+            report.snapshot.counter("sync.retransmissions").unwrap()
+        );
+    }
+}

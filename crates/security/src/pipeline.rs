@@ -12,6 +12,7 @@
 
 use std::collections::BTreeMap;
 
+use swamp_obs::{Counter, Level, Obs, ObsSnapshot};
 use swamp_sim::SimTime;
 
 use crate::detect::{
@@ -83,7 +84,7 @@ struct StreamDetectors {
 /// bank.observe_value(SimTime::ZERO, "probe-1", "moisture_vwc", 0.95);
 /// assert_eq!(bank.recommendation("probe-1"), Recommendation::Quarantine);
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct DetectorBank {
     /// Physical ranges per quantity name.
     ranges: BTreeMap<String, RangeValidator>,
@@ -92,12 +93,66 @@ pub struct DetectorBank {
     alerts: Vec<Alert>,
     /// Rolling per-device alert weights (warning = 1, alert = 3).
     device_score: BTreeMap<String, u32>,
+    obs: Obs,
+    ins: BankInstruments,
+}
+
+/// Typed handles for the bank's instruments (`security.*`).
+#[derive(Clone, Debug)]
+struct BankInstruments {
+    alerts_raised: Counter,
+    out_of_range: Counter,
+    point_anomaly: Counter,
+    drift: Counter,
+    replay: Counter,
+    sequence_gap: Counter,
+}
+
+impl BankInstruments {
+    fn register(obs: &mut Obs) -> BankInstruments {
+        BankInstruments {
+            alerts_raised: obs.counter("security.alerts_raised"),
+            out_of_range: obs.counter("security.out_of_range"),
+            point_anomaly: obs.counter("security.point_anomaly"),
+            drift: obs.counter("security.drift"),
+            replay: obs.counter("security.replay"),
+            sequence_gap: obs.counter("security.sequence_gap"),
+        }
+    }
+}
+
+impl Default for DetectorBank {
+    fn default() -> Self {
+        DetectorBank::new()
+    }
 }
 
 impl DetectorBank {
     /// Creates an empty bank.
     pub fn new() -> Self {
-        DetectorBank::default()
+        let mut obs = Obs::new();
+        let ins = BankInstruments::register(&mut obs);
+        DetectorBank {
+            ranges: BTreeMap::new(),
+            streams: BTreeMap::new(),
+            seq: SeqMonitor::new(),
+            alerts: Vec::new(),
+            device_score: BTreeMap::new(),
+            obs,
+            ins,
+        }
+    }
+
+    /// Typed snapshot of the bank's instruments: the per-evidence
+    /// `security.*` counters plus `security.alert` /
+    /// `security.quarantine_recommended` events.
+    pub fn observe(&self) -> ObsSnapshot {
+        self.obs.snapshot()
+    }
+
+    /// Enables or disables instrumentation (for uninstrumented baselines).
+    pub fn set_obs_enabled(&mut self, enabled: bool) {
+        self.obs.set_enabled(enabled);
     }
 
     /// Registers the physical range for a quantity (applies to all devices).
@@ -147,10 +202,37 @@ impl DetectorBank {
         severity: Severity,
         value: Option<f64>,
     ) {
-        *self.device_score.entry(device.to_owned()).or_insert(0) += match severity {
+        let score = self.device_score.entry(device.to_owned()).or_insert(0);
+        let before = *score;
+        *score += match severity {
             Severity::Warning => 1,
             Severity::Alert => 3,
         };
+        let crossed_quarantine = before < 3 && *score >= 3;
+
+        self.obs.inc(self.ins.alerts_raised);
+        let evidence_counter = match evidence {
+            Evidence::OutOfRange => self.ins.out_of_range,
+            Evidence::PointAnomaly => self.ins.point_anomaly,
+            Evidence::Drift => self.ins.drift,
+            Evidence::Replay => self.ins.replay,
+            Evidence::SequenceGap => self.ins.sequence_gap,
+        };
+        self.obs.inc(evidence_counter);
+        let level = match severity {
+            Severity::Warning => Level::Warn,
+            Severity::Alert => Level::Error,
+        };
+        self.obs.event(
+            level,
+            "security.alert",
+            &format!("{device} {quantity} {evidence:?}"),
+        );
+        if crossed_quarantine {
+            self.obs
+                .event(Level::Error, "security.quarantine_recommended", device);
+        }
+
         self.alerts.push(Alert {
             device: device.to_owned(),
             quantity: quantity.to_owned(),
@@ -358,6 +440,20 @@ mod tests {
         b2.observe_sequence(SimTime::ZERO, "q", 0);
         b2.observe_sequence(SimTime::ZERO, "q", 3);
         assert_eq!(b2.recommendation("q"), Recommendation::Trust);
+    }
+
+    #[test]
+    fn obs_counts_evidence_and_emits_quarantine_event() {
+        let mut b = bank();
+        b.observe_value(SimTime::ZERO, "p", "moisture_vwc", 1.5);
+        let snap = b.observe();
+        assert_eq!(snap.counter("security.alerts_raised").unwrap(), 1);
+        assert_eq!(snap.counter("security.out_of_range").unwrap(), 1);
+        assert_eq!(snap.counter("security.drift").unwrap(), 0);
+        assert!(snap.counter("security.typo").is_err());
+        let codes: Vec<&str> = snap.events().iter().map(|e| e.code.as_str()).collect();
+        assert_eq!(codes, ["security.alert", "security.quarantine_recommended"]);
+        assert_eq!(snap.events()[1].detail, "p");
     }
 
     #[test]

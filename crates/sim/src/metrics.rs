@@ -1,28 +1,35 @@
 //! A small metric registry shared by SWAMP components.
 //!
-//! Platform pieces (broker, network, fog sync, detectors) increment named
-//! counters and set named gauges; the experiment harnesses read them back and
-//! print result tables. The registry is deliberately simple — string-keyed,
-//! deterministic iteration order — because its consumers are test assertions
-//! and human-readable reports, not a TSDB.
+//! **Role change (observability redesign):** platform pieces no longer
+//! mutate a `Metrics` on their hot paths — they register typed handles with
+//! `swamp-obs` and this registry survives only as a *read-compat view*
+//! materialized from `ObsSnapshot::to_metrics()`. The string-keyed mutators
+//! (`incr`, `incr_by`, `observe`) are deprecated and banned for internal
+//! callers by the `deprecated-api` analyzer rule; views are built with the
+//! absolute setters ([`Metrics::set_counter`], [`Metrics::set_gauge`],
+//! [`Metrics::set_summary`]). Iteration order stays lexicographic so
+//! pre-migration report tables remain byte-identical.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::stats::OnlineStats;
 
-/// A string-keyed registry of counters, gauges and value summaries.
+/// A string-keyed registry of counters, gauges and value summaries, kept as
+/// the read-compat view over `swamp-obs` snapshots.
 ///
 /// Iteration order is lexicographic (BTreeMap), so reports are stable.
 ///
 /// # Example
 /// ```
 /// use swamp_sim::metrics::Metrics;
+/// use swamp_sim::stats::OnlineStats;
 /// let mut m = Metrics::new();
-/// m.incr("broker.updates");
-/// m.incr_by("broker.updates", 4);
+/// m.set_counter("broker.updates", 5);
 /// m.set_gauge("fog.buffer_len", 17.0);
-/// m.observe("net.latency_ms", 12.5);
+/// let mut lat = OnlineStats::new();
+/// lat.push(12.5);
+/// m.set_summary("net.latency_ms", lat);
 /// assert_eq!(m.counter("broker.updates"), 5);
 /// assert_eq!(m.gauge("fog.buffer_len"), Some(17.0));
 /// assert_eq!(m.summary("net.latency_ms").unwrap().count(), 1);
@@ -41,16 +48,35 @@ impl Metrics {
     }
 
     /// Increments a counter by one.
+    #[deprecated(
+        since = "0.1.0",
+        note = "hot-path string-keyed mutation moved to swamp-obs typed handles (Obs::inc)"
+    )]
     pub fn incr(&mut self, name: &str) {
+        #[allow(deprecated)]
         self.incr_by(name, 1);
     }
 
     /// Increments a counter by `n`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "hot-path string-keyed mutation moved to swamp-obs typed handles (Obs::add)"
+    )]
     pub fn incr_by(&mut self, name: &str, n: u64) {
         *self.counters.entry(name.to_owned()).or_insert(0) += n;
     }
 
+    /// Sets a counter to an absolute value (snapshot-view constructor).
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_owned(), value);
+    }
+
     /// Reads a counter (0 if never incremented).
+    ///
+    /// Note the long-standing footgun this keeps for compatibility: a
+    /// never-registered (typo'd) name silently reads as 0. New code should
+    /// read through `ObsSnapshot::counter`, which returns an `Err` for
+    /// unknown names.
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
     }
@@ -66,11 +92,20 @@ impl Metrics {
     }
 
     /// Records one observation into a named summary.
+    #[deprecated(
+        since = "0.1.0",
+        note = "hot-path string-keyed mutation moved to swamp-obs typed handles (Obs::record)"
+    )]
     pub fn observe(&mut self, name: &str, value: f64) {
         self.summaries
             .entry(name.to_owned())
             .or_default()
             .push(value);
+    }
+
+    /// Sets a summary to pre-accumulated stats (snapshot-view constructor).
+    pub fn set_summary(&mut self, name: &str, stats: OnlineStats) {
+        self.summaries.insert(name.to_owned(), stats);
     }
 
     /// Reads a summary.
@@ -131,6 +166,7 @@ impl fmt::Display for Metrics {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated mutators stay behaviorally pinned here
 mod tests {
     use super::*;
 
@@ -186,6 +222,19 @@ mod tests {
         let a_pos = text.find("a.first").unwrap();
         let z_pos = text.find("z.last").unwrap();
         assert!(a_pos < z_pos, "lexicographic order expected");
+    }
+
+    #[test]
+    fn view_setters_overwrite_absolutely() {
+        let mut m = Metrics::new();
+        m.set_counter("c", 7);
+        m.set_counter("c", 3);
+        assert_eq!(m.counter("c"), 3);
+        let mut s = OnlineStats::new();
+        s.push(1.0);
+        s.push(3.0);
+        m.set_summary("lat", s);
+        assert_eq!(m.summary("lat").unwrap().mean(), 2.0);
     }
 
     #[test]

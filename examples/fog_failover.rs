@@ -50,7 +50,7 @@ fn run(config: DeploymentConfig, label: &str) {
         "availability: {:.1}%  (cloud-served {cloud} h, fog-served {fog} h, unserved {unserved} h)",
         tracker.availability() * 100.0
     );
-    let ingested = platform.metrics().counter("ingest.accepted");
+    let ingested = platform.observe().counter("ingest.accepted").unwrap();
     println!("telemetry ingested at the platform: {ingested}");
     if let Some(replica) = platform.cloud_replica() {
         println!(

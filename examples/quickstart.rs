@@ -32,7 +32,7 @@ fn main() {
     // device key (ChaCha20 + HMAC) and crosses the lossy field radio.
     let mut publishes = 0;
     let mut t = SimTime::ZERO;
-    while platform.metrics().counter("ingest.accepted") == 0 {
+    while platform.observe().counter("ingest.accepted").unwrap() == 0 {
         let mut update = Entity::new("urn:swamp:device:probe-ne-1", "SoilProbe");
         update.set("moisture_vwc", 0.243);
         update.set("temperature_c", 21.7);
@@ -82,5 +82,11 @@ fn main() {
         last.value, last.at
     );
 
-    println!("\nplatform metrics:\n{}", platform.metrics());
+    // One merged observability snapshot covers the platform, network,
+    // uplink engine, store and detector bank.
+    let snap = platform.observe();
+    println!("\nplatform counters:");
+    for (name, value) in snap.counters() {
+        println!("  {name:<32} {value}");
+    }
 }

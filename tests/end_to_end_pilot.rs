@@ -138,7 +138,7 @@ fn closed_loop_irrigation_through_the_platform() {
         "closed loop held the soil up: {}",
         truth.available_fraction()
     );
-    assert!(platform.metrics().counter("ingest.accepted") >= 25);
+    assert!(platform.observe().counter("ingest.accepted").unwrap() >= 25);
 }
 
 /// The same platform serves all four pilots' crops (the paper's
@@ -177,7 +177,7 @@ fn outage_replication_is_lossless_and_idempotent() {
         let _ = platform.device_publish(t, "probe-1", &e);
         t += SimDuration::from_mins(10);
         platform.pump(t);
-        accepted = platform.metrics().counter("ingest.accepted");
+        accepted = platform.observe().counter("ingest.accepted").unwrap();
     }
 
     assert_eq!(

@@ -45,7 +45,7 @@ fn impossible_values_auto_quarantine_the_device() {
         p.detectors.recommendation("victim"),
         Recommendation::Quarantine
     );
-    assert_eq!(p.metrics().counter("ingest.quarantined"), 1);
+    assert_eq!(p.observe().counter("ingest.quarantined").unwrap(), 1);
 
     // The next frame from the victim is rejected at the registry gate.
     let f = sealed(&p, "victim", 1.0, 7.5, 3);
@@ -83,7 +83,7 @@ fn quarantine_off_by_default_but_alerts_still_raised() {
     assert_eq!(p.detectors.recommendation("d"), Recommendation::Quarantine);
     let f = sealed(&p, "d", 1.0, 9.0, 2);
     p.ingest_frame(SimTime::from_secs(5), "d", &f).unwrap();
-    assert_eq!(p.metrics().counter("ingest.quarantined"), 0);
+    assert_eq!(p.observe().counter("ingest.quarantined").unwrap(), 0);
 }
 
 #[test]

@@ -91,9 +91,9 @@ fn replayed_sealed_frame_is_rejected() {
     );
     assert_eq!(injected, 1);
     p.pump(SimTime::from_secs(120));
-    assert_eq!(p.metrics().counter("ingest.rejected_replay"), 1);
+    assert_eq!(p.observe().counter("ingest.rejected_replay").unwrap(), 1);
     assert_eq!(
-        p.metrics().counter("ingest.accepted"),
+        p.observe().counter("ingest.accepted").unwrap(),
         1,
         "only the original"
     );
