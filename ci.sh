@@ -48,4 +48,12 @@ cargo run --release -q -p swamp-pilots --bin bench_obs -- --check 100 1000 > /de
 echo "== cargo test --workspace -q"
 cargo test --workspace -q
 
+# Shard ≡ single-shard: the differential harness quantifies over the
+# seed, so run it twice with different seeds — equivalence must hold as
+# a property of the seed family, not one lucky constant. Uses the test
+# binary already built by the workspace test step.
+echo "== shard-differential: N-shard == 1-shard at seeds 42 and 1337"
+SHARD_DIFF_SEED=42 cargo test -q -p swamp-pilots --test shard_differential
+SHARD_DIFF_SEED=1337 cargo test -q -p swamp-pilots --test shard_differential
+
 echo "CI OK"

@@ -65,6 +65,18 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
         ],
     ),
     (
+        "swamp-shard",
+        &[
+            "swamp-sim",
+            "swamp-obs",
+            "swamp-codec",
+            "swamp-net",
+            "swamp-sensors",
+            "swamp-fog",
+            "swamp-core",
+        ],
+    ),
+    (
         "swamp-pilots",
         &[
             "swamp-sim",
@@ -78,6 +90,7 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
             "swamp-fog",
             "swamp-security",
             "swamp-core",
+            "swamp-shard",
         ],
     ),
     (
@@ -94,6 +107,7 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
             "swamp-fog",
             "swamp-security",
             "swamp-core",
+            "swamp-shard",
             "swamp-pilots",
             "criterion",
         ],
@@ -112,6 +126,7 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
             "swamp-fog",
             "swamp-security",
             "swamp-core",
+            "swamp-shard",
             "swamp-pilots",
         ],
     ),

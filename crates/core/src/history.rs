@@ -235,6 +235,33 @@ impl HistoryStore {
         out
     }
 
+    /// Dumps every series in deterministic `(entity, attr)` order, with its
+    /// time-sorted samples. The interner's `HashMap` order never leaks: the
+    /// output is sorted, so two stores holding the same samples — however
+    /// the appends were interleaved or sharded — dump identically. This is
+    /// what the shard differential harness compares.
+    pub fn dump_sorted(&self) -> Vec<(String, String, Vec<Sample>)> {
+        let mut keys: Vec<(&str, &str, SeriesId)> = self
+            .index
+            .iter()
+            .flat_map(|(entity, attrs)| {
+                attrs
+                    .iter()
+                    .map(move |(attr, id)| (entity.as_str(), attr.as_str(), *id))
+            })
+            .collect();
+        keys.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        keys.into_iter()
+            .map(|(entity, attr, id)| {
+                (
+                    entity.to_owned(),
+                    attr.to_owned(),
+                    self.series[id as usize].clone(),
+                )
+            })
+            .collect()
+    }
+
     /// Drops samples older than `cutoff` across all series (retention).
     /// Returns how many were removed.
     pub fn prune_before(&mut self, cutoff: SimTime) -> u64 {

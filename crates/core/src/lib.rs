@@ -16,6 +16,8 @@
 //! - [`service`] — the irrigation decision service: broker subscriptions →
 //!   per-zone policy decisions, holding zones whose probes are
 //!   quarantined.
+//! - [`shard`] — the stable `device_id → shard` routing function used by
+//!   the scale-out tier (`swamp-shard`).
 //!
 //! ## Example: a tiny deployment
 //!
@@ -47,6 +49,7 @@ pub mod history;
 pub mod platform;
 pub mod registry;
 pub mod service;
+pub mod shard;
 
 pub use broker::{ContextBroker, Notification, SubscriptionFilter, SubscriptionId};
 pub use error::Error;
@@ -56,3 +59,4 @@ pub use platform::{
 };
 pub use registry::{DeviceRecord, DeviceRegistry};
 pub use service::{IrrigationService, ManagedZone, ZoneDecision};
+pub use shard::{route_device, route_entity, routing_key, ShardIndex};

@@ -238,6 +238,8 @@ pub struct PlatformBuilder {
     auto_quarantine: bool,
     fault_plan: Option<FaultPlan>,
     uplink_outages: Vec<(SimTime, SimTime)>,
+    uplink_spec: Option<LinkSpec>,
+    shards: usize,
 }
 
 impl PlatformBuilder {
@@ -255,6 +257,8 @@ impl PlatformBuilder {
             auto_quarantine: false,
             fault_plan: None,
             uplink_outages: Vec::new(),
+            uplink_spec: None,
+            shards: 1,
         }
     }
 
@@ -315,6 +319,43 @@ impl PlatformBuilder {
         self
     }
 
+    /// Overrides the farm↔cloud uplink link characteristics (default:
+    /// [`LinkSpec::rural_internet`]). The shard differential harness runs
+    /// a lossless, jitter-free uplink so retry/duplicate counters are
+    /// workload-determined rather than channel-determined; benchmarks can
+    /// model fatter or thinner pipes.
+    pub fn uplink_spec(mut self, spec: LinkSpec) -> Self {
+        self.uplink_spec = Some(spec);
+        self
+    }
+
+    /// Number of per-farm shards the deployment is partitioned into
+    /// (≥ 1; zero is clamped to one). [`PlatformBuilder::build`] always
+    /// builds a *single* shard — the scale-out tier
+    /// (`swamp_shard::ShardedPlatform::build`) reads this via
+    /// [`PlatformBuilder::shard_count`] and instantiates one platform per
+    /// shard, routing devices with [`crate::shard::route_device`].
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n.max(1);
+        self
+    }
+
+    /// The configured shard count (see [`PlatformBuilder::shards`]).
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The configured base seed (see [`PlatformBuilder::seed`]). The
+    /// scale-out tier derives per-shard seeds from this.
+    pub fn configured_seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured deployment (see [`Platform::builder`]).
+    pub fn deployment(&self) -> DeploymentConfig {
+        self.config
+    }
+
     /// Schedules farm↔cloud uplink partitions from an outage schedule:
     /// each `[start, end)` window becomes a fault-plan partition on the
     /// uplink pair (creating a fault plan if none was supplied).
@@ -344,6 +385,10 @@ impl PlatformBuilder {
             auto_quarantine,
             mut fault_plan,
             uplink_outages,
+            uplink_spec,
+            // One builder always yields one shard; ShardedPlatform::build
+            // fans a builder out into `shards` platforms.
+            shards: _,
         } = self;
 
         let mut net = Network::new(seed);
@@ -353,7 +398,11 @@ impl PlatformBuilder {
             DeploymentConfig::FarmFog => nodes::FOG,
         };
         net.add_node(farm);
-        net.connect(farm, nodes::CLOUD, LinkSpec::rural_internet());
+        net.connect(
+            farm,
+            nodes::CLOUD,
+            uplink_spec.unwrap_or_else(LinkSpec::rural_internet),
+        );
 
         if !uplink_outages.is_empty() {
             let plan = fault_plan.get_or_insert_with(|| FaultPlan::new(seed));
@@ -457,6 +506,19 @@ impl Platform {
         self.auto_quarantine = on;
     }
 
+    /// Labels this platform's network fabric (see
+    /// [`Network::set_namespace`]); the scale-out tier tags each shard's
+    /// fabric `shard<i>` so diagnostics from parallel fabrics stay
+    /// distinguishable.
+    pub fn set_net_namespace(&mut self, namespace: impl Into<String>) {
+        self.net.set_namespace(namespace);
+    }
+
+    /// The network fabric's namespace label, if one was set.
+    pub fn net_namespace(&self) -> Option<&str> {
+        self.net.namespace()
+    }
+
     /// The node where ingestion and decisions run.
     pub fn platform_node(&self) -> NodeId {
         match self.config {
@@ -530,6 +592,24 @@ impl Platform {
     /// here.)
     pub fn cloud_replica(&self) -> Option<&CloudStore> {
         self.cloud_store.as_ref()
+    }
+
+    /// Mutable access to the cloud replica store (fog deployments only):
+    /// the scale-out tier drains each shard's newly applied records
+    /// ([`CloudStore::drain_new`]) and forwards them to the cross-shard
+    /// aggregation inbox.
+    pub fn cloud_replica_mut(&mut self) -> Option<&mut CloudStore> {
+        self.cloud_store.as_mut()
+    }
+
+    /// The fog-side context broker (current entity state).
+    pub fn context(&self) -> &ContextBroker {
+        &self.context
+    }
+
+    /// The historical time-series store.
+    pub fn history(&self) -> &HistoryStore {
+        &self.history
     }
 
     /// The cloud-side context mirror, if this is a fog deployment: broker

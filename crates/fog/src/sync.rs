@@ -166,6 +166,25 @@ pub struct UpdateRecord {
     pub created_at: SimTime,
 }
 
+impl UpdateRecord {
+    /// Encodes this record into the [`SYNC_TOPIC`] wire format — the same
+    /// bytes [`FogSync`] transmits, so re-encoded records are
+    /// indistinguishable from first-hand ones. Exposed for the scale-out
+    /// tier, which drains per-shard replicas and forwards the records
+    /// through a second [`CloudStore::process_deliveries`] inbox. Keys
+    /// longer than [`MAX_KEY_LEN`] are truncated by the 16-bit length
+    /// prefix (enqueue paths validate the bound up front).
+    pub fn encode(&self) -> Vec<u8> {
+        encode_record(self)
+    }
+
+    /// Decodes a [`SYNC_TOPIC`] payload; `None` if truncated or the key is
+    /// not UTF-8.
+    pub fn decode(bytes: &[u8]) -> Option<UpdateRecord> {
+        decode_record(bytes)
+    }
+}
+
 /// What to drop when the fog buffer is full.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DropPolicy {

@@ -66,22 +66,38 @@ fn steady_state_instrument_updates_are_zero_alloc() {
         obs.exit(t);
     }
 
-    let (calls, ()) = alloc_calls(|| {
-        for i in 0..10_000u64 {
-            let t = obs.enter(pump);
-            let ti = obs.enter(ingest);
-            obs.inc(sent);
-            obs.add(sent, 3);
-            obs.set(pending, i as f64);
-            obs.record(latency, 12.5 + (i % 100) as f64);
-            obs.exit(ti);
-            obs.exit(t);
+    // The counter is process-wide, and the libtest harness runs on its own
+    // threads that may allocate concurrently with the measured window, so a
+    // single window can flakily read a handful of stray allocations under
+    // load. Take the minimum over a few windows: a hot path that really
+    // allocated would do so in *every* window (10k+ times), while harness
+    // noise is transient.
+    let mut min_calls = u64::MAX;
+    let mut rounds_run = 0u64;
+    for _ in 0..3 {
+        let base = rounds_run;
+        let (calls, ()) = alloc_calls(|| {
+            for i in 0..10_000u64 {
+                let t = obs.enter(pump);
+                let ti = obs.enter(ingest);
+                obs.inc(sent);
+                obs.add(sent, 3);
+                obs.set(pending, (base + i) as f64);
+                obs.record(latency, 12.5 + (i % 100) as f64);
+                obs.exit(ti);
+                obs.exit(t);
+            }
+        });
+        rounds_run += 10_000;
+        min_calls = min_calls.min(calls);
+        if min_calls == 0 {
+            break;
         }
-    });
+    }
     assert_eq!(
-        calls, 0,
+        min_calls, 0,
         "counter/gauge/histogram/span updates must be indexed adds — \
-         {calls} allocations over 10k instrumented rounds"
+         {min_calls} allocations in the cleanest of 3 10k-round windows"
     );
-    assert_eq!(obs.value(sent), 64 * 4 + 10_000 * 4);
+    assert_eq!(obs.value(sent), 64 * 4 + rounds_run * 4);
 }

@@ -1,0 +1,96 @@
+//! E14b shard scale-out throughput: runs the shards×devices sweep and
+//! emits `BENCH_e14.json` on stdout (the human-readable table goes to
+//! stderr so redirection captures clean JSON).
+//!
+//! Usage: `cargo run -p swamp-pilots --bin bench_e14 --release \
+//!             [devices ...] > BENCH_e14.json`
+//!
+//! Defaults to fleets of 1 000, 10 000 and 100 000 devices, each replayed
+//! at 1, 4 and 16 shards. Each cell ingests one update per device and is
+//! pumped until every record reaches the cross-shard aggregate store —
+//! the timed region therefore includes the sync engine's window-limited
+//! ack scans, which dominate at large backlogs and are what sharding
+//! divides N ways.
+
+use swamp_codec::json::Json;
+use swamp_obs::ObsReport;
+use swamp_pilots::experiments::e14_shard_throughput_observed;
+
+const SHARD_COUNTS: [usize; 3] = [1, 4, 16];
+
+fn main() {
+    let mut sizes: Vec<usize> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.parse::<usize>() {
+            Ok(n) if n > 0 => sizes.push(n),
+            _ => {
+                eprintln!("bench_e14: fleet sizes must be positive integers, got {arg:?}");
+                eprintln!("usage: bench_e14 [devices ...]   (default: 1000 10000 100000)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if sizes.is_empty() {
+        sizes = vec![1_000, 10_000, 100_000];
+    }
+    // The library is clock-free; the binary owns the wall clock.
+    let (result, obs_reports) = e14_shard_throughput_observed(&SHARD_COUNTS, &sizes, |run| {
+        let start = std::time::Instant::now();
+        run();
+        start.elapsed().as_secs_f64()
+    });
+    eprintln!("{}", result.report());
+
+    // Deterministic per-cell observability snapshots, written next to the
+    // bench JSON (which goes to stdout via redirection).
+    match std::fs::write(
+        "OBS_e14.json",
+        ObsReport::array_to_json_string(&obs_reports),
+    ) {
+        Ok(()) => eprintln!("wrote OBS_e14.json ({} cell reports)", obs_reports.len()),
+        Err(e) => eprintln!("bench_e14: could not write OBS_e14.json: {e}"),
+    }
+
+    let rows: Vec<Json> = result
+        .rows
+        .iter()
+        .map(|r| {
+            // Speedup relative to the 1-shard cell of the same fleet size.
+            let speedup = result
+                .throughput(1, r.devices)
+                .filter(|base| *base > 0.0)
+                .map(|base| r.throughput_per_s / base)
+                .unwrap_or(0.0);
+            Json::object([
+                ("shards", Json::Number(r.shards as f64)),
+                ("devices", Json::Number(r.devices as f64)),
+                ("updates", Json::Number(r.updates as f64)),
+                ("pumps", Json::Number(r.pumps as f64)),
+                (
+                    "elapsed_ms",
+                    Json::Number((r.elapsed_ms * 10.0).round() / 10.0),
+                ),
+                ("updates_per_s", Json::Number(r.throughput_per_s.round())),
+                (
+                    "speedup_vs_1shard",
+                    Json::Number((speedup * 100.0).round() / 100.0),
+                ),
+            ])
+        })
+        .collect();
+    let doc = Json::object([
+        ("experiment", Json::String("e14_shard_throughput".into())),
+        (
+            "description",
+            Json::String(
+                "Wall-clock time to fully replicate one update per device \
+                 through ingest, per-shard fog sync and cross-shard cloud \
+                 aggregation, per shard count and fleet size."
+                    .into(),
+            ),
+        ),
+        ("build", Json::String("release".into())),
+        ("rows", Json::Array(rows)),
+    ]);
+    println!("{}", doc.to_pretty_string());
+}

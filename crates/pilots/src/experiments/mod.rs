@@ -8,6 +8,7 @@
 pub mod attacks;
 pub mod platform;
 pub mod resilience;
+pub mod scale;
 pub mod water;
 
 pub use attacks::{e12_behavior, e2_dos, e3_tamper, e4_sybil};
@@ -16,6 +17,10 @@ pub use platform::{
     e6_partial_view, e7_auth, e8_crypto, e9_ledger, BrokerScaleRow, E11BrokerScaleResult,
 };
 pub use resilience::{e13_resilience, e13_resilience_observed, E13Result, E13Row};
+pub use scale::{
+    e14_shard_scale, e14_shard_throughput_observed, E14Result, E14Row, E14ThroughputResult,
+    ShardScaleRow,
+};
 pub use water::{e10_distribution, e1_water_energy};
 
 use crate::report::Report;
@@ -23,9 +28,11 @@ use crate::report::Report;
 /// Runs every experiment and returns all reports in id order — the
 /// generator behind EXPERIMENTS.md and the `experiments` binary.
 ///
-/// E11c ([`e11_broker_scale`]) is deliberately not included: it measures
-/// wall-clock throughput, so its numbers are not bit-reproducible per seed.
-/// The `bench_e11` binary runs it and emits `BENCH_e11.json`.
+/// E11c ([`e11_broker_scale`]) and E14b
+/// ([`e14_shard_throughput_observed`]) are deliberately not included: they
+/// measure wall-clock throughput, so their numbers are not bit-reproducible
+/// per seed. The `bench_e11` and `bench_e14` binaries run them and emit
+/// `BENCH_e11.json` / `BENCH_e14.json`.
 pub fn run_all(seed: u64) -> Vec<Report> {
     let e1 = e1_water_energy(seed);
     let e2 = e2_dos(seed);
@@ -40,6 +47,7 @@ pub fn run_all(seed: u64) -> Vec<Report> {
     let e11 = e11_platform_scale(seed);
     let e12 = e12_behavior(seed);
     let e13 = e13_resilience(seed);
+    let e14 = e14_shard_scale(seed);
     vec![
         e1.report(),
         e1.ablation_report(),
@@ -57,5 +65,6 @@ pub fn run_all(seed: u64) -> Vec<Report> {
         e11.ablation_report(),
         e12.report(),
         e13.report(),
+        e14.report(),
     ]
 }

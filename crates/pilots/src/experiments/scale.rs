@@ -1,0 +1,387 @@
+//! E14 — sharded multi-farm scale-out.
+//!
+//! The paper runs one platform per pilot; the ROADMAP's north star demands
+//! scale-out. E14 partitions the deployment into per-farm shards
+//! ([`swamp_shard::ShardedPlatform`]) and asks two questions:
+//!
+//! 1. **Equivalence** (deterministic, in `run_all`): is sharding an
+//!    implementation detail? An N-shard run must produce the same merged
+//!    history, the same cloud-applied record set and the same summed
+//!    `ingest.*`/`sync.*`/`cloud.*` counters as the 1-shard run of the
+//!    same workload. The full differential harness lives in
+//!    `crates/pilots/tests/shard_differential.rs`; the E14 table records
+//!    the equivalence verdict per cell.
+//! 2. **Throughput** (wall clock, `bench_e14` binary): how much faster
+//!    does the fleet replicate when the quadratic ack-scan backlog of a
+//!    single sync engine is divided N ways?
+//!
+//! The equivalence cells run a lossless datacenter uplink with a retry
+//! timeout longer than the ack round trip, so every `sync.*` counter is
+//! workload-determined (transmissions = enqueued, zero retransmissions,
+//! zero duplicates) — any cross-shard-count difference is a real routing
+//! or merge bug, never channel noise.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use swamp_codec::ngsi::Entity;
+use swamp_core::platform::{DeploymentConfig, Platform, PlatformBuilder};
+use swamp_core::shard::route_device;
+use swamp_net::link::LinkSpec;
+use swamp_obs::ObsReport;
+use swamp_shard::ShardedPlatform;
+use swamp_sim::{SimDuration, SimRng, SimTime};
+
+use crate::report::{fmt_f, Report};
+
+/// Canonical deterministic fingerprint of one sharded run: everything the
+/// differential property quantifies over.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunFingerprint {
+    /// Merged history: (entity, attr) → time-sorted samples, with the
+    /// value bit pattern (histories of disjoint shards merge by key).
+    pub history: BTreeMap<(String, String), Vec<(u64, u64)>>,
+    /// Aggregate-store record set: (key, created_at ms, payload).
+    pub records: BTreeSet<(String, u64, Vec<u8>)>,
+    /// Summed `ingest.*`/`sync.*`/`cloud.*` counters from the merged
+    /// tier snapshot.
+    pub counters: BTreeMap<String, u64>,
+}
+
+/// Builds the E14 platform configuration: a farm-fog deployment on a
+/// lossless datacenter uplink whose retry timeout exceeds the ack round
+/// trip (pump cadence is 60 s), so replication counters are
+/// workload-determined.
+pub fn e14_builder(seed: u64, shards: usize) -> PlatformBuilder {
+    Platform::builder(DeploymentConfig::FarmFog)
+        .seed(seed)
+        .shards(shards)
+        .uplink_spec(LinkSpec::cloud_backbone())
+        .sync_base_timeout(SimDuration::from_secs(300))
+        .sync_jitter(0.0)
+}
+
+/// Drives one seeded workload — `devices` probes publishing `rounds`
+/// batches of soil telemetry — through an N-shard platform, pumps until
+/// replication settles, and returns the run's [`RunFingerprint`] plus the
+/// platform for further inspection.
+pub fn e14_run_cell(
+    seed: u64,
+    shards: usize,
+    devices: usize,
+    rounds: usize,
+) -> (RunFingerprint, ShardedPlatform) {
+    let mut sp = ShardedPlatform::build(e14_builder(seed, shards));
+    let mut rng = SimRng::seed_from(seed).split("e14-workload");
+    let mut now = SimTime::ZERO;
+    for round in 0..rounds {
+        now = now.saturating_add(SimDuration::from_secs(60));
+        let batch: Vec<Entity> = (0..devices)
+            .map(|i| {
+                let mut e = Entity::new(format!("urn:swamp:device:probe-{i}"), "SoilProbe");
+                e.set("moisture_vwc", 0.15 + rng.uniform_f64() * 0.2);
+                e.set("seq", round as f64);
+                e
+            })
+            .collect();
+        sp.ingest_entities(now, batch);
+        sp.pump(now);
+    }
+    // Drain the replication backlog (window-limited), then settle the
+    // aggregation fabric.
+    let expected = (devices * rounds) as u64;
+    for _ in 0..10_000 {
+        if sp.aggregate_store().record_count() as u64 >= expected {
+            break;
+        }
+        now = now.saturating_add(SimDuration::from_secs(60));
+        sp.pump(now);
+    }
+    sp.flush_aggregation(now);
+    (fingerprint(&sp), sp)
+}
+
+/// Extracts the deterministic fingerprint of a settled run.
+pub fn fingerprint(sp: &ShardedPlatform) -> RunFingerprint {
+    let mut history: BTreeMap<(String, String), Vec<(u64, u64)>> = BTreeMap::new();
+    for shard in sp.shards() {
+        for (entity, attr, samples) in shard.history().dump_sorted() {
+            history.entry((entity, attr)).or_default().extend(
+                samples
+                    .iter()
+                    .map(|s| (s.at.as_millis(), s.value.to_bits())),
+            );
+        }
+    }
+    // Devices are disjoint across shards, but two shards may intern the
+    // same (entity, attr) only if routing broke — keep whatever arrived
+    // and let the per-key sample equality catch it.
+    for samples in history.values_mut() {
+        samples.sort_unstable();
+    }
+    let records: BTreeSet<(String, u64, Vec<u8>)> = sp
+        .aggregate_store()
+        .history()
+        .iter()
+        .map(|r| (r.key.clone(), r.created_at.as_millis(), r.payload.clone()))
+        .collect();
+    let snap = sp.observe();
+    let counters: BTreeMap<String, u64> = snap
+        .counters()
+        .filter(|(name, _)| {
+            name.starts_with("ingest.") || name.starts_with("sync.") || name.starts_with("cloud.")
+        })
+        .map(|(name, v)| (name.to_owned(), v))
+        .collect();
+    RunFingerprint {
+        history,
+        records,
+        counters,
+    }
+}
+
+/// One cell of the E14 equivalence table.
+#[derive(Clone, Debug)]
+pub struct E14Row {
+    /// Shard count.
+    pub shards: usize,
+    /// Fleet size.
+    pub devices: usize,
+    /// Updates ingested.
+    pub updates: u64,
+    /// Records applied by the aggregate cloud store.
+    pub agg_records: u64,
+    /// Max/min devices per shard (1.0 when perfectly balanced; ∞ guarded
+    /// by the balance property test, reported here for the table).
+    pub balance: f64,
+    /// Whether this cell's fingerprint equals the 1-shard baseline's.
+    pub matches_single_shard: bool,
+}
+
+/// E14 results.
+#[derive(Clone, Debug)]
+pub struct E14Result {
+    /// One row per shard count.
+    pub rows: Vec<E14Row>,
+}
+
+impl E14Result {
+    /// The equivalence table.
+    pub fn report(&self) -> Report {
+        let mut r = Report::new(
+            "E14: sharded scale-out — N-shard vs 1-shard equivalence (lossless uplink, 60 s pumps)",
+            &[
+                "shards",
+                "devices",
+                "updates",
+                "agg_records",
+                "balance_max_min",
+                "matches_1shard",
+            ],
+        );
+        for row in &self.rows {
+            r.push_row(vec![
+                row.shards.to_string(),
+                row.devices.to_string(),
+                row.updates.to_string(),
+                row.agg_records.to_string(),
+                fmt_f(row.balance, 2),
+                row.matches_single_shard.to_string(),
+            ]);
+        }
+        r
+    }
+}
+
+/// Runs E14 (deterministic half): a 240-device, 5-round workload replayed
+/// at 1, 4 and 16 shards; every sharded fingerprint must equal the
+/// 1-shard baseline.
+pub fn e14_shard_scale(seed: u64) -> E14Result {
+    let devices = 240;
+    let rounds = 5;
+    let (baseline, _) = e14_run_cell(seed, 1, devices, rounds);
+    let mut rows = Vec::new();
+    for shards in [1usize, 4, 16] {
+        let (fp, sp) = e14_run_cell(seed, shards, devices, rounds);
+        let mut per_shard = vec![0u64; shards];
+        for i in 0..devices {
+            per_shard[route_device(&format!("probe-{i}"), shards)] += 1;
+        }
+        let max = *per_shard.iter().max().unwrap_or(&0) as f64;
+        let min = *per_shard.iter().min().unwrap_or(&0) as f64;
+        rows.push(E14Row {
+            shards,
+            devices,
+            updates: (devices * rounds) as u64,
+            agg_records: sp.aggregate_store().record_count() as u64,
+            balance: if min > 0.0 { max / min } else { f64::INFINITY },
+            matches_single_shard: fp == baseline,
+        });
+    }
+    E14Result { rows }
+}
+
+/// One cell of the E14 wall-clock throughput sweep.
+#[derive(Clone, Debug)]
+pub struct ShardScaleRow {
+    /// Shard count.
+    pub shards: usize,
+    /// Fleet size (one update per device in the timed backlog).
+    pub devices: usize,
+    /// Updates fully replicated to the aggregate store.
+    pub updates: u64,
+    /// Pump rounds needed to drain the backlog.
+    pub pumps: u64,
+    /// Wall-clock time for ingest + drain + aggregation.
+    pub elapsed_ms: f64,
+    /// Updates fully replicated per wall-clock second.
+    pub throughput_per_s: f64,
+}
+
+/// E14 throughput results.
+#[derive(Clone, Debug)]
+pub struct E14ThroughputResult {
+    /// One row per (shards, devices).
+    pub rows: Vec<ShardScaleRow>,
+}
+
+impl E14ThroughputResult {
+    /// The shards×devices throughput table.
+    pub fn report(&self) -> Report {
+        let mut r = Report::new(
+            "E14b: shard scale-out throughput — time to fully replicate one update per device (wall clock)",
+            &["shards", "devices", "updates", "pumps", "elapsed_ms", "updates_per_s"],
+        );
+        for row in &self.rows {
+            r.push_row(vec![
+                row.shards.to_string(),
+                row.devices.to_string(),
+                row.updates.to_string(),
+                row.pumps.to_string(),
+                fmt_f(row.elapsed_ms, 1),
+                fmt_f(row.throughput_per_s, 0),
+            ]);
+        }
+        r
+    }
+
+    /// Throughput of the cell with the given coordinates, if present.
+    pub fn throughput(&self, shards: usize, devices: usize) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.shards == shards && r.devices == devices)
+            .map(|r| r.throughput_per_s)
+    }
+}
+
+/// Runs the E14 wall-clock sweep: for each (shards, devices) cell, one
+/// update per device is ingested and the platform is pumped until every
+/// record reaches the aggregate store. The timed region covers ingest,
+/// replication (the sync engine's window-limited ack scans dominate at
+/// large backlogs) and cross-shard aggregation.
+///
+/// The caller supplies the clock: `time_cell` receives one cell's body and
+/// returns the wall-clock seconds it took, and must run the body exactly
+/// once — the library stays free of ambient time sources; only the
+/// `bench_e14` binary (and the unit test) touch `std::time::Instant`.
+pub fn e14_shard_throughput_observed(
+    shard_counts: &[usize],
+    device_counts: &[usize],
+    mut time_cell: impl FnMut(&mut dyn FnMut()) -> f64,
+) -> (E14ThroughputResult, Vec<ObsReport>) {
+    let mut rows = Vec::new();
+    let mut reports = Vec::new();
+    for &devices in device_counts {
+        if devices == 0 {
+            continue;
+        }
+        for &shards in shard_counts {
+            if shards == 0 {
+                continue;
+            }
+            let mut sp = ShardedPlatform::build(e14_builder(7, shards));
+            let mut pumps = 0u64;
+            let mut replicated = 0u64;
+            let secs = time_cell(&mut || {
+                let mut now = SimTime::from_secs(60);
+                let batch: Vec<Entity> = (0..devices)
+                    .map(|i| {
+                        let mut e = Entity::new(format!("urn:swamp:device:probe-{i}"), "SoilProbe");
+                        e.set("moisture_vwc", 0.2 + (i % 100) as f64 * 0.001);
+                        e.set("seq", 0.0);
+                        e
+                    })
+                    .collect();
+                sp.ingest_entities(now, batch);
+                for _ in 0..100_000u64 {
+                    sp.pump(now);
+                    pumps += 1;
+                    if sp.aggregate_store().record_count() >= devices {
+                        break;
+                    }
+                    now = now.saturating_add(SimDuration::from_secs(60));
+                }
+                sp.flush_aggregation(now);
+                replicated = sp.aggregate_store().record_count() as u64;
+            });
+            rows.push(ShardScaleRow {
+                shards,
+                devices,
+                updates: replicated,
+                pumps,
+                elapsed_ms: secs * 1e3,
+                throughput_per_s: if secs > 0.0 {
+                    replicated as f64 / secs
+                } else {
+                    0.0
+                },
+            });
+            let label = format!("e14/{shards}sh/{devices}");
+            reports.push(ObsReport::new(&label, 7, sp.observe()));
+        }
+    }
+    (E14ThroughputResult { rows }, reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e14_equivalence_holds_at_test_scale() {
+        let r = e14_shard_scale(42);
+        assert_eq!(r.rows.len(), 3);
+        for row in &r.rows {
+            assert!(
+                row.matches_single_shard,
+                "{} shards: fingerprint diverged from 1-shard baseline",
+                row.shards
+            );
+            assert_eq!(row.agg_records, row.updates);
+            assert!(row.balance.is_finite());
+        }
+        let table = r.report().to_string();
+        assert!(table.contains("matches_1shard"));
+    }
+
+    #[test]
+    fn e14_throughput_cells_complete() {
+        // Tiny cells keep the test fast; bench_e14 runs the real sweep.
+        let (r, reports) = e14_shard_throughput_observed(&[1, 4], &[64], |run| {
+            let start = std::time::Instant::now();
+            run();
+            start.elapsed().as_secs_f64()
+        });
+        assert_eq!(r.rows.len(), 2);
+        for row in &r.rows {
+            assert_eq!(
+                row.updates, 64,
+                "{} shards must fully replicate",
+                row.shards
+            );
+            assert!(row.throughput_per_s > 0.0);
+        }
+        assert_eq!(reports.len(), 2);
+        assert!(r.throughput(1, 64).is_some());
+        assert!(r.throughput(2, 64).is_none());
+    }
+}

@@ -1,0 +1,491 @@
+//! # swamp-shard — the SWAMP scale-out tier
+//!
+//! The paper deploys one SWAMP platform per pilot (CBEC, Intercrop,
+//! Guaspari, MATOPIBA); this crate runs *several farms at once* by
+//! partitioning the deployment into per-farm **shards**. Each shard owns a
+//! full [`Platform`] — its own network fabric, broker, history store and
+//! fog→cloud sync engine — so shards never contend and a fault on one
+//! farm's uplink cannot stall another's ingestion.
+//!
+//! Three pieces make the partitioning safe:
+//!
+//! - **Stable routing** ([`swamp_core::shard::route_device`]): a pure
+//!   FNV-1a hash of the device id picks the shard, so assignment survives
+//!   re-registration and restart, and a device's telemetry entities
+//!   ([`swamp_core::shard::route_entity`]) follow it.
+//! - **Deterministic scheduling** ([`ShardScheduler`]): shards are pumped
+//!   in a seeded round-robin rotation — tick-based, no wall clock — so a
+//!   sharded run replays bit-for-bit from its seed.
+//! - **Cross-shard aggregation**: every shard's cloud replica drains into
+//!   a dedicated aggregation fabric and a global [`CloudStore`] inbox via
+//!   the *existing* [`CloudStore::process_deliveries`] wire path (records
+//!   are re-encoded with [`UpdateRecord::encode`], so the aggregate store
+//!   dedups and acks exactly as a first-hand cloud would).
+//!
+//! The headline correctness property — proven by the differential harness
+//! in `crates/pilots/tests/shard_differential.rs` — is that **sharding is
+//! an implementation detail**: for any seeded workload, an N-shard run and
+//! a 1-shard run produce identical merged history, identical
+//! cloud-applied record sets and identical summed ingest/sync counters.
+
+// The scale-out tier must not panic on reachable errors; remaining
+// `expect`s document invariants.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
+pub mod scheduler;
+
+pub use scheduler::ShardScheduler;
+
+use swamp_codec::ngsi::Entity;
+use swamp_core::platform::{DeploymentConfig, Platform, PlatformBuilder};
+use swamp_core::shard::{route_device, route_entity, ShardIndex};
+use swamp_core::Error;
+use swamp_fog::sync::{CloudStore, UpdateRecord, SYNC_TOPIC};
+use swamp_net::link::LinkSpec;
+use swamp_net::message::{Message, NodeId};
+use swamp_net::network::Network;
+use swamp_obs::{Counter, Gauge, Obs, ObsReport, ObsSnapshot};
+use swamp_sensors::device::DeviceKind;
+use swamp_sim::{SimDuration, SimTime};
+
+/// Mixes a shard index into the deployment's base seed. Shard 0 keeps the
+/// base seed unchanged, which makes a 1-shard [`ShardedPlatform`]
+/// bit-identical to a plain [`Platform`] built from the same builder.
+pub fn shard_seed(base: u64, shard: ShardIndex) -> u64 {
+    base ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Node name of shard `i`'s uplink proxy on the aggregation fabric.
+fn shard_proxy(i: ShardIndex) -> String {
+    format!("shard{i}")
+}
+
+/// Node name of the aggregate cloud inbox on the aggregation fabric.
+const AGG_NODE: &str = "cloud-agg";
+
+/// Typed handles for the tier's own instruments.
+struct ShardInstruments {
+    forwarded: Counter,
+    acked: Counter,
+    send_refused: Counter,
+    shard_count: Gauge,
+}
+
+impl ShardInstruments {
+    fn register(obs: &mut Obs) -> ShardInstruments {
+        ShardInstruments {
+            forwarded: obs.counter("shardfwd.records"),
+            acked: obs.counter("shardfwd.acked"),
+            send_refused: obs.counter("shardfwd.send_refused"),
+            shard_count: obs.gauge("shard.count"),
+        }
+    }
+}
+
+/// A deployment partitioned into per-farm shards.
+///
+/// Build one from a [`PlatformBuilder`] with
+/// [`PlatformBuilder::shards`] configured; every builder knob (deployment,
+/// sync tuning, fault plan, uplink outages) applies to *each* shard, and
+/// one fault plan is shared — cloned into every shard's fabric — so a
+/// scheduled regional outage hits all farms alike.
+///
+/// # Example
+/// ```
+/// use swamp_core::platform::{DeploymentConfig, Platform};
+/// use swamp_shard::ShardedPlatform;
+/// use swamp_sensors::device::DeviceKind;
+/// use swamp_sim::SimTime;
+///
+/// let builder = Platform::builder(DeploymentConfig::FarmFog).seed(7).shards(3);
+/// let mut sp = ShardedPlatform::build(builder);
+/// let shard = sp
+///     .register_device(SimTime::ZERO, "probe-1", DeviceKind::SoilProbe, "owner:demo")
+///     .unwrap();
+/// assert!(shard < 3);
+/// ```
+pub struct ShardedPlatform {
+    shards: Vec<Platform>,
+    seeds: Vec<u64>,
+    scheduler: ShardScheduler,
+    agg_net: Network,
+    agg_store: CloudStore,
+    agg_node: NodeId,
+    proxies: Vec<NodeId>,
+    /// Per-shard forward cursor into the replica's append-only applied
+    /// history (`drain_new` is owned by the shard's own cloud-context
+    /// mirror, so the tier keeps its own read position).
+    forwarded_upto: Vec<usize>,
+    obs: Obs,
+    ins: ShardInstruments,
+    base_seed: u64,
+    config: DeploymentConfig,
+}
+
+impl ShardedPlatform {
+    /// Builds `builder.shard_count()` platform shards plus the aggregation
+    /// tier. Shard `i` gets the derived seed [`shard_seed`]`(base, i)`,
+    /// the fabric namespace `shard<i>`, and a clone of the builder's fault
+    /// plan and outage schedule.
+    pub fn build(builder: PlatformBuilder) -> ShardedPlatform {
+        let n = builder.shard_count();
+        let base_seed = builder.configured_seed();
+        let config = builder.deployment();
+
+        let mut shards = Vec::with_capacity(n);
+        let mut seeds = Vec::with_capacity(n);
+        for i in 0..n {
+            let seed = shard_seed(base_seed, i);
+            let mut shard = builder.clone().seed(seed).build();
+            shard.set_net_namespace(shard_proxy(i));
+            shards.push(shard);
+            seeds.push(seed);
+        }
+
+        // The aggregation fabric: one zero-loss datacenter link per shard
+        // proxy into the global inbox. Faults never apply here — shard
+        // uplinks already modelled them; this tier models the cloud's own
+        // backbone.
+        let mut agg_net = Network::new(base_seed ^ 0x0061_6767_5f6e_6574); // "agg_net"
+        agg_net.set_namespace("agg");
+        let agg_node = agg_net.add_node(AGG_NODE);
+        let mut proxies = Vec::with_capacity(n);
+        for i in 0..n {
+            let proxy = agg_net.add_node(shard_proxy(i).as_str());
+            agg_net.connect(proxy.clone(), agg_node.clone(), LinkSpec::cloud_backbone());
+            proxies.push(proxy);
+        }
+
+        let mut obs = Obs::new();
+        let ins = ShardInstruments::register(&mut obs);
+        obs.set(ins.shard_count, n as f64);
+
+        ShardedPlatform {
+            shards,
+            seeds,
+            scheduler: ShardScheduler::new(base_seed, n),
+            agg_net,
+            agg_store: CloudStore::new(AGG_NODE),
+            agg_node,
+            proxies,
+            forwarded_upto: vec![0; n],
+            obs,
+            ins,
+            base_seed,
+            config,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The deployment configuration every shard runs.
+    pub fn config(&self) -> DeploymentConfig {
+        self.config
+    }
+
+    /// The shard a device id routes to.
+    pub fn shard_of(&self, device_id: &str) -> ShardIndex {
+        route_device(device_id, self.shards.len())
+    }
+
+    /// Shared access to one shard's platform.
+    pub fn shard(&self, i: ShardIndex) -> Option<&Platform> {
+        self.shards.get(i)
+    }
+
+    /// Mutable access to one shard's platform (fault drills, direct
+    /// publishes).
+    pub fn shard_mut(&mut self, i: ShardIndex) -> Option<&mut Platform> {
+        self.shards.get_mut(i)
+    }
+
+    /// Iterates the shards in index order.
+    pub fn shards(&self) -> impl Iterator<Item = &Platform> {
+        self.shards.iter()
+    }
+
+    /// The scheduler's completed round count.
+    pub fn rounds(&self) -> u64 {
+        self.scheduler.ticks()
+    }
+
+    /// Registers a device on the shard its id routes to, returning that
+    /// shard's index.
+    ///
+    /// # Errors
+    /// [`Error::Registry`] if the id is already registered on its shard
+    /// (routing is stable, so re-registration always lands on the same
+    /// shard and is caught there).
+    pub fn register_device(
+        &mut self,
+        now: SimTime,
+        device_id: &str,
+        kind: DeviceKind,
+        owner: &str,
+    ) -> Result<ShardIndex, Error> {
+        let idx = self.shard_of(device_id);
+        self.shards[idx].register_device(now, device_id, kind, owner)?;
+        Ok(idx)
+    }
+
+    /// Device-side publish, routed to the device's shard.
+    ///
+    /// # Errors
+    /// [`Error::Send`] if the shard's network refuses the send.
+    pub fn device_publish(
+        &mut self,
+        now: SimTime,
+        device_id: &str,
+        entity: &Entity,
+    ) -> Result<ShardIndex, Error> {
+        let idx = self.shard_of(device_id);
+        self.shards[idx].device_publish(now, device_id, entity)?;
+        Ok(idx)
+    }
+
+    /// Applies a batch of already-validated entity updates, partitioned to
+    /// each entity's shard by [`route_entity`] (device URNs follow their
+    /// device). Returns the number of updates applied.
+    pub fn ingest_entities(
+        &mut self,
+        now: SimTime,
+        entities: impl IntoIterator<Item = Entity>,
+    ) -> usize {
+        let n = self.shards.len();
+        let mut per_shard: Vec<Vec<Entity>> = (0..n).map(|_| Vec::new()).collect();
+        for entity in entities {
+            per_shard[route_entity(entity.id().as_str(), n)].push(entity);
+        }
+        let mut applied = 0;
+        for (idx, batch) in per_shard.into_iter().enumerate() {
+            if !batch.is_empty() {
+                applied += self.shards[idx].ingest_entities(now, batch);
+            }
+        }
+        applied
+    }
+
+    /// Pumps every shard once, in this round's scheduler rotation, then
+    /// runs one aggregation pass. Returns the number of entity updates
+    /// ingested across all shards.
+    pub fn pump(&mut self, now: SimTime) -> usize {
+        let mut ingested = 0;
+        for idx in self.scheduler.next_round() {
+            ingested += self.shards[idx].pump(now);
+        }
+        self.aggregate(now);
+        ingested
+    }
+
+    /// One aggregation pass: drains each shard replica's newly applied
+    /// records, re-encodes them onto the aggregation fabric, and feeds
+    /// everything that has arrived into the global [`CloudStore`] inbox.
+    /// Records sent this pass arrive one backbone latency later (next
+    /// pass); [`ShardedPlatform::flush_aggregation`] settles the tail.
+    pub fn aggregate(&mut self, now: SimTime) {
+        // Forward phase: per-shard replica → aggregation fabric. The
+        // replica's applied history is append-only, so a cursor per shard
+        // picks up exactly the records applied since the last pass
+        // (without stealing `drain_new` from the shard's own
+        // cloud-context mirror).
+        for idx in 0..self.shards.len() {
+            let records: Vec<UpdateRecord> = match self.shards[idx].cloud_replica() {
+                Some(replica) => {
+                    let history = replica.history();
+                    let new = history[self.forwarded_upto[idx].min(history.len())..].to_vec();
+                    self.forwarded_upto[idx] = history.len();
+                    new
+                }
+                None => Vec::new(),
+            };
+            for record in records {
+                let ok = self
+                    .agg_net
+                    .send(
+                        now,
+                        self.proxies[idx].clone(),
+                        self.agg_node.clone(),
+                        Message::new(SYNC_TOPIC, record.encode()),
+                    )
+                    .is_ok();
+                if ok {
+                    self.obs.inc(self.ins.forwarded);
+                } else {
+                    // Zero-loss backbone: refusals mean a config bug, but
+                    // the tier degrades to a counter rather than a panic.
+                    self.obs.inc(self.ins.send_refused);
+                }
+            }
+        }
+        // Delivery phase: whatever the backbone has delivered by `now`.
+        self.agg_net.advance_to(now);
+        let deliveries = self.agg_net.drain(&self.agg_node.clone());
+        self.agg_store
+            .process_deliveries(&mut self.agg_net, now, deliveries);
+        // The store acks each proxy; drain those acks so inboxes stay
+        // bounded (the proxies have no retry engine to feed them to).
+        for proxy in self.proxies.clone() {
+            let acked = self.agg_net.drain(&proxy).len() as u64;
+            self.obs.add(self.ins.acked, acked);
+        }
+    }
+
+    /// Settles the aggregation fabric: advances simulated time in 1-second
+    /// steps until no message is in flight, processing arrivals each step.
+    /// Returns the horizon reached. Call after the last
+    /// [`ShardedPlatform::pump`] to make the aggregate store reflect every
+    /// record the shards have applied.
+    pub fn flush_aggregation(&mut self, now: SimTime) -> SimTime {
+        let mut horizon = now;
+        loop {
+            self.aggregate(horizon);
+            if self.agg_net.in_flight() == 0 {
+                return horizon;
+            }
+            horizon = horizon.saturating_add(SimDuration::from_secs(1));
+        }
+    }
+
+    /// The aggregate cloud store built from every shard's replicated
+    /// records.
+    pub fn aggregate_store(&self) -> &CloudStore {
+        &self.agg_store
+    }
+
+    /// One merged snapshot across the whole tier: every shard's
+    /// [`Platform::observe`] (counters add, so `ingest.*`/`sync.*` totals
+    /// are fleet-wide), the aggregation fabric and store, and the tier's
+    /// own `shardfwd.*`/`shard.count` instruments. Byte-stable: shards
+    /// merge in index order and [`ObsSnapshot`] serialization is sorted.
+    pub fn observe(&self) -> ObsSnapshot {
+        let mut snap = self.obs.snapshot();
+        for shard in &self.shards {
+            snap.merge(&shard.observe());
+        }
+        snap.merge(&self.agg_net.observe());
+        snap.merge(&self.agg_store.observe());
+        snap
+    }
+
+    /// Per-shard labelled reports plus the merged tier report: one
+    /// [`ObsReport`] labelled `<base>/shard<i>` per shard (carrying that
+    /// shard's derived seed) followed by `<base>/merged` (base seed,
+    /// merged snapshot from [`ShardedPlatform::observe`]). Label order is
+    /// deterministic, so serializing the vec is byte-stable run-to-run.
+    pub fn observe_labelled(&self, base: &str) -> Vec<ObsReport> {
+        let mut reports: Vec<ObsReport> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                ObsReport::new(&format!("{base}/shard{i}"), self.seeds[i], shard.observe())
+            })
+            .collect();
+        reports.push(ObsReport::new(
+            &format!("{base}/merged"),
+            self.base_seed,
+            self.observe(),
+        ));
+        reports
+    }
+}
+
+impl std::fmt::Debug for ShardedPlatform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedPlatform")
+            .field("shards", &self.shards.len())
+            .field("config", &self.config)
+            .field("rounds", &self.scheduler.ticks())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(n: usize, seed: u64) -> ShardedPlatform {
+        ShardedPlatform::build(
+            Platform::builder(DeploymentConfig::FarmFog)
+                .seed(seed)
+                .shards(n),
+        )
+    }
+
+    fn probe_update(i: usize, seq: f64) -> Entity {
+        let mut e = Entity::new(format!("urn:swamp:device:probe-{i}"), "SoilProbe");
+        e.set("moisture_vwc", 0.2 + (i % 10) as f64 * 0.01);
+        e.set("seq", seq);
+        e
+    }
+
+    #[test]
+    fn shard_zero_matches_plain_platform_seed() {
+        assert_eq!(shard_seed(42, 0), 42);
+        assert_ne!(shard_seed(42, 1), 42);
+    }
+
+    #[test]
+    fn devices_route_to_owning_shard() {
+        let mut sp = build(4, 7);
+        let idx = sp
+            .register_device(SimTime::ZERO, "probe-1", DeviceKind::SoilProbe, "owner:t")
+            .unwrap();
+        assert_eq!(idx, sp.shard_of("probe-1"));
+        // Re-registration lands on the same shard and errors there.
+        assert!(sp
+            .register_device(SimTime::ZERO, "probe-1", DeviceKind::SoilProbe, "owner:t")
+            .is_err());
+    }
+
+    #[test]
+    fn ingest_partitions_and_aggregates() {
+        let mut sp = build(3, 42);
+        let updates: Vec<Entity> = (0..30).map(|i| probe_update(i, 0.0)).collect();
+        let applied = sp.ingest_entities(SimTime::from_secs(1), updates);
+        assert_eq!(applied, 30);
+        // Per-shard history totals sum to the batch (2 samples per update).
+        let total: u64 = sp.shards().map(|s| s.history().len()).sum();
+        assert_eq!(total, 60);
+        // Pump until replication lands, then settle aggregation.
+        let mut now = SimTime::from_secs(1);
+        for _ in 0..50 {
+            now = now.saturating_add(SimDuration::from_secs(60));
+            sp.pump(now);
+        }
+        sp.flush_aggregation(now);
+        assert_eq!(sp.aggregate_store().history().len(), 30);
+        let snap = sp.observe();
+        assert_eq!(
+            snap.counter("cloud.accepted").unwrap(),
+            60,
+            "30 per-shard + 30 agg"
+        );
+        assert_eq!(snap.counter("shardfwd.records").unwrap(), 30);
+        assert_eq!(snap.counter("shardfwd.send_refused").unwrap(), 0);
+    }
+
+    #[test]
+    fn labelled_reports_are_deterministic() {
+        let run = |_| {
+            let mut sp = build(2, 42);
+            let updates: Vec<Entity> = (0..8).map(|i| probe_update(i, 0.0)).collect();
+            sp.ingest_entities(SimTime::from_secs(1), updates);
+            let mut now = SimTime::from_secs(1);
+            for _ in 0..20 {
+                now = now.saturating_add(SimDuration::from_secs(60));
+                sp.pump(now);
+            }
+            sp.flush_aggregation(now);
+            ObsReport::array_to_json_string(&sp.observe_labelled("t"))
+        };
+        assert_eq!(
+            run(0),
+            run(1),
+            "two seed-42 runs must serialize identically"
+        );
+    }
+}

@@ -20,4 +20,5 @@ pub use swamp_net as net;
 pub use swamp_pilots as pilots;
 pub use swamp_security as security;
 pub use swamp_sensors as sensors;
+pub use swamp_shard as shard;
 pub use swamp_sim as sim;
