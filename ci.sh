@@ -45,6 +45,14 @@ cargo test -q
 echo "== bench-guard: obs overhead <= 5% (bench_obs --check)"
 cargo run --release -q -p swamp-pilots --bin bench_obs -- --check 100 1000 > /dev/null
 
+# Deep-backlog drains must stay near-linear in backlog depth: bench_sync
+# times 1-shard drains at adjacent sizes and --check fails the build if
+# drain time grows superlinearly (time ratio > size ratio x slack — the
+# pre-indexed engine's O(B^2) drain showed ~size_ratio^2). Guards the
+# sync engine's record-table + ready-queue + timer-wheel indexing.
+echo "== bench-guard: sync drain stays near-linear (bench_sync --check)"
+cargo run --release -q -p swamp-pilots --bin bench_sync -- --check 10000 100000 1000000 > /dev/null
+
 echo "== cargo test --workspace -q"
 cargo test --workspace -q
 

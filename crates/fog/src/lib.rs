@@ -14,6 +14,8 @@
 //!   schedules for the disconnection experiments (E5).
 //! - [`mobile`] — contact-plan-driven connectivity for drone/pivot fog
 //!   nodes.
+//! - [`timer_wheel`] — hierarchical timer wheel backing the sync engine's
+//!   O(due-timers) retry scheduling.
 //!
 //! ## Example: buffering through an outage
 //!
@@ -41,6 +43,7 @@
 pub mod availability;
 pub mod mobile;
 pub mod sync;
+pub mod timer_wheel;
 
 pub use availability::{AvailabilityTracker, OutageSchedule, ServedBy};
 pub use mobile::{ContactPlan, MobileLinkDriver};

@@ -37,9 +37,23 @@
 //! The platform maps the mode to deployment-specific fallbacks: a
 //! CloudOnly gateway keeps buffering, a FarmFog node falls back to local
 //! irrigation control.
+//!
+//! ## Complexity
+//!
+//! The engine is indexed so one sync round costs O(transmissions +
+//! due timers) and one ack costs amortized O(1), independent of backlog
+//! depth: the backlog lives in a seq-keyed record table, never-transmitted
+//! records wait in a FIFO ready queue, and retry deadlines sit in a
+//! hierarchical [`TimerWheel`]. Wheel
+//! entries are invalidated lazily — a `(seq, attempts)` generation check
+//! when they fire — rather than deleted eagerly on ack, and the
+//! duplicate-ack dedup set is a bounded sliding window (watermark +
+//! recent set) so memory stays O(window) on week-long runs. See
+//! DESIGN.md §13 for the data-structure walkthrough.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
+use crate::timer_wheel::TimerWheel;
 use swamp_net::message::{Delivery, Message, NodeId};
 use swamp_net::network::{Network, SendError};
 use swamp_obs::{Counter, Gauge, Hist, Level, Obs, ObsSnapshot, Span};
@@ -232,6 +246,10 @@ struct SyncInstruments {
     in_flight: Gauge,
     mode: Gauge,
     retry_interval_ms: Hist,
+    /// Entries examined per round (timer fires, incl. stale, + ready-queue
+    /// pops): the witness that per-round work tracks transmissions + due
+    /// timers, not backlog depth.
+    round_scanned: Hist,
     round_span: Span,
 }
 
@@ -249,6 +267,7 @@ impl SyncInstruments {
             in_flight: obs.gauge("sync.in_flight"),
             mode: obs.gauge("sync.mode"),
             retry_interval_ms: obs.hist("sync.retry_interval_ms", 0.0, 600_000.0, 64),
+            round_scanned: obs.hist("sync.round_scanned", 0.0, 4096.0, 64),
             round_span: obs.span("sync.round"),
         }
     }
@@ -261,6 +280,23 @@ struct FlightState {
     attempts: u32,
     /// When the next retransmission is due.
     next_retry: SimTime,
+}
+
+/// How many released seqs the duplicate-ack window remembers exactly.
+/// Seqs that age out fall below the watermark and are still classified as
+/// duplicates — the window trades a vanishingly rare misclassification
+/// (an ack for a seq released > 65 536 releases ago that was never
+/// actually released would read as duplicate instead of unknown) for
+/// O(window) memory on week-long runs.
+const RELEASED_WINDOW: usize = 65_536;
+
+/// A buffered update plus its transmission state, keyed by seq in the
+/// engine's record table.
+#[derive(Clone, Debug)]
+struct PendingRecord {
+    record: UpdateRecord,
+    /// `Some` once transmitted and awaiting an ack.
+    flight: Option<FlightState>,
 }
 
 /// Builds a [`FogSync`] with named, defaulted retry parameters.
@@ -403,13 +439,19 @@ impl FogSyncBuilder {
             degraded_after: self.degraded_after,
             offline_after: self.offline_after,
             rng: SimRng::seed_from(self.seed),
-            buffer: VecDeque::new(),
-            in_flight: BTreeMap::new(),
-            released: BTreeSet::new(),
+            records: BTreeMap::new(),
+            ready: VecDeque::new(),
+            wheel: TimerWheel::new(SimTime::ZERO),
+            in_flight_count: 0,
+            released_recent: BTreeSet::new(),
+            released_floor: 0,
             next_seq: 0,
             strikes: 0,
             mode: DegradedMode::Connected,
             mode_since: SimTime::ZERO,
+            fired: Vec::new(),
+            due: Vec::new(),
+            planned: Vec::new(),
             obs,
             ins,
         }
@@ -441,16 +483,34 @@ pub struct FogSync {
     degraded_after: u32,
     offline_after: u32,
     rng: SimRng,
-    buffer: VecDeque<UpdateRecord>,
-    /// seq → retry state (in-flight, awaiting ack).
-    in_flight: BTreeMap<u64, FlightState>,
-    /// Seqs already released by an ack (for duplicate-ack suppression).
-    released: BTreeSet<u64>,
+    /// Backlog, keyed by seq (ascending iteration = enqueue order); release
+    /// by ack is a keyed remove.
+    records: BTreeMap<u64, PendingRecord>,
+    /// Never-transmitted seqs in enqueue (= seq) order. Entries whose
+    /// record was released or evicted before its first transmission are
+    /// dropped lazily when they reach the front.
+    ready: VecDeque<u64>,
+    /// Retry deadlines as `(seq, attempts)` entries. An entry is live iff
+    /// its record is still in flight with the same attempt count — the
+    /// generation check applied when it fires; nothing is eagerly deleted.
+    wheel: TimerWheel<(u64, u32)>,
+    /// Records with a live flight state (awaiting an ack).
+    in_flight_count: usize,
+    /// The most recent released seqs, bounded by [`RELEASED_WINDOW`].
+    released_recent: BTreeSet<u64>,
+    /// Seqs below this watermark are treated as released (their exact
+    /// membership aged out of `released_recent`).
+    released_floor: u64,
     next_seq: u64,
     /// Consecutive strike rounds (timeouts / refused sends) without an ack.
     strikes: u32,
     mode: DegradedMode,
     mode_since: SimTime,
+    /// Round-scoped scratch, kept warm so steady-state rounds allocate
+    /// nothing (see the fog alloc_counts suite).
+    fired: Vec<(SimTime, (u64, u32))>,
+    due: Vec<(u64, u32)>,
+    planned: Vec<(u64, u32)>,
     obs: Obs,
     ins: SyncInstruments,
 }
@@ -487,12 +547,12 @@ impl FogSync {
 
     /// Buffered (not yet acked) update count.
     pub fn pending(&self) -> usize {
-        self.buffer.len()
+        self.records.len()
     }
 
     /// Records currently awaiting acknowledgement.
     pub fn in_flight(&self) -> usize {
-        self.in_flight.len()
+        self.in_flight_count
     }
 
     /// Counters, materialized from the engine's typed `swamp-obs` handles.
@@ -541,11 +601,16 @@ impl FogSync {
         if key.len() > MAX_KEY_LEN {
             return Err(SyncError::KeyTooLong { len: key.len() });
         }
-        if self.buffer.len() >= self.capacity {
+        if self.records.len() >= self.capacity {
             match self.policy {
                 DropPolicy::Oldest => {
-                    if let Some(old) = self.buffer.pop_front() {
-                        self.in_flight.remove(&old.seq);
+                    // Evict the oldest (lowest-seq) record. Its ready-queue
+                    // or timer-wheel entry goes stale and is dropped lazily
+                    // the next time it surfaces.
+                    if let Some((_, old)) = self.records.pop_first() {
+                        if old.flight.is_some() {
+                            self.in_flight_count -= 1;
+                        }
                         self.obs.inc(self.ins.dropped);
                     }
                 }
@@ -559,12 +624,19 @@ impl FogSync {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.buffer.push_back(UpdateRecord {
+        self.records.insert(
             seq,
-            key: key.to_owned(),
-            payload,
-            created_at: now,
-        });
+            PendingRecord {
+                record: UpdateRecord {
+                    seq,
+                    key: key.to_owned(),
+                    payload,
+                    created_at: now,
+                },
+                flight: None,
+            },
+        );
+        self.ready.push_back(seq);
         self.obs.inc(self.ins.enqueued);
         Ok(seq)
     }
@@ -622,39 +694,104 @@ impl FogSync {
     /// in-flight window) and retransmits records whose retry timer expired,
     /// up to `batch` transmissions. Feeds the degraded-mode state machine.
     /// Returns how many messages were handed to the network.
+    ///
+    /// Cost: O(transmissions + timer fires) — the round never scans the
+    /// backlog. Due retransmissions come off the timer wheel, new records
+    /// off the ready queue; both carry stale entries (released, evicted or
+    /// re-scheduled records) that are discarded on surfacing via a
+    /// `(seq, attempts)` generation check against the record table.
     pub fn sync_round(&mut self, net: &mut Network, now: SimTime, batch: usize) -> usize {
         let token = self.obs.enter(self.ins.round_span);
-        // Plan the round in one pass over the buffer: no re-scans, no
-        // panics. Window accounting: retransmits occupy existing window
-        // slots; only first transmissions consume new ones.
-        let mut planned: Vec<(u64, Vec<u8>, u32)> = Vec::new();
-        let mut window_used = self.in_flight.len();
+        // Scratch vectors are engine fields so steady-state rounds don't
+        // allocate; taken locally to keep the borrow checker happy.
+        let mut fired = std::mem::take(&mut self.fired);
+        let mut due = std::mem::take(&mut self.due);
+        let mut planned = std::mem::take(&mut self.planned);
+
+        // 1. Collect expired retry timers. The wheel yields every entry
+        // whose deadline passed; the generation check keeps exactly those
+        // still describing a live flight.
+        self.wheel.advance_into(now, &mut fired);
+        let mut scanned = fired.len() as u64;
+        for &(_, (seq, attempts)) in &fired {
+            if let Some(p) = self.records.get(&seq) {
+                if let Some(f) = p.flight {
+                    if f.attempts == attempts {
+                        if now >= f.next_retry {
+                            due.push((seq, f.attempts));
+                        } else {
+                            // Defensive (non-monotone clock): not actually
+                            // due yet, keep the deadline armed.
+                            self.wheel.schedule(f.next_retry, (seq, f.attempts));
+                        }
+                    }
+                }
+            }
+        }
+        // The wheel fires in slot order; rounds transmit in seq order.
+        due.sort_unstable();
+
+        // 2. Plan up to `batch` transmissions in ascending seq order,
+        // merging due retransmissions with ready-queue admissions. Window
+        // accounting: retransmits occupy existing window slots; only first
+        // transmissions consume new ones.
+        let mut window_used = self.in_flight_count;
         let mut expired = 0u64;
-        for r in &self.buffer {
+        let mut due_idx = 0;
+        loop {
             if planned.len() >= batch {
                 break;
             }
-            match self.in_flight.get(&r.seq) {
-                None => {
-                    if window_used >= self.max_in_flight {
-                        continue;
+            // Next admissible new record: skip stale ready heads (records
+            // released or evicted before their first transmission).
+            let next_new = if window_used < self.max_in_flight {
+                loop {
+                    match self.ready.front() {
+                        Some(&seq) => match self.records.get(&seq) {
+                            Some(p) if p.flight.is_none() => break Some(seq),
+                            _ => {
+                                self.ready.pop_front();
+                                scanned += 1;
+                            }
+                        },
+                        None => break None,
                     }
-                    window_used += 1;
-                    planned.push((r.seq, encode_record(r), 0));
                 }
-                Some(f) if now >= f.next_retry => {
+            } else {
+                None
+            };
+            match (due.get(due_idx).copied(), next_new) {
+                (Some((dseq, datt)), Some(nseq)) if dseq < nseq => {
+                    planned.push((dseq, datt));
                     expired += 1;
-                    planned.push((r.seq, encode_record(r), f.attempts));
+                    due_idx += 1;
                 }
-                Some(_) => {}
+                (Some((dseq, datt)), None) => {
+                    planned.push((dseq, datt));
+                    expired += 1;
+                    due_idx += 1;
+                }
+                (_, Some(nseq)) => {
+                    planned.push((nseq, 0));
+                    window_used += 1;
+                    self.ready.pop_front();
+                    scanned += 1;
+                }
+                (None, None) => break,
             }
         }
         self.obs.add(self.ins.timeouts, expired);
+        self.obs.record(self.ins.round_scanned, scanned as f64);
 
+        // 3. Transmit. Backoff schedules (and their jitter RNG draws)
+        // happen per successful send, in planned (seq) order.
         let mut sent = 0;
-        let mut refused = false;
-        for (seq, encoded, prior_attempts) in planned {
-            let msg = Message::new(SYNC_TOPIC, encoded);
+        let mut refused_at = None;
+        for (i, &(seq, prior_attempts)) in planned.iter().enumerate() {
+            let Some(p) = self.records.get(&seq) else {
+                continue; // unreachable: planned from the live table
+            };
+            let msg = Message::new(SYNC_TOPIC, encode_record(&p.record));
             match net.send(now, self.node.clone(), self.cloud.clone(), msg) {
                 Ok(_) => {
                     self.obs.inc(self.ins.transmissions);
@@ -663,23 +800,59 @@ impl FogSync {
                     }
                     let attempts = prior_attempts + 1;
                     let next_retry = now.saturating_add(self.retry_interval(attempts));
-                    self.in_flight.insert(
-                        seq,
-                        FlightState {
+                    if let Some(p) = self.records.get_mut(&seq) {
+                        if p.flight.is_none() {
+                            self.in_flight_count += 1;
+                        }
+                        p.flight = Some(FlightState {
                             attempts,
                             next_retry,
-                        },
-                    );
+                        });
+                    }
+                    // The previous deadline's entry (if any) went stale the
+                    // moment `attempts` advanced.
+                    self.wheel.schedule(next_retry, (seq, attempts));
                     sent += 1;
                 }
                 Err(_) => {
                     // No route / denied: a synchronous refusal. Stop the
                     // round and let the state machine register the strike.
-                    refused = true;
+                    refused_at = Some(i);
                     break;
                 }
             }
         }
+
+        // 4. Re-arm what was planned (or due) but not sent, so nothing is
+        // lost: unsent new records return to the ready-queue front in
+        // order; unsent due records keep their already-passed deadline and
+        // surface again next round.
+        let refused = refused_at.is_some();
+        if let Some(start) = refused_at {
+            for &(seq, prior_attempts) in planned[start..].iter().rev() {
+                if prior_attempts == 0 {
+                    self.ready.push_front(seq);
+                } else if let Some(p) = self.records.get(&seq) {
+                    if let Some(f) = p.flight {
+                        self.wheel.schedule(f.next_retry, (seq, f.attempts));
+                    }
+                }
+            }
+        }
+        for &(seq, _) in &due[due_idx..] {
+            if let Some(p) = self.records.get(&seq) {
+                if let Some(f) = p.flight {
+                    self.wheel.schedule(f.next_retry, (seq, f.attempts));
+                }
+            }
+        }
+
+        fired.clear();
+        due.clear();
+        planned.clear();
+        self.fired = fired;
+        self.due = due;
+        self.planned = planned;
 
         if expired > 0 || refused {
             self.strikes = self.strikes.saturating_add(1);
@@ -697,9 +870,35 @@ impl FogSync {
         sent
     }
 
+    /// Whether `seq` was already released: either still in the recent
+    /// window, or below the watermark (released so long ago its exact
+    /// membership aged out).
+    fn was_released(&self, seq: u64) -> bool {
+        seq < self.released_floor || self.released_recent.contains(&seq)
+    }
+
+    /// Records a release in the bounded dedup window, aging the oldest
+    /// entry into the watermark once the window is full.
+    fn mark_released(&mut self, seq: u64) {
+        if seq < self.released_floor {
+            return;
+        }
+        self.released_recent.insert(seq);
+        while self.released_recent.len() > RELEASED_WINDOW {
+            if let Some(oldest) = self.released_recent.pop_first() {
+                self.released_floor = oldest + 1;
+            }
+        }
+    }
+
     /// Processes an ack payload from the cloud at `now`, releasing
     /// confirmed records exactly once. Any released record resets the
     /// degraded-mode state machine to `Connected`.
+    ///
+    /// Each release is a keyed remove from the record table — amortized
+    /// O(1) in backlog depth. The released record's ready-queue or
+    /// timer-wheel entry is left behind and discarded lazily when it
+    /// surfaces.
     ///
     /// # Errors
     /// [`SyncError::MalformedAck`] if the payload is not a whole number of
@@ -709,20 +908,23 @@ impl FogSync {
             return Err(SyncError::MalformedAck { len: payload.len() });
         }
         let mut outcome = AckOutcome::default();
-        for seq in decode_acks(payload) {
-            let before = self.buffer.len();
-            self.buffer.retain(|r| r.seq != seq);
-            if self.buffer.len() != before {
+        for chunk in payload.chunks_exact(8) {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(chunk);
+            let seq = u64::from_be_bytes(b);
+            if let Some(p) = self.records.remove(&seq) {
+                if p.flight.is_some() {
+                    self.in_flight_count -= 1;
+                }
                 self.obs.inc(self.ins.acked);
-                self.released.insert(seq);
+                self.mark_released(seq);
                 outcome.released += 1;
-            } else if self.released.contains(&seq) {
+            } else if self.was_released(seq) {
                 self.obs.inc(self.ins.duplicate_acks);
                 outcome.duplicate += 1;
             } else {
                 outcome.unknown += 1;
             }
-            self.in_flight.remove(&seq);
         }
         if outcome.released > 0 {
             self.strikes = 0;
@@ -737,7 +939,7 @@ impl FogSync {
     /// aborting the drain (bytes off the wire are not the caller's fault).
     pub fn poll_acks(&mut self, net: &mut Network, now: SimTime) -> AckOutcome {
         let mut total = AckOutcome::default();
-        let deliveries = net.drain(&self.node.clone());
+        let deliveries = net.drain(&self.node);
         for d in deliveries {
             if d.message.topic == ACK_TOPIC {
                 match self.process_ack(now, &d.message.payload) {
@@ -770,9 +972,9 @@ impl FogSync {
     /// Refreshes the buffer-occupancy and mode gauges after a round or an
     /// ack drain (the points where they can change).
     fn refresh_gauges(&mut self) {
-        self.obs.set(self.ins.pending, self.buffer.len() as f64);
+        self.obs.set(self.ins.pending, self.records.len() as f64);
         self.obs
-            .set(self.ins.in_flight, self.in_flight.len() as f64);
+            .set(self.ins.in_flight, self.in_flight_count as f64);
         let mode = match self.mode {
             DegradedMode::Connected => 0.0,
             DegradedMode::Degraded => 1.0,
@@ -977,7 +1179,7 @@ impl CloudStore {
     /// duplicates, whose earlier ack may have been lost. Returns the number
     /// of new records accepted.
     pub fn process(&mut self, net: &mut Network, now: SimTime) -> usize {
-        let deliveries = net.drain(&self.node.clone());
+        let deliveries = net.drain(&self.node);
         self.process_deliveries(net, now, deliveries)
     }
 
@@ -1088,6 +1290,9 @@ fn encode_acks(seqs: &[u64]) -> Vec<u8> {
 
 /// Decodes a validated ack payload (callers check `len % 8 == 0`); a
 /// trailing partial chunk would be silently ignored by `chunks_exact`.
+/// The hot path ([`FogSync::process_ack`]) walks the chunks in place
+/// instead of materializing this vector; kept for the codec tests.
+#[cfg(test)]
 fn decode_acks(bytes: &[u8]) -> Vec<u64> {
     bytes
         .chunks_exact(8)
@@ -1388,8 +1593,57 @@ mod tests {
         assert_eq!(sync.pending(), 3);
         assert_eq!(sync.stats().dropped, 2);
         // Oldest (k0, k1) gone; k2..k4 retained.
-        let keys: Vec<String> = sync.buffer.iter().map(|r| r.key.clone()).collect();
+        let keys: Vec<String> = sync
+            .records
+            .values()
+            .map(|p| p.record.key.clone())
+            .collect();
         assert_eq!(keys, vec!["k2", "k3", "k4"]);
+    }
+
+    #[test]
+    fn released_window_stays_bounded_over_a_deep_drain() {
+        // Regression: the duplicate-ack dedup window must not retain one
+        // seq per released record — a 1M-record drain keeps O(window).
+        let total: u64 = 1_000_000;
+        let mut sync = FogSync::builder("fog", "cloud")
+            .capacity(total as usize)
+            .build();
+        let now = SimTime::ZERO;
+        for i in 0..total {
+            sync.enqueue(now, "k", vec![(i & 0xff) as u8]).unwrap();
+        }
+        // Ack straight through the engine (no network needed): batches of
+        // 4096 seqs per payload, covering every record.
+        let mut released = 0usize;
+        let mut seq = 0u64;
+        while seq < total {
+            let hi = (seq + 4096).min(total);
+            let payload = encode_acks(&(seq..hi).collect::<Vec<u64>>());
+            released += sync.process_ack(now, &payload).unwrap().released;
+            seq = hi;
+        }
+        assert_eq!(released, total as usize);
+        assert_eq!(sync.pending(), 0);
+        assert!(
+            sync.released_recent.len() <= RELEASED_WINDOW,
+            "dedup window leaked: {} retained seqs",
+            sync.released_recent.len()
+        );
+        assert_eq!(
+            sync.released_floor,
+            total - RELEASED_WINDOW as u64,
+            "watermark advanced past the aged-out releases"
+        );
+        // Classification across the watermark: recent seqs are exact
+        // duplicates, aged-out seqs fall below the floor (still duplicate),
+        // and a seq the engine never saw is unknown.
+        let dup_recent = sync.process_ack(now, &encode_acks(&[total - 1])).unwrap();
+        assert_eq!(dup_recent.duplicate, 1);
+        let dup_aged = sync.process_ack(now, &encode_acks(&[0])).unwrap();
+        assert_eq!(dup_aged.duplicate, 1);
+        let stray = sync.process_ack(now, &encode_acks(&[total + 7])).unwrap();
+        assert_eq!(stray.unknown, 1);
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Property-based differential tests for the hierarchical timer wheel:
+//! for arbitrary schedule/advance interleavings the wheel must fire the
+//! same (deadline, id) multiset as a naive scan-everything model.
+
+// Gated: proptest is not resolvable in the offline build environment.
+// See the `proptest-tests` feature note in this crate's Cargo.toml.
+#![cfg(feature = "proptest-tests")]
+
+use proptest::prelude::*;
+use swamp_fog::timer_wheel::TimerWheel;
+use swamp_sim::SimTime;
+
+/// One scripted operation: schedule an entry `delta` past the current
+/// clock (`None` = [`SimTime::MAX`]), or advance the clock by `step`.
+#[derive(Clone, Debug)]
+enum Op {
+    Schedule(Option<u64>),
+    Advance(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        // Deltas spanning every level, the overflow region and the past
+        // (the wheel treats a past deadline as due immediately).
+        (0u64..(1 << 27)).prop_map(|d| Op::Schedule(Some(d))),
+        (0u64..256).prop_map(|d| Op::Schedule(Some(d))),
+        Just(Op::Schedule(None)),
+        // Advances from 1 ms crawls to multi-rotation leaps.
+        (0u64..(1 << 24)).prop_map(Op::Advance),
+        (1u64..64).prop_map(Op::Advance),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wheel_matches_naive_scan(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut wheel: TimerWheel<u32> = TimerWheel::new(SimTime::ZERO);
+        let mut naive: Vec<(u64, u32)> = Vec::new();
+        let mut now = 0u64;
+        let mut next_id = 0u32;
+        for op in &ops {
+            match *op {
+                Op::Schedule(delta) => {
+                    let deadline = match delta {
+                        Some(d) => SimTime::from_millis(now.saturating_add(d)),
+                        None => SimTime::MAX,
+                    };
+                    wheel.schedule(deadline, next_id);
+                    naive.push((deadline.as_millis(), next_id));
+                    next_id += 1;
+                }
+                Op::Advance(step) => {
+                    now = now.saturating_add(step);
+                    let mut out = Vec::new();
+                    wheel.advance_into(SimTime::from_millis(now), &mut out);
+                    let mut fired: Vec<(u64, u32)> =
+                        out.into_iter().map(|(d, p)| (d.as_millis(), p)).collect();
+                    fired.sort_unstable();
+                    let mut expected: Vec<(u64, u32)> =
+                        naive.iter().copied().filter(|&(d, _)| d <= now).collect();
+                    naive.retain(|&(d, _)| d > now);
+                    expected.sort_unstable();
+                    prop_assert_eq!(fired, expected, "diverged at t={}ms", now);
+                }
+            }
+            prop_assert_eq!(wheel.len(), naive.len());
+        }
+        // Terminal drain: nothing may be lost, MAX sentinels included.
+        let mut out = Vec::new();
+        wheel.advance_into(SimTime::MAX, &mut out);
+        prop_assert_eq!(out.len(), naive.len());
+        prop_assert!(wheel.is_empty());
+    }
+}

@@ -7,10 +7,14 @@
 //!
 //! Defaults to fleets of 1 000, 10 000 and 100 000 devices, each replayed
 //! at 1, 4 and 16 shards. Each cell ingests one update per device and is
-//! pumped until every record reaches the cross-shard aggregate store —
-//! the timed region therefore includes the sync engine's window-limited
-//! ack scans, which dominate at large backlogs and are what sharding
-//! divides N ways.
+//! pumped until every record reaches the cross-shard aggregate store.
+//!
+//! Honesty note: since the sync engine became O(transmissions +
+//! due-timers) per round, total drain work is linear in backlog and the
+//! shards all run on one thread — so per-shard speedup is ~1×, not the
+//! ~14× the old quadratic engine showed (sharding divided B² into
+//! N·(B/N)²). The speedup column is kept to document exactly that; real
+//! scale-out now needs parallel shard execution (see ROADMAP).
 
 use swamp_codec::json::Json;
 use swamp_obs::ObsReport;

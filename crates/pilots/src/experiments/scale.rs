@@ -276,8 +276,12 @@ impl E14ThroughputResult {
 /// Runs the E14 wall-clock sweep: for each (shards, devices) cell, one
 /// update per device is ingested and the platform is pumped until every
 /// record reaches the aggregate store. The timed region covers ingest,
-/// replication (the sync engine's window-limited ack scans dominate at
-/// large backlogs) and cross-shard aggregation.
+/// replication and cross-shard aggregation. The per-shard sync buffer is
+/// sized to the fleet so the drain — not the drop policy — is what gets
+/// measured. With the indexed sync engine each pump does O(transmissions)
+/// work, so total drain cost is linear in backlog at any shard count and
+/// single-threaded round-robin sharding yields ~1× speedup (the old
+/// quadratic engine's ~N× came from splitting B² into N·(B/N)²).
 ///
 /// The caller supplies the clock: `time_cell` receives one cell's body and
 /// returns the wall-clock seconds it took, and must run the body exactly
@@ -298,7 +302,8 @@ pub fn e14_shard_throughput_observed(
             if shards == 0 {
                 continue;
             }
-            let mut sp = ShardedPlatform::build(e14_builder(7, shards));
+            let mut sp =
+                ShardedPlatform::build(e14_builder(7, shards).sync_capacity(devices.max(100_000)));
             let mut pumps = 0u64;
             let mut replicated = 0u64;
             let secs = time_cell(&mut || {
