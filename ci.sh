@@ -56,12 +56,23 @@ cargo run --release -q -p swamp-pilots --bin bench_sync -- --check 10000 100000 
 echo "== cargo test --workspace -q"
 cargo test --workspace -q
 
-# Shard ≡ single-shard: the differential harness quantifies over the
-# seed, so run it twice with different seeds — equivalence must hold as
-# a property of the seed family, not one lucky constant. Uses the test
+# Shard ≡ single-shard, serial ≡ parallel: the differential harness
+# quantifies over the seed AND the scheduler (worker counts {1, 2, 8}
+# inside the suite), so run it twice with different seeds — equivalence
+# must hold as a property of the seed family and of the thread count,
+# not one lucky constant or one lucky interleaving. Uses the test
 # binary already built by the workspace test step.
-echo "== shard-differential: N-shard == 1-shard at seeds 42 and 1337"
+echo "== shard-differential: N-shard/parallel == 1-shard/serial at seeds 42 and 1337"
 SHARD_DIFF_SEED=42 cargo test -q -p swamp-pilots --test shard_differential
 SHARD_DIFF_SEED=1337 cargo test -q -p swamp-pilots --test shard_differential
+
+# The worker pool must not cost throughput: bench_e14 --check requires
+# the best parallel schedule to beat serial at the largest fleet on
+# multi-core machines; on a single core only scheduling/cache overhead
+# is measurable, so the gate just bounds pathological collapse (>= 1/4
+# of serial — the JSON records available_parallelism so the gate is
+# honest about what it could test).
+echo "== bench-guard: parallel shard schedule >= serial (bench_e14 --check)"
+cargo run --release -q -p swamp-pilots --bin bench_e14 -- --check 1000 10000 > /dev/null
 
 echo "CI OK"

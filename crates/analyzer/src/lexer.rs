@@ -234,7 +234,16 @@ impl Lexer<'_> {
         self.pos += 1; // opening quote
         while let Some(b) = self.peek(0) {
             match b {
-                b'\\' => self.pos += 2,
+                b'\\' => {
+                    // An escape consumes the next byte too — which may be
+                    // the newline of a `\`-continuation; it still ends a
+                    // source line, so the count must keep up or every
+                    // finding below it lands one line off.
+                    if self.peek(1) == Some(b'\n') {
+                        self.line += 1;
+                    }
+                    self.pos += 2;
+                }
                 b'"' => {
                     self.pos += 1;
                     return;
@@ -387,6 +396,21 @@ mod tests {
     #[test]
     fn line_numbers_survive_multiline_constructs() {
         let src = "let a = \"two\nlines\";\nInstant::now();\n";
+        let lx = lex(src);
+        let inst = lx
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("Instant".into()))
+            .map(|t| t.line);
+        assert_eq!(inst, Some(3));
+    }
+
+    #[test]
+    fn line_numbers_survive_string_continuations() {
+        // A `\`-continuation escape consumes its newline; the line count
+        // must not (regression: every finding below such a string landed
+        // one line off, breaking `contains`-scoped allowlist entries).
+        let src = "let a = \"one \\\n    two\";\nInstant::now();\n";
         let lx = lex(src);
         let inst = lx
             .tokens

@@ -1,24 +1,31 @@
-//! Rule `deprecated-api`: compatibility shims exist so external users get
-//! a deprecation window, but *internal* code must use the replacements —
-//! otherwise the shims' frozen defaults fossilize inside the workspace and
-//! can never be retired.
+//! Rule `deprecated-api`: APIs that went through their deprecation window
+//! and have been **removed** must never come back — not as new call sites
+//! (the compiler already rejects those) and, more importantly, not as
+//! fresh *definitions* re-introducing the old shape under the old name.
+//! The rule bans the names themselves, so a revival fails CI in the same
+//! commit that writes it.
 //!
-//! Two shapes of shim are policed:
+//! Three shapes are policed, everywhere — library, binary and test code
+//! alike (the removal left nothing for tests to pin):
 //!
-//! - **Constructors** (`Platform::new`, `FogSync::new`, from PR 2): flagged
-//!   everywhere except inside the `#[cfg(test)]` modules of the files that
-//!   define them, which keep one exercising test each so the shims stay
-//!   compiled and behaviorally pinned until removal.
+//! - **Constructors** (`Platform::new`, `FogSync::new`, removed in PR 7
+//!   after deprecation in PR 2): both types are builder-only; any
+//!   qualified `Type::new` path is flagged.
 //! - **String-keyed `Metrics` mutators** (`.incr(…)`, `.incr_by(…)`,
-//!   `metrics.observe(…)`, from PR 4): the old registry hashes a string
-//!   key per event and silently mints counters on typos. New
-//!   instrumentation must register typed handles on `swamp_obs::Obs` and
-//!   record through them. `Metrics` itself stays as a read-compat view.
-//!   Mutator calls are flagged in non-test code everywhere except the
-//!   defining file `crates/sim/src/metrics.rs`; test code keeps the shims
-//!   pinned. `.observe(…)` / `.set_gauge(…)` are only flagged on a
-//!   receiver literally named `metrics`, since `observe` is also the name
-//!   of the *new* snapshot API (`platform.observe()`).
+//!   removed in PR 7 after deprecation in PR 4): the old registry hashed a
+//!   string key per event and silently minted counters on typos. The
+//!   explicit setters (`set_counter`/`set_gauge`/`set_summary`) remain for
+//!   building read-compat views; event-shaped mutation goes through typed
+//!   `swamp_obs::Obs` handles. `.observe(…)` / `.set_gauge(…)` are only
+//!   flagged on a receiver literally named `metrics`, since both names
+//!   also belong to the *new* API surface (`platform.observe()`,
+//!   snapshot-derived views).
+//! - **Removed getters** (`.sync_health(…)`, `.acks_refused(…)`,
+//!   `.metrics(…)`, removed in PR 7): superseded by the one observe
+//!   surface — `degraded_mode()` plus the typed `sync.*` gauges, the
+//!   `cloud.acks_refused` counter, and `observe()` /
+//!   `ObsSnapshot::to_metrics` respectively. No workspace type may grow
+//!   methods with these names again.
 
 use crate::lexer::{is_ident, is_path2, is_punct};
 use crate::source::SourceFile;
@@ -27,80 +34,92 @@ use super::Finding;
 
 pub const NAME: &str = "deprecated-api";
 
-/// (type, method, defining file, replacement)
-const DEPRECATED: &[(&str, &str, &str, &str)] = &[
+/// (type, method, replacement) — removed constructors, banned as
+/// qualified paths everywhere.
+const REMOVED_CONSTRUCTORS: &[(&str, &str, &str)] = &[
     (
         "Platform",
         "new",
-        "crates/core/src/platform.rs",
         "Platform::builder(config).seed(seed).build()",
     ),
+    ("FogSync", "new", "FogSync::builder(node, cloud)…build()"),
+];
+
+/// (method, replacement) — removed methods whose names are unambiguous in
+/// the workspace, banned as `.method(` on any receiver.
+const REMOVED_ANY_RECEIVER: &[(&str, &str)] = &[
     (
-        "FogSync",
-        "new",
-        "crates/fog/src/sync.rs",
-        "FogSync::builder(node, cloud)…build()",
+        "incr",
+        "register a typed Counter on `swamp_obs::Obs` and `inc` through it",
+    ),
+    (
+        "incr_by",
+        "register a typed Counter on `swamp_obs::Obs` and `inc_by` through it",
+    ),
+    (
+        "sync_health",
+        "`degraded_mode()` plus the `sync.pending` / `sync.in_flight` gauges in `observe()`",
+    ),
+    (
+        "acks_refused",
+        "the `cloud.acks_refused` counter in `observe()`",
+    ),
+    (
+        "metrics",
+        "`observe()` (use `ObsSnapshot::to_metrics` for a legacy `Metrics` view)",
     ),
 ];
 
-/// The string-keyed `Metrics` registry and its defining file. Methods in
-/// [`ANY_RECEIVER_MUTATORS`] are unambiguous (no other workspace type has
-/// them); methods in [`METRICS_RECEIVER_MUTATORS`] collide with the new
-/// obs API names and are only flagged on a receiver named `metrics`.
-const METRICS_DEFINING_FILE: &str = "crates/sim/src/metrics.rs";
-const ANY_RECEIVER_MUTATORS: &[&str] = &["incr", "incr_by"];
-const METRICS_RECEIVER_MUTATORS: &[&str] = &["observe", "set_gauge"];
+/// Removed `Metrics` mutators whose names collide with the new obs API;
+/// flagged only on a receiver literally named `metrics`.
+const REMOVED_METRICS_RECEIVER: &[&str] = &["observe", "set_gauge"];
 
 pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
     let tokens = &file.tokens;
     for i in 0..tokens.len() {
-        for (ty, method, defining_file, replacement) in DEPRECATED {
+        for (ty, method, replacement) in REMOVED_CONSTRUCTORS {
             if !is_path2(tokens, i, ty, method) {
-                continue;
-            }
-            let line = tokens[i].line;
-            // The defining file's own unit tests pin the shim's behavior.
-            if file.rel_path == *defining_file && file.is_test_line(line) {
                 continue;
             }
             out.push(Finding::at(
                 NAME,
                 file,
-                line,
-                format!("internal caller of deprecated `{ty}::{method}`: use `{replacement}`"),
+                tokens[i].line,
+                format!("removed API `{ty}::{method}` must not come back: use `{replacement}`"),
             ));
         }
     }
-    // `Metrics` mutator calls: `<recv> . <method> (`. The defining file
-    // keeps its impl and pinning tests; test code elsewhere may exercise
-    // the shims too (deprecation attrs still warn there at compile time).
-    if file.rel_path == METRICS_DEFINING_FILE {
-        return;
-    }
+    // Method-shaped bans: `<recv> . <method> (`.
     for i in 0..tokens.len() {
         if !is_punct(tokens, i, '.') || !is_punct(tokens, i + 2, '(') {
             continue;
         }
         let line = tokens[i].line;
-        if file.is_test_line(line) {
-            continue;
-        }
-        let any = ANY_RECEIVER_MUTATORS
+        if let Some((method, replacement)) = REMOVED_ANY_RECEIVER
             .iter()
-            .any(|m| is_ident(tokens, i + 1, m));
-        let named = METRICS_RECEIVER_MUTATORS
-            .iter()
-            .any(|m| is_ident(tokens, i + 1, m))
-            && i > 0
-            && is_ident(tokens, i - 1, "metrics");
-        if any || named {
+            .find(|(m, _)| is_ident(tokens, i + 1, m))
+        {
             out.push(Finding::at(
                 NAME,
                 file,
                 line,
-                "string-keyed `Metrics` mutator: register a typed handle on \
-                 `swamp_obs::Obs` and record through it; `Metrics` is a \
-                 read-compat view only"
+                format!("removed method `.{method}(…)` must not come back: use {replacement}"),
+            ));
+            continue;
+        }
+        let named = REMOVED_METRICS_RECEIVER
+            .iter()
+            .any(|m| is_ident(tokens, i + 1, m))
+            && i > 0
+            && is_ident(tokens, i - 1, "metrics");
+        if named {
+            out.push(Finding::at(
+                NAME,
+                file,
+                line,
+                "removed string-keyed `Metrics` mutation: register a typed \
+                 handle on `swamp_obs::Obs` and record through it; `Metrics` \
+                 is a read-compat view built by `ObsSnapshot::to_metrics`"
                     .to_owned(),
             ));
         }

@@ -245,7 +245,7 @@ fn layering_table_is_internally_consistent() {
 // ------------------------------------------------------------- deprecated-api
 
 #[test]
-fn deprecated_api_flags_shim_callers_anywhere_but_their_own_tests() {
+fn deprecated_api_flags_removed_constructors_everywhere() {
     let bad = "pub fn make() -> Platform { Platform::new(DeploymentConfig::CloudOnly, 1) }";
     let f = analyze_str("crates/x/src/lib.rs", "swamp-x", TargetKind::Lib, bad);
     assert!(
@@ -253,8 +253,8 @@ fn deprecated_api_flags_shim_callers_anywhere_but_their_own_tests() {
             .any(|f| f.rule == "deprecated-api" && f.message.contains("builder")),
         "{f:?}"
     );
-    // Unlike most rules, deprecated-api also covers test targets: migrating
-    // tests off the shim is the point.
+    // Unlike most rules, deprecated-api also covers test targets: the
+    // constructors are gone, so no test may call (or re-grow) them.
     let f = analyze_str(
         "crates/x/tests/t.rs",
         "swamp-x",
@@ -262,7 +262,8 @@ fn deprecated_api_flags_shim_callers_anywhere_but_their_own_tests() {
         "fn t() { let _s = FogSync::new(\"fog\", \"cloud\", 8); }",
     );
     assert!(f.iter().any(|f| f.rule == "deprecated-api"), "{f:?}");
-    // The shim's own unit tests pin its behavior and stay exempt.
+    // Since PR 7 even the former defining files' unit tests are covered:
+    // there is no shim left to pin, so a revival there must fail too.
     let f = analyze_str(
         "crates/core/src/platform.rs",
         "swamp-core",
@@ -271,11 +272,39 @@ fn deprecated_api_flags_shim_callers_anywhere_but_their_own_tests() {
         #[cfg(test)]
         mod tests {
             #[test]
-            fn shim_still_works() { let _p = Platform::new(Config::CloudOnly, 1); }
+            fn shim_revival() { let _p = Platform::new(Config::CloudOnly, 1); }
         }
         "#,
     );
-    assert!(f.iter().all(|f| f.rule != "deprecated-api"), "{f:?}");
+    assert!(f.iter().any(|f| f.rule == "deprecated-api"), "{f:?}");
+}
+
+#[test]
+fn deprecated_api_flags_removed_getters_on_any_receiver() {
+    for bad in [
+        "pub fn f(p: &Platform) -> SyncHealth { p.sync_health() }",
+        "pub fn f(s: &CloudStore) -> u64 { s.acks_refused() }",
+        "pub fn f(n: &Network) -> Metrics { n.metrics() }",
+    ] {
+        let f = lib(bad);
+        assert!(
+            f.iter()
+                .any(|f| f.rule == "deprecated-api" && f.message.contains("removed method")),
+            "expected a finding for {bad:?}: {f:?}"
+        );
+    }
+    // Test code is covered too — the getters no longer exist anywhere.
+    let f = analyze_str(
+        "crates/x/tests/t.rs",
+        "swamp-x",
+        TargetKind::Test,
+        "fn t(p: &Platform) { let _ = p.sync_health(); }",
+    );
+    assert!(f.iter().any(|f| f.rule == "deprecated-api"), "{f:?}");
+    // Similar names stay legal: the snapshot-derived view constructor…
+    assert!(lib("pub fn f(s: &ObsSnapshot) -> Metrics { s.to_metrics() }").is_empty());
+    // …and a field access without a call.
+    assert!(lib("pub fn f(r: &Report) -> &Metrics { &r.metrics }").is_empty());
 }
 
 #[test]
@@ -295,16 +324,16 @@ fn deprecated_api_flags_metrics_mutators_in_lib_code() {
         let f = lib(bad);
         assert!(
             f.iter()
-                .any(|f| f.rule == "deprecated-api" && f.message.contains("typed handle")),
+                .any(|f| f.rule == "deprecated-api" && f.message.contains("typed")),
             "expected a finding for {bad:?}: {f:?}"
         );
     }
 }
 
 #[test]
-fn deprecated_api_metrics_mutators_spare_tests_views_and_the_new_obs_api() {
-    // Test code keeps the shims behaviorally pinned (rustc's deprecation
-    // warnings still fire there).
+fn deprecated_api_metrics_mutators_cover_tests_and_spare_the_new_obs_api() {
+    // Since PR 7 the mutators are removed, so test code is covered too —
+    // a `#[cfg(test)]` revival must fail CI like any other.
     let f = analyze_str(
         "crates/x/src/lib.rs",
         "swamp-x",
@@ -313,27 +342,29 @@ fn deprecated_api_metrics_mutators_spare_tests_views_and_the_new_obs_api() {
         #[cfg(test)]
         mod tests {
             #[test]
-            fn shim() { let mut m = Metrics::new(); m.incr("x"); }
+            fn shim_revival() { let mut m = Metrics::new(); m.incr("x"); }
         }
         "#,
     );
-    assert!(f.iter().all(|f| f.rule != "deprecated-api"), "{f:?}");
-    // `observe` on any other receiver is the *new* snapshot API.
-    for good in [
-        "pub fn f(p: &Platform) -> ObsSnapshot { p.observe() }",
-        "pub fn f(m: &mut Metrics) { m.set_counter(\"x\", 4); }",
-        "pub fn f(b: &mut DetectorBank, t: SimTime) { b.observe_value(t, \"d\", \"q\", 1.0); }",
-    ] {
-        assert!(lib(good).is_empty(), "{good:?}: {:?}", lib(good));
-    }
-    // The defining file keeps its impl (`self.incr_by(name, 1)`).
+    assert!(f.iter().any(|f| f.rule == "deprecated-api"), "{f:?}");
+    // …and so is the former defining file: nothing is exempt anymore.
     let f = analyze_str(
         "crates/sim/src/metrics.rs",
         "swamp-sim",
         TargetKind::Lib,
         "impl Metrics { pub fn incr(&mut self, name: &str) { self.incr_by(name, 1); } }",
     );
-    assert!(f.iter().all(|f| f.rule != "deprecated-api"), "{f:?}");
+    assert!(f.iter().any(|f| f.rule == "deprecated-api"), "{f:?}");
+    // `observe` on any other receiver is the *new* snapshot API, and the
+    // explicit setters remain the sanctioned way to build compat views.
+    for good in [
+        "pub fn f(p: &Platform) -> ObsSnapshot { p.observe() }",
+        "pub fn f(m: &mut Metrics) { m.set_counter(\"x\", 4); }",
+        "pub fn f(m: &mut Metrics) { m.set_gauge(\"depth\", 2.0); }",
+        "pub fn f(b: &mut DetectorBank, t: SimTime) { b.observe_value(t, \"d\", \"q\", 1.0); }",
+    ] {
+        assert!(lib(good).is_empty(), "{good:?}: {:?}", lib(good));
+    }
 }
 
 // ------------------------------------------------------------------ allowlist

@@ -1,0 +1,88 @@
+//! The unified drive/observe surface.
+//!
+//! Every experiment harness used to hand-roll the same loop twice — once
+//! against [`Platform`] and once against `swamp_shard::ShardedPlatform` —
+//! because the two exposed the same operations under unrelated inherent
+//! methods. [`Drive`] is the one object-safe trait both implement: advance
+//! one round, apply a validated batch, snapshot the instruments, export
+//! labelled reports. Harnesses (E11/E13/E14, the shard differential suite)
+//! drive `&mut dyn Drive` and stop caring whether the deployment is one
+//! platform or a worker pool of shards.
+//!
+//! Determinism contract: for a fixed builder configuration and a fixed
+//! sequence of `Drive` calls, every implementation's [`Drive::observe`]
+//! and [`Drive::observe_labelled`] exports are byte-identical across runs —
+//! including `ShardedPlatform` under any worker-thread count (the shard
+//! differential suite proves serial ≡ parallel).
+
+use swamp_codec::ngsi::Entity;
+use swamp_obs::{ObsReport, ObsSnapshot};
+use swamp_sim::SimTime;
+
+use crate::platform::Platform;
+
+/// Advances and observes one deployment — single platform or sharded —
+/// through an object-safe surface.
+pub trait Drive {
+    /// Advances one platform round at `now`: network delivery, secure
+    /// ingestion, replication and (for a sharded deployment) the
+    /// cross-shard merge barrier. Returns the number of entity updates
+    /// ingested this round.
+    fn round(&mut self, now: SimTime) -> usize;
+
+    /// Applies a batch of already-validated entity updates, routed to the
+    /// owning shard where applicable. Returns the number applied.
+    fn ingest(&mut self, now: SimTime, batch: Vec<Entity>) -> usize;
+
+    /// One merged, typed snapshot of every subsystem's instruments.
+    fn observe(&self) -> ObsSnapshot;
+
+    /// Labelled reports for file export: a single platform yields one
+    /// report labelled `base`; a sharded deployment yields
+    /// `<base>/shard<i>` per shard plus `<base>/merged`.
+    fn observe_labelled(&self, base: &str) -> Vec<ObsReport>;
+}
+
+impl Drive for Platform {
+    fn round(&mut self, now: SimTime) -> usize {
+        self.pump(now)
+    }
+
+    fn ingest(&mut self, now: SimTime, batch: Vec<Entity>) -> usize {
+        self.ingest_entities(now, batch)
+    }
+
+    fn observe(&self) -> ObsSnapshot {
+        Platform::observe(self)
+    }
+
+    fn observe_labelled(&self, base: &str) -> Vec<ObsReport> {
+        vec![ObsReport::new(base, self.seed(), Platform::observe(self))]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::DeploymentConfig;
+
+    #[test]
+    fn platform_drives_through_dyn_object() {
+        // Object safety is part of the API contract: harnesses hold
+        // `&mut dyn Drive` / `Box<dyn Drive>`.
+        let mut boxed: Box<dyn Drive> = Box::new(
+            Platform::builder(DeploymentConfig::FarmFog)
+                .seed(42)
+                .build(),
+        );
+        assert_eq!(boxed.round(SimTime::from_secs(1)), 0);
+        let mut e = Entity::new("urn:swamp:device:probe-1", "SoilProbe");
+        e.set("moisture_vwc", 0.3);
+        assert_eq!(boxed.ingest(SimTime::from_secs(2), vec![e]), 1);
+        assert_eq!(boxed.observe().counter("ingest.accepted"), Ok(1));
+        let reports = boxed.observe_labelled("e0/test");
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].label, "e0/test");
+        assert_eq!(reports[0].seed, 42);
+    }
+}

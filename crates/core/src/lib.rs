@@ -4,6 +4,9 @@
 //!
 //! - [`broker`] — NGSI-like context broker with subscriptions (Orion
 //!   analogue).
+//! - [`drive`] — the [`Drive`] trait: the one object-safe surface through
+//!   which harnesses advance and observe a deployment, implemented by
+//!   [`Platform`] and by `swamp_shard::ShardedPlatform`.
 //! - [`error`] — the unified, non-panicking [`Error`] type wrapping
 //!   ingest/network/sync/registry failures.
 //! - [`history`] — per-attribute time-series store (STH-Comet analogue).
@@ -44,6 +47,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
 pub mod broker;
+pub mod drive;
 pub mod error;
 pub mod history;
 pub mod platform;
@@ -52,11 +56,10 @@ pub mod service;
 pub mod shard;
 
 pub use broker::{ContextBroker, Notification, SubscriptionFilter, SubscriptionId};
+pub use drive::Drive;
 pub use error::Error;
 pub use history::{HistoryStore, Sample, WindowAggregate};
-pub use platform::{
-    DeploymentConfig, Fallback, IngestError, Platform, PlatformBuilder, SyncHealth,
-};
+pub use platform::{DeploymentConfig, Fallback, IngestError, Platform, PlatformBuilder};
 pub use registry::{DeviceRecord, DeviceRegistry};
 pub use service::{IrrigationService, ManagedZone, ZoneDecision};
-pub use shard::{route_device, route_entity, routing_key, ShardIndex};
+pub use shard::{route_device, route_entity, routing_key, shard_seed, ShardIndex};

@@ -20,7 +20,7 @@
 //!   fire-and-forget relay, which silently lost frames to uplink loss).
 //!
 //! The engine's [`DegradedMode`] is surfaced through
-//! [`Platform::sync_health`] and [`Platform::active_fallback`], and
+//! [`Platform::degraded_mode`] and [`Platform::active_fallback`], and
 //! deterministic faults (loss/duplication/reordering/partitions) can be
 //! injected at build time with [`PlatformBuilder::fault_plan`] and
 //! [`PlatformBuilder::uplink_outages`].
@@ -30,9 +30,7 @@ use swamp_codec::ngsi::Entity;
 use swamp_crypto::aead::NonceSequence;
 use swamp_crypto::keystore::Keystore;
 use swamp_fog::availability::{OutageSchedule, ServedBy};
-use swamp_fog::sync::{
-    CloudStore, DegradedMode, DropPolicy, FogSync, SyncStats, ACK_TOPIC, SYNC_TOPIC,
-};
+use swamp_fog::sync::{CloudStore, DegradedMode, DropPolicy, FogSync, ACK_TOPIC, SYNC_TOPIC};
 use swamp_net::fault::FaultPlan;
 use swamp_net::link::LinkSpec;
 use swamp_net::message::{Delivery, Message, NodeId};
@@ -43,7 +41,6 @@ use swamp_security::detect::{RangeValidator, SeqEvent, SeqMonitor};
 use swamp_security::identity::{AuthError, IdentityProvider, Token};
 use swamp_security::pipeline::{DetectorBank, Recommendation};
 use swamp_sensors::device::DeviceKind;
-use swamp_sim::metrics::Metrics;
 use swamp_sim::{SimDuration, SimTime};
 
 use crate::broker::ContextBroker;
@@ -103,24 +100,12 @@ pub enum Fallback {
     LocalControl,
 }
 
-/// Snapshot of the uplink replication engine's health.
-#[derive(Clone, Copy, Debug)]
-pub struct SyncHealth {
-    /// The engine's degraded-mode state.
-    pub mode: DegradedMode,
-    /// When the engine entered the current mode.
-    pub mode_since: SimTime,
-    /// Records buffered awaiting cloud acknowledgement.
-    pub pending: usize,
-    /// Records transmitted and awaiting an ack or retry timer.
-    pub in_flight: usize,
-    /// Cumulative transmission/ack counters.
-    pub stats: SyncStats,
-}
-
 /// The assembled platform.
 pub struct Platform {
     config: DeploymentConfig,
+    /// The seed every stochastic process was derived from (see
+    /// [`PlatformBuilder::seed`]); labelled obs reports carry it.
+    seed: u64,
     /// The simulated network fabric (public for attack/SDN experiments).
     pub net: Network,
     /// The context broker (public: the platform API surface).
@@ -240,6 +225,7 @@ pub struct PlatformBuilder {
     uplink_outages: Vec<(SimTime, SimTime)>,
     uplink_spec: Option<LinkSpec>,
     shards: usize,
+    workers: usize,
 }
 
 impl PlatformBuilder {
@@ -259,6 +245,7 @@ impl PlatformBuilder {
             uplink_outages: Vec::new(),
             uplink_spec: None,
             shards: 1,
+            workers: 1,
         }
     }
 
@@ -345,6 +332,23 @@ impl PlatformBuilder {
         self.shards
     }
 
+    /// Number of worker threads the scale-out tier may advance shards on
+    /// (≥ 1; zero is clamped to one). `1` means the serial schedule; the
+    /// parallel schedule is fingerprint-identical to it (the shard
+    /// differential suite proves this), so this knob trades wall-clock for
+    /// cores without changing behavior. Ignored by
+    /// [`PlatformBuilder::build`], which always assembles one platform.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// The configured worker-thread count (see
+    /// [`PlatformBuilder::workers`]).
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+
     /// The configured base seed (see [`PlatformBuilder::seed`]). The
     /// scale-out tier derives per-shard seeds from this.
     pub fn configured_seed(&self) -> u64 {
@@ -387,8 +391,10 @@ impl PlatformBuilder {
             uplink_outages,
             uplink_spec,
             // One builder always yields one shard; ShardedPlatform::build
-            // fans a builder out into `shards` platforms.
+            // fans a builder out into `shards` platforms across `workers`
+            // threads.
             shards: _,
+            workers: _,
         } = self;
 
         let mut net = Network::new(seed);
@@ -459,6 +465,7 @@ impl PlatformBuilder {
         let ins = PlatformInstruments::register(&mut obs);
         Platform {
             config,
+            seed,
             net,
             context: ContextBroker::new(),
             history: HistoryStore::new(),
@@ -479,6 +486,29 @@ impl PlatformBuilder {
             ins,
         }
     }
+
+    /// Builds shard `i` of a scale-out deployment *without consuming the
+    /// builder*: the configuration (fault plan, outage windows, uplink
+    /// spec, sync tuning) is cloned per shard and the shard's seed is
+    /// derived with [`crate::shard::shard_seed`], so shard 0 of an
+    /// N-shard deployment is byte-identical to the 1-shard build from the
+    /// same builder.
+    ///
+    /// Taking `&self` is load-bearing: the old fan-out path consumed the
+    /// builder per shard, so a caller holding only getters could end up
+    /// building later shards from a builder whose fault plan had already
+    /// been moved out. Every shard now clones from the same intact
+    /// configuration.
+    ///
+    /// # Panics
+    /// As [`PlatformBuilder::build`], if outage windows overlap fault-plan
+    /// partitions.
+    pub fn build_shard(&self, shard: crate::shard::ShardIndex) -> Platform {
+        let seed = crate::shard::shard_seed(self.seed, shard);
+        let mut platform = self.clone().seed(seed).build();
+        platform.set_net_namespace(format!("shard{shard}"));
+        platform
+    }
 }
 
 impl Platform {
@@ -487,16 +517,15 @@ impl Platform {
         PlatformBuilder::new(config)
     }
 
-    /// Builds a platform in the given deployment configuration with
-    /// default tuning.
-    #[deprecated(since = "0.2.0", note = "use Platform::builder")]
-    pub fn new(seed: u64, config: DeploymentConfig) -> Self {
-        Platform::builder(config).seed(seed).build()
-    }
-
     /// The deployment configuration.
     pub fn config(&self) -> DeploymentConfig {
         self.config
+    }
+
+    /// The seed this platform was built with (see
+    /// [`PlatformBuilder::seed`]).
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Enables automatic quarantine: when the detection pipeline recommends
@@ -576,16 +605,6 @@ impl Platform {
         self.detectors.set_obs_enabled(enabled);
     }
 
-    /// Ingest/platform metrics, as a legacy string-keyed view over
-    /// [`Platform::observe`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "read through Platform::observe(); this materializes a Metrics copy per call"
-    )]
-    pub fn metrics(&self) -> Metrics {
-        self.observe().to_metrics()
-    }
-
     /// The cloud replica store, if this is a fog deployment. (The CloudOnly
     /// gateway relay also uses a store internally, but it holds sealed
     /// frames in transit, not replicated context, so it is not exposed
@@ -623,23 +642,6 @@ impl Platform {
     /// (FarmFog) or the gateway relay (CloudOnly).
     fn uplink_engine(&self) -> Option<&FogSync> {
         self.fog_sync.as_ref().or(self.relay_sync.as_ref())
-    }
-
-    /// Health snapshot of the uplink retry engine, in either
-    /// configuration.
-    #[deprecated(
-        since = "0.1.0",
-        note = "read sync.* counters and the sync.pending/in_flight/mode gauges through \
-                Platform::observe(); Platform::degraded_mode() still exposes the mode enum"
-    )]
-    pub fn sync_health(&self) -> Option<SyncHealth> {
-        self.uplink_engine().map(|s| SyncHealth {
-            mode: s.mode(),
-            mode_since: s.mode_since(),
-            pending: s.pending(),
-            in_flight: s.in_flight(),
-            stats: s.stats(),
-        })
     }
 
     /// The uplink engine's degraded-mode state (`Connected` if the
@@ -1259,13 +1261,7 @@ mod tests {
         let snap = p.observe();
         assert_eq!(snap.gauge("sync.pending").unwrap(), Some(0.0));
         assert!(snap.counter("sync.acked").unwrap() >= 1);
-
-        // The deprecated SyncHealth shim stays consistent with the typed
-        // snapshot.
-        #[allow(deprecated)]
-        let health = p.sync_health().unwrap();
-        assert_eq!(health.pending, 0);
-        assert_eq!(health.stats.acked, snap.counter("sync.acked").unwrap());
+        assert_eq!(snap.gauge("sync.in_flight").unwrap(), Some(0.0));
     }
 
     #[test]
@@ -1453,11 +1449,12 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructor_still_builds() {
-        let p = Platform::new(42, DeploymentConfig::FarmFog);
+    fn builder_reports_seed_and_config() {
+        let p = Platform::builder(DeploymentConfig::FarmFog)
+            .seed(42)
+            .build();
         assert_eq!(p.config(), DeploymentConfig::FarmFog);
-        assert!(p.sync_health().is_some());
+        assert_eq!(p.seed(), 42);
     }
 
     #[test]

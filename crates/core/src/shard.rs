@@ -49,6 +49,17 @@ pub fn route_device(device_id: &str, shard_count: usize) -> ShardIndex {
     (routing_key(device_id) % n) as ShardIndex
 }
 
+/// Derives the seed for shard `shard` from the deployment's base seed.
+///
+/// Shard 0 keeps the base seed unchanged, so a 1-shard deployment is
+/// byte-identical to an unsharded platform built from the same builder —
+/// the anchor of the shard differential proof. Higher shards mix the index
+/// with a 64-bit golden-ratio stride so per-shard stochastic processes
+/// (link loss, retry jitter) decorrelate.
+pub fn shard_seed(base: u64, shard: ShardIndex) -> u64 {
+    base ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
 /// Routes an entity id, treating the canonical device URN
 /// `urn:swamp:device:<id>` as the bare device id `<id>` — so a device and
 /// the telemetry entities it publishes always land on the same shard.

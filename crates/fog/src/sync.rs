@@ -522,29 +522,6 @@ impl FogSync {
         FogSyncBuilder::new(node.into(), cloud.into())
     }
 
-    /// Creates a sync engine with positional arguments and the legacy
-    /// constant-interval retransmit behavior (no backoff, no jitter, an
-    /// unbounded in-flight window).
-    ///
-    /// Capacity 0 is clamped to 1.
-    #[deprecated(since = "0.2.0", note = "use FogSync::builder")]
-    pub fn new(
-        node: impl Into<NodeId>,
-        cloud: impl Into<NodeId>,
-        capacity: usize,
-        policy: DropPolicy,
-        retransmit_after: SimDuration,
-    ) -> Self {
-        FogSync::builder(node, cloud)
-            .capacity(capacity)
-            .drop_policy(policy)
-            .base_timeout(retransmit_after)
-            .backoff(1.0, retransmit_after)
-            .jitter(0.0)
-            .max_in_flight(usize::MAX)
-            .build()
-    }
-
     /// Buffered (not yet acked) update count.
     pub fn pending(&self) -> usize {
         self.records.len()
@@ -1086,16 +1063,6 @@ impl CloudStore {
     /// Duplicate transmissions discarded.
     pub fn duplicates(&self) -> u64 {
         self.obs.value(self.ins.duplicates)
-    }
-
-    /// Ack sends refused by the network (the sender's retry engine covers
-    /// the resulting retransmission).
-    #[deprecated(
-        since = "0.1.0",
-        note = "read cloud.acks_refused through CloudStore::observe()"
-    )]
-    pub fn acks_refused(&self) -> u64 {
-        self.obs.value(self.ins.acks_refused)
     }
 
     /// Typed snapshot of the store's instruments (`cloud.accepted`,
@@ -1875,20 +1842,6 @@ mod tests {
             snap.counter("sync.timeouts").unwrap(),
             sync.stats().timeouts
         );
-    }
-
-    #[test]
-    fn deprecated_constructor_maps_to_legacy_behavior() {
-        #[allow(deprecated)]
-        let mut sync = FogSync::new(
-            "fog",
-            "cloud",
-            0, // clamped to 1 instead of panicking
-            DropPolicy::Oldest,
-            SimDuration::from_secs(5),
-        );
-        assert!(sync.enqueue(SimTime::ZERO, "k", vec![]).is_ok());
-        assert_eq!(sync.pending(), 1);
     }
 
     #[test]

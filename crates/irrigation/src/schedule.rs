@@ -46,7 +46,14 @@ impl ZoneView {
 pub type DepthMm = f64;
 
 /// A scheduling policy. Object-safe so pilots can mix policies per zone.
-pub trait IrrigationPolicy {
+///
+/// `Send + Sync` is a supertrait: boxed policies live inside
+/// `swamp_core::service::IrrigationService`, which the scale-out worker
+/// pool moves across threads. Every policy is plain owned data, so the
+/// bound costs implementors nothing — it exists so the compile-time
+/// Send/Sync audit (`crates/shard/tests/send_sync.rs`) holds for the whole
+/// platform stack.
+pub trait IrrigationPolicy: Send + Sync {
     /// Decides today's application depth for a zone.
     fn decide(&mut self, view: &ZoneView) -> DepthMm;
 

@@ -10,7 +10,6 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use swamp_obs::{Counter, Hist, Level, Obs, ObsSnapshot, Span};
-use swamp_sim::metrics::Metrics;
 use swamp_sim::{EventQueue, SimDuration, SimRng, SimTime};
 
 use crate::fault::{FaultOutcome, FaultPlan};
@@ -480,15 +479,6 @@ impl Network {
     pub fn set_obs_enabled(&mut self, enabled: bool) {
         self.obs.set_enabled(enabled);
     }
-
-    /// Aggregate counters, as a legacy string-keyed view.
-    #[deprecated(
-        since = "0.1.0",
-        note = "read through Network::observe(); this materializes a Metrics copy per call"
-    )]
-    pub fn metrics(&self) -> Metrics {
-        self.observe().to_metrics()
-    }
 }
 
 #[cfg(test)]
@@ -659,19 +649,6 @@ mod tests {
     fn unknown_instrument_name_is_an_error() {
         let net = basic_net();
         assert!(net.observe().counter("net.typo").is_err());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_metrics_view_matches_snapshot() {
-        let mut net = basic_net();
-        net.send(SimTime::ZERO, "a", "b", Message::new("t", vec![]))
-            .unwrap();
-        net.advance_to(SimTime::from_secs(1));
-        let m = net.metrics();
-        assert_eq!(m.counter("net.offered"), 1);
-        assert_eq!(m.counter("net.delivered"), 1);
-        assert_eq!(m.summary("net.latency_ms").unwrap().count(), 1);
     }
 
     #[test]

@@ -1,35 +1,95 @@
-//! E14b shard scale-out throughput: runs the shards×devices sweep and
-//! emits `BENCH_e14.json` on stdout (the human-readable table goes to
+//! E14b shard scale-out throughput: runs the shards×workers×devices sweep
+//! and emits `BENCH_e14.json` on stdout (the human-readable table goes to
 //! stderr so redirection captures clean JSON).
 //!
 //! Usage: `cargo run -p swamp-pilots --bin bench_e14 --release \
-//!             [devices ...] > BENCH_e14.json`
+//!             [--check] [devices ...] > BENCH_e14.json`
 //!
 //! Defaults to fleets of 1 000, 10 000 and 100 000 devices, each replayed
-//! at 1, 4 and 16 shards. Each cell ingests one update per device and is
-//! pumped until every record reaches the cross-shard aggregate store.
+//! at 1, 4 and 16 shards under 1, 2 and 8 worker threads (cells with more
+//! workers than shards are skipped — they would only time idle threads).
+//! Each cell ingests one update per device and is pumped until every
+//! record reaches the cross-shard aggregate store.
 //!
 //! Honesty note: since the sync engine became O(transmissions +
-//! due-timers) per round, total drain work is linear in backlog and the
-//! shards all run on one thread — so per-shard speedup is ~1×, not the
-//! ~14× the old quadratic engine showed (sharding divided B² into
-//! N·(B/N)²). The speedup column is kept to document exactly that; real
-//! scale-out now needs parallel shard execution (see ROADMAP).
+//! due-timers) per round, total drain work is linear in backlog — so
+//! single-threaded sharding yields ~1× speedup, and any real gain must
+//! come from the worker pool. Whether it *can* depends on the machine:
+//! the JSON records `available_parallelism`, and `--check` gates
+//! accordingly — on ≥2 cores the best parallel schedule must beat the
+//! serial one at the largest fleet; on 1 core it can only bound the
+//! scheduling overhead (parallel ≥ half of serial), because no speedup is
+//! physically available. DESIGN.md §14 separates the per-shard working-set
+//! effect from true core scaling.
 
 use swamp_codec::json::Json;
 use swamp_obs::ObsReport;
 use swamp_pilots::experiments::e14_shard_throughput_observed;
+use swamp_pilots::experiments::scale::E14ThroughputResult;
 
 const SHARD_COUNTS: [usize; 3] = [1, 4, 16];
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The `--check` gate: full replication everywhere, and at the largest
+/// fleet the parallel schedule must beat serial where the hardware can
+/// express a speedup (≥2 cores). On 1 core there is nothing to win —
+/// timeslicing two workers over one cache and one allocator can cost up
+/// to ~3× on big working sets — so the gate only bounds pathological
+/// collapse (parallel ≥ ¼ of serial).
+fn check(result: &E14ThroughputResult, sizes: &[usize]) -> Result<(), String> {
+    for row in &result.rows {
+        if row.updates != row.devices as u64 {
+            return Err(format!(
+                "{} shards / {} workers / {} devices: only {} of {} updates replicated",
+                row.shards, row.workers, row.devices, row.updates, row.devices
+            ));
+        }
+    }
+    let largest = *sizes.iter().max().ok_or("empty fleet-size list")?;
+    let floor = if cores() >= 2 { 1.0 } else { 0.25 };
+    for &shards in SHARD_COUNTS.iter().filter(|&&s| s >= 2) {
+        let serial = result
+            .throughput(shards, 1, largest)
+            .ok_or_else(|| format!("missing serial cell at {shards} shards"))?;
+        let best_parallel = result
+            .rows
+            .iter()
+            .filter(|r| r.shards == shards && r.workers >= 2 && r.devices == largest)
+            .map(|r| r.throughput_per_s)
+            .fold(f64::NAN, f64::max);
+        // NaN (no parallel cell found at this shard count) must fail too.
+        if best_parallel.is_nan() || best_parallel < serial * floor {
+            return Err(format!(
+                "{shards} shards / {largest} devices: best parallel throughput \
+                 {best_parallel:.0}/s < {floor}x serial {serial:.0}/s ({} cores)",
+                cores()
+            ));
+        }
+    }
+    Ok(())
+}
 
 fn main() {
     let mut sizes: Vec<usize> = Vec::new();
+    let mut check_mode = false;
     for arg in std::env::args().skip(1) {
+        if arg == "--check" {
+            check_mode = true;
+            continue;
+        }
         match arg.parse::<usize>() {
             Ok(n) if n > 0 => sizes.push(n),
             _ => {
                 eprintln!("bench_e14: fleet sizes must be positive integers, got {arg:?}");
-                eprintln!("usage: bench_e14 [devices ...]   (default: 1000 10000 100000)");
+                eprintln!(
+                    "usage: bench_e14 [--check] [devices ...]   (default: 1000 10000 100000)"
+                );
                 std::process::exit(2);
             }
         }
@@ -38,35 +98,48 @@ fn main() {
         sizes = vec![1_000, 10_000, 100_000];
     }
     // The library is clock-free; the binary owns the wall clock.
-    let (result, obs_reports) = e14_shard_throughput_observed(&SHARD_COUNTS, &sizes, |run| {
-        let start = std::time::Instant::now();
-        run();
-        start.elapsed().as_secs_f64()
-    });
+    let (result, obs_reports) =
+        e14_shard_throughput_observed(&SHARD_COUNTS, &WORKER_COUNTS, &sizes, |run| {
+            let start = std::time::Instant::now();
+            run();
+            start.elapsed().as_secs_f64()
+        });
     eprintln!("{}", result.report());
 
     // Deterministic per-cell observability snapshots, written next to the
-    // bench JSON (which goes to stdout via redirection).
-    match std::fs::write(
-        "OBS_e14.json",
-        ObsReport::array_to_json_string(&obs_reports),
-    ) {
-        Ok(()) => eprintln!("wrote OBS_e14.json ({} cell reports)", obs_reports.len()),
-        Err(e) => eprintln!("bench_e14: could not write OBS_e14.json: {e}"),
+    // bench JSON (which goes to stdout via redirection). `--check` runs
+    // (CI, often with reduced fleets) guard throughput only and must not
+    // overwrite the committed full-sweep artifact.
+    if !check_mode {
+        match std::fs::write(
+            "OBS_e14.json",
+            ObsReport::array_to_json_string(&obs_reports),
+        ) {
+            Ok(()) => eprintln!("wrote OBS_e14.json ({} cell reports)", obs_reports.len()),
+            Err(e) => eprintln!("bench_e14: could not write OBS_e14.json: {e}"),
+        }
     }
 
     let rows: Vec<Json> = result
         .rows
         .iter()
         .map(|r| {
-            // Speedup relative to the 1-shard cell of the same fleet size.
+            // Speedup relative to the serial 1-shard cell of the same
+            // fleet size, and relative to the serial schedule of the same
+            // shard count (isolating what the worker pool buys).
             let speedup = result
-                .throughput(1, r.devices)
+                .throughput(1, 1, r.devices)
+                .filter(|base| *base > 0.0)
+                .map(|base| r.throughput_per_s / base)
+                .unwrap_or(0.0);
+            let speedup_vs_serial = result
+                .throughput(r.shards, 1, r.devices)
                 .filter(|base| *base > 0.0)
                 .map(|base| r.throughput_per_s / base)
                 .unwrap_or(0.0);
             Json::object([
                 ("shards", Json::Number(r.shards as f64)),
+                ("workers", Json::Number(r.workers as f64)),
                 ("devices", Json::Number(r.devices as f64)),
                 ("updates", Json::Number(r.updates as f64)),
                 ("pumps", Json::Number(r.pumps as f64)),
@@ -79,6 +152,10 @@ fn main() {
                     "speedup_vs_1shard",
                     Json::Number((speedup * 100.0).round() / 100.0),
                 ),
+                (
+                    "speedup_vs_serial",
+                    Json::Number((speedup_vs_serial * 100.0).round() / 100.0),
+                ),
             ])
         })
         .collect();
@@ -89,12 +166,24 @@ fn main() {
             Json::String(
                 "Wall-clock time to fully replicate one update per device \
                  through ingest, per-shard fog sync and cross-shard cloud \
-                 aggregation, per shard count and fleet size."
+                 aggregation, per shard count, worker-thread count and \
+                 fleet size."
                     .into(),
             ),
         ),
         ("build", Json::String("release".into())),
+        ("available_parallelism", Json::Number(cores() as f64)),
         ("rows", Json::Array(rows)),
     ]);
     println!("{}", doc.to_pretty_string());
+
+    if check_mode {
+        match check(&result, &sizes) {
+            Ok(()) => eprintln!("bench_e14 --check: ok ({} cores)", cores()),
+            Err(msg) => {
+                eprintln!("bench_e14 --check FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -611,21 +611,26 @@ pub fn e11_platform_scale(seed: u64) -> E11Result {
                 .expect("unique probe ids");
         }
         let mut offered = 0u64;
-        for minute in 0..60u64 {
-            let t = SimTime::from_millis(minute * 60_000);
-            for (i, id) in ids.iter().enumerate() {
-                let mut e = Entity::new(format!("urn:swamp:device:{id}"), "SoilProbe");
-                e.set("moisture_vwc", 0.2 + i as f64 * 0.001);
-                e.set("seq", minute as f64);
-                if platform
-                    .device_publish(t + SimDuration::from_millis(i as u64 * 13), id, &e)
-                    .is_ok()
-                {
-                    offered += 1;
+        crate::driver::run_rounds(
+            &mut platform,
+            SimTime::ZERO,
+            SimDuration::from_mins(1),
+            SimDuration::from_secs(59),
+            60,
+            |p, minute, t| {
+                for (i, id) in ids.iter().enumerate() {
+                    let mut e = Entity::new(format!("urn:swamp:device:{id}"), "SoilProbe");
+                    e.set("moisture_vwc", 0.2 + i as f64 * 0.001);
+                    e.set("seq", minute as f64);
+                    if p.device_publish(t + SimDuration::from_millis(i as u64 * 13), id, &e)
+                        .is_ok()
+                    {
+                        offered += 1;
+                    }
                 }
-            }
-            platform.pump(t + SimDuration::from_secs(59));
-        }
+            },
+            |_, _, _| {},
+        );
         platform.pump(SimTime::from_hours(2));
         let snap = platform.observe();
         let accepted = snap.counter("ingest.accepted").expect("registered counter");

@@ -139,39 +139,48 @@ fn run_cell(seed: u64, config: DeploymentConfig, loss: f64) -> (E13Row, ObsRepor
     let mut worst_outage_mode = DegradedMode::Connected;
     let mut recovered_at: Option<SimTime> = None;
     let mut seq = 0u64;
-    // 8 h of minute-grained pumps; devices publish every 5 min for the
-    // first 6 h, the last 2 h drain the backlog.
-    for minute in 0..480u64 {
-        let t = SimTime::ZERO + SimDuration::from_mins(minute);
-        if minute % 5 == 0 && minute < 360 {
-            for dev in ["probe-a", "probe-b"] {
-                let mut e = Entity::new(format!("urn:swamp:device:{dev}"), "SoilProbe");
-                e.set("moisture_vwc", 0.2 + seq as f64 * 1e-4);
-                e.set("seq", seq as f64);
-                let _ = platform.device_publish(t, dev, &e);
-                seq += 1;
+    // 8 h of minute-grained rounds through the shared driver; devices
+    // publish every 5 min for the first 6 h, the last 2 h drain the
+    // backlog; the after-hook samples degraded mode and recovery on the
+    // concrete platform (inherent methods the `Drive` trait doesn't
+    // carry).
+    crate::driver::run_rounds(
+        &mut platform,
+        SimTime::ZERO,
+        SimDuration::from_mins(1),
+        SimDuration::from_secs(30),
+        480,
+        |p, minute, t| {
+            if minute % 5 == 0 && minute < 360 {
+                for dev in ["probe-a", "probe-b"] {
+                    let mut e = Entity::new(format!("urn:swamp:device:{dev}"), "SoilProbe");
+                    e.set("moisture_vwc", 0.2 + seq as f64 * 1e-4);
+                    e.set("seq", seq as f64);
+                    let _ = p.device_publish(t, dev, &e);
+                    seq += 1;
+                }
             }
-        }
-        platform.pump(t + SimDuration::from_secs(30));
-
-        if t >= outage_start && t < outage_end {
-            let mode = platform.degraded_mode();
-            if severity(mode) > severity(worst_outage_mode) {
-                worst_outage_mode = mode;
+        },
+        |p, _, t| {
+            if t >= outage_start && t < outage_end {
+                let mode = p.degraded_mode();
+                if severity(mode) > severity(worst_outage_mode) {
+                    worst_outage_mode = mode;
+                }
             }
-        }
-        if t >= outage_end && recovered_at.is_none() {
-            // Gauges are refreshed at the end of every sync round, and
-            // nothing enqueues between the pump above and this read, so
-            // they equal the engine's live queue depths here.
-            let snap = platform.observe();
-            let pending = snap.gauge("sync.pending").expect("registered gauge");
-            let in_flight = snap.gauge("sync.in_flight").expect("registered gauge");
-            if pending == Some(0.0) && in_flight == Some(0.0) {
-                recovered_at = Some(t);
+            if t >= outage_end && recovered_at.is_none() {
+                // Gauges are refreshed at the end of every sync round, and
+                // nothing enqueues between the round's pump and this read,
+                // so they equal the engine's live queue depths here.
+                let snap = p.observe();
+                let pending = snap.gauge("sync.pending").expect("registered gauge");
+                let in_flight = snap.gauge("sync.in_flight").expect("registered gauge");
+                if pending == Some(0.0) && in_flight == Some(0.0) {
+                    recovered_at = Some(t);
+                }
             }
-        }
-    }
+        },
+    );
 
     let snap = platform.observe();
     let (delivered, duplicate_applies, duplicates_discarded) = match config {

@@ -61,41 +61,52 @@ pub fn e14_builder(seed: u64, shards: usize) -> PlatformBuilder {
 }
 
 /// Drives one seeded workload — `devices` probes publishing `rounds`
-/// batches of soil telemetry — through an N-shard platform, pumps until
-/// replication settles, and returns the run's [`RunFingerprint`] plus the
-/// platform for further inspection.
+/// batches of soil telemetry — through an N-shard platform on `workers`
+/// worker threads, pumps until replication settles, and returns the run's
+/// [`RunFingerprint`] plus the platform for further inspection. The
+/// fingerprint must not depend on `workers` — that is the parallel half of
+/// the differential property (`crates/pilots/tests/shard_differential.rs`
+/// quantifies over worker counts {1, 2, 8}).
 pub fn e14_run_cell(
     seed: u64,
     shards: usize,
     devices: usize,
     rounds: usize,
+    workers: usize,
 ) -> (RunFingerprint, ShardedPlatform) {
-    let mut sp = ShardedPlatform::build(e14_builder(seed, shards));
+    let mut sp = ShardedPlatform::build(&e14_builder(seed, shards));
+    sp.set_workers(workers);
     let mut rng = SimRng::seed_from(seed).split("e14-workload");
-    let mut now = SimTime::ZERO;
-    for round in 0..rounds {
-        now = now.saturating_add(SimDuration::from_secs(60));
-        let batch: Vec<Entity> = (0..devices)
-            .map(|i| {
-                let mut e = Entity::new(format!("urn:swamp:device:probe-{i}"), "SoilProbe");
-                e.set("moisture_vwc", 0.15 + rng.uniform_f64() * 0.2);
-                e.set("seq", round as f64);
-                e
-            })
-            .collect();
-        sp.ingest_entities(now, batch);
-        sp.pump(now);
-    }
+    crate::driver::run_rounds(
+        &mut sp,
+        SimTime::from_secs(60),
+        SimDuration::from_secs(60),
+        SimDuration::ZERO,
+        rounds as u64,
+        |sp, round, t| {
+            let batch: Vec<Entity> = (0..devices)
+                .map(|i| {
+                    let mut e = Entity::new(format!("urn:swamp:device:probe-{i}"), "SoilProbe");
+                    e.set("moisture_vwc", 0.15 + rng.uniform_f64() * 0.2);
+                    e.set("seq", round as f64);
+                    e
+                })
+                .collect();
+            sp.ingest_entities(t, batch);
+        },
+        |_, _, _| {},
+    );
     // Drain the replication backlog (window-limited), then settle the
     // aggregation fabric.
     let expected = (devices * rounds) as u64;
-    for _ in 0..10_000 {
-        if sp.aggregate_store().record_count() as u64 >= expected {
-            break;
-        }
-        now = now.saturating_add(SimDuration::from_secs(60));
-        sp.pump(now);
-    }
+    let last_round = SimTime::ZERO + SimDuration::from_secs(60) * rounds as u64;
+    let (now, _) = crate::driver::run_until(
+        &mut sp,
+        last_round,
+        SimDuration::from_secs(60),
+        10_000,
+        |sp| sp.aggregate_store().record_count() as u64 >= expected,
+    );
     sp.flush_aggregation(now);
     (fingerprint(&sp), sp)
 }
@@ -144,6 +155,8 @@ pub fn fingerprint(sp: &ShardedPlatform) -> RunFingerprint {
 pub struct E14Row {
     /// Shard count.
     pub shards: usize,
+    /// Worker threads driving the shard set.
+    pub workers: usize,
     /// Fleet size.
     pub devices: usize,
     /// Updates ingested.
@@ -168,9 +181,10 @@ impl E14Result {
     /// The equivalence table.
     pub fn report(&self) -> Report {
         let mut r = Report::new(
-            "E14: sharded scale-out — N-shard vs 1-shard equivalence (lossless uplink, 60 s pumps)",
+            "E14: sharded scale-out — N-shard/W-worker vs serial 1-shard equivalence (lossless uplink, 60 s pumps)",
             &[
                 "shards",
+                "workers",
                 "devices",
                 "updates",
                 "agg_records",
@@ -181,6 +195,7 @@ impl E14Result {
         for row in &self.rows {
             r.push_row(vec![
                 row.shards.to_string(),
+                row.workers.to_string(),
                 row.devices.to_string(),
                 row.updates.to_string(),
                 row.agg_records.to_string(),
@@ -193,15 +208,18 @@ impl E14Result {
 }
 
 /// Runs E14 (deterministic half): a 240-device, 5-round workload replayed
-/// at 1, 4 and 16 shards; every sharded fingerprint must equal the
-/// 1-shard baseline.
+/// across shard counts {1, 4, 16} *and* worker-thread counts — the serial
+/// schedule plus genuinely parallel rounds at 2 and 8 workers. Every
+/// (shards, workers) fingerprint must equal the serial 1-shard baseline:
+/// sharding is an implementation detail, and so is the thread count that
+/// drives the shards.
 pub fn e14_shard_scale(seed: u64) -> E14Result {
     let devices = 240;
     let rounds = 5;
-    let (baseline, _) = e14_run_cell(seed, 1, devices, rounds);
+    let (baseline, _) = e14_run_cell(seed, 1, devices, rounds, 1);
     let mut rows = Vec::new();
-    for shards in [1usize, 4, 16] {
-        let (fp, sp) = e14_run_cell(seed, shards, devices, rounds);
+    for (shards, workers) in [(1usize, 1usize), (4, 1), (4, 2), (16, 1), (16, 8)] {
+        let (fp, sp) = e14_run_cell(seed, shards, devices, rounds, workers);
         let mut per_shard = vec![0u64; shards];
         for i in 0..devices {
             per_shard[route_device(&format!("probe-{i}"), shards)] += 1;
@@ -210,6 +228,7 @@ pub fn e14_shard_scale(seed: u64) -> E14Result {
         let min = *per_shard.iter().min().unwrap_or(&0) as f64;
         rows.push(E14Row {
             shards,
+            workers,
             devices,
             updates: (devices * rounds) as u64,
             agg_records: sp.aggregate_store().record_count() as u64,
@@ -225,6 +244,8 @@ pub fn e14_shard_scale(seed: u64) -> E14Result {
 pub struct ShardScaleRow {
     /// Shard count.
     pub shards: usize,
+    /// Worker threads driving the shard set.
+    pub workers: usize,
     /// Fleet size (one update per device in the timed backlog).
     pub devices: usize,
     /// Updates fully replicated to the aggregate store.
@@ -245,15 +266,16 @@ pub struct E14ThroughputResult {
 }
 
 impl E14ThroughputResult {
-    /// The shards×devices throughput table.
+    /// The shards×workers×devices throughput table.
     pub fn report(&self) -> Report {
         let mut r = Report::new(
             "E14b: shard scale-out throughput — time to fully replicate one update per device (wall clock)",
-            &["shards", "devices", "updates", "pumps", "elapsed_ms", "updates_per_s"],
+            &["shards", "workers", "devices", "updates", "pumps", "elapsed_ms", "updates_per_s"],
         );
         for row in &self.rows {
             r.push_row(vec![
                 row.shards.to_string(),
+                row.workers.to_string(),
                 row.devices.to_string(),
                 row.updates.to_string(),
                 row.pumps.to_string(),
@@ -265,10 +287,10 @@ impl E14ThroughputResult {
     }
 
     /// Throughput of the cell with the given coordinates, if present.
-    pub fn throughput(&self, shards: usize, devices: usize) -> Option<f64> {
+    pub fn throughput(&self, shards: usize, workers: usize, devices: usize) -> Option<f64> {
         self.rows
             .iter()
-            .find(|r| r.shards == shards && r.devices == devices)
+            .find(|r| r.shards == shards && r.workers == workers && r.devices == devices)
             .map(|r| r.throughput_per_s)
     }
 }
@@ -289,6 +311,7 @@ impl E14ThroughputResult {
 /// `bench_e14` binary (and the unit test) touch `std::time::Instant`.
 pub fn e14_shard_throughput_observed(
     shard_counts: &[usize],
+    worker_counts: &[usize],
     device_counts: &[usize],
     mut time_cell: impl FnMut(&mut dyn FnMut()) -> f64,
 ) -> (E14ThroughputResult, Vec<ObsReport>) {
@@ -302,46 +325,55 @@ pub fn e14_shard_throughput_observed(
             if shards == 0 {
                 continue;
             }
-            let mut sp =
-                ShardedPlatform::build(e14_builder(7, shards).sync_capacity(devices.max(100_000)));
-            let mut pumps = 0u64;
-            let mut replicated = 0u64;
-            let secs = time_cell(&mut || {
-                let mut now = SimTime::from_secs(60);
-                let batch: Vec<Entity> = (0..devices)
-                    .map(|i| {
-                        let mut e = Entity::new(format!("urn:swamp:device:probe-{i}"), "SoilProbe");
-                        e.set("moisture_vwc", 0.2 + (i % 100) as f64 * 0.001);
-                        e.set("seq", 0.0);
-                        e
-                    })
-                    .collect();
-                sp.ingest_entities(now, batch);
-                for _ in 0..100_000u64 {
-                    sp.pump(now);
-                    pumps += 1;
-                    if sp.aggregate_store().record_count() >= devices {
-                        break;
-                    }
-                    now = now.saturating_add(SimDuration::from_secs(60));
+            for &workers in worker_counts {
+                if workers == 0 || (workers > 1 && workers > shards) {
+                    // More workers than shards would time idle threads.
+                    continue;
                 }
-                sp.flush_aggregation(now);
-                replicated = sp.aggregate_store().record_count() as u64;
-            });
-            rows.push(ShardScaleRow {
-                shards,
-                devices,
-                updates: replicated,
-                pumps,
-                elapsed_ms: secs * 1e3,
-                throughput_per_s: if secs > 0.0 {
-                    replicated as f64 / secs
-                } else {
-                    0.0
-                },
-            });
-            let label = format!("e14/{shards}sh/{devices}");
-            reports.push(ObsReport::new(&label, 7, sp.observe()));
+                let mut sp = ShardedPlatform::build(
+                    &e14_builder(7, shards).sync_capacity(devices.max(100_000)),
+                );
+                sp.set_workers(workers);
+                let mut pumps = 0u64;
+                let mut replicated = 0u64;
+                let secs = time_cell(&mut || {
+                    let batch: Vec<Entity> = (0..devices)
+                        .map(|i| {
+                            let mut e =
+                                Entity::new(format!("urn:swamp:device:probe-{i}"), "SoilProbe");
+                            e.set("moisture_vwc", 0.2 + (i % 100) as f64 * 0.001);
+                            e.set("seq", 0.0);
+                            e
+                        })
+                        .collect();
+                    sp.ingest_entities(SimTime::from_secs(60), batch);
+                    let (now, drained) = crate::driver::run_until(
+                        &mut sp,
+                        SimTime::ZERO,
+                        SimDuration::from_secs(60),
+                        100_000,
+                        |sp| sp.aggregate_store().record_count() >= devices,
+                    );
+                    pumps = drained;
+                    sp.flush_aggregation(now);
+                    replicated = sp.aggregate_store().record_count() as u64;
+                });
+                rows.push(ShardScaleRow {
+                    shards,
+                    workers,
+                    devices,
+                    updates: replicated,
+                    pumps,
+                    elapsed_ms: secs * 1e3,
+                    throughput_per_s: if secs > 0.0 {
+                        replicated as f64 / secs
+                    } else {
+                        0.0
+                    },
+                });
+                let label = format!("e14/{shards}sh/{workers}w/{devices}");
+                reports.push(ObsReport::new(&label, 7, sp.observe()));
+            }
         }
     }
     (E14ThroughputResult { rows }, reports)
@@ -354,39 +386,47 @@ mod tests {
     #[test]
     fn e14_equivalence_holds_at_test_scale() {
         let r = e14_shard_scale(42);
-        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.rows.len(), 5);
         for row in &r.rows {
             assert!(
                 row.matches_single_shard,
-                "{} shards: fingerprint diverged from 1-shard baseline",
-                row.shards
+                "{} shards / {} workers: fingerprint diverged from serial 1-shard baseline",
+                row.shards, row.workers
             );
             assert_eq!(row.agg_records, row.updates);
             assert!(row.balance.is_finite());
         }
+        assert!(
+            r.rows.iter().any(|row| row.workers > 1),
+            "the table must cover genuinely parallel schedules"
+        );
         let table = r.report().to_string();
         assert!(table.contains("matches_1shard"));
+        assert!(table.contains("workers"));
     }
 
     #[test]
     fn e14_throughput_cells_complete() {
         // Tiny cells keep the test fast; bench_e14 runs the real sweep.
-        let (r, reports) = e14_shard_throughput_observed(&[1, 4], &[64], |run| {
+        let (r, reports) = e14_shard_throughput_observed(&[1, 4], &[1, 2], &[64], |run| {
             let start = std::time::Instant::now();
             run();
             start.elapsed().as_secs_f64()
         });
-        assert_eq!(r.rows.len(), 2);
+        // (1 shard, 2 workers) is skipped: workers > shards.
+        assert_eq!(r.rows.len(), 3);
         for row in &r.rows {
             assert_eq!(
                 row.updates, 64,
-                "{} shards must fully replicate",
-                row.shards
+                "{} shards / {} workers must fully replicate",
+                row.shards, row.workers
             );
             assert!(row.throughput_per_s > 0.0);
         }
-        assert_eq!(reports.len(), 2);
-        assert!(r.throughput(1, 64).is_some());
-        assert!(r.throughput(2, 64).is_none());
+        assert_eq!(reports.len(), 3);
+        assert!(r.throughput(1, 1, 64).is_some());
+        assert!(r.throughput(4, 2, 64).is_some());
+        assert!(r.throughput(1, 2, 64).is_none(), "idle-worker cell skipped");
+        assert!(r.throughput(2, 1, 64).is_none());
     }
 }

@@ -7,7 +7,9 @@
 //!   yield → water/energy/cost accounting) over heterogeneous zones.
 //! - [`pilots`] — CBEC, Intercrop, Guaspari, MATOPIBA configurations with
 //!   smart-vs-baseline comparisons.
-//! - [`experiments`] — E1–E13, one per claim/challenge in the paper (see
+//! - [`driver`] — the shared [`swamp_core::Drive`]-based round/drain loops
+//!   every harness runs on, deployment-shape agnostic.
+//! - [`experiments`] — E1–E14, one per claim/challenge in the paper (see
 //!   EXPERIMENTS.md), all seeded and reproducible.
 //! - [`report`] — the result tables the harness prints.
 //!
@@ -19,6 +21,7 @@
 //! assert!(report.water_saving() > 0.0);
 //! ```
 
+pub mod driver;
 pub mod experiments;
 pub mod pilots;
 pub mod report;

@@ -13,12 +13,18 @@
 //!   FNV-1a hash of the device id picks the shard, so assignment survives
 //!   re-registration and restart, and a device's telemetry entities
 //!   ([`swamp_core::shard::route_entity`]) follow it.
-//! - **Deterministic scheduling** ([`ShardScheduler`]): shards are pumped
-//!   in a seeded round-robin rotation — tick-based, no wall clock — so a
-//!   sharded run replays bit-for-bit from its seed.
-//! - **Cross-shard aggregation**: every shard's cloud replica drains into
-//!   a dedicated aggregation fabric and a global [`CloudStore`] inbox via
-//!   the *existing* [`CloudStore::process_deliveries`] wire path (records
+//! - **Deterministic scheduling**: with one worker
+//!   ([`PlatformBuilder::workers`]), shards are pumped in the
+//!   [`ShardScheduler`]'s seeded round-robin rotation — tick-based, no
+//!   wall clock. With more workers, each shard advances its round on a
+//!   scoped worker thread ([`pool`]) and the scope join is a barrier
+//!   before aggregation. Because shards are fully isolated, both
+//!   schedules produce byte-identical state; a sharded run replays
+//!   bit-for-bit from its seed at any worker count.
+//! - **Cross-shard aggregation**: after the round barrier, every shard's
+//!   cloud replica drains — *in shard-id order* — into a dedicated
+//!   aggregation fabric and a global [`CloudStore`] inbox via the
+//!   *existing* [`CloudStore::process_deliveries`] wire path (records
 //!   are re-encoded with [`UpdateRecord::encode`], so the aggregate store
 //!   dedups and acks exactly as a first-hand cloud would).
 //!
@@ -32,11 +38,14 @@
 // `expect`s document invariants.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
+pub mod pool;
 pub mod scheduler;
 
 pub use scheduler::ShardScheduler;
+pub use swamp_core::shard::shard_seed;
 
 use swamp_codec::ngsi::Entity;
+use swamp_core::drive::Drive;
 use swamp_core::platform::{DeploymentConfig, Platform, PlatformBuilder};
 use swamp_core::shard::{route_device, route_entity, ShardIndex};
 use swamp_core::Error;
@@ -47,13 +56,6 @@ use swamp_net::network::Network;
 use swamp_obs::{Counter, Gauge, Obs, ObsReport, ObsSnapshot};
 use swamp_sensors::device::DeviceKind;
 use swamp_sim::{SimDuration, SimTime};
-
-/// Mixes a shard index into the deployment's base seed. Shard 0 keeps the
-/// base seed unchanged, which makes a 1-shard [`ShardedPlatform`]
-/// bit-identical to a plain [`Platform`] built from the same builder.
-pub fn shard_seed(base: u64, shard: ShardIndex) -> u64 {
-    base ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-}
 
 /// Node name of shard `i`'s uplink proxy on the aggregation fabric.
 fn shard_proxy(i: ShardIndex) -> String {
@@ -98,7 +100,7 @@ impl ShardInstruments {
 /// use swamp_sim::SimTime;
 ///
 /// let builder = Platform::builder(DeploymentConfig::FarmFog).seed(7).shards(3);
-/// let mut sp = ShardedPlatform::build(builder);
+/// let mut sp = ShardedPlatform::build(&builder);
 /// let shard = sp
 ///     .register_device(SimTime::ZERO, "probe-1", DeviceKind::SoilProbe, "owner:demo")
 ///     .unwrap();
@@ -107,6 +109,11 @@ impl ShardInstruments {
 pub struct ShardedPlatform {
     shards: Vec<Platform>,
     seeds: Vec<u64>,
+    workers: usize,
+    /// Test seam for the merge-barrier ordering test: wall-clock
+    /// milliseconds to delay each shard's parallel pump by (never
+    /// observable in exported state). Empty in production.
+    stagger_ms: Vec<u64>,
     scheduler: ShardScheduler,
     agg_net: Network,
     agg_store: CloudStore,
@@ -127,7 +134,12 @@ impl ShardedPlatform {
     /// tier. Shard `i` gets the derived seed [`shard_seed`]`(base, i)`,
     /// the fabric namespace `shard<i>`, and a clone of the builder's fault
     /// plan and outage schedule.
-    pub fn build(builder: PlatformBuilder) -> ShardedPlatform {
+    ///
+    /// Takes the builder by reference: every shard is cloned from the same
+    /// intact configuration through [`PlatformBuilder::build_shard`], and
+    /// the caller keeps the builder — e.g. to also build the 1-shard
+    /// serial baseline the differential suite compares against.
+    pub fn build(builder: &PlatformBuilder) -> ShardedPlatform {
         let n = builder.shard_count();
         let base_seed = builder.configured_seed();
         let config = builder.deployment();
@@ -135,11 +147,8 @@ impl ShardedPlatform {
         let mut shards = Vec::with_capacity(n);
         let mut seeds = Vec::with_capacity(n);
         for i in 0..n {
-            let seed = shard_seed(base_seed, i);
-            let mut shard = builder.clone().seed(seed).build();
-            shard.set_net_namespace(shard_proxy(i));
-            shards.push(shard);
-            seeds.push(seed);
+            shards.push(builder.build_shard(i));
+            seeds.push(shard_seed(base_seed, i));
         }
 
         // The aggregation fabric: one zero-loss datacenter link per shard
@@ -163,6 +172,8 @@ impl ShardedPlatform {
         ShardedPlatform {
             shards,
             seeds,
+            workers: builder.worker_count(),
+            stagger_ms: Vec::new(),
             scheduler: ShardScheduler::new(base_seed, n),
             agg_net,
             agg_store: CloudStore::new(AGG_NODE),
@@ -179,6 +190,30 @@ impl ShardedPlatform {
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Number of worker threads rounds run on (1 = the serial scheduler;
+    /// see [`PlatformBuilder::workers`]).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Overrides the worker-thread count on a built deployment. The
+    /// schedule is behavior-invariant (serial ≡ parallel, proven by the
+    /// shard differential suite), so this only trades wall-clock for
+    /// cores — benches flip it between timed cells without rebuilding.
+    pub fn set_workers(&mut self, n: usize) {
+        self.workers = n.max(1);
+    }
+
+    /// Test seam for the merge-barrier ordering test: delays shard `i`'s
+    /// parallel-mode pump by `stagger_ms[i]` wall-clock milliseconds, so a
+    /// test can force shard 0 to finish last and shard N−1 first. Output
+    /// must be unaffected — the delays are invisible to simulated time and
+    /// to every exported snapshot.
+    #[doc(hidden)]
+    pub fn set_round_stagger_for_tests(&mut self, stagger_ms: Vec<u64>) {
+        self.stagger_ms = stagger_ms;
     }
 
     /// The deployment configuration every shard runs.
@@ -249,6 +284,10 @@ impl ShardedPlatform {
     /// Applies a batch of already-validated entity updates, partitioned to
     /// each entity's shard by [`route_entity`] (device URNs follow their
     /// device). Returns the number of updates applied.
+    ///
+    /// With more than one worker configured, the per-shard batches apply
+    /// across the worker pool — shards are disjoint, so the applied count
+    /// and every shard's state are identical to the serial order.
     pub fn ingest_entities(
         &mut self,
         now: SimTime,
@@ -259,6 +298,9 @@ impl ShardedPlatform {
         for entity in entities {
             per_shard[route_entity(entity.id().as_str(), n)].push(entity);
         }
+        if self.workers > 1 && n > 1 {
+            return pool::ingest_round(&mut self.shards, self.workers, now, per_shard);
+        }
         let mut applied = 0;
         for (idx, batch) in per_shard.into_iter().enumerate() {
             if !batch.is_empty() {
@@ -268,14 +310,27 @@ impl ShardedPlatform {
         applied
     }
 
-    /// Pumps every shard once, in this round's scheduler rotation, then
-    /// runs one aggregation pass. Returns the number of entity updates
-    /// ingested across all shards.
+    /// Advances every shard one round, then runs one aggregation pass.
+    /// Returns the number of entity updates ingested across all shards.
+    ///
+    /// With one worker, shards pump serially in this round's scheduler
+    /// rotation. With more, each shard's round runs on a worker thread
+    /// ([`pool`]) and the scope join is the merge barrier; the rotation
+    /// still ticks so [`ShardedPlatform::rounds`] counts identically.
+    /// Either way the aggregation pass that follows merges applied-record
+    /// batches in shard-id order, so both schedules produce byte-identical
+    /// fingerprints and obs exports.
     pub fn pump(&mut self, now: SimTime) -> usize {
-        let mut ingested = 0;
-        for idx in self.scheduler.next_round() {
-            ingested += self.shards[idx].pump(now);
-        }
+        let order = self.scheduler.next_round();
+        let ingested = if self.workers > 1 && self.shards.len() > 1 {
+            pool::pump_round(&mut self.shards, self.workers, now, &self.stagger_ms)
+        } else {
+            let mut sum = 0;
+            for idx in order {
+                sum += self.shards[idx].pump(now);
+            }
+            sum
+        };
         self.aggregate(now);
         ingested
     }
@@ -393,6 +448,24 @@ impl ShardedPlatform {
     }
 }
 
+impl Drive for ShardedPlatform {
+    fn round(&mut self, now: SimTime) -> usize {
+        self.pump(now)
+    }
+
+    fn ingest(&mut self, now: SimTime, batch: Vec<Entity>) -> usize {
+        self.ingest_entities(now, batch)
+    }
+
+    fn observe(&self) -> ObsSnapshot {
+        ShardedPlatform::observe(self)
+    }
+
+    fn observe_labelled(&self, base: &str) -> Vec<ObsReport> {
+        ShardedPlatform::observe_labelled(self, base)
+    }
+}
+
 impl std::fmt::Debug for ShardedPlatform {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedPlatform")
@@ -409,7 +482,7 @@ mod tests {
 
     fn build(n: usize, seed: u64) -> ShardedPlatform {
         ShardedPlatform::build(
-            Platform::builder(DeploymentConfig::FarmFog)
+            &Platform::builder(DeploymentConfig::FarmFog)
                 .seed(seed)
                 .shards(n),
         )
@@ -466,6 +539,58 @@ mod tests {
         );
         assert_eq!(snap.counter("shardfwd.records").unwrap(), 30);
         assert_eq!(snap.counter("shardfwd.send_refused").unwrap(), 0);
+    }
+
+    #[test]
+    fn builder_survives_shard_fanout_with_fault_plan_intact() {
+        // Regression (seed-cloning footgun): the fan-out path used to
+        // consume one builder clone per shard, so a caller could end up
+        // building later shards — or a serial baseline — from a builder
+        // whose fault plan had already been moved out. `build(&builder)`
+        // must leave the builder reusable with its full configuration.
+        let mut schedule = swamp_fog::availability::OutageSchedule::new();
+        schedule.add_outage(SimTime::from_secs(10), SimTime::from_secs(300));
+        let builder = Platform::builder(DeploymentConfig::FarmFog)
+            .seed(42)
+            .shards(3)
+            .uplink_outages(&schedule);
+
+        let run = |sp: &mut ShardedPlatform| {
+            let updates: Vec<Entity> = (0..12).map(|i| probe_update(i, 0.0)).collect();
+            sp.ingest_entities(SimTime::from_secs(1), updates);
+            let mut now = SimTime::from_secs(1);
+            for _ in 0..10 {
+                now = now.saturating_add(SimDuration::from_secs(60));
+                sp.pump(now);
+            }
+            ObsReport::array_to_json_string(&sp.observe_labelled("t"))
+        };
+
+        let mut first = ShardedPlatform::build(&builder);
+        let mut second = ShardedPlatform::build(&builder);
+        let a = run(&mut first);
+        let b = run(&mut second);
+        assert_eq!(a, b, "same builder must build identical deployments");
+        // The outage window reached every shard's fabric both times: the
+        // scheduled partition fired during the pumped window.
+        assert!(
+            first.observe().counter("net.fault.partitioned").unwrap() > 0,
+            "fault plan must survive the fan-out"
+        );
+    }
+
+    #[test]
+    fn worker_knob_is_clamped_and_reported() {
+        let sp = ShardedPlatform::build(
+            &Platform::builder(DeploymentConfig::FarmFog)
+                .seed(1)
+                .shards(2)
+                .workers(0),
+        );
+        assert_eq!(sp.workers(), 1, "workers(0) clamps to the serial schedule");
+        let mut sp = build(2, 1);
+        sp.set_workers(8);
+        assert_eq!(sp.workers(), 8);
     }
 
     #[test]

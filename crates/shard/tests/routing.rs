@@ -58,7 +58,7 @@ fn routing_is_stable_under_re_registration() {
     // End-to-end: a ShardedPlatform rejects a duplicate registration on
     // the *same* shard the first one landed on.
     let mut sp = ShardedPlatform::build(
-        Platform::builder(DeploymentConfig::FarmFog)
+        &Platform::builder(DeploymentConfig::FarmFog)
             .seed(1)
             .shards(5),
     );

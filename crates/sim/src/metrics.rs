@@ -3,10 +3,11 @@
 //! **Role change (observability redesign):** platform pieces no longer
 //! mutate a `Metrics` on their hot paths — they register typed handles with
 //! `swamp-obs` and this registry survives only as a *read-compat view*
-//! materialized from `ObsSnapshot::to_metrics()`. The string-keyed mutators
-//! (`incr`, `incr_by`, `observe`) are deprecated and banned for internal
-//! callers by the `deprecated-api` analyzer rule; views are built with the
-//! absolute setters ([`Metrics::set_counter`], [`Metrics::set_gauge`],
+//! materialized from `ObsSnapshot::to_metrics()`. The string-keyed
+//! event-mutators (`incr`, `incr_by`, `observe`) went through a deprecation
+//! window and have been **removed**; the `deprecated-api` analyzer rule
+//! keeps the names from coming back. Views are built with the absolute
+//! setters ([`Metrics::set_counter`], [`Metrics::set_gauge`],
 //! [`Metrics::set_summary`]). Iteration order stays lexicographic so
 //! pre-migration report tables remain byte-identical.
 
@@ -47,25 +48,6 @@ impl Metrics {
         Metrics::default()
     }
 
-    /// Increments a counter by one.
-    #[deprecated(
-        since = "0.1.0",
-        note = "hot-path string-keyed mutation moved to swamp-obs typed handles (Obs::inc)"
-    )]
-    pub fn incr(&mut self, name: &str) {
-        #[allow(deprecated)]
-        self.incr_by(name, 1);
-    }
-
-    /// Increments a counter by `n`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "hot-path string-keyed mutation moved to swamp-obs typed handles (Obs::add)"
-    )]
-    pub fn incr_by(&mut self, name: &str, n: u64) {
-        *self.counters.entry(name.to_owned()).or_insert(0) += n;
-    }
-
     /// Sets a counter to an absolute value (snapshot-view constructor).
     pub fn set_counter(&mut self, name: &str, value: u64) {
         self.counters.insert(name.to_owned(), value);
@@ -89,18 +71,6 @@ impl Metrics {
     /// Reads a gauge.
     pub fn gauge(&self, name: &str) -> Option<f64> {
         self.gauges.get(name).copied()
-    }
-
-    /// Records one observation into a named summary.
-    #[deprecated(
-        since = "0.1.0",
-        note = "hot-path string-keyed mutation moved to swamp-obs typed handles (Obs::record)"
-    )]
-    pub fn observe(&mut self, name: &str, value: f64) {
-        self.summaries
-            .entry(name.to_owned())
-            .or_default()
-            .push(value);
     }
 
     /// Sets a summary to pre-accumulated stats (snapshot-view constructor).
@@ -166,15 +136,21 @@ impl fmt::Display for Metrics {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the deprecated mutators stay behaviorally pinned here
 mod tests {
     use super::*;
 
+    fn stats_of(values: &[f64]) -> OnlineStats {
+        let mut s = OnlineStats::new();
+        for v in values {
+            s.push(*v);
+        }
+        s
+    }
+
     #[test]
-    fn counters_accumulate() {
+    fn counters_read_back() {
         let mut m = Metrics::new();
-        m.incr("a");
-        m.incr_by("a", 9);
+        m.set_counter("a", 10);
         assert_eq!(m.counter("a"), 10);
         assert_eq!(m.counter("missing"), 0);
     }
@@ -191,8 +167,7 @@ mod tests {
     #[test]
     fn summaries_track_stats() {
         let mut m = Metrics::new();
-        m.observe("lat", 10.0);
-        m.observe("lat", 20.0);
+        m.set_summary("lat", stats_of(&[10.0, 20.0]));
         let s = m.summary("lat").unwrap();
         assert_eq!(s.count(), 2);
         assert_eq!(s.mean(), 15.0);
@@ -201,11 +176,11 @@ mod tests {
     #[test]
     fn merge_combines() {
         let mut a = Metrics::new();
-        a.incr_by("c", 3);
-        a.observe("s", 1.0);
+        a.set_counter("c", 3);
+        a.set_summary("s", stats_of(&[1.0]));
         let mut b = Metrics::new();
-        b.incr_by("c", 4);
-        b.observe("s", 3.0);
+        b.set_counter("c", 4);
+        b.set_summary("s", stats_of(&[3.0]));
         b.set_gauge("g", 9.0);
         a.merge(&b);
         assert_eq!(a.counter("c"), 7);
@@ -216,8 +191,8 @@ mod tests {
     #[test]
     fn display_is_stable_and_nonempty() {
         let mut m = Metrics::new();
-        m.incr("z.last");
-        m.incr("a.first");
+        m.set_counter("z.last", 1);
+        m.set_counter("a.first", 1);
         let text = m.to_string();
         let a_pos = text.find("a.first").unwrap();
         let z_pos = text.find("z.last").unwrap();
@@ -240,9 +215,9 @@ mod tests {
     #[test]
     fn reset_clears() {
         let mut m = Metrics::new();
-        m.incr("c");
+        m.set_counter("c", 1);
         m.set_gauge("g", 1.0);
-        m.observe("s", 1.0);
+        m.set_summary("s", stats_of(&[1.0]));
         m.reset();
         assert_eq!(m.counter("c"), 0);
         assert_eq!(m.gauge("g"), None);
