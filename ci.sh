@@ -22,12 +22,25 @@ echo "== cargo clippy -p swamp-core -p swamp-fog --lib (deny unwrap/panic)"
 cargo clippy -p swamp-core -p swamp-fog --lib -- -D warnings
 
 # Workspace invariants the compiler can't see: determinism (no wall
-# clocks/OS entropy outside sanctioned harnesses), panic-freedom in all
-# lib targets, no silent Result discards, the crate-layering DAG, and no
-# internal callers of deprecated shims. Exceptions live in
-# analyzer.allow.toml with written justifications; see DESIGN.md §10.
+# clocks/OS entropy outside sanctioned harnesses; HashMap/HashSet
+# iteration reachable from serialization entry points), panic-freedom in
+# all lib targets, no silent Result discards, the crate-layering DAG, no
+# internal callers of deprecated shims — plus the four call-graph rules
+# from the v2 item graph: hot-path-alloc (no allocation reachable from
+# pump/sync/worker/obs entries), cast-safety (no numeric `as` in wire
+# paths), concurrency-discipline (disjoint `&mut` chunks only under
+# `thread::scope`), and obs-name-drift (every family-prefixed instrument
+# name resolves to exactly one registration of the matching kind).
+# Exceptions live in analyzer.allow.toml with written justifications —
+# including `symbol =`-scoped cold cuts, which go stale (and fail this
+# step) the moment the hot path stops reaching them; see DESIGN.md §10
+# and §15. Wall time is measured here in the shell: the analyzer itself
+# is subject to its own determinism rule, so it never touches a clock.
 echo "== swamp-analyzer --deny-all"
+analyzer_start_ns=$(date +%s%N)
 cargo run -q -p swamp-analyzer -- --deny-all
+analyzer_end_ns=$(date +%s%N)
+echo "   analyzer wall time: $(( (analyzer_end_ns - analyzer_start_ns) / 1000000 )) ms"
 
 echo "== rustdoc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet

@@ -10,7 +10,19 @@
 //! path = "crates/pilots/src/bin/bench_e11.rs"   # file or directory prefix
 //! contains = "Instant"                           # optional line substring
 //! justification = "wall-clock bench harness; output never reaches EXPERIMENTS.md"
+//!
+//! [[allow]]
+//! rule = "hot-path-alloc"
+//! symbol = "Platform::rebuild_routes"            # qualified fn name scope
+//! justification = "cold reconfiguration path, runs outside the pump loop"
 //! ```
+//!
+//! `symbol =` entries scope to the qualified name of the containing
+//! function (`Type::name` or bare `name`). For `hot-path-alloc` they
+//! additionally *cut* the named function out of the hot-path walk (a
+//! cold/setup path); a symbol scope that no longer cuts anything or
+//! matches any finding fails as `allowlist-unused`, same as a stale path
+//! entry.
 
 /// One exception entry.
 #[derive(Clone, Debug)]
@@ -22,6 +34,10 @@ pub struct AllowEntry {
     /// Optional substring the offending source line must contain; empty
     /// matches any line in `path`.
     pub contains: String,
+    /// Optional qualified-fn-name scope (`Type::name` or `name`); empty
+    /// matches findings with any (or no) symbol. An entry may carry
+    /// `symbol` without `path`.
+    pub symbol: String,
     pub justification: String,
     /// Line in `analyzer.allow.toml` where the entry starts (diagnostics).
     pub defined_at: u32,
@@ -44,10 +60,10 @@ pub fn parse(text: &str, known_rules: &[&str]) -> (Vec<AllowEntry>, Vec<Allowlis
 
     let mut close = |cur: &mut Option<AllowEntry>, errors: &mut Vec<AllowlistError>| {
         if let Some(e) = cur.take() {
-            if e.rule.is_empty() || e.path.is_empty() {
+            if e.rule.is_empty() || (e.path.is_empty() && e.symbol.is_empty()) {
                 errors.push(AllowlistError {
                     line: e.defined_at,
-                    message: "allow entry needs both `rule` and `path`".to_owned(),
+                    message: "allow entry needs `rule` plus `path` and/or `symbol`".to_owned(),
                 });
             } else if e.justification.trim().len() < 10 {
                 errors.push(AllowlistError {
@@ -80,6 +96,7 @@ pub fn parse(text: &str, known_rules: &[&str]) -> (Vec<AllowEntry>, Vec<Allowlis
                 rule: String::new(),
                 path: String::new(),
                 contains: String::new(),
+                symbol: String::new(),
                 justification: String::new(),
                 defined_at: lineno,
             });
@@ -119,6 +136,7 @@ pub fn parse(text: &str, known_rules: &[&str]) -> (Vec<AllowEntry>, Vec<Allowlis
                 "rule" => e.rule = value,
                 "path" => e.path = value,
                 "contains" => e.contains = value,
+                "symbol" => e.symbol = value,
                 "justification" => e.justification = value,
                 other => errors.push(AllowlistError {
                     line: lineno,
@@ -170,11 +188,13 @@ fn strip_comment(line: &str) -> &str {
 }
 
 impl AllowEntry {
-    /// Does this entry cover a finding at `path`:`snippet`?
-    pub fn matches(&self, rule: &str, path: &str, snippet: &str) -> bool {
+    /// Does this entry cover a finding at `path`:`snippet` inside fn
+    /// `symbol`? (An empty `self.path` prefix matches every path.)
+    pub fn matches(&self, rule: &str, path: &str, snippet: &str, symbol: &str) -> bool {
         self.rule == rule
             && path.starts_with(&self.path)
             && (self.contains.is_empty() || snippet.contains(&self.contains))
+            && (self.symbol.is_empty() || self.symbol == symbol)
     }
 }
 
@@ -207,10 +227,25 @@ justification = "harness code may abort loudly"
         assert!(entries[0].matches(
             "determinism",
             "crates/x/src/bin/bench.rs",
-            "let t = Instant::now();"
+            "let t = Instant::now();",
+            ""
         ));
-        assert!(!entries[0].matches("determinism", "crates/x/src/lib.rs", "Instant"));
-        assert!(!entries[0].matches("panic-freedom", "crates/x/src/bin/bench.rs", "Instant"));
+        assert!(!entries[0].matches("determinism", "crates/x/src/lib.rs", "Instant", ""));
+        assert!(!entries[0].matches("panic-freedom", "crates/x/src/bin/bench.rs", "Instant", ""));
+    }
+
+    #[test]
+    fn symbol_scoped_entries_parse_and_match() {
+        let (entries, errors) = parse(
+            "[[allow]]\nrule = \"determinism\"\nsymbol = \"Platform::setup\"\n\
+             justification = \"cold setup path, allocation is fine here\"\n",
+            RULES,
+        );
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!(entries.len(), 1);
+        assert!(entries[0].matches("determinism", "crates/x/src/lib.rs", "x", "Platform::setup"));
+        assert!(!entries[0].matches("determinism", "crates/x/src/lib.rs", "x", "Platform::pump"));
+        assert!(!entries[0].matches("determinism", "crates/x/src/lib.rs", "x", ""));
     }
 
     #[test]

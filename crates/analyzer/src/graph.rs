@@ -1,0 +1,491 @@
+//! Workspace symbol table and conservative call graph.
+//!
+//! [`Workspace`] bundles every parsed source file; [`Graph`] indexes all
+//! `fn` items by qualified name and resolves call sites **by name**, with
+//! no type information:
+//!
+//! - `Type::method(…)` (and `Type::method` fn refs) resolve to the methods
+//!   of every workspace `impl` block for a type named `Type` (`Self::…`
+//!   uses the caller's impl context, `use … as …` renames are followed,
+//!   and a lowercase qualifier falls back to free functions so module
+//!   paths like `pool::pump_round(…)` resolve);
+//! - `recv.method(…)` resolves to **every** workspace method of that name;
+//! - `free(…)` resolves to every free function of that name.
+//!
+//! Unresolved names are external (std or dependency) calls — the graph
+//! rules handle those with token-level ban lists inside each reachable
+//! body, so nothing escapes by being out-of-workspace. The resolution is
+//! an over-approximation: it may add edges that the type checker would
+//! reject, never miss a real one (except through macros and dynamic
+//! dispatch on external traits, documented in DESIGN.md §15). For deny
+//! rules, extra edges only make the analyzer stricter.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+use crate::lexer::{is_punct, Tok, Token};
+use crate::parser::{parse_items, FnItem, ParsedFile};
+use crate::source::{SourceFile, TargetKind};
+
+/// One source file plus its parsed item structure.
+pub struct WorkspaceFile {
+    pub source: SourceFile,
+    pub items: ParsedFile,
+}
+
+/// Every parsed file of the workspace, in discovery order.
+pub struct Workspace {
+    pub files: Vec<WorkspaceFile>,
+}
+
+impl Workspace {
+    pub fn from_sources(sources: Vec<SourceFile>) -> Workspace {
+        Workspace {
+            files: sources
+                .into_iter()
+                .map(|source| WorkspaceFile {
+                    items: parse_items(&source.tokens),
+                    source,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One `fn` item in the graph.
+pub struct FnNode {
+    /// Index into `Workspace::files`.
+    pub file: usize,
+    pub item: FnItem,
+    /// `Type::name` or bare `name` (see [`FnItem::qual`]).
+    pub qual: String,
+    /// True when the `fn` keyword sits on a test line (`#[test]` fn or
+    /// `#[cfg(test)]` module).
+    pub is_test: bool,
+}
+
+/// One call site extracted from a function body.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// `Some("Type")` for `Type::name(…)` paths and fn refs; `None` for
+    /// method and free calls.
+    pub qualifier: Option<String>,
+    pub name: String,
+    /// True for `recv.name(…)` shapes.
+    pub is_method: bool,
+    pub line: u32,
+}
+
+/// BFS result: reached node set with parent pointers for path
+/// reconstruction, plus the cold symbols that actually cut an edge.
+pub struct Reach {
+    /// node index → parent node index (`None` for entry points), in BFS
+    /// discovery order.
+    pub parent: BTreeMap<usize, Option<usize>>,
+    /// Cold symbols (allowlist `symbol =` scopes) encountered during the
+    /// walk — the driver marks these entries as used.
+    pub cold_cut: BTreeSet<String>,
+}
+
+pub struct Graph {
+    pub nodes: Vec<FnNode>,
+    calls: Vec<Vec<CallSite>>,
+    by_qual: BTreeMap<String, Vec<usize>>,
+    methods_by_name: BTreeMap<String, Vec<usize>>,
+    free_by_name: BTreeMap<String, Vec<usize>>,
+    /// `use X as Y` renames, workspace-wide: alias → target.
+    aliases: BTreeMap<String, String>,
+    /// Package index (into `packages`) of each workspace file.
+    file_pkg: Vec<usize>,
+    packages: Vec<String>,
+    /// Per package (same index as `packages`): the set of package indices
+    /// name resolution may land in, from the layering DAG's transitive
+    /// closure. A package unknown to the DAG table (test fixtures)
+    /// resolves only into itself.
+    reachable_pkgs: Vec<BTreeSet<usize>>,
+}
+
+/// Identifiers that look like calls but are not (`return (x)`, `match (…)`).
+const NOT_CALLS: &[&str] = &[
+    "if", "while", "match", "for", "return", "loop", "in", "as", "move", "fn", "where", "impl",
+];
+
+impl Graph {
+    pub fn build(ws: &Workspace) -> Graph {
+        let mut g = Graph {
+            nodes: Vec::new(),
+            calls: Vec::new(),
+            by_qual: BTreeMap::new(),
+            methods_by_name: BTreeMap::new(),
+            free_by_name: BTreeMap::new(),
+            aliases: BTreeMap::new(),
+            file_pkg: Vec::new(),
+            packages: Vec::new(),
+            reachable_pkgs: Vec::new(),
+        };
+        for wf in &ws.files {
+            let pkg = &wf.source.package;
+            if !g.packages.iter().any(|p| p == pkg) {
+                g.packages.push(pkg.clone());
+            }
+        }
+        g.file_pkg = ws
+            .files
+            .iter()
+            .map(|wf| {
+                g.packages
+                    .iter()
+                    .position(|p| p == &wf.source.package)
+                    .unwrap_or(0)
+            })
+            .collect();
+        for (pi, pkg) in g.packages.iter().enumerate() {
+            let closure = crate::rules::layering::dep_closure(pkg);
+            let mut set: BTreeSet<usize> = g
+                .packages
+                .iter()
+                .enumerate()
+                .filter(|(_, other)| closure.contains(other.as_str()))
+                .map(|(i, _)| i)
+                .collect();
+            set.insert(pi);
+            g.reachable_pkgs.push(set);
+        }
+        for (fi, wf) in ws.files.iter().enumerate() {
+            for a in &wf.items.aliases {
+                g.aliases.insert(a.alias.clone(), a.target.clone());
+            }
+            for item in &wf.items.fns {
+                let idx = g.nodes.len();
+                let qual = item.qual();
+                g.by_qual.entry(qual.clone()).or_default().push(idx);
+                let name_map = if item.self_type.is_some() {
+                    &mut g.methods_by_name
+                } else {
+                    &mut g.free_by_name
+                };
+                name_map.entry(item.name.clone()).or_default().push(idx);
+                g.calls.push(match &item.body {
+                    Some(body) => extract_calls(&wf.source, body.clone()),
+                    None => Vec::new(),
+                });
+                g.nodes.push(FnNode {
+                    file: fi,
+                    qual,
+                    is_test: wf.source.is_test_line(item.line),
+                    item: item.clone(),
+                });
+            }
+        }
+        g
+    }
+
+    /// All nodes whose qualified name equals `qual`.
+    pub fn by_qual(&self, qual: &str) -> &[usize] {
+        self.by_qual.get(qual).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The call sites extracted from node `idx`'s body.
+    pub fn calls_of(&self, idx: usize) -> &[CallSite] {
+        &self.calls[idx]
+    }
+
+    /// Workspace nodes a call site may reach (see module docs for the
+    /// resolution rules). `caller_self` is the calling fn's impl context,
+    /// for `Self::…` paths; `caller_file` anchors the caller's package so
+    /// candidates outside its layering-DAG dependency closure are
+    /// rejected (a name collision cannot cross the architecture upward).
+    pub fn resolve(
+        &self,
+        call: &CallSite,
+        caller_self: Option<&str>,
+        caller_file: usize,
+    ) -> Vec<usize> {
+        let candidates: Vec<usize> = match &call.qualifier {
+            Some(q) => {
+                let q = if q == "Self" {
+                    match caller_self {
+                        Some(t) => t,
+                        None => return Vec::new(),
+                    }
+                } else {
+                    q.as_str()
+                };
+                let q = self.aliases.get(q).map(String::as_str).unwrap_or(q);
+                let hits = self.by_qual(&format!("{q}::{}", call.name));
+                if !hits.is_empty() {
+                    hits.to_vec()
+                } else if q.starts_with(|c: char| c.is_lowercase()) {
+                    // Module-qualified free fn: `pool::pump_round(…)`.
+                    self.free_by_name
+                        .get(&call.name)
+                        .cloned()
+                        .unwrap_or_default()
+                } else {
+                    Vec::new()
+                }
+            }
+            None if call.is_method => self
+                .methods_by_name
+                .get(&call.name)
+                .cloned()
+                .unwrap_or_default(),
+            None => self
+                .free_by_name
+                .get(&call.name)
+                .cloned()
+                .unwrap_or_default(),
+        };
+        let allowed = &self.reachable_pkgs[self.file_pkg[caller_file]];
+        candidates
+            .into_iter()
+            .filter(|&c| allowed.contains(&self.file_pkg[self.nodes[c].file]))
+            .collect()
+    }
+
+    /// BFS from `entries` over resolved edges, visiting only nodes that
+    /// pass `node_ok`, and cutting (not descending into) nodes whose qual
+    /// is in `cold` — those quals are recorded in [`Reach::cold_cut`].
+    pub fn reach(
+        &self,
+        entries: &[usize],
+        cold: &BTreeSet<String>,
+        node_ok: &dyn Fn(&FnNode) -> bool,
+    ) -> Reach {
+        let mut reach = Reach {
+            parent: BTreeMap::new(),
+            cold_cut: BTreeSet::new(),
+        };
+        let mut queue: Vec<usize> = Vec::new();
+        for &e in entries {
+            if node_ok(&self.nodes[e]) && !reach.parent.contains_key(&e) {
+                reach.parent.insert(e, None);
+                queue.push(e);
+            }
+        }
+        let mut head = 0;
+        while head < queue.len() {
+            let cur = queue[head];
+            head += 1;
+            let caller_self = self.nodes[cur].item.self_type.clone();
+            let caller_file = self.nodes[cur].file;
+            for call in &self.calls[cur] {
+                for next in self.resolve(call, caller_self.as_deref(), caller_file) {
+                    let node = &self.nodes[next];
+                    if reach.parent.contains_key(&next) || !node_ok(node) {
+                        continue;
+                    }
+                    if cold.contains(&node.qual) {
+                        reach.cold_cut.insert(node.qual.clone());
+                        continue;
+                    }
+                    reach.parent.insert(next, Some(cur));
+                    queue.push(next);
+                }
+            }
+        }
+        reach
+    }
+
+    /// Reconstructs the entry→…→`node` qual path from BFS parent pointers.
+    pub fn path(&self, reach: &Reach, node: usize) -> Vec<String> {
+        let mut rev = vec![self.nodes[node].qual.clone()];
+        let mut cur = node;
+        while let Some(Some(p)) = reach.parent.get(&cur) {
+            rev.push(self.nodes[*p].qual.clone());
+            cur = *p;
+        }
+        rev.reverse();
+        rev
+    }
+}
+
+/// Extracts call sites from a body token range, skipping test lines.
+pub fn extract_calls(source: &SourceFile, body: Range<usize>) -> Vec<CallSite> {
+    let tokens = &source.tokens;
+    let mut out = Vec::new();
+    for i in body {
+        let Some(Tok::Ident(name)) = tokens.get(i).map(|t| &t.tok) else {
+            continue;
+        };
+        if source.is_test_line(tokens[i].line) {
+            continue;
+        }
+        let line = tokens[i].line;
+        let qualified = i >= 2 && is_punct(tokens, i - 1, ':') && is_punct(tokens, i - 2, ':');
+        let qualifier = if qualified {
+            match tokens.get(i.wrapping_sub(3)).map(|t| &t.tok) {
+                Some(Tok::Ident(q)) => Some(q.clone()),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        if is_punct(tokens, i + 1, '(') {
+            if qualified {
+                out.push(CallSite {
+                    qualifier,
+                    name: name.clone(),
+                    is_method: false,
+                    line,
+                });
+            } else if is_punct(tokens, i.wrapping_sub(1), '.') {
+                out.push(CallSite {
+                    qualifier: None,
+                    name: name.clone(),
+                    is_method: true,
+                    line,
+                });
+            } else if !NOT_CALLS.contains(&name.as_str()) && !is_prev_ident(tokens, i, "fn") {
+                out.push(CallSite {
+                    qualifier: None,
+                    name: name.clone(),
+                    is_method: false,
+                    line,
+                });
+            }
+        } else if qualified && qualifier.is_some() && !is_punct(tokens, i + 1, ':') {
+            // Fn reference passed as a value: `.map(Self::decode)`.
+            out.push(CallSite {
+                qualifier,
+                name: name.clone(),
+                is_method: false,
+                line,
+            });
+        }
+    }
+    out
+}
+
+fn is_prev_ident(tokens: &[Token], i: usize, name: &str) -> bool {
+    i >= 1 && matches!(&tokens[i - 1].tok, Tok::Ident(s) if s == name)
+}
+
+/// Convenience for tests and `analyze_str`: builds a workspace from
+/// `(rel_path, package, kind, src)` tuples.
+pub fn workspace_from(files: &[(&str, &str, TargetKind, &str)]) -> Workspace {
+    Workspace::from_sources(
+        files
+            .iter()
+            .map(|(rel, pkg, kind, src)| SourceFile::parse(rel, pkg, *kind, src))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(src: &str) -> (Workspace, Graph) {
+        let ws = workspace_from(&[("crates/x/src/lib.rs", "x", TargetKind::Lib, src)]);
+        let g = Graph::build(&ws);
+        (ws, g)
+    }
+
+    fn reach_quals(g: &Graph, entry_qual: &str) -> Vec<String> {
+        let entries: Vec<usize> = g.by_qual(entry_qual).to_vec();
+        let r = g.reach(&entries, &BTreeSet::new(), &|_| true);
+        let mut quals: Vec<String> = r.parent.keys().map(|&i| g.nodes[i].qual.clone()).collect();
+        quals.sort();
+        quals
+    }
+
+    #[test]
+    fn free_method_and_qualified_calls_resolve() {
+        let (_, g) = ws("fn helper() {}\n\
+             impl Platform {\n\
+                 pub fn pump(&mut self) { helper(); self.step(); Other::go(); }\n\
+                 fn step(&mut self) {}\n\
+             }\n\
+             impl Other { pub fn go() {} }\n");
+        let got = reach_quals(&g, "Platform::pump");
+        assert_eq!(
+            got,
+            ["Other::go", "Platform::pump", "Platform::step", "helper"]
+        );
+    }
+
+    #[test]
+    fn self_paths_and_aliases_resolve() {
+        let (_, g) = ws("use crate::engine::FogSync as Engine;\n\
+             impl FogSync {\n\
+                 pub fn round(&mut self) { Self::tick(); }\n\
+                 fn tick() {}\n\
+             }\n\
+             fn driver() { Engine::round_helper(); }\n\
+             impl FogSync { fn round_helper() {} }\n");
+        assert_eq!(
+            reach_quals(&g, "FogSync::round"),
+            ["FogSync::round", "FogSync::tick"]
+        );
+        assert_eq!(
+            reach_quals(&g, "driver"),
+            ["FogSync::round_helper", "driver"]
+        );
+    }
+
+    #[test]
+    fn module_qualified_free_fns_resolve() {
+        let (_, g) = ws(
+            "mod pool { pub fn pump_round() { spin(); } pub fn spin() {} }\n\
+             impl Sharded { pub fn pump(&mut self) { pool::pump_round(); } }\n",
+        );
+        let got = reach_quals(&g, "Sharded::pump");
+        assert_eq!(got, ["Sharded::pump", "pump_round", "spin"]);
+    }
+
+    #[test]
+    fn fn_refs_count_as_edges() {
+        let (_, g) = ws("impl Rec { fn decode(b: u8) -> Rec { loop {} } }\n\
+             fn drain(bytes: &[u8]) { let _ = bytes.iter().map(|_| Rec::decode(0)); }\n\
+             fn drain2(bytes: &[u8]) { let _ = bytes.first().map(Rec::decode2); }\n\
+             impl Rec { fn decode2(b: &u8) -> Rec { loop {} } }\n");
+        assert_eq!(reach_quals(&g, "drain"), ["Rec::decode", "drain"]);
+        assert_eq!(reach_quals(&g, "drain2"), ["Rec::decode2", "drain2"]);
+    }
+
+    #[test]
+    fn cold_symbols_cut_and_are_recorded() {
+        let (_, g) = ws(
+            "impl P { pub fn pump(&mut self) { self.cold_setup(); self.hot(); } \n\
+                      fn cold_setup(&mut self) { self.deep(); } \n\
+                      fn hot(&mut self) {} \n\
+                      fn deep(&mut self) {} }\n",
+        );
+        let cold: BTreeSet<String> = ["P::cold_setup".to_owned()].into();
+        let entries = g.by_qual("P::pump").to_vec();
+        let r = g.reach(&entries, &cold, &|_| true);
+        let got: Vec<_> = r.parent.keys().map(|&i| g.nodes[i].qual.clone()).collect();
+        assert_eq!(got, ["P::pump", "P::hot"]);
+        assert!(r.cold_cut.contains("P::cold_setup"));
+    }
+
+    #[test]
+    fn every_reached_node_has_a_reconstructable_path() {
+        let (_, g) = ws("impl P { pub fn pump(&mut self) { a(); } }\n\
+             fn a() { b(); c(); }\n\
+             fn b() { c(); }\n\
+             fn c() {}\n");
+        let entries = g.by_qual("P::pump").to_vec();
+        let r = g.reach(&entries, &BTreeSet::new(), &|_| true);
+        for &node in r.parent.keys() {
+            let path = g.path(&r, node);
+            assert_eq!(path.first().map(String::as_str), Some("P::pump"));
+            assert_eq!(path.last(), Some(&g.nodes[node].qual));
+        }
+    }
+
+    #[test]
+    fn test_fns_are_marked() {
+        let (_, g) = ws("fn prod() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 #[test]\n\
+                 fn t() { super::prod(); }\n\
+             }\n");
+        let t = g.by_qual("t")[0];
+        assert!(g.nodes[t].is_test);
+        let p = g.by_qual("prod")[0];
+        assert!(!g.nodes[p].is_test);
+    }
+}

@@ -16,8 +16,11 @@ pub enum Tok {
     /// Single punctuation character (`::` arrives as two `:` tokens).
     Punct(char),
     /// Any string-like literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
-    /// Contents are dropped — rules must never match inside string data.
-    Str,
+    /// The raw (uncooked) contents are carried for the few rules that need
+    /// string *values* (obs instrument names); token-shape rules must never
+    /// match identifier patterns inside string data — the distinct variant
+    /// guarantees they cannot.
+    Str(String),
     /// Char or byte literal (`'x'`, `b'\n'`).
     Char,
     /// Numeric literal (split at `.`, which rules never care about).
@@ -195,6 +198,7 @@ impl Lexer<'_> {
 
     fn raw_string(&mut self) {
         // At `r`: count hashes, then scan for `"` followed by that many `#`.
+        let start_line = self.line;
         self.pos += 1;
         let mut hashes = 0usize;
         while self.peek(0) == Some(b'#') {
@@ -202,36 +206,40 @@ impl Lexer<'_> {
             self.pos += 1;
         }
         self.pos += 1; // opening quote
+        let body_start = self.pos;
+        let body_end;
         loop {
             match self.peek(0) {
-                None => break,
+                None => {
+                    body_end = self.pos;
+                    break;
+                }
                 Some(b'\n') => {
                     self.line += 1;
                     self.pos += 1;
                 }
                 Some(b'"') => {
-                    let mut ok = true;
-                    for h in 0..hashes {
-                        if self.peek(1 + h) != Some(b'#') {
-                            ok = false;
-                            break;
-                        }
-                    }
-                    self.pos += 1;
-                    if ok {
-                        self.pos += hashes;
+                    if (0..hashes).all(|h| self.peek(1 + h) == Some(b'#')) {
+                        body_end = self.pos;
+                        self.pos += 1 + hashes;
                         break;
                     }
+                    self.pos += 1;
                 }
                 Some(_) => self.pos += 1,
             }
         }
-        self.push(Tok::Str);
+        let text = String::from_utf8_lossy(&self.bytes[body_start..body_end]).into_owned();
+        self.out.tokens.push(Token {
+            tok: Tok::Str(text),
+            line: start_line,
+        });
     }
 
     fn quoted_string(&mut self) {
-        self.push(Tok::Str);
+        let start_line = self.line;
         self.pos += 1; // opening quote
+        let body_start = self.pos;
         while let Some(b) = self.peek(0) {
             match b {
                 b'\\' => {
@@ -245,7 +253,13 @@ impl Lexer<'_> {
                     self.pos += 2;
                 }
                 b'"' => {
+                    let text =
+                        String::from_utf8_lossy(&self.bytes[body_start..self.pos]).into_owned();
                     self.pos += 1;
+                    self.out.tokens.push(Token {
+                        tok: Tok::Str(text),
+                        line: start_line,
+                    });
                     return;
                 }
                 b'\n' => {
@@ -255,6 +269,11 @@ impl Lexer<'_> {
                 _ => self.pos += 1,
             }
         }
+        let text = String::from_utf8_lossy(&self.bytes[body_start..self.pos]).into_owned();
+        self.out.tokens.push(Token {
+            tok: Tok::Str(text),
+            line: start_line,
+        });
     }
 
     /// At a `'`: disambiguate char literal from lifetime.
@@ -333,6 +352,14 @@ pub fn is_ident(tokens: &[Token], i: usize, name: &str) -> bool {
 /// True if the token at `i` is the punctuation `c`.
 pub fn is_punct(tokens: &[Token], i: usize, c: char) -> bool {
     matches!(tokens.get(i), Some(Token { tok: Tok::Punct(p), .. }) if *p == c)
+}
+
+/// The raw contents of a string literal token at `i`, if it is one.
+pub fn str_at(tokens: &[Token], i: usize) -> Option<&str> {
+    match tokens.get(i).map(|t| &t.tok) {
+        Some(Tok::Str(s)) => Some(s.as_str()),
+        _ => None,
+    }
 }
 
 /// True if tokens at `i` spell `a :: b`.
@@ -418,6 +445,20 @@ mod tests {
             .find(|t| t.tok == Tok::Ident("Instant".into()))
             .map(|t| t.line);
         assert_eq!(inst, Some(3));
+    }
+
+    #[test]
+    fn string_literal_contents_are_carried() {
+        let lx = lex("let a = \"net.sent\"; let b = r#\"sync\"quoted\"\"#; let c = b\"bytes\";");
+        let strs: Vec<&str> = lx
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, ["net.sent", "sync\"quoted\"", "bytes"]);
     }
 
     #[test]

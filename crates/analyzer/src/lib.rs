@@ -10,24 +10,32 @@
 //! tooling. `ci.sh` runs it with `--deny-all`; a violation fails CI.
 //!
 //! Rules: `determinism`, `panic-freedom`, `error-discard`, `layering`,
-//! `deprecated-api` — see each module under [`rules`] for exact semantics
-//! and DESIGN.md §10 for rationale. The analyzer is dependency-free and
-//! lexes Rust itself ([`lexer`]); it needs no type information because
-//! every invariant is a token-shape or manifest property.
+//! `deprecated-api`, plus the graph-aware `hot-path-alloc`,
+//! `cast-safety`, `concurrency-discipline` and `obs-name-drift` — see
+//! each module under [`rules`] for exact semantics, DESIGN.md §10 for the
+//! PR-3 rationale and §15 for the item-graph layer. The analyzer is
+//! dependency-free and lexes Rust itself ([`lexer`]); the PR-8 semantic
+//! pass parses item structure ([`parser`]) and builds a conservative
+//! workspace call graph ([`graph`]) — still with no type information,
+//! because name-level over-approximation is sound for deny rules.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
 pub mod allowlist;
+pub mod graph;
 pub mod lexer;
 pub mod manifest;
+pub mod parser;
 pub mod report;
 pub mod rules;
 pub mod source;
 
+use std::collections::BTreeSet;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
 use allowlist::AllowEntry;
+use graph::{Graph, Workspace};
 use manifest::Manifest;
 use rules::Finding;
 use source::{SourceFile, TargetKind};
@@ -119,6 +127,24 @@ pub fn run(config: &Config) -> Result<Analysis, AnalyzerError> {
         .map(|p| p.manifest.name.clone())
         .collect();
 
+    // Allowlist first: `symbol =` scopes for hot-path-alloc double as the
+    // cold-path cut set, so the graph rules need them before running.
+    let allow_path = config
+        .allowlist
+        .clone()
+        .unwrap_or_else(|| root.join("analyzer.allow.toml"));
+    let (entries, allow_errors) = if allow_path.is_file() {
+        allowlist::parse(&read(&allow_path)?, rules::RULE_NAMES)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    let allow_rel = rel_of(root, &allow_path);
+    let cold: BTreeSet<String> = entries
+        .iter()
+        .filter(|e| e.rule == rules::hot_path_alloc::NAME && !e.symbol.is_empty())
+        .map(|e| e.symbol.clone())
+        .collect();
+
     let mut raw: Vec<Finding> = Vec::new();
 
     // Manifest rules.
@@ -132,32 +158,26 @@ pub fn run(config: &Config) -> Result<Analysis, AnalyzerError> {
         rules::layering::check(&pkg.manifest, &pkg.manifest_rel, &member_names, &mut raw);
     }
 
-    // Source rules.
-    let mut files_scanned = 0;
+    // Source rules (per file), then the workspace graph rules.
+    let mut sources = Vec::new();
     for pkg in &packages {
         for (abs, rel, kind) in &pkg.sources {
             let text = read(abs)?;
-            let file = SourceFile::parse(rel, &pkg.manifest.name, *kind, &text);
-            rules::check_source(&file, &mut raw);
-            files_scanned += 1;
+            sources.push(SourceFile::parse(rel, &pkg.manifest.name, *kind, &text));
         }
     }
+    let ws = Workspace::from_sources(sources);
+    let files_scanned = ws.files.len();
+    for wf in &ws.files {
+        rules::check_source(&wf.source, &mut raw);
+    }
+    let graph = Graph::build(&ws);
+    let used_cold = rules::check_workspace(&ws, &graph, &cold, &mut raw);
 
     if !config.only_rules.is_empty() {
         raw.retain(|f| config.only_rules.iter().any(|r| r == f.rule));
     }
 
-    // Allowlist.
-    let allow_path = config
-        .allowlist
-        .clone()
-        .unwrap_or_else(|| root.join("analyzer.allow.toml"));
-    let (entries, allow_errors) = if allow_path.is_file() {
-        allowlist::parse(&read(&allow_path)?, rules::RULE_NAMES)
-    } else {
-        (Vec::new(), Vec::new())
-    };
-    let allow_rel = rel_of(root, &allow_path);
     for e in &allow_errors {
         raw.push(Finding {
             rule: "allowlist-error",
@@ -165,6 +185,7 @@ pub fn run(config: &Config) -> Result<Analysis, AnalyzerError> {
             line: e.line,
             message: e.message.clone(),
             snippet: String::new(),
+            symbol: String::new(),
         });
     }
 
@@ -178,7 +199,7 @@ pub fn run(config: &Config) -> Result<Analysis, AnalyzerError> {
         match entries
             .iter()
             .enumerate()
-            .find(|(_, e)| e.matches(f.rule, &f.path, &f.snippet))
+            .find(|(_, e)| e.matches(f.rule, &f.path, &f.snippet, &f.symbol))
         {
             Some((idx, e)) => {
                 used[idx] = true;
@@ -192,18 +213,22 @@ pub fn run(config: &Config) -> Result<Analysis, AnalyzerError> {
         }
     }
     // Stale entries are findings too: exceptions must not outlive their
-    // violations.
+    // violations. A cold `symbol =` scope counts as used when it cut an
+    // edge out of the hot-path walk.
     for (idx, e) in entries.iter().enumerate() {
-        if !used[idx] {
+        let used_as_cold_cut = !e.symbol.is_empty() && used_cold.contains(&e.symbol);
+        if !used[idx] && !used_as_cold_cut {
             analysis.findings.push(Finding {
                 rule: "allowlist-unused",
                 path: allow_rel.clone(),
                 line: e.defined_at,
                 message: format!(
-                    "stale allowlist entry (rule `{}`, path `{}`): nothing matches it; remove it",
-                    e.rule, e.path
+                    "stale allowlist entry (rule `{}`, path `{}`, symbol `{}`): \
+                     nothing matches it; remove it",
+                    e.rule, e.path, e.symbol
                 ),
                 snippet: String::new(),
+                symbol: String::new(),
             });
         }
     }
@@ -216,11 +241,32 @@ pub fn run(config: &Config) -> Result<Analysis, AnalyzerError> {
 
 /// Convenience for rule fixtures: analyze one source string as if it were a
 /// file at `rel_path` in package `package` with the given target kind.
+/// Runs both the per-file rules and the graph rules (as a one-file
+/// workspace with an empty cold set).
 pub fn analyze_str(rel_path: &str, package: &str, kind: TargetKind, src: &str) -> Vec<Finding> {
-    let file = SourceFile::parse(rel_path, package, kind, src);
+    analyze_files(&[(rel_path, package, kind, src)])
+}
+
+/// Multi-file variant of [`analyze_str`] for cross-file graph fixtures.
+pub fn analyze_files(files: &[(&str, &str, TargetKind, &str)]) -> Vec<Finding> {
+    analyze_files_with_cold(files, &BTreeSet::new()).0
+}
+
+/// Like [`analyze_files`], with a hot-path cold-symbol cut set; returns
+/// the findings plus the cold symbols that actually cut an edge.
+pub fn analyze_files_with_cold(
+    files: &[(&str, &str, TargetKind, &str)],
+    cold: &BTreeSet<String>,
+) -> (Vec<Finding>, BTreeSet<String>) {
+    let ws = graph::workspace_from(files);
+    let g = Graph::build(&ws);
     let mut out = Vec::new();
-    rules::check_source(&file, &mut out);
-    out
+    for wf in &ws.files {
+        rules::check_source(&wf.source, &mut out);
+    }
+    let used_cold = rules::check_workspace(&ws, &g, cold, &mut out);
+    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    (out, used_cold)
 }
 
 /// Applies allowlist entries to findings (fixture-test helper mirroring the
@@ -234,7 +280,7 @@ pub fn apply_allowlist(
     for f in findings {
         match entries
             .iter()
-            .find(|e| e.matches(f.rule, &f.path, &f.snippet))
+            .find(|e| e.matches(f.rule, &f.path, &f.snippet, &f.symbol))
         {
             Some(e) => allowed.push(AllowedFinding {
                 finding: f,

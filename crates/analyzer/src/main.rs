@@ -1,8 +1,8 @@
 //! CLI for the SWAMP workspace invariant checker.
 //!
 //! ```text
-//! swamp-analyzer [--root DIR] [--deny-all] [--json PATH|-] [--rule NAME]…
-//!                [--allowlist PATH] [--list-rules] [--verbose]
+//! swamp-analyzer [--root DIR] [--deny-all] [--json PATH|-] [--sarif PATH|-]
+//!                [--rule NAME]… [--allowlist PATH] [--list-rules] [--verbose]
 //! ```
 //!
 //! Exit codes: 0 clean (or advisory mode), 2 findings under `--deny-all`,
@@ -17,6 +17,7 @@ struct Args {
     config: Config,
     deny_all: bool,
     json: Option<String>,
+    sarif: Option<String>,
     list_rules: bool,
     verbose: bool,
 }
@@ -28,7 +29,8 @@ fn main() -> ExitCode {
             eprintln!("swamp-analyzer: {msg}");
             eprintln!(
                 "usage: swamp-analyzer [--root DIR] [--deny-all] [--json PATH|-] \
-                 [--rule NAME]... [--allowlist PATH] [--list-rules] [--verbose]"
+                 [--sarif PATH|-] [--rule NAME]... [--allowlist PATH] \
+                 [--list-rules] [--verbose]"
             );
             return ExitCode::from(3);
         }
@@ -46,8 +48,14 @@ fn main() -> ExitCode {
             return ExitCode::from(3);
         }
     };
-    if let Some(target) = &args.json {
-        let doc = report::to_json(&analysis);
+    type Render = fn(&swamp_analyzer::Analysis) -> String;
+    let outputs: [(&Option<String>, Render); 2] = [
+        (&args.json, report::to_json),
+        (&args.sarif, report::to_sarif),
+    ];
+    for (target, render) in outputs {
+        let Some(target) = target else { continue };
+        let doc = render(&analysis);
         if target == "-" {
             print!("{doc}");
         } else if let Err(e) = std::fs::write(target, &doc) {
@@ -67,6 +75,7 @@ fn parse_args() -> Result<Args, String> {
         config: Config::new(default_root()),
         deny_all: false,
         json: None,
+        sarif: None,
         list_rules: false,
         verbose: false,
     };
@@ -78,6 +87,7 @@ fn parse_args() -> Result<Args, String> {
             "--verbose" | "-v" => args.verbose = true,
             "--root" => args.config.root = PathBuf::from(want(&mut it, "--root")?),
             "--json" => args.json = Some(want(&mut it, "--json")?),
+            "--sarif" => args.sarif = Some(want(&mut it, "--sarif")?),
             "--allowlist" => {
                 args.config.allowlist = Some(PathBuf::from(want(&mut it, "--allowlist")?));
             }

@@ -1,0 +1,431 @@
+//! Item-level Rust parser: `fn` / `impl` / `trait` / `use` items with token
+//! and line spans, built on the [`crate::lexer`] token stream.
+//!
+//! This is deliberately *not* a grammar-complete parser. The graph rules
+//! need three structural facts the lexer alone cannot give:
+//!
+//! 1. which tokens belong to which function body (so call sites and alloc
+//!    sites can be attributed to a symbol),
+//! 2. the `Self` type context of each method (so `Type::method` names
+//!    resolve), and
+//! 3. `use … as …` renames (so an aliased type still resolves to its
+//!    defining impl blocks).
+//!
+//! Known conservatism, by design (documented in DESIGN.md §15):
+//!
+//! - **Macro-generated items are skipped.** A `macro_rules!` body is
+//!   consumed without interpretation; items a macro expands to do not
+//!   exist for the analyzer. None of the checked invariants currently
+//!   hides behind a macro (CI's `cargo clippy` would still compile them).
+//! - **Nested `fn` items** are parsed as their own symbols, but their
+//!   tokens also remain inside the enclosing body's range — call and alloc
+//!   sites in a nested fn are attributed to *both*. Over-approximation is
+//!   safe for every graph rule (they only ever deny).
+//! - **Paths resolve by name, not by type.** `impl` blocks for the same
+//!   type name in different crates are merged; method calls resolve to
+//!   every workspace method of that name. Again: over-approximation.
+
+use std::ops::Range;
+
+use crate::lexer::{is_ident, is_punct, Tok, Token};
+
+/// One parsed `fn` item.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// The function's own name.
+    pub name: String,
+    /// `Some(Type)` for methods in `impl Type` / `impl Trait for Type`
+    /// blocks and for trait default methods (the trait name); `None` for
+    /// free functions.
+    pub self_type: Option<String>,
+    /// Token range of the body, `{` through matching `}` inclusive;
+    /// `None` for bodiless declarations (trait method signatures).
+    pub body: Option<Range<usize>>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// 1-based last line of the item (closing brace, or the `;`).
+    pub end_line: u32,
+}
+
+impl FnItem {
+    /// The qualified symbol name used in findings and allowlist `symbol =`
+    /// scoping: `Type::name` for methods, bare `name` for free functions.
+    pub fn qual(&self) -> String {
+        match &self.self_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One `use … as …` rename: `alias` refers to `target`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UseAlias {
+    pub alias: String,
+    pub target: String,
+}
+
+/// Parsed items of one source file.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedFile {
+    pub fns: Vec<FnItem>,
+    pub aliases: Vec<UseAlias>,
+}
+
+/// Parses the item structure of a token stream.
+pub fn parse_items(tokens: &[Token]) -> ParsedFile {
+    let mut out = ParsedFile::default();
+    // Innermost-last stack of `(self_type, region_end_token)` contexts
+    // opened by impl/trait blocks.
+    let mut contexts: Vec<(String, usize)> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        contexts.retain(|(_, end)| *end > i);
+        match &tokens[i].tok {
+            Tok::Ident(kw) if kw == "macro_rules" => {
+                // `macro_rules ! name { … }`: skip the whole definition so
+                // token shapes inside macro bodies never become items.
+                i = skip_to_matching_brace(tokens, i);
+                continue;
+            }
+            Tok::Ident(kw) if kw == "impl" => {
+                if let Some((self_type, body_open)) = parse_impl_header(tokens, i) {
+                    let end = match_brace(tokens, body_open);
+                    contexts.push((self_type, end));
+                    i = body_open + 1;
+                    continue;
+                }
+                i += 1;
+            }
+            Tok::Ident(kw) if kw == "trait" => {
+                // `trait Name … { … }`: default methods get the trait name
+                // as their self type.
+                if let Some(Tok::Ident(name)) = tokens.get(i + 1).map(|t| &t.tok) {
+                    let name = name.clone();
+                    if let Some(open) = find_body_open(tokens, i + 2) {
+                        let end = match_brace(tokens, open);
+                        contexts.push((name, end));
+                        i = open + 1;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            Tok::Ident(kw) if kw == "use" => {
+                i = parse_use(tokens, i + 1, &mut out.aliases);
+            }
+            Tok::Ident(kw) if kw == "fn" => {
+                let line = tokens[i].line;
+                let Some(Tok::Ident(name)) = tokens.get(i + 1).map(|t| &t.tok) else {
+                    i += 1;
+                    continue;
+                };
+                let name = name.clone();
+                let self_type = contexts.last().map(|(t, _)| t.clone());
+                let (body, end_line, next) = match find_body_open(tokens, i + 2) {
+                    Some(open) => {
+                        let close = match_brace(tokens, open);
+                        (
+                            Some(open..close + 1),
+                            tokens.get(close).map(|t| t.line).unwrap_or(line),
+                            // Continue just past the signature so nested
+                            // fns inside the body are found too.
+                            open + 1,
+                        )
+                    }
+                    None => {
+                        let semi = find_semi(tokens, i + 2);
+                        (None, tokens.get(semi).map(|t| t.line).unwrap_or(line), semi)
+                    }
+                };
+                out.fns.push(FnItem {
+                    name,
+                    self_type,
+                    body,
+                    line,
+                    end_line,
+                });
+                i = next;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// From an `impl` keyword at `i`, returns the Self type name and the index
+/// of the body `{`. Handles `impl<G> Type<G>`, `impl Trait for Type`, and
+/// path-qualified names (`impl fmt::Display for Json` → `Json`).
+fn parse_impl_header(tokens: &[Token], i: usize) -> Option<(String, usize)> {
+    let mut j = i + 1;
+    j = skip_generics(tokens, j);
+    let (first, mut j) = parse_type_path(tokens, j)?;
+    let mut self_type = first;
+    if is_ident(tokens, j, "for") {
+        // Skip leading `&`/`mut`/`dyn` before the type path.
+        j += 1;
+        while is_punct(tokens, j, '&')
+            || is_ident(tokens, j, "mut")
+            || is_ident(tokens, j, "dyn")
+            || matches!(tokens.get(j).map(|t| &t.tok), Some(Tok::Lifetime))
+        {
+            j += 1;
+        }
+        let (second, k) = parse_type_path(tokens, j)?;
+        self_type = second;
+        j = k;
+    }
+    let open = find_body_open(tokens, j)?;
+    Some((self_type, open))
+}
+
+/// Parses a (possibly path-qualified, possibly generic) type path starting
+/// at `j`; returns the **last** segment name and the index just past the
+/// path.
+fn parse_type_path(tokens: &[Token], mut j: usize) -> Option<(String, usize)> {
+    let mut last = match tokens.get(j).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => s.clone(),
+        _ => return None,
+    };
+    j += 1;
+    loop {
+        j = skip_generics(tokens, j);
+        if is_punct(tokens, j, ':') && is_punct(tokens, j + 1, ':') {
+            match tokens.get(j + 2).map(|t| &t.tok) {
+                Some(Tok::Ident(s)) => {
+                    last = s.clone();
+                    j += 3;
+                }
+                _ => return Some((last, j)),
+            }
+        } else {
+            return Some((last, j));
+        }
+    }
+}
+
+/// Skips a balanced `<…>` group at `j`, if one starts there.
+fn skip_generics(tokens: &[Token], j: usize) -> usize {
+    if !is_punct(tokens, j, '<') {
+        return j;
+    }
+    let mut depth = 0i32;
+    let mut k = j;
+    while k < tokens.len() {
+        match tokens[k].tok {
+            Tok::Punct('<') => depth += 1,
+            Tok::Punct('>') => {
+                depth -= 1;
+                if depth <= 0 {
+                    return k + 1;
+                }
+            }
+            // A `{` before the generics close means we mis-lexed a
+            // comparison; bail where we started.
+            Tok::Punct('{') => return j,
+            _ => {}
+        }
+        k += 1;
+    }
+    j
+}
+
+/// Finds the first `{` at paren/bracket depth 0 starting at `j`; `None` if
+/// a `;` comes first (bodiless item).
+fn find_body_open(tokens: &[Token], mut j: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    while j < tokens.len() {
+        match tokens[j].tok {
+            Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+            Tok::Punct(';') if depth == 0 => return None,
+            Tok::Punct('{') if depth == 0 => return Some(j),
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token).
+fn match_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < tokens.len() {
+        match tokens[j].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// From a token at/inside an item, skips forward past the first top-level
+/// `{…}` group (used for `macro_rules! name { … }`).
+fn skip_to_matching_brace(tokens: &[Token], i: usize) -> usize {
+    match find_body_open(tokens, i) {
+        Some(open) => match_brace(tokens, open) + 1,
+        None => i + 1,
+    }
+}
+
+/// Index of the next `;` at any depth (use statements contain no nested
+/// semicolons).
+fn find_semi(tokens: &[Token], mut j: usize) -> usize {
+    while j < tokens.len() {
+        if matches!(tokens[j].tok, Tok::Punct(';')) {
+            return j;
+        }
+        j += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Parses one `use` item starting just after the keyword, collecting
+/// `x as y` renames (including inside `{…}` groups); returns the index
+/// just past the terminating `;`.
+fn parse_use(tokens: &[Token], mut j: usize, aliases: &mut Vec<UseAlias>) -> usize {
+    while j < tokens.len() {
+        match &tokens[j].tok {
+            Tok::Punct(';') => return j + 1,
+            Tok::Ident(kw) if kw == "as" => {
+                if let (Some(Tok::Ident(target)), Some(Tok::Ident(alias))) = (
+                    tokens.get(j.wrapping_sub(1)).map(|t| &t.tok),
+                    tokens.get(j + 1).map(|t| &t.tok),
+                ) {
+                    aliases.push(UseAlias {
+                        alias: alias.clone(),
+                        target: target.clone(),
+                    });
+                    j += 2;
+                    continue;
+                }
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_items(&lex(src).tokens)
+    }
+
+    fn quals(p: &ParsedFile) -> Vec<String> {
+        p.fns.iter().map(|f| f.qual()).collect()
+    }
+
+    #[test]
+    fn free_and_impl_fns_get_quals() {
+        let p = parse(
+            "fn free() {}\n\
+             impl Platform { pub fn pump(&mut self) -> usize { 0 } }\n\
+             impl fmt::Display for Json { fn fmt(&self) {} }\n",
+        );
+        assert_eq!(quals(&p), ["free", "Platform::pump", "Json::fmt"]);
+    }
+
+    #[test]
+    fn generic_impls_and_trait_impls_resolve_self_type() {
+        let p = parse(
+            "impl<T: Clone> Wheel<T> { fn schedule(&mut self) {} }\n\
+             impl<T> Default for Wheel<T> { fn default() -> Self { loop {} } }\n",
+        );
+        assert_eq!(quals(&p), ["Wheel::schedule", "Wheel::default"]);
+    }
+
+    #[test]
+    fn trait_default_methods_get_trait_context() {
+        let p = parse(
+            "pub trait Drive {\n\
+                 fn round(&mut self) -> usize;\n\
+                 fn drain(&mut self) -> usize { self.round() }\n\
+             }\n",
+        );
+        assert_eq!(quals(&p), ["Drive::round", "Drive::drain"]);
+        assert!(p.fns[0].body.is_none(), "signature only");
+        assert!(p.fns[1].body.is_some());
+    }
+
+    #[test]
+    fn nested_mods_do_not_leak_contexts() {
+        let p = parse(
+            "mod outer {\n\
+                 pub mod inner { pub fn helper() {} }\n\
+                 impl Thing { fn m(&self) {} }\n\
+             }\n\
+             fn after() {}\n",
+        );
+        assert_eq!(quals(&p), ["helper", "Thing::m", "after"]);
+    }
+
+    #[test]
+    fn use_renames_are_collected() {
+        let p = parse(
+            "use std::collections::BTreeMap as Map;\n\
+             use swamp_fog::{FogSync as Engine, UpdateRecord};\n",
+        );
+        assert_eq!(
+            p.aliases,
+            [
+                UseAlias {
+                    alias: "Map".into(),
+                    target: "BTreeMap".into()
+                },
+                UseAlias {
+                    alias: "Engine".into(),
+                    target: "FogSync".into()
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn macro_rules_bodies_are_skipped() {
+        let p = parse(
+            "macro_rules! make_fn {\n\
+                 ($name:ident) => { fn $name() { format!(\"x\"); } };\n\
+             }\n\
+             fn real() {}\n",
+        );
+        assert_eq!(quals(&p), ["real"]);
+    }
+
+    #[test]
+    fn body_token_ranges_cover_the_braces() {
+        let src = "impl P { fn a(&self) { inner(); } fn b(&self) {} }";
+        let lx = lex(src);
+        let p = parse_items(&lx.tokens);
+        let a = &p.fns[0];
+        let body = a.body.clone().expect("has body");
+        assert!(matches!(lx.tokens[body.start].tok, Tok::Punct('{')));
+        assert!(matches!(lx.tokens[body.end - 1].tok, Tok::Punct('}')));
+        let names: Vec<_> = lx.tokens[body.clone()]
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, ["inner"]);
+    }
+
+    #[test]
+    fn nested_fns_are_their_own_items() {
+        let p = parse("fn outer() { fn inner() {} inner(); }");
+        assert_eq!(quals(&p), ["outer", "inner"]);
+    }
+}

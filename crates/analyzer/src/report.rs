@@ -47,14 +47,66 @@ pub fn to_json(analysis: &Analysis) -> String {
 }
 
 fn finding_json(f: &Finding, indent: &str) -> String {
+    let symbol = if f.symbol.is_empty() {
+        String::new()
+    } else {
+        format!(", \"symbol\": {}", json_str(&f.symbol))
+    };
     format!(
-        "{indent}{{ \"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \"snippet\": {} }}",
+        "{indent}{{ \"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}{symbol} }}",
         json_str(f.rule),
         json_str(&f.path),
         f.line,
         json_str(&f.message),
         json_str(&f.snippet),
     )
+}
+
+/// Renders the findings as a SARIF 2.1.0 document (static subset: rule
+/// id, message, file/line) so CI systems can annotate diffs. Allowlisted
+/// findings are not results — SARIF consumers should see what fails,
+/// not what is sanctioned.
+pub fn to_sarif(analysis: &Analysis) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"version\": \"2.1.0\",\n");
+    s.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    s.push_str("  \"runs\": [\n    {\n");
+    s.push_str("      \"tool\": {\n        \"driver\": {\n");
+    s.push_str("          \"name\": \"swamp-analyzer\",\n");
+    s.push_str("          \"informationUri\": \"DESIGN.md\",\n");
+    s.push_str("          \"rules\": [\n");
+    for (i, r) in crate::rules::RULE_NAMES.iter().enumerate() {
+        s.push_str(&format!(
+            "            {{ \"id\": {} }}{}\n",
+            json_str(r),
+            if i + 1 < crate::rules::RULE_NAMES.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    s.push_str("          ]\n        }\n      },\n");
+    s.push_str("      \"results\": [\n");
+    for (i, f) in analysis.findings.iter().enumerate() {
+        s.push_str(&format!(
+            "        {{ \"ruleId\": {}, \"level\": \"error\", \"message\": {{ \"text\": {} }}, \
+             \"locations\": [ {{ \"physicalLocation\": {{ \"artifactLocation\": {{ \"uri\": {} }}, \
+             \"region\": {{ \"startLine\": {} }} }} }} ] }}{}\n",
+            json_str(f.rule),
+            json_str(&f.message),
+            json_str(&f.path),
+            f.line.max(1),
+            if i + 1 < analysis.findings.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    s.push_str("      ]\n    }\n  ]\n}\n");
+    s
 }
 
 /// JSON string escaping.

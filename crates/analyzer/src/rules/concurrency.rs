@@ -1,0 +1,231 @@
+//! Rule `concurrency-discipline`: PR 7's byte-identical parallelism rests
+//! on one argument — workers touch **disjoint** `&mut` chunks and nothing
+//! else, and the scope join is the only merge point. This rule codifies
+//! the argument so a future edit cannot silently break the serial
+//! fingerprint:
+//!
+//! 1. **No mutable statics** in library/binary code, anywhere — a
+//!    `static mut` is cross-worker shared state by construction.
+//! 2. Inside a `thread::scope` region (library code): no lock or atomic
+//!    types (`Mutex`, `RwLock`, `Condvar`, `Atomic*`) and no `.lock(`
+//!    acquisitions (the closure-side face of a lock captured from
+//!    outside) — shared synchronization reintroduces
+//!    interleaving-dependent state.
+//! 3. A scope region that spawns workers must sit in a function that
+//!    splits its data with the disjoint-chunk pattern
+//!    (`split_at_mut` / `chunks_mut` / `chunks_exact_mut`).
+//! 4. Functions **reachable from calls made inside the region** (the work
+//!    the workers run) must not mention locks, atomics, or mutable
+//!    statics either — a worker taking a lock three calls down is just as
+//!    order-dependent as one taking it inline.
+
+use std::collections::BTreeSet;
+
+use crate::graph::{extract_calls, Graph, Workspace};
+use crate::lexer::{is_ident, is_punct, Tok, Token};
+use crate::source::TargetKind;
+
+use super::Finding;
+
+pub const NAME: &str = "concurrency-discipline";
+
+const CHUNK_PATTERNS: &[&str] = &["split_at_mut", "chunks_mut", "chunks_exact_mut"];
+
+pub fn check(ws: &Workspace, graph: &Graph, out: &mut Vec<Finding>) {
+    // 1. Mutable statics, everywhere in lib/bin code.
+    for wf in &ws.files {
+        if !matches!(wf.source.kind, TargetKind::Lib | TargetKind::Bin) {
+            continue;
+        }
+        for (i, t) in wf.source.tokens.iter().enumerate() {
+            if is_ident(&wf.source.tokens, i, "static")
+                && is_ident(&wf.source.tokens, i + 1, "mut")
+                && !wf.source.is_test_line(t.line)
+            {
+                out.push(Finding::at(
+                    NAME,
+                    &wf.source,
+                    t.line,
+                    "`static mut` is cross-worker shared mutable state; \
+                     pass `&mut` slices into the workers instead"
+                        .to_owned(),
+                ));
+            }
+        }
+    }
+    // 2–4. thread::scope regions in library code.
+    for (fi, wf) in ws.files.iter().enumerate() {
+        if wf.source.kind != TargetKind::Lib {
+            continue;
+        }
+        let tokens = &wf.source.tokens;
+        for i in 0..tokens.len() {
+            if !(is_ident(tokens, i, "thread")
+                && is_punct(tokens, i + 1, ':')
+                && is_punct(tokens, i + 2, ':')
+                && is_ident(tokens, i + 3, "scope")
+                && is_punct(tokens, i + 4, '('))
+            {
+                continue;
+            }
+            if wf.source.is_test_line(tokens[i].line) {
+                continue;
+            }
+            let region = i + 4..match_paren(tokens, i + 4) + 1;
+            check_region(ws, graph, fi, region, out);
+        }
+    }
+}
+
+fn check_region(
+    ws: &Workspace,
+    graph: &Graph,
+    file: usize,
+    region: std::ops::Range<usize>,
+    out: &mut Vec<Finding>,
+) {
+    let source = &ws.files[file].source;
+    let tokens = &source.tokens;
+    let mut spawns = false;
+    for i in region.clone() {
+        let Some(t) = tokens.get(i) else { continue };
+        if source.is_test_line(t.line) {
+            continue;
+        }
+        if let Tok::Ident(name) = &t.tok {
+            if is_shared_state_name(name) {
+                out.push(Finding::at(
+                    NAME,
+                    source,
+                    t.line,
+                    format!(
+                        "`{name}` inside a `thread::scope` region: workers must \
+                         mutate only disjoint `&mut` chunks; merge after the \
+                         scope join, not through shared synchronization"
+                    ),
+                ));
+            }
+            if name == "lock"
+                && is_punct(tokens, i.wrapping_sub(1), '.')
+                && is_punct(tokens, i + 1, '(')
+            {
+                out.push(Finding::at(
+                    NAME,
+                    source,
+                    t.line,
+                    "lock acquisition inside a `thread::scope` region: the \
+                     guarded state is shared across workers; split it into \
+                     disjoint `&mut` chunks instead"
+                        .to_owned(),
+                ));
+            }
+            if name == "spawn" && is_punct(tokens, i.wrapping_sub(1), '.') {
+                spawns = true;
+            }
+        }
+    }
+    // 3. Spawning regions need the disjoint-chunk split in the enclosing fn.
+    if spawns {
+        if let Some(idx) = enclosing_fn(graph, file, region.start) {
+            let node = &graph.nodes[idx];
+            let body = node.item.body.clone().unwrap_or(region.clone());
+            let has_split = tokens[body.clone()]
+                .iter()
+                .any(|t| matches!(&t.tok, Tok::Ident(s) if CHUNK_PATTERNS.contains(&s.as_str())));
+            if !has_split {
+                out.push(Finding::at_symbol(
+                    NAME,
+                    source,
+                    tokens[region.start].line,
+                    &node.qual,
+                    "worker spawn without the disjoint-chunk pattern: split the \
+                     data with `split_at_mut`/`chunks_mut` so each worker owns \
+                     its slice"
+                        .to_owned(),
+                ));
+            }
+        }
+    }
+    // 4. Work reachable from inside the region must be lock/atomic-free.
+    let caller_self =
+        enclosing_fn(graph, file, region.start).and_then(|i| graph.nodes[i].item.self_type.clone());
+    let entry_calls = extract_calls(source, region);
+    let mut roots: Vec<usize> = Vec::new();
+    for call in &entry_calls {
+        roots.extend(graph.resolve(call, caller_self.as_deref(), file));
+    }
+    roots.sort_unstable();
+    roots.dedup();
+    let reach = graph.reach(&roots, &BTreeSet::new(), &|n| {
+        !n.is_test && ws.files[n.file].source.kind == TargetKind::Lib
+    });
+    for &idx in reach.parent.keys() {
+        let node = &graph.nodes[idx];
+        let nsrc = &ws.files[node.file].source;
+        let Some(body) = node.item.body.clone() else {
+            continue;
+        };
+        for j in body {
+            let Some(t) = nsrc.tokens.get(j) else {
+                continue;
+            };
+            if nsrc.is_test_line(t.line) {
+                continue;
+            }
+            if let Tok::Ident(name) = &t.tok {
+                if is_shared_state_name(name) {
+                    let path = graph.path(&reach, idx).join(" → ");
+                    out.push(Finding::at_symbol(
+                        NAME,
+                        nsrc,
+                        t.line,
+                        &node.qual,
+                        format!(
+                            "`{name}` in worker-reachable code (`{}` runs under \
+                             `thread::scope` via {path}): order-dependent shared \
+                             state breaks the serial fingerprint",
+                            node.qual
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn is_shared_state_name(name: &str) -> bool {
+    name == "Mutex" || name == "RwLock" || name == "Condvar" || name.starts_with("Atomic")
+}
+
+/// The graph node whose body contains token index `at` in `file` (the
+/// innermost, i.e. the one with the shortest body).
+fn enclosing_fn(graph: &Graph, file: usize, at: usize) -> Option<usize> {
+    graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.file == file)
+        .filter(|(_, n)| n.item.body.as_ref().is_some_and(|b| b.contains(&at)))
+        .min_by_key(|(_, n)| n.item.body.as_ref().map_or(usize::MAX, |b| b.end - b.start))
+        .map(|(i, _)| i)
+}
+
+/// Index of the `)` matching the `(` at `open` (or the last token).
+fn match_paren(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < tokens.len() {
+        match tokens[j].tok {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    tokens.len().saturating_sub(1)
+}

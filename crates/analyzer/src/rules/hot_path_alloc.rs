@@ -1,0 +1,150 @@
+//! Rule `hot-path-alloc`: the steady-state hot paths are zero-alloc by
+//! contract (the alloc-counting tests of PR 1/4/6 pin specific scenarios);
+//! this rule holds the contract **across every path** by walking the call
+//! graph from the hot entry points and banning allocating APIs in every
+//! transitively reachable library function.
+//!
+//! Entry points (qualified names): `Platform::pump`, the sync engine's
+//! steady-state rounds (`FogSync::sync_round/poll_acks/process_ack`), the
+//! `ShardedPlatform` worker rounds (`pump_round` / `ingest_round` in the
+//! shard pool), and the obs hot ops (`Obs::inc/add/set/record/enter/exit`).
+//!
+//! Banned inside reachable bodies (outside test lines):
+//!
+//! - `format!` / `vec!` — always allocate;
+//! - `.to_string()` / `.to_owned()` / `.to_vec()` — owned copies;
+//! - `.clone()` — cloning owned containers (`Arc::clone(&x)` is the
+//!   sanctioned refcount bump: qualified, so it does not match the
+//!   method shape);
+//! - `String::from/new/with_capacity`, `Vec::new/with_capacity`,
+//!   `Box::new` — fresh containers on the hot path exist to be filled.
+//!
+//! Cold/setup functions reached from an entry (builders, registration,
+//! error paths that end the run) are cut from the walk via allowlist
+//! `symbol =` scopes; a scope that no longer cuts anything fails CI as
+//! `allowlist-unused`. Known conservatism: `.collect()` and `.push()` are
+//! not banned (reused, pre-reserved buffers push legitimately); the fresh
+//! containers that would feed them are.
+
+use std::collections::BTreeSet;
+
+use crate::graph::{Graph, Workspace};
+use crate::lexer::{is_ident, is_punct, Tok};
+use crate::source::TargetKind;
+
+use super::Finding;
+
+pub const NAME: &str = "hot-path-alloc";
+
+/// Qualified names of the hot-path roots. Names that do not exist in the
+/// workspace are simply absent from the entry set.
+pub const ENTRY_QUALS: &[&str] = &[
+    "Platform::pump",
+    "FogSync::sync_round",
+    "FogSync::poll_acks",
+    "FogSync::process_ack",
+    "pump_round",
+    "ingest_round",
+    "Obs::inc",
+    "Obs::add",
+    "Obs::set",
+    "Obs::record",
+    "Obs::enter",
+    "Obs::exit",
+];
+
+/// `Type::method(` shapes that allocate.
+const BANNED_QUALIFIED: &[(&str, &str)] = &[
+    ("String", "from"),
+    ("String", "new"),
+    ("String", "with_capacity"),
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("Box", "new"),
+];
+
+/// `.method(` shapes that allocate.
+const BANNED_METHODS: &[&str] = &["to_string", "to_owned", "to_vec", "clone"];
+
+/// Checks every library function reachable from the hot entry points.
+/// Returns the cold `symbol =` scopes that actually cut an edge.
+pub fn check(
+    ws: &Workspace,
+    graph: &Graph,
+    cold: &BTreeSet<String>,
+    out: &mut Vec<Finding>,
+) -> BTreeSet<String> {
+    let entries: Vec<usize> = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| {
+            ENTRY_QUALS.contains(&n.qual.as_str())
+                && !n.is_test
+                && ws.files[n.file].source.kind == TargetKind::Lib
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let reach = graph.reach(&entries, cold, &|n| {
+        !n.is_test && ws.files[n.file].source.kind == TargetKind::Lib
+    });
+    for &idx in reach.parent.keys() {
+        let node = &graph.nodes[idx];
+        // Entry points that are themselves cold-scoped never enqueue, so
+        // idx here is always hot; scan its body.
+        let Some(body) = node.item.body.clone() else {
+            continue;
+        };
+        let source = &ws.files[node.file].source;
+        let tokens = &source.tokens;
+        let path = graph.path(&reach, idx).join(" → ");
+        for i in body {
+            let line = match tokens.get(i) {
+                Some(t) => t.line,
+                None => continue,
+            };
+            if source.is_test_line(line) {
+                continue;
+            }
+            let site: Option<String> = if (is_ident(tokens, i, "format")
+                || is_ident(tokens, i, "vec"))
+                && is_punct(tokens, i + 1, '!')
+            {
+                match &tokens[i].tok {
+                    Tok::Ident(m) => Some(format!("{m}!")),
+                    _ => None,
+                }
+            } else if is_punct(tokens, i, '.') && is_punct(tokens, i + 2, '(') {
+                BANNED_METHODS
+                    .iter()
+                    .find(|m| is_ident(tokens, i + 1, m))
+                    .map(|m| format!(".{m}()"))
+            } else if is_punct(tokens, i + 1, ':')
+                && is_punct(tokens, i + 2, ':')
+                && is_punct(tokens, i + 4, '(')
+            {
+                BANNED_QUALIFIED
+                    .iter()
+                    .find(|(ty, m)| is_ident(tokens, i, ty) && is_ident(tokens, i + 3, m))
+                    .map(|(ty, m)| format!("{ty}::{m}()"))
+            } else {
+                None
+            };
+            if let Some(site) = site {
+                out.push(Finding::at_symbol(
+                    NAME,
+                    source,
+                    line,
+                    &node.qual,
+                    format!(
+                        "allocating call `{site}` on the zero-alloc hot path \
+                         (reachable via {path}); hoist the allocation to setup, \
+                         reuse a scratch buffer, or cut the callee with an \
+                         allowlist `symbol =` scope if it is genuinely cold"
+                    ),
+                ));
+            }
+        }
+    }
+    reach.cold_cut
+}

@@ -210,6 +210,30 @@ pub fn check_table(out: &mut Vec<Finding>) {
     }
 }
 
+/// Transitive closure of [`ALLOWED_DEPS`] for `pkg`, including `pkg`
+/// itself. The call graph uses this to keep name-based resolution inside
+/// the architecture: a call in `swamp-core` can only resolve into
+/// packages core may depend on — never "upward" into pilots or sideways
+/// into the analyzer just because a method name collides.
+pub fn dep_closure(pkg: &str) -> std::collections::BTreeSet<&'static str> {
+    let mut out = std::collections::BTreeSet::new();
+    let Some((canonical, direct)) = ALLOWED_DEPS.iter().find(|(n, _)| *n == pkg) else {
+        return out;
+    };
+    out.insert(*canonical);
+    let mut pending: Vec<&[&str]> = vec![direct];
+    while let Some(deps) = pending.pop() {
+        for d in deps {
+            if out.insert(d) {
+                if let Some((_, dd)) = ALLOWED_DEPS.iter().find(|(n, _)| n == d) {
+                    pending.push(dd);
+                }
+            }
+        }
+    }
+    out
+}
+
 fn finding(path: &str, message: String) -> Finding {
     Finding {
         rule: NAME,
@@ -217,5 +241,6 @@ fn finding(path: &str, message: String) -> Finding {
         line: 1,
         message,
         snippet: String::new(),
+        symbol: String::new(),
     }
 }

@@ -1,23 +1,39 @@
 //! The lint rules. Each rule is a pure function from parsed sources (or
-//! manifests) to findings; `crate::run` wires them to the workspace walk
-//! and the allowlist.
+//! manifests, or the workspace item graph) to findings; `crate::run`
+//! wires them to the workspace walk and the allowlist.
+//!
+//! Per-file rules see one [`SourceFile`] at a time; graph rules
+//! ([`check_workspace`]) see the whole [`Workspace`] plus the conservative
+//! call [`Graph`] built from it.
 
+pub mod cast_safety;
+pub mod concurrency;
 pub mod deprecated;
 pub mod determinism;
 pub mod error_discard;
+pub mod hot_path_alloc;
 pub mod layering;
+pub mod obs_names;
 pub mod panic_freedom;
 
+use std::collections::BTreeSet;
+
+use crate::graph::{Graph, Workspace};
 use crate::source::SourceFile;
 
-/// Names of every source + manifest rule, in report order. The pseudo-rules
-/// `allowlist-unused` and `allowlist-error` are emitted by the driver.
+/// Names of every source + manifest + graph rule, in report order. The
+/// pseudo-rules `allowlist-unused` and `allowlist-error` are emitted by
+/// the driver.
 pub const RULE_NAMES: &[&str] = &[
     determinism::NAME,
     panic_freedom::NAME,
     error_discard::NAME,
     layering::NAME,
     deprecated::NAME,
+    hot_path_alloc::NAME,
+    cast_safety::NAME,
+    concurrency::NAME,
+    obs_names::NAME,
     "allowlist-unused",
     "allowlist-error",
 ];
@@ -34,6 +50,10 @@ pub struct Finding {
     pub message: String,
     /// Trimmed source line, used for display and allowlist `contains`.
     pub snippet: String,
+    /// Qualified name of the containing `fn` (`Type::name` or bare
+    /// `name`), set by graph rules; empty for per-file findings. Used for
+    /// allowlist `symbol =` scoping.
+    pub symbol: String,
 }
 
 impl Finding {
@@ -44,6 +64,21 @@ impl Finding {
             line,
             message,
             snippet: file.snippet(line).to_owned(),
+            symbol: String::new(),
+        }
+    }
+
+    /// Like [`Finding::at`], tagged with the containing symbol.
+    pub fn at_symbol(
+        rule: &'static str,
+        file: &SourceFile,
+        line: u32,
+        symbol: &str,
+        message: String,
+    ) -> Finding {
+        Finding {
+            symbol: symbol.to_owned(),
+            ..Finding::at(rule, file, line, message)
         }
     }
 }
@@ -54,4 +89,22 @@ pub fn check_source(file: &SourceFile, out: &mut Vec<Finding>) {
     panic_freedom::check(file, out);
     error_discard::check(file, out);
     deprecated::check(file, out);
+}
+
+/// Runs every graph rule over the workspace. `cold` holds the allowlist's
+/// `symbol =` scopes for `hot-path-alloc` (cold/setup functions cut from
+/// the hot-path walk); the returned set names the scopes that actually cut
+/// an edge, so the driver can fail stale ones as `allowlist-unused`.
+pub fn check_workspace(
+    ws: &Workspace,
+    graph: &Graph,
+    cold: &BTreeSet<String>,
+    out: &mut Vec<Finding>,
+) -> BTreeSet<String> {
+    let used_cold = hot_path_alloc::check(ws, graph, cold, out);
+    cast_safety::check(ws, graph, out);
+    concurrency::check(ws, graph, out);
+    obs_names::check(ws, out);
+    determinism::check_graph(ws, graph, out);
+    used_cold
 }

@@ -145,3 +145,95 @@ fn unknown_rule_flag_is_a_usage_error() {
         .expect("spawn analyzer");
     assert_eq!(out.status.code(), Some(3));
 }
+
+#[test]
+fn sarif_output_agrees_with_the_json_report() {
+    let ws = Scratch::new("sarif");
+    seed_workspace(
+        &ws,
+        "pub fn stamp() -> u128 {\n    std::time::Instant::now().elapsed().as_millis()\n}\n",
+    );
+    let sarif_path = ws.path().join("out.sarif");
+    let out = Command::new(bin())
+        .args(["--root"])
+        .arg(ws.path())
+        .args(["--deny-all", "--json", "-", "--sarif"])
+        .arg(&sarif_path)
+        .output()
+        .expect("spawn analyzer");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let sarif = fs::read_to_string(&sarif_path).expect("sarif file written");
+    assert!(sarif.contains("\"version\": \"2.1.0\""), "{sarif}");
+    assert!(sarif.contains("\"ruleId\": \"determinism\""), "{sarif}");
+    assert!(
+        sarif.contains("\"uri\": \"crates/net/src/lib.rs\""),
+        "{sarif}"
+    );
+    assert!(sarif.contains("\"startLine\": 2"), "{sarif}");
+    // Same result set in both formats: one SARIF result per JSON finding.
+    let json = String::from_utf8_lossy(&out.stdout);
+    let json_count: usize = json
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("\"finding_count\": "))
+        .and_then(|n| n.trim_end_matches(',').parse().ok())
+        .expect("finding_count in JSON");
+    let sarif_count = sarif.matches("\"ruleId\"").count();
+    assert_eq!(json_count, sarif_count, "json:\n{json}\nsarif:\n{sarif}");
+}
+
+#[test]
+fn symbol_scoped_cold_cut_passes_then_goes_stale() {
+    let ws = Scratch::new("symbol");
+    // `Platform::pump` is a hot-path entry; `step` allocates two calls in.
+    let hot = "pub struct Platform;\n\
+               impl Platform {\n\
+                   pub fn pump(&mut self) { self.step(); }\n\
+                   fn step(&self) { let _s = format!(\"x\"); }\n\
+               }\n";
+    seed_workspace(&ws, hot);
+    ws.write(
+        "analyzer.allow.toml",
+        r#"[[allow]]
+rule = "hot-path-alloc"
+path = "crates/net/src/lib.rs"
+symbol = "Platform::step"
+justification = "fixture: step is a documented cold boundary"
+"#,
+    );
+    let out = Command::new(bin())
+        .args(["--root"])
+        .arg(ws.path())
+        .args(["--deny-all"])
+        .output()
+        .expect("spawn analyzer");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Break the edge that made the cut live: the entry no longer reaches
+    // `step`, so the symbol-scoped entry must fail as stale.
+    let cold = "pub struct Platform;\n\
+                impl Platform {\n\
+                    pub fn pump(&mut self) {}\n\
+                    fn step(&self) { let _s = format!(\"x\"); }\n\
+                }\n";
+    ws.write("crates/net/src/lib.rs", cold);
+    let out = Command::new(bin())
+        .args(["--root"])
+        .arg(ws.path())
+        .args(["--deny-all"])
+        .output()
+        .expect("spawn analyzer");
+    assert_eq!(out.status.code(), Some(2));
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("allowlist-unused"), "{text}");
+    assert!(text.contains("Platform::step"), "{text}");
+}

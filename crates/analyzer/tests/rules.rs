@@ -2,11 +2,13 @@
 //! that must stay clean, exercised through the same `analyze_str` path the
 //! workspace walk uses.
 
+use std::collections::BTreeSet;
+
 use swamp_analyzer::allowlist;
 use swamp_analyzer::manifest;
 use swamp_analyzer::rules::{layering, Finding, RULE_NAMES};
 use swamp_analyzer::source::TargetKind;
-use swamp_analyzer::{analyze_str, apply_allowlist};
+use swamp_analyzer::{analyze_files_with_cold, analyze_str, apply_allowlist};
 
 fn lib(src: &str) -> Vec<Finding> {
     analyze_str("crates/x/src/lib.rs", "swamp-x", TargetKind::Lib, src)
@@ -387,4 +389,316 @@ justification = "fixture: harness code may abort loudly"
     assert_eq!(rules_of(&kept), vec!["error-discard"]);
     assert_eq!(allowed.len(), 1);
     assert!(allowed[0].justification.contains("abort loudly"));
+}
+
+// ------------------------------------------------------------- hot-path-alloc
+
+#[test]
+fn hot_path_alloc_flags_transitive_allocation_with_path() {
+    let bad = r#"
+        impl Platform {
+            pub fn pump(&mut self) { self.step(); }
+            fn step(&mut self) { let label = format!("tick"); push(label); }
+        }
+        fn push(_s: String) {}
+    "#;
+    let f = lib(bad);
+    let hp: Vec<_> = f.iter().filter(|f| f.rule == "hot-path-alloc").collect();
+    assert_eq!(hp.len(), 1, "{f:?}");
+    assert_eq!(hp[0].symbol, "Platform::step");
+    assert!(
+        hp[0].message.contains("Platform::pump → Platform::step"),
+        "finding must carry the reachability path: {}",
+        hp[0].message
+    );
+}
+
+#[test]
+fn hot_path_alloc_stays_quiet_off_the_hot_path() {
+    // The same allocation in a function *not* reachable from an entry.
+    let good = r#"
+        impl Platform {
+            pub fn pump(&mut self) { self.count += 1; }
+            pub fn describe(&self) -> String { format!("{} pumps", self.count) }
+        }
+    "#;
+    assert!(lib(good).iter().all(|f| f.rule != "hot-path-alloc"));
+}
+
+#[test]
+fn hot_path_alloc_cold_symbol_cuts_the_subtree_and_reports_use() {
+    let src = r#"
+        impl Platform {
+            pub fn pump(&mut self) { self.setup(); }
+            fn setup(&mut self) { self.name = String::new(); }
+        }
+    "#;
+    let files = [("crates/x/src/lib.rs", "swamp-x", TargetKind::Lib, src)];
+    let (f, used) = analyze_files_with_cold(&files, &BTreeSet::new());
+    assert!(f.iter().any(|f| f.rule == "hot-path-alloc"), "{f:?}");
+    assert!(used.is_empty());
+
+    let cold: BTreeSet<String> = ["Platform::setup".to_owned()].into_iter().collect();
+    let (f, used) = analyze_files_with_cold(&files, &cold);
+    assert!(f.iter().all(|f| f.rule != "hot-path-alloc"), "{f:?}");
+    assert!(
+        used.contains("Platform::setup"),
+        "a cut that fired must be reported so stale detection can spare it"
+    );
+}
+
+// ---------------------------------------------------------------- cast-safety
+
+#[test]
+fn cast_safety_flags_numeric_casts_in_codec_files() {
+    let bad = "pub fn write(n: f64, out: &mut String) { out.push_str(&fmt(n as i64)); }";
+    let f = analyze_str(
+        "crates/codec/src/fake.rs",
+        "swamp-codec",
+        TargetKind::Lib,
+        bad,
+    );
+    assert!(
+        f.iter()
+            .any(|f| f.rule == "cast-safety" && f.message.contains("as i64")),
+        "{f:?}"
+    );
+}
+
+#[test]
+fn cast_safety_covers_wire_fns_by_symbol_outside_codec_paths() {
+    let bad = "fn encode_record(x: u32) -> u16 { x as u16 }";
+    let f = lib(bad);
+    let cs: Vec<_> = f.iter().filter(|f| f.rule == "cast-safety").collect();
+    assert_eq!(cs.len(), 1, "{f:?}");
+    assert_eq!(cs[0].symbol, "encode_record");
+    // The same cast in an unscoped fn is out of the rule's reach.
+    assert!(lib("fn helper(x: u32) -> u16 { x as u16 }")
+        .iter()
+        .all(|f| f.rule != "cast-safety"));
+}
+
+#[test]
+fn cast_safety_wrapping_needs_a_same_line_comment() {
+    let bare = "pub fn slot(x: u64) -> u64 { x.wrapping_add(1) }";
+    let f = analyze_str(
+        "crates/codec/src/fake.rs",
+        "swamp-codec",
+        TargetKind::Lib,
+        bare,
+    );
+    assert!(
+        f.iter()
+            .any(|f| f.rule == "cast-safety" && f.message.contains("wrapping")),
+        "{f:?}"
+    );
+    let justified =
+        "pub fn slot(x: u64) -> u64 { x.wrapping_add(1) // wraps at the rotation boundary\n}";
+    let f = analyze_str(
+        "crates/codec/src/fake.rs",
+        "swamp-codec",
+        TargetKind::Lib,
+        justified,
+    );
+    assert!(f.iter().all(|f| f.rule != "cast-safety"), "{f:?}");
+}
+
+// ----------------------------------------------------- concurrency-discipline
+
+#[test]
+fn concurrency_flags_mutable_statics_and_locks_in_scope() {
+    let f = lib("static mut GLOBAL: u32 = 0;");
+    assert!(
+        f.iter()
+            .any(|f| f.rule == "concurrency-discipline" && f.message.contains("static mut")),
+        "{f:?}"
+    );
+    // The planted violation from the issue: a Mutex captured from outside
+    // the scope, acquired inside the worker closure.
+    let bad = r#"
+        use std::sync::Mutex;
+        pub fn run(xs: &mut [u32]) {
+            let total = Mutex::new(0u32);
+            std::thread::scope(|s| {
+                for chunk in xs.chunks_mut(2) {
+                    s.spawn(|| { let mut t = total.lock(); bump(&mut t, chunk); });
+                }
+            });
+        }
+        fn bump(_t: &mut u32, _c: &mut [u32]) {}
+    "#;
+    let f = lib(bad);
+    assert!(
+        f.iter()
+            .any(|f| f.rule == "concurrency-discipline" && f.message.contains("lock acquisition")),
+        "{f:?}"
+    );
+    // A lock *type* named directly inside the region is flagged too.
+    let named = r#"
+        pub fn run(xs: &mut [u32]) {
+            std::thread::scope(|s| {
+                let total = std::sync::Mutex::new(0u32);
+                let (a, _b) = xs.split_at_mut(1);
+                s.spawn(|| { a[0] += *total.lock().unwrap(); });
+            });
+        }
+    "#;
+    let f = lib(named);
+    assert!(
+        f.iter()
+            .any(|f| f.rule == "concurrency-discipline" && f.message.contains("`Mutex`")),
+        "{f:?}"
+    );
+}
+
+#[test]
+fn concurrency_flags_locks_reachable_from_worker_calls() {
+    let bad = r#"
+        pub fn run(xs: &mut [u32]) {
+            std::thread::scope(|s| {
+                let (a, b) = xs.split_at_mut(1);
+                s.spawn(|| work(a));
+                s.spawn(|| work(b));
+            });
+        }
+        fn work(xs: &mut [u32]) { tally(xs); }
+        fn tally(xs: &mut [u32]) {
+            let _guard = GLOBAL_LOCK.lock();
+            use std::sync::Mutex;
+            xs[0] += 1;
+        }
+    "#;
+    let f = lib(bad);
+    assert!(
+        f.iter().any(|f| f.rule == "concurrency-discipline"
+            && f.message.contains("worker-reachable")
+            && f.message.contains("tally")),
+        "{f:?}"
+    );
+}
+
+#[test]
+fn concurrency_requires_the_disjoint_chunk_split() {
+    let bad = r#"
+        pub fn run(n: usize) {
+            std::thread::scope(|s| {
+                for _ in 0..n { s.spawn(|| step()); }
+            });
+        }
+        fn step() {}
+    "#;
+    let f = lib(bad);
+    assert!(
+        f.iter()
+            .any(|f| f.rule == "concurrency-discipline" && f.message.contains("disjoint-chunk")),
+        "{f:?}"
+    );
+    // Disjoint chunks, no shared state: the sanctioned pattern is clean.
+    let good = r#"
+        pub fn run(xs: &mut [u32]) {
+            std::thread::scope(|s| {
+                let (a, b) = xs.split_at_mut(1);
+                s.spawn(|| bump(a));
+                s.spawn(|| bump(b));
+            });
+        }
+        fn bump(xs: &mut [u32]) { xs[0] += 1; }
+    "#;
+    assert!(
+        lib(good).iter().all(|f| f.rule != "concurrency-discipline"),
+        "{:?}",
+        lib(good)
+    );
+}
+
+// -------------------------------------------------------------- obs-name-drift
+
+#[test]
+fn obs_name_drift_flags_unregistered_and_kind_mismatched_reads() {
+    let src = r#"
+        pub fn register(obs: &mut Obs) -> Instruments {
+            Instruments {
+                sent: obs.counter("net.sent"),
+                depth: obs.gauge("net.depth"),
+            }
+        }
+        pub fn report(snap: &ObsSnapshot) {
+            let _ok = snap.gauge("net.depth");
+            let _typo = snap.counter("net.snet");
+            let _wrong_kind = snap.gauge("net.sent");
+        }
+    "#;
+    let f = lib(src);
+    let drift: Vec<_> = f.iter().filter(|f| f.rule == "obs-name-drift").collect();
+    assert_eq!(drift.len(), 2, "{f:?}");
+    assert!(drift
+        .iter()
+        .any(|f| f.message.contains("net.snet") && f.message.contains("does not resolve")));
+    assert!(drift
+        .iter()
+        .any(|f| f.message.contains("net.sent") && f.message.contains("read as a `gauge`")));
+}
+
+#[test]
+fn obs_name_drift_rejects_duplicate_registrations_and_skips_foreign_names() {
+    let dup = r#"
+        pub fn a(obs: &mut Obs) { obs.counter("net.dup"); }
+        pub fn b(obs: &mut Obs) { obs.counter("net.dup"); }
+    "#;
+    let f = lib(dup);
+    assert!(
+        f.iter()
+            .any(|f| f.rule == "obs-name-drift" && f.message.contains("more than once")),
+        "{f:?}"
+    );
+    // Names outside the family prefixes are not under the contract.
+    let scratch = r#"
+        pub fn report(snap: &ObsSnapshot) { let _x = snap.counter("scratch.count"); }
+    "#;
+    assert!(lib(scratch).iter().all(|f| f.rule != "obs-name-drift"));
+}
+
+// -------------------------------------------- determinism (graph tightening)
+
+#[test]
+fn determinism_hash_iteration_outside_export_paths_is_clean() {
+    // PR 3's file-marker heuristic would have flagged this whenever the
+    // file also mentioned an export fn; the graph scope does not.
+    let good = r#"
+        use std::collections::HashMap;
+        pub fn total(counters: &HashMap<String, u64>) -> u64 {
+            let mut t = 0;
+            for (_k, v) in counters.iter() {
+                t += v;
+            }
+            t
+        }
+    "#;
+    assert!(
+        lib(good).iter().all(|f| f.rule != "determinism"),
+        "{:?}",
+        lib(good)
+    );
+}
+
+#[test]
+fn determinism_hash_iteration_flags_transitively_from_export_entries() {
+    let bad = r#"
+        use std::collections::HashMap;
+        pub fn to_json(m: &HashMap<String, u64>) -> String { emit(m) }
+        fn emit(m: &HashMap<String, u64>) -> String {
+            let mut out = String::new();
+            for (k, _v) in m.iter() {
+                out.push_str(k);
+            }
+            out
+        }
+    "#;
+    let f = lib(bad);
+    assert!(
+        f.iter().any(|f| f.rule == "determinism"
+            && f.symbol == "emit"
+            && f.message.contains("to_json → emit")),
+        "{f:?}"
+    );
 }

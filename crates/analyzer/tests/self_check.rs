@@ -4,6 +4,7 @@
 
 use std::path::PathBuf;
 
+use swamp_analyzer::rules::RULE_NAMES;
 use swamp_analyzer::{run, Config};
 
 #[test]
@@ -35,4 +36,29 @@ fn shipped_workspace_is_clean_under_deny_all() {
     );
     // Every allowlisted exception carries its written justification.
     assert!(analysis.allowed.iter().all(|a| a.justification.len() >= 10));
+}
+
+#[test]
+fn all_nine_rules_run_on_the_shipped_tree() {
+    // The registry carries the nine analysis rules plus the two allowlist
+    // meta-rules; `run` executes every one of them — a rule that fell out
+    // of the registry would silently stop gating CI.
+    for rule in [
+        "determinism",
+        "panic-freedom",
+        "error-discard",
+        "layering",
+        "deprecated-api",
+        "hot-path-alloc",
+        "cast-safety",
+        "concurrency-discipline",
+        "obs-name-drift",
+    ] {
+        assert!(RULE_NAMES.contains(&rule), "missing rule {rule}");
+    }
+    assert_eq!(
+        RULE_NAMES.len(),
+        11,
+        "nine rules + two allowlist meta-rules"
+    );
 }

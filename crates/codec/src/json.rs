@@ -266,11 +266,13 @@ fn write_number(n: f64, out: &mut String) {
         out.push_str("null");
         return;
     }
-    if n == n.trunc() && n.abs() < 1e15 {
-        // Integral values print without a fractional part.
-        out.push_str(&format!("{}", n as i64));
+    if n == 0.0 {
+        // Canonical zero: JSON has no signed zero, so `-0.0` must not
+        // print as `-0` (the std formatter would).
+        out.push('0');
     } else {
-        // Shortest roundtrip representation from the std formatter.
+        // Shortest roundtrip representation from the std formatter;
+        // integral values already print without a fractional part.
         out.push_str(&format!("{n}"));
     }
 }
@@ -286,8 +288,8 @@ fn write_escaped(s: &str, out: &mut String) {
             '\t' => out.push_str("\\t"),
             '\u{08}' => out.push_str("\\b"),
             '\u{0C}' => out.push_str("\\f"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+            c if u32::from(c) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", u32::from(c)));
             }
             c => out.push(c),
         }
@@ -333,7 +335,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(self.err(&format!("expected '{}'", b as char)))
+            Err(self.err(&format!("expected '{}'", char::from(b))))
         }
     }
 
@@ -359,7 +361,7 @@ impl<'a> Parser<'a> {
             Some(b'[') => self.array(depth),
             Some(b'{') => self.object(depth),
             Some(b'-') | Some(b'0'..=b'9') => self.number(),
-            Some(c) => Err(self.err(&format!("unexpected character '{}'", c as char))),
+            Some(c) => Err(self.err(&format!("unexpected character '{}'", char::from(c)))),
         }
     }
 
@@ -457,7 +459,7 @@ impl<'a> Parser<'a> {
                 Some(b) => {
                     // Re-assemble UTF-8 multibyte sequences from the input.
                     if b < 0x80 {
-                        out.push(b as char);
+                        out.push(char::from(b));
                     } else {
                         let len = utf8_len(b).ok_or_else(|| self.err("invalid UTF-8 lead byte"))?;
                         let start = self.pos - 1;

@@ -781,8 +781,7 @@ impl Platform {
         let mut relayed: Vec<Delivery> = Vec::new();
         for d in deliveries {
             if let Some(device_id) = d.message.topic.strip_prefix("telemetry/") {
-                let device_id = device_id.to_owned();
-                match self.validate_frame(now, &device_id, &d.message.payload) {
+                match self.validate_frame(now, device_id, &d.message.payload) {
                     Ok(entity) => batch.push(entity),
                     Err(e) => self.count_rejection(&e),
                 }
@@ -814,8 +813,7 @@ impl Platform {
             self.net.advance_to(now);
             for (key, payload) in frames {
                 if let Some(device_id) = key.strip_prefix("telemetry/") {
-                    let device_id = device_id.to_owned();
-                    match self.validate_frame(now, &device_id, &payload) {
+                    match self.validate_frame(now, device_id, &payload) {
                         Ok(entity) => batch.push(entity),
                         Err(e) => self.count_rejection(&e),
                     }

@@ -1215,12 +1215,14 @@ impl CloudStore {
 /// truncate).
 fn encode_record(r: &UpdateRecord) -> Vec<u8> {
     let key_bytes = r.key.as_bytes();
-    let key_len = key_bytes.len().min(MAX_KEY_LEN) as u16;
+    // `min(MAX_KEY_LEN)` bounds the length to u16::MAX, so the fallback
+    // arm is unreachable; `try_from` keeps the conversion visibly lossless.
+    let key_len = u16::try_from(key_bytes.len().min(MAX_KEY_LEN)).unwrap_or(u16::MAX);
     let mut out = Vec::with_capacity(8 + 8 + 2 + key_bytes.len() + r.payload.len());
     out.extend_from_slice(&r.seq.to_be_bytes());
     out.extend_from_slice(&r.created_at.as_millis().to_be_bytes());
     out.extend_from_slice(&key_len.to_be_bytes());
-    out.extend_from_slice(&key_bytes[..key_len as usize]);
+    out.extend_from_slice(&key_bytes[..usize::from(key_len)]);
     out.extend_from_slice(&r.payload);
     out
 }
@@ -1231,7 +1233,7 @@ fn decode_record(bytes: &[u8]) -> Option<UpdateRecord> {
     }
     let seq = u64::from_be_bytes(bytes[0..8].try_into().ok()?);
     let created_ms = u64::from_be_bytes(bytes[8..16].try_into().ok()?);
-    let key_len = u16::from_be_bytes(bytes[16..18].try_into().ok()?) as usize;
+    let key_len = usize::from(u16::from_be_bytes(bytes[16..18].try_into().ok()?));
     if bytes.len() < 18 + key_len {
         return None;
     }

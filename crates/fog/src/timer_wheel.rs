@@ -70,9 +70,21 @@ const LEVELS: usize = 4;
 const SHIFTS: [u32; LEVELS] = [0, 8, 14, 20];
 /// Slots per level (powers of two; level 0 is finer-grained).
 const SLOTS: [usize; LEVELS] = [256, 64, 64, 64];
+/// `SLOTS[l] - 1` as a `u64` rotation mask, written out as literals so
+/// the tick-domain slot math stays cast-free (`slot_masks_match_slots`
+/// pins the two tables together).
+const SLOT_MASKS: [u64; LEVELS] = [255, 63, 63, 63];
 /// Horizon of each level: an entry files at the shallowest level whose
 /// horizon exceeds its delay. Beyond the last horizon → overflow map.
 const HORIZONS: [u64; LEVELS] = [1 << 8, 1 << 14, 1 << 20, 1 << 26];
+
+/// Slot index for a tick count at `lvl`: mask to the level's rotation,
+/// then convert. The mask bounds the value below `SLOTS[lvl]`, so the
+/// fallback arm is unreachable — `try_from` keeps the narrowing visibly
+/// lossless instead of an `as` cast.
+fn slot_index(ticks: u64, lvl: usize) -> usize {
+    usize::try_from(ticks & SLOT_MASKS[lvl]).unwrap_or(0)
+}
 
 /// A hierarchical timer wheel: O(1) schedule, O(slots crossed + entries
 /// fired) advance, lazy invalidation by design (see the module docs).
@@ -148,7 +160,7 @@ impl<T> TimerWheel<T> {
         let delta = deadline_ms - self.now_ms;
         for lvl in 0..LEVELS {
             if delta < HORIZONS[lvl] {
-                let idx = ((deadline_ms >> SHIFTS[lvl]) & (SLOTS[lvl] as u64 - 1)) as usize;
+                let idx = slot_index(deadline_ms >> SHIFTS[lvl], lvl);
                 self.levels[lvl][idx].push((deadline_ms, payload));
                 return;
             }
@@ -189,9 +201,9 @@ impl<T> TimerWheel<T> {
                 // Coarser levels cannot have crossed a boundary either.
                 break;
             }
-            let steps = (end - start).min(SLOTS[lvl] as u64);
+            let steps = (end - start).min(SLOT_MASKS[lvl] + 1);
             for s in 1..=steps {
-                let idx = ((start + s) & (SLOTS[lvl] as u64 - 1)) as usize;
+                let idx = slot_index(start + s, lvl);
                 for (d, p) in self.levels[lvl][idx].drain(..) {
                     if d <= to {
                         self.len -= 1;
@@ -226,6 +238,14 @@ impl<T> TimerWheel<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn slot_masks_match_slots() {
+        for lvl in 0..LEVELS {
+            assert!(SLOTS[lvl].is_power_of_two());
+            assert_eq!(SLOT_MASKS[lvl] + 1, SLOTS[lvl] as u64);
+        }
+    }
 
     fn drain(wheel: &mut TimerWheel<u32>, to: SimTime) -> Vec<(u64, u32)> {
         let mut out = Vec::new();
