@@ -88,4 +88,13 @@ SHARD_DIFF_SEED=1337 cargo test -q -p swamp-pilots --test shard_differential
 echo "== bench-guard: parallel shard schedule >= serial (bench_e14 --check)"
 cargo run --release -q -p swamp-pilots --bin bench_e14 -- --check 1000 10000 > /dev/null
 
+# The columnar read path must earn its keep: bench_e15 --check requires
+# byte-identical answers from both layouts, the summary path to engage
+# (segments pruned AND answered from frozen summaries), segmented
+# wide-read p90 to beat the flat full scan, and retention to stay at
+# parity. The wide-p90 gate holds at these reduced tiers because
+# hot-series depth is set by the round schedule, not the device count.
+echo "== bench-guard: summary-served wide reads beat the flat scan (bench_e15 --check)"
+cargo run --release -q -p swamp-pilots --bin bench_e15 -- --check 500 2000 > /dev/null
+
 echo "CI OK"

@@ -26,6 +26,14 @@
 //!   `cloud.acks_refused` counter, and `observe()` /
 //!   `ObsSnapshot::to_metrics` respectively. No workspace type may grow
 //!   methods with these names again.
+//!
+//! A fourth shape is *deprecated* rather than removed — the raw store
+//! accessors superseded in PR 9 by the typed query surface
+//! (`Drive::query`): `.cloud_replica_mut(…)` on any receiver, and
+//! `.context(…)` / `.history(…)` on receivers conventionally naming a
+//! platform (`platform`, `p`, `shard`, `sp`). Existing call sites were
+//! migrated in the same PR; this rule keeps new ones from appearing
+//! during the deprecation window.
 
 use crate::lexer::{is_ident, is_path2, is_punct};
 use crate::source::SourceFile;
@@ -73,6 +81,36 @@ const REMOVED_ANY_RECEIVER: &[(&str, &str)] = &[
 /// Removed `Metrics` mutators whose names collide with the new obs API;
 /// flagged only on a receiver literally named `metrics`.
 const REMOVED_METRICS_RECEIVER: &[&str] = &["observe", "set_gauge"];
+
+/// Raw read accessors deprecated in PR 9, superseded by the typed query
+/// surface (`Drive::query`). Unlike the removed shapes above they still
+/// exist — `#[deprecated]` covers compiled code — but this rule stops
+/// *new* call sites at CI before the next PR removes them.
+/// `cloud_replica_mut` is unambiguous workspace-wide and banned on any
+/// receiver.
+const DEPRECATED_QUERY_ANY_RECEIVER: &[(&str, &str)] = &[(
+    "cloud_replica_mut",
+    "`Drive::query(QueryRequest::ReplicaSeqs)` for reads; mutation belongs inside the platform",
+)];
+
+/// `context`/`history` also name live APIs (`CloudStore::history`,
+/// broker/query contexts), so — like the `metrics` receiver check — they
+/// are flagged only on receivers conventionally naming a platform.
+const DEPRECATED_PLATFORM_RECEIVER: &[(&str, &str)] = &[
+    (
+        "context",
+        "`Drive::query(QueryRequest::Last { … })`, or the platform's public `broker` surface",
+    ),
+    (
+        "history",
+        "`Drive::query(QueryRequest::Range / SeriesDump / …)`, or the public `history` field",
+    ),
+];
+
+/// Receiver idents the platform conventionally binds to in this
+/// workspace. `self` is deliberately absent: the defining impl in
+/// `crates/core/src/platform.rs` may keep delegating internally.
+const PLATFORM_RECEIVERS: &[&str] = &["platform", "p", "shard", "sp"];
 
 pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
     let tokens = &file.tokens;
@@ -122,6 +160,42 @@ pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
                  is a read-compat view built by `ObsSnapshot::to_metrics`"
                     .to_owned(),
             ));
+            continue;
+        }
+        if let Some((method, replacement)) = DEPRECATED_QUERY_ANY_RECEIVER
+            .iter()
+            .find(|(m, _)| is_ident(tokens, i + 1, m))
+        {
+            out.push(Finding::at(
+                NAME,
+                file,
+                line,
+                format!(
+                    "deprecated raw accessor `.{method}(…)` must not gain new callers: \
+                     use {replacement}"
+                ),
+            ));
+            continue;
+        }
+        let on_platform = i > 0
+            && PLATFORM_RECEIVERS
+                .iter()
+                .any(|recv| is_ident(tokens, i - 1, recv));
+        if on_platform {
+            if let Some((method, replacement)) = DEPRECATED_PLATFORM_RECEIVER
+                .iter()
+                .find(|(m, _)| is_ident(tokens, i + 1, m))
+            {
+                out.push(Finding::at(
+                    NAME,
+                    file,
+                    line,
+                    format!(
+                        "deprecated raw accessor `.{method}(…)` must not gain new callers: \
+                         use {replacement}"
+                    ),
+                ));
+            }
         }
     }
 }

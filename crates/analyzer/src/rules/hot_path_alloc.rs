@@ -7,7 +7,10 @@
 //! Entry points (qualified names): `Platform::pump`, the sync engine's
 //! steady-state rounds (`FogSync::sync_round/poll_acks/process_ack`), the
 //! `ShardedPlatform` worker rounds (`pump_round` / `ingest_round` in the
-//! shard pool), and the obs hot ops (`Obs::inc/add/set/record/enter/exit`).
+//! shard pool), the obs hot ops (`Obs::inc/add/set/record/enter/exit`),
+//! and — since PR 9 — the typed read path (`Platform::query`,
+//! `ShardedPlatform::query`, `ViewIndexer::catch_up`,
+//! `ViewSnapshot::merge`).
 //!
 //! Banned inside reachable bodies (outside test lines):
 //!
@@ -51,6 +54,14 @@ pub const ENTRY_QUALS: &[&str] = &[
     "Obs::record",
     "Obs::enter",
     "Obs::exit",
+    // PR 9 read path: the query fan-out and the incremental view fold.
+    // Response *materialization* allocates by design (the caller owns the
+    // result); the scan/prune machinery feeding it must not — cold cuts
+    // in the allowlist mark the materializing leaves explicitly.
+    "Platform::query",
+    "ShardedPlatform::query",
+    "ViewIndexer::catch_up",
+    "ViewSnapshot::merge",
 ];
 
 /// `Type::method(` shapes that allocate.

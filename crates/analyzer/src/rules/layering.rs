@@ -16,8 +16,8 @@ use super::Finding;
 pub const NAME: &str = "layering";
 
 /// The architecture: substrate (sim/codec/crypto) → domain (net, agro,
-/// sensors) → services (irrigation, fog, security) → platform (core) →
-/// harness (pilots, bench). `criterion` is the in-tree bench shim;
+/// sensors) → services (irrigation, fog, security, views) → platform
+/// (core) → harness (pilots, bench). `criterion` is the in-tree bench shim;
 /// `swamp-analyzer` and the substrate depend on nothing. `swamp` is the
 /// root umbrella package.
 pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
@@ -38,6 +38,7 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
         "swamp-fog",
         &["swamp-sim", "swamp-obs", "swamp-net", "swamp-codec"],
     ),
+    ("swamp-views", &["swamp-sim", "swamp-codec", "swamp-fog"]),
     (
         "swamp-security",
         &[
@@ -62,6 +63,7 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
             "swamp-security",
             "swamp-irrigation",
             "swamp-fog",
+            "swamp-views",
         ],
     ),
     (

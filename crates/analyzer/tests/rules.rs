@@ -369,6 +369,50 @@ fn deprecated_api_metrics_mutators_cover_tests_and_spare_the_new_obs_api() {
     }
 }
 
+#[test]
+fn deprecated_api_flags_query_superseded_accessors_for_new_callers() {
+    // `cloud_replica_mut` is unambiguous: banned on any receiver, tests
+    // included.
+    let f = lib("pub fn f(p: &mut Platform) { p.cloud_replica_mut().unwrap().apply(r); }");
+    assert!(
+        f.iter()
+            .any(|f| f.rule == "deprecated-api" && f.message.contains("cloud_replica_mut")),
+        "{f:?}"
+    );
+    let f = analyze_str(
+        "crates/x/tests/t.rs",
+        "swamp-x",
+        TargetKind::Test,
+        "fn t(sp: &mut ShardedPlatform) { let _ = sp.cloud_replica_mut(); }",
+    );
+    assert!(f.iter().any(|f| f.rule == "deprecated-api"), "{f:?}");
+    // `context`/`history` are banned only on platform-named receivers…
+    for bad in [
+        "pub fn f(platform: &Platform) -> Option<&Entity> { platform.context(\"d\") }",
+        "pub fn f(p: &Platform) -> &HistoryStore { p.history() }",
+        "pub fn f(shard: &Platform) -> u64 { shard.history().len() }",
+        "pub fn f(sp: &ShardedPlatform) -> u64 { sp.history().len() }",
+    ] {
+        let f = lib(bad);
+        assert!(
+            f.iter()
+                .any(|f| f.rule == "deprecated-api" && f.message.contains("Drive::query")),
+            "expected a finding for {bad:?}: {f:?}"
+        );
+    }
+    // …because the same names belong to live APIs on other receivers:
+    // `CloudStore::history`, field access, and the defining impl's
+    // internal `self.` delegation all stay legal.
+    for good in [
+        "pub fn f(store: &CloudStore) -> &[UpdateRecord] { store.history() }",
+        "pub fn f(replica: &CloudStore) -> usize { replica.history().len() }",
+        "pub fn f(p: &Platform) -> u64 { p.history.len() }",
+        "impl Platform { fn q(&mut self) -> &HistoryStore { self.history() } }",
+    ] {
+        assert!(lib(good).is_empty(), "{good:?}: {:?}", lib(good));
+    }
+}
+
 // ------------------------------------------------------------------ allowlist
 
 #[test]

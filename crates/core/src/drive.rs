@@ -20,6 +20,7 @@ use swamp_obs::{ObsReport, ObsSnapshot};
 use swamp_sim::SimTime;
 
 use crate::platform::Platform;
+use crate::query::{QueryRequest, QueryResponse};
 
 /// Advances and observes one deployment — single platform or sharded —
 /// through an object-safe surface.
@@ -41,6 +42,15 @@ pub trait Drive {
     /// report labelled `base`; a sharded deployment yields
     /// `<base>/shard<i>` per shard plus `<base>/merged`.
     fn observe_labelled(&self, base: &str) -> Vec<ObsReport>;
+
+    /// Answers a typed read (see [`crate::query`]): range/aggregate/
+    /// downsample over history, series dumps, replica sequence numbers,
+    /// and the materialized views. A single platform answers from its own
+    /// stores; a sharded deployment fans the request out and merges the
+    /// shard answers in shard-id order ([`QueryResponse::merge`]). Takes
+    /// `&mut self` because answering is instrumented (`query.*` counters,
+    /// the `query.run` span) and the views catch their cursor up on read.
+    fn query(&mut self, req: &QueryRequest) -> QueryResponse;
 }
 
 impl Drive for Platform {
@@ -58,6 +68,10 @@ impl Drive for Platform {
 
     fn observe_labelled(&self, base: &str) -> Vec<ObsReport> {
         vec![ObsReport::new(base, self.seed(), Platform::observe(self))]
+    }
+
+    fn query(&mut self, req: &QueryRequest) -> QueryResponse {
+        Platform::query(self, req)
     }
 }
 
@@ -80,6 +94,15 @@ mod tests {
         e.set("moisture_vwc", 0.3);
         assert_eq!(boxed.ingest(SimTime::from_secs(2), vec![e]), 1);
         assert_eq!(boxed.observe().counter("ingest.accepted"), Ok(1));
+        let resp = boxed.query(&QueryRequest::Last {
+            entity: "urn:swamp:device:probe-1".into(),
+            attr: "moisture_vwc".into(),
+        });
+        match resp {
+            QueryResponse::Sample(Some(s)) => assert_eq!(s.value, 0.3),
+            other => panic!("wrong response: {other:?}"),
+        }
+        assert_eq!(boxed.observe().counter("query.requests"), Ok(1));
         let reports = boxed.observe_labelled("e0/test");
         assert_eq!(reports.len(), 1);
         assert_eq!(reports[0].label, "e0/test");

@@ -10,13 +10,34 @@
 //! attribute, so `append` is on the sensor→cloud critical path. Series
 //! keys are *interned*: a two-level `entity → attr → u32` map resolves
 //! borrowed `&str` keys to a dense [`SeriesId`] without allocating, and
-//! samples live in a flat `Vec` indexed by that id. Steady-state appends
-//! (series already known, in-order timestamp) therefore allocate nothing
-//! beyond amortized sample-vector growth. Out-of-order appends insert at
-//! the binary-searched position (`partition_point`), keeping every series
-//! sorted so range queries and aggregates stay `O(log n + k)`.
+//! steady-state appends (series already known, in-order timestamp) land in
+//! the series' mutable tail with nothing beyond amortized vector growth.
+//!
+//! # Columnar segments
+//!
+//! Each series is stored as a run of immutable **frozen segments** plus a
+//! mutable, time-sorted **tail** (PR 9). Freezing encodes the tail
+//! columnar: timestamps as zigzag-varint *delta-of-delta* bytes (regular
+//! cadences collapse to one byte per sample), values as a plain `f64`
+//! column, plus a per-segment summary — `first_at`/`last_at`, count,
+//! min/max and first/last value — so range scans and aggregates *prune*
+//! whole segments by comparing the query window against the summary,
+//! never touching the encoded bytes. Compaction is observationally free:
+//! decoding a segment reproduces the exact samples that were frozen, so
+//! `dump_sorted`, `range`, `aggregate` and `downsample` return
+//! byte-identical results at every compaction cadence (the differential
+//! suite in `crates/pilots/tests/compaction_differential.rs` proves it,
+//! out-of-order appends and mid-segment pruning included).
+//!
+//! Freezing happens on demand ([`HistoryStore::compact`]) or automatically
+//! every [`HistoryStore::set_segment_threshold`] tail samples; the default
+//! is *never*, which preserves the flat pre-segment behavior bit-for-bit.
+//! An out-of-order append that lands behind the frozen watermark thaws the
+//! overlapped suffix of segments back into the tail first (rare by
+//! construction: the watermark only covers explicitly compacted data).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use swamp_sim::stats::OnlineStats;
 use swamp_sim::SimTime;
@@ -49,6 +70,414 @@ pub struct WindowAggregate {
     pub last: f64,
 }
 
+/// Summary of one frozen segment — the metadata the scan paths prune on,
+/// exposed for diagnostics and the E15 layout evidence (see
+/// [`HistoryStore::segment_summaries`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SegmentSummary {
+    /// Time of the first sample.
+    pub first_at: SimTime,
+    /// Time of the last sample (the segment's frozen watermark).
+    pub last_at: SimTime,
+    /// Samples in the segment.
+    pub count: usize,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// First value.
+    pub first: f64,
+    /// Last value.
+    pub last: f64,
+}
+
+/// Segment-pruning counters accumulated across queries since the last
+/// [`HistoryStore::take_scan_stats`] — the evidence the `query.*`
+/// instruments export (E15 measures pruned vs decoded segments).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Frozen segments skipped via their summary without decoding.
+    pub segments_pruned: u64,
+    /// Frozen segments *answered* from their summary without decoding
+    /// (wholly inside an [`HistoryStore::extremes`] window).
+    pub segments_summarized: u64,
+    /// Frozen segments decoded because they overlap a query window.
+    pub segments_decoded: u64,
+}
+
+/// Count/min/max over a query window — the summary-composable subset of
+/// [`WindowAggregate`]. Unlike a mean (whose sequential float fold is
+/// order- *and grouping*-sensitive), `min`/`max` **select** stored values
+/// — they never round — and `count` is an integer sum, so folding
+/// per-segment summaries yields bit-identical results to folding every
+/// sample. That exactness is what lets [`HistoryStore::extremes`] answer
+/// from summaries while staying observationally identical to the flat
+/// layout.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Extremes {
+    /// Samples in the window.
+    pub count: u64,
+    /// Minimum value in the window.
+    pub min: f64,
+    /// Maximum value in the window.
+    pub max: f64,
+}
+
+impl Extremes {
+    const EMPTY: Extremes = Extremes {
+        count: 0,
+        min: 0.0,
+        max: 0.0,
+    };
+
+    /// Folds one sample in. The strict comparisons keep the *first*
+    /// extreme of the fold order — the same rule [`Segment::freeze`]
+    /// uses for its summary, so sample-wise and summary-wise folds agree
+    /// bitwise (including `-0.0` ties and NaN propagation).
+    fn push(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            if value < self.min {
+                self.min = value;
+            }
+            if value > self.max {
+                self.max = value;
+            }
+        }
+        self.count += 1;
+    }
+
+    /// Folds a whole frozen segment in via its summary — no decode.
+    fn push_summary(&mut self, seg: &Segment) {
+        if self.count == 0 {
+            self.min = seg.min;
+            self.max = seg.max;
+        } else {
+            if seg.min < self.min {
+                self.min = seg.min;
+            }
+            if seg.max > self.max {
+                self.max = seg.max;
+            }
+        }
+        self.count += seg.count() as u64;
+    }
+}
+
+// --- zigzag-varint codec for delta-of-delta timestamps -------------------
+
+fn zigzag(v: i64) -> u64 {
+    (v.wrapping_shl(1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+fn push_varint(buf: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        buf.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    buf.push(v as u8);
+}
+
+/// Reads one LEB128 value at `pos`; returns `(value, next_pos)`. The
+/// buffer is produced by [`push_varint`] only, so it is always well formed;
+/// a truncated read (impossible by construction) yields the bits present.
+fn read_varint(buf: &[u8], mut pos: usize) -> (u64, usize) {
+    let mut out: u64 = 0;
+    let mut shift = 0u32;
+    while let Some(&b) = buf.get(pos) {
+        pos += 1;
+        out |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+    }
+    (out, pos)
+}
+
+// --- segments ------------------------------------------------------------
+
+/// One immutable columnar segment: summary + encoded timestamp column +
+/// value column. Decoding ([`Segment::iter`]) reproduces the frozen
+/// samples exactly.
+#[derive(Clone, Debug)]
+struct Segment {
+    /// Time of the first sample (also the timestamp column's base).
+    first_at: SimTime,
+    /// Time of the last sample — the segment's frozen watermark.
+    last_at: SimTime,
+    /// Minimum value in the segment.
+    min: f64,
+    /// Maximum value in the segment.
+    max: f64,
+    /// First value in the segment.
+    first: f64,
+    /// Last value in the segment.
+    last: f64,
+    /// Zigzag-varint delta-of-delta encoded timestamps of samples `1..`.
+    times: Vec<u8>,
+    /// The value column, one `f64` per sample.
+    values: Vec<f64>,
+}
+
+impl Segment {
+    /// Freezes a non-empty, time-sorted slice into a segment.
+    fn freeze(samples: &[Sample]) -> Segment {
+        debug_assert!(!samples.is_empty(), "freeze of an empty run");
+        debug_assert!(samples.windows(2).all(|w| w[0].at <= w[1].at));
+        let first = samples[0];
+        let last = samples[samples.len() - 1];
+        // First-extreme-wins strict comparisons, seeded from the first
+        // sample: the same fold [`Extremes::push`] applies sample-wise,
+        // which makes summary folds bit-identical to decoded folds.
+        let mut min = first.value;
+        let mut max = first.value;
+        let mut times = Vec::with_capacity(samples.len().saturating_sub(1));
+        let mut values = Vec::with_capacity(samples.len());
+        let mut prev_at = first.at.as_millis();
+        let mut prev_delta: i64 = 0;
+        for (i, s) in samples.iter().enumerate() {
+            if s.value < min {
+                min = s.value;
+            }
+            if s.value > max {
+                max = s.value;
+            }
+            values.push(s.value);
+            if i > 0 {
+                // Sorted input: the delta is non-negative and — simulated
+                // horizons being decades at most — far inside i64.
+                let delta = (s.at.as_millis() - prev_at) as i64;
+                push_varint(&mut times, zigzag(delta - prev_delta));
+                prev_delta = delta;
+                prev_at = s.at.as_millis();
+            }
+        }
+        Segment {
+            first_at: first.at,
+            last_at: last.at,
+            min,
+            max,
+            first: first.value,
+            last: last.value,
+            times,
+            values,
+        }
+    }
+
+    /// Samples in this segment.
+    fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Decodes the segment back into its exact samples, in time order.
+    fn iter(&self) -> SegmentIter<'_> {
+        SegmentIter {
+            values: self.values.iter(),
+            times: &self.times,
+            pos: 0,
+            at_ms: self.first_at.as_millis(),
+            delta: 0,
+            started: false,
+        }
+    }
+}
+
+/// Decoding iterator over one segment; see [`Segment::iter`].
+struct SegmentIter<'a> {
+    values: std::slice::Iter<'a, f64>,
+    times: &'a [u8],
+    pos: usize,
+    at_ms: u64,
+    delta: i64,
+    started: bool,
+}
+
+impl Iterator for SegmentIter<'_> {
+    type Item = Sample;
+
+    fn next(&mut self) -> Option<Sample> {
+        let value = *self.values.next()?;
+        if self.started {
+            let (z, next) = read_varint(self.times, self.pos);
+            self.pos = next;
+            self.delta += unzigzag(z);
+            // Deltas of a sorted run are non-negative.
+            self.at_ms = self.at_ms.wrapping_add(self.delta as u64);
+        }
+        self.started = true;
+        Some(Sample {
+            at: SimTime::from_millis(self.at_ms),
+            value,
+        })
+    }
+}
+
+/// One series: frozen segments (ascending in time, touching at most at
+/// boundary timestamps) plus the mutable sorted tail.
+#[derive(Debug, Default)]
+struct Series {
+    segments: Vec<Segment>,
+    tail: Vec<Sample>,
+}
+
+impl Series {
+    /// The frozen watermark: the last frozen timestamp, if any segment
+    /// exists. Appends strictly behind it must thaw.
+    fn watermark(&self) -> Option<SimTime> {
+        self.segments.last().map(|s| s.last_at)
+    }
+
+    /// Total samples (frozen + tail).
+    fn len(&self) -> usize {
+        self.segments.iter().map(Segment::count).sum::<usize>() + self.tail.len()
+    }
+
+    /// Freezes the tail into one new segment (no-op on an empty tail).
+    /// Tail capacity is kept so steady-state appends stay allocation-free
+    /// between freezes.
+    fn freeze_tail(&mut self) {
+        if self.tail.is_empty() {
+            return;
+        }
+        self.segments.push(Segment::freeze(&self.tail));
+        self.tail.clear();
+    }
+
+    /// Inserts a sample that lands strictly behind the frozen watermark:
+    /// thaws the overlapped suffix of segments back into the tail, then
+    /// inserts at the binary-searched position (after any equal
+    /// timestamps, matching the flat store's duplicate-time order).
+    fn insert_behind_watermark(&mut self, at: SimTime, value: f64) {
+        let keep = self.segments.partition_point(|s| s.last_at <= at);
+        let mut thawed: Vec<Sample> = self.segments[keep..]
+            .iter()
+            .flat_map(Segment::iter)
+            .collect();
+        self.segments.truncate(keep);
+        thawed.append(&mut self.tail);
+        self.tail = thawed;
+        let idx = self.tail.partition_point(|s| s.at <= at);
+        self.tail.insert(idx, Sample { at, value });
+    }
+
+    /// Materializes the full series in time order.
+    fn materialize(&self) -> Vec<Sample> {
+        let mut out = Vec::with_capacity(self.len());
+        for seg in &self.segments {
+            out.extend(seg.iter());
+        }
+        out.extend_from_slice(&self.tail);
+        out
+    }
+
+    /// Visits every sample with `from <= at < to` in time order, pruning
+    /// frozen segments via their summaries. Returns
+    /// `(segments_pruned, segments_decoded)`.
+    fn for_each_in_window(
+        &self,
+        from: SimTime,
+        to: SimTime,
+        f: &mut dyn FnMut(Sample),
+    ) -> (u64, u64) {
+        // Segments are time-ordered, so the overlap run is contiguous:
+        // binary-search past everything ending before the window, stop at
+        // the first segment starting at/after its end.
+        let lo = self.segments.partition_point(|s| s.last_at < from);
+        let mut hi = lo;
+        for seg in &self.segments[lo..] {
+            if seg.first_at >= to {
+                break;
+            }
+            hi += 1;
+            if seg.first_at >= from && seg.last_at < to {
+                // Fully inside the window: no per-sample filtering.
+                for s in seg.iter() {
+                    f(s);
+                }
+            } else {
+                for s in seg.iter() {
+                    if s.at >= from && s.at < to {
+                        f(s);
+                    }
+                }
+            }
+        }
+        let pruned = (lo + (self.segments.len() - hi)) as u64;
+        let t_lo = self.tail.partition_point(|s| s.at < from);
+        let t_hi = self.tail.partition_point(|s| s.at < to);
+        for s in &self.tail[t_lo..t_hi] {
+            f(*s);
+        }
+        (pruned, (hi - lo) as u64)
+    }
+
+    /// Count/min/max over `[from, to)`. Segments wholly inside the window
+    /// fold in via their summary — **no decode** — so on a deep frozen
+    /// series this touches O(segments) summaries plus at most two partial
+    /// segments, where the flat layout walks every in-window sample.
+    /// Returns `(extremes, pruned, summarized, decoded)`.
+    fn extremes_in_window(&self, from: SimTime, to: SimTime) -> (Extremes, u64, u64, u64) {
+        let mut acc = Extremes::EMPTY;
+        let lo = self.segments.partition_point(|s| s.last_at < from);
+        let mut hi = lo;
+        let mut summarized = 0u64;
+        let mut decoded = 0u64;
+        for seg in &self.segments[lo..] {
+            if seg.first_at >= to {
+                break;
+            }
+            hi += 1;
+            if seg.first_at >= from && seg.last_at < to {
+                acc.push_summary(seg);
+                summarized += 1;
+            } else {
+                decoded += 1;
+                for s in seg.iter() {
+                    if s.at >= from && s.at < to {
+                        acc.push(s.value);
+                    }
+                }
+            }
+        }
+        let pruned = (lo + (self.segments.len() - hi)) as u64;
+        let t_lo = self.tail.partition_point(|s| s.at < from);
+        let t_hi = self.tail.partition_point(|s| s.at < to);
+        for s in &self.tail[t_lo..t_hi] {
+            acc.push(s.value);
+        }
+        (acc, pruned, summarized, decoded)
+    }
+
+    /// Drops samples older than `cutoff`; returns how many were removed.
+    /// Whole segments drop in O(1) each; at most one segment straddles the
+    /// cutoff (segment ranges touch only at boundary timestamps) and is
+    /// decoded, trimmed and re-frozen.
+    fn prune_before(&mut self, cutoff: SimTime) -> u64 {
+        let drop = self.segments.partition_point(|s| s.last_at < cutoff);
+        let mut removed: u64 = self.segments[..drop].iter().map(|s| s.count() as u64).sum();
+        self.segments.drain(..drop);
+        if let Some(seg) = self.segments.first() {
+            if seg.first_at < cutoff {
+                let kept: Vec<Sample> = seg.iter().filter(|s| s.at >= cutoff).collect();
+                removed += seg.count() as u64 - kept.len() as u64;
+                // `last_at >= cutoff`, so at least the last sample survives.
+                self.segments[0] = Segment::freeze(&kept);
+            }
+        }
+        let keep_from = self.tail.partition_point(|s| s.at < cutoff);
+        removed += keep_from as u64;
+        self.tail.drain(..keep_from);
+        removed
+    }
+}
+
 /// The time-series store.
 ///
 /// # Example
@@ -58,6 +487,7 @@ pub struct WindowAggregate {
 /// let mut h = HistoryStore::new();
 /// h.append("urn:p1", "moisture_vwc", SimTime::from_hours(1), 0.24);
 /// h.append("urn:p1", "moisture_vwc", SimTime::from_hours(2), 0.22);
+/// h.compact(); // freeze into a columnar segment — queries are unchanged
 /// let agg = h.aggregate("urn:p1", "moisture_vwc",
 ///                       SimTime::ZERO, SimTime::from_hours(3)).unwrap();
 /// assert_eq!(agg.count, 2);
@@ -67,9 +497,17 @@ pub struct HistoryStore {
     /// Interner: entity → attribute → series id. Two-level so lookups use
     /// borrowed `&str` keys (no tuple-of-`String` allocation per call).
     index: HashMap<String, HashMap<String, SeriesId>>,
-    /// Sample storage, indexed by [`SeriesId`]; each vec sorted by time.
-    series: Vec<Vec<Sample>>,
+    /// Series storage, indexed by [`SeriesId`].
+    series: Vec<Series>,
     total_samples: u64,
+    /// Auto-freeze the tail at this many samples; `None` never freezes
+    /// (the flat pre-segment behavior).
+    segment_threshold: Option<usize>,
+    /// Query-side pruning evidence; atomics so read paths stay `&self`
+    /// (the store is `Sync` — pinned by the shard pool's Send/Sync audit).
+    pruned: AtomicU64,
+    summarized: AtomicU64,
+    decoded: AtomicU64,
 }
 
 impl HistoryStore {
@@ -93,6 +531,73 @@ impl HistoryStore {
         self.series.len()
     }
 
+    /// Total frozen segments across all series.
+    pub fn segment_count(&self) -> usize {
+        self.series.iter().map(|s| s.segments.len()).sum()
+    }
+
+    /// Sets the auto-freeze cadence: a series' tail is frozen into a
+    /// segment whenever it reaches `threshold` samples. `None` (the
+    /// default) never auto-freezes; [`HistoryStore::compact`] still works.
+    pub fn set_segment_threshold(&mut self, threshold: Option<usize>) {
+        // A zero threshold would freeze empty runs; clamp to 1.
+        self.segment_threshold = threshold.map(|t| t.max(1));
+    }
+
+    /// The configured auto-freeze cadence.
+    pub fn segment_threshold(&self) -> Option<usize> {
+        self.segment_threshold
+    }
+
+    /// Freezes every series' tail into a columnar segment ("compact now").
+    /// Queries before and after are byte-identical; only the storage
+    /// layout changes. Returns the number of segments created.
+    pub fn compact(&mut self) -> usize {
+        let before = self.segment_count();
+        for series in &mut self.series {
+            series.freeze_tail();
+        }
+        self.segment_count() - before
+    }
+
+    /// Drains the accumulated segment-pruning counters (query-side
+    /// evidence; the platform exports them as `query.segments_*`).
+    pub fn take_scan_stats(&self) -> ScanStats {
+        ScanStats {
+            segments_pruned: self.pruned.swap(0, Ordering::Relaxed),
+            segments_summarized: self.summarized.swap(0, Ordering::Relaxed),
+            segments_decoded: self.decoded.swap(0, Ordering::Relaxed),
+        }
+    }
+
+    fn note_scan(&self, pruned: u64, summarized: u64, decoded: u64) {
+        self.pruned.fetch_add(pruned, Ordering::Relaxed);
+        self.summarized.fetch_add(summarized, Ordering::Relaxed);
+        self.decoded.fetch_add(decoded, Ordering::Relaxed);
+    }
+
+    /// Per-segment summaries of one series' frozen segments, in time
+    /// order (empty for unknown or never-compacted series). Pure
+    /// metadata: nothing is decoded.
+    pub fn segment_summaries(&self, entity: &str, attr: &str) -> Vec<SegmentSummary> {
+        self.series(entity, attr)
+            .map(|s| {
+                s.segments
+                    .iter()
+                    .map(|g| SegmentSummary {
+                        first_at: g.first_at,
+                        last_at: g.last_at,
+                        count: g.count(),
+                        min: g.min,
+                        max: g.max,
+                        first: g.first,
+                        last: g.last,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
     /// The interned id of a series, if it has ever been appended to.
     /// Borrowed-key lookup: allocates nothing.
     pub fn series_id(&self, entity: &str, attr: &str) -> Option<SeriesId> {
@@ -110,7 +615,7 @@ impl HistoryStore {
             return id;
         }
         let id = SeriesId::try_from(self.series.len()).expect("fewer than 2^32 series");
-        self.series.push(Vec::new());
+        self.series.push(Series::default());
         self.index
             .entry(entity.to_owned())
             .or_default()
@@ -121,7 +626,7 @@ impl HistoryStore {
     /// Appends a sample. Out-of-order appends are accepted and inserted at
     /// the binary-searched position, keeping the series sorted. Steady
     /// state (known series, in-order time) allocates nothing beyond
-    /// amortized sample-vector growth.
+    /// amortized tail growth.
     pub fn append(&mut self, entity: &str, attr: &str, at: SimTime, value: f64) {
         let id = self.intern(entity, attr);
         self.append_to(id, at, value);
@@ -134,37 +639,66 @@ impl HistoryStore {
     /// Panics if `id` was not returned by this store's interner.
     pub fn append_to(&mut self, id: SeriesId, at: SimTime, value: f64) {
         let series = &mut self.series[id as usize];
-        // Common case: in-order append.
-        match series.last() {
-            Some(last) if last.at > at => {
-                let idx = series.partition_point(|s| s.at <= at);
-                series.insert(idx, Sample { at, value });
+        match series.watermark() {
+            // Strictly behind frozen data: thaw the overlapped suffix.
+            // (An append *at* the watermark stays in the tail: duplicate
+            // timestamps insert after their equals, same as the flat
+            // store.)
+            Some(w) if at < w => series.insert_behind_watermark(at, value),
+            _ => match series.tail.last() {
+                Some(last) if last.at > at => {
+                    let idx = series.tail.partition_point(|s| s.at <= at);
+                    series.tail.insert(idx, Sample { at, value });
+                }
+                _ => series.tail.push(Sample { at, value }),
+            },
+        }
+        if let Some(t) = self.segment_threshold {
+            if series.tail.len() >= t {
+                series.freeze_tail();
             }
-            _ => series.push(Sample { at, value }),
         }
         self.total_samples += 1;
     }
 
-    fn samples(&self, entity: &str, attr: &str) -> Option<&Vec<Sample>> {
+    fn series(&self, entity: &str, attr: &str) -> Option<&Series> {
         self.series_id(entity, attr)
             .map(|id| &self.series[id as usize])
     }
 
-    /// Samples in `[from, to)` for one series (empty slice if unknown).
-    pub fn range(&self, entity: &str, attr: &str, from: SimTime, to: SimTime) -> &[Sample] {
-        match self.samples(entity, attr) {
-            None => &[],
-            Some(series) => {
-                let lo = series.partition_point(|s| s.at < from);
-                let hi = series.partition_point(|s| s.at < to);
-                &series[lo..hi]
-            }
+    /// Samples in `[from, to)` for one series (empty if unknown), appended
+    /// into `out` — the reusable-buffer form of [`HistoryStore::range`].
+    pub fn range_into(
+        &self,
+        entity: &str,
+        attr: &str,
+        from: SimTime,
+        to: SimTime,
+        out: &mut Vec<Sample>,
+    ) {
+        if let Some(series) = self.series(entity, attr) {
+            let (pruned, decoded) = series.for_each_in_window(from, to, &mut |s| out.push(s));
+            self.note_scan(pruned, 0, decoded);
         }
     }
 
-    /// The most recent sample of a series.
+    /// Samples in `[from, to)` for one series (empty if unknown).
+    pub fn range(&self, entity: &str, attr: &str, from: SimTime, to: SimTime) -> Vec<Sample> {
+        let mut out = Vec::new();
+        self.range_into(entity, attr, from, to, &mut out);
+        out
+    }
+
+    /// The most recent sample of a series — answered from the tail or the
+    /// last segment's summary, never by decoding.
     pub fn last(&self, entity: &str, attr: &str) -> Option<Sample> {
-        self.samples(entity, attr).and_then(|s| s.last().copied())
+        let series = self.series(entity, attr)?;
+        series.tail.last().copied().or_else(|| {
+            series.segments.last().map(|seg| Sample {
+                at: seg.last_at,
+                value: seg.last,
+            })
+        })
     }
 
     /// Window aggregate over `[from, to)`; `None` if no samples fall inside.
@@ -175,19 +709,45 @@ impl HistoryStore {
         from: SimTime,
         to: SimTime,
     ) -> Option<WindowAggregate> {
-        let samples = self.range(entity, attr, from, to);
-        let last = samples.last()?.value;
+        let series = self.series(entity, attr)?;
         let mut stats = OnlineStats::new();
-        for s in samples {
+        let mut last = None;
+        let (pruned, decoded) = series.for_each_in_window(from, to, &mut |s| {
             stats.push(s.value);
-        }
+            last = Some(s.value);
+        });
+        self.note_scan(pruned, 0, decoded);
         Some(WindowAggregate {
             count: stats.count(),
             mean: stats.mean(),
             min: stats.min(),
             max: stats.max(),
-            last,
+            last: last?,
         })
+    }
+
+    /// Count/min/max over `[from, to)`; `None` if no samples fall inside.
+    ///
+    /// This is the **summary-served** aggregate: segments wholly inside
+    /// the window fold in via their frozen summary without decoding
+    /// (counted as `segments_summarized` in [`ScanStats`]), so a wide
+    /// window over a deep frozen series costs O(segments) instead of the
+    /// flat layout's O(samples) walk — the read-path asymmetry E15's
+    /// p50/p99 gate measures. [`HistoryStore::aggregate`] cannot do this:
+    /// its mean is a sequential float fold, so it must decode every
+    /// in-window sample to stay bit-identical across layouts; count, min
+    /// and max compose exactly under any grouping (see [`Extremes`]).
+    pub fn extremes(
+        &self,
+        entity: &str,
+        attr: &str,
+        from: SimTime,
+        to: SimTime,
+    ) -> Option<Extremes> {
+        let series = self.series(entity, attr)?;
+        let (acc, pruned, summarized, decoded) = series.extremes_in_window(from, to);
+        self.note_scan(pruned, summarized, decoded);
+        (acc.count > 0).then_some(acc)
     }
 
     /// Downsamples a series into fixed buckets of `bucket` duration over
@@ -204,43 +764,55 @@ impl HistoryStore {
         to: SimTime,
         bucket: swamp_sim::SimDuration,
     ) -> Vec<(SimTime, WindowAggregate)> {
-        assert!(!bucket.is_zero(), "bucket duration must be positive");
-        let samples = self.range(entity, attr, from, to);
+        assert!(
+            bucket != swamp_sim::SimDuration::ZERO,
+            "bucket duration must be positive"
+        );
         let mut out: Vec<(SimTime, WindowAggregate)> = Vec::new();
-        let mut idx = 0;
+        let Some(series) = self.series(entity, attr) else {
+            return out;
+        };
         let mut bucket_start = from;
-        while bucket_start < to && idx < samples.len() {
-            let bucket_end = bucket_start.saturating_add(bucket).min(to);
-            let mut stats = OnlineStats::new();
-            let mut last = None;
-            while idx < samples.len() && samples[idx].at < bucket_end {
-                stats.push(samples[idx].value);
-                last = Some(samples[idx].value);
-                idx += 1;
-            }
-            if let Some(last) = last {
+        let mut bucket_end = from.saturating_add(bucket).min(to);
+        let mut stats = OnlineStats::new();
+        let mut last: Option<f64> = None;
+        let mut flush = |bs: SimTime, stats: &mut OnlineStats, last: &mut Option<f64>| {
+            if let Some(l) = last.take() {
                 out.push((
-                    bucket_start,
+                    bs,
                     WindowAggregate {
                         count: stats.count(),
                         mean: stats.mean(),
                         min: stats.min(),
                         max: stats.max(),
-                        last,
+                        last: l,
                     },
                 ));
             }
-            bucket_start = bucket_end;
-        }
+            *stats = OnlineStats::new();
+        };
+        let (pruned, decoded) = series.for_each_in_window(from, to, &mut |s| {
+            while s.at >= bucket_end && bucket_end < to {
+                flush(bucket_start, &mut stats, &mut last);
+                bucket_start = bucket_end;
+                bucket_end = bucket_start.saturating_add(bucket).min(to);
+            }
+            stats.push(s.value);
+            last = Some(s.value);
+        });
+        flush(bucket_start, &mut stats, &mut last);
+        self.note_scan(pruned, 0, decoded);
         out
     }
 
     /// Dumps every series in deterministic `(entity, attr)` order, with its
     /// time-sorted samples. The interner's `HashMap` order never leaks: the
     /// output is sorted, so two stores holding the same samples — however
-    /// the appends were interleaved or sharded — dump identically. This is
-    /// what the shard differential harness compares.
-    pub fn dump_sorted(&self) -> Vec<(String, String, Vec<Sample>)> {
+    /// the appends were interleaved, sharded or compacted — dump
+    /// identically. Keys are *borrowed* from the interner (they used to be
+    /// cloned per call, and the differential suites fingerprint with this
+    /// in an inner loop); only the sample vectors are materialized.
+    pub fn dump_sorted(&self) -> Vec<(&str, &str, Vec<Sample>)> {
         let mut keys: Vec<(&str, &str, SeriesId)> = self
             .index
             .iter()
@@ -252,24 +824,18 @@ impl HistoryStore {
             .collect();
         keys.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
         keys.into_iter()
-            .map(|(entity, attr, id)| {
-                (
-                    entity.to_owned(),
-                    attr.to_owned(),
-                    self.series[id as usize].clone(),
-                )
-            })
+            .map(|(entity, attr, id)| (entity, attr, self.series[id as usize].materialize()))
             .collect()
     }
 
     /// Drops samples older than `cutoff` across all series (retention).
-    /// Returns how many were removed.
+    /// Returns how many were removed. Wholly expired segments drop in
+    /// O(1) each — the flat store paid an O(series length) memmove per
+    /// series per call.
     pub fn prune_before(&mut self, cutoff: SimTime) -> u64 {
         let mut removed = 0;
         for series in &mut self.series {
-            let keep_from = series.partition_point(|s| s.at < cutoff);
-            removed += keep_from as u64;
-            series.drain(..keep_from);
+            removed += series.prune_before(cutoff);
         }
         self.total_samples -= removed;
         removed
@@ -279,6 +845,7 @@ impl HistoryStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use swamp_sim::{SimDuration, SimRng};
 
     fn t(h: u64) -> SimTime {
         SimTime::from_hours(h)
@@ -456,5 +1023,272 @@ mod tests {
         assert!(h
             .downsample("ghost", "a", t(0), t(10), SimDuration::from_hours(1))
             .is_empty());
+    }
+
+    // --- segment-compaction coverage ------------------------------------
+
+    #[test]
+    fn segment_roundtrip_is_exact() {
+        // Irregular cadence, duplicate timestamps, negative dod steps:
+        // freezing and decoding must reproduce the samples bit-for-bit.
+        let samples: Vec<Sample> = [0u64, 1, 1, 4, 4, 5, 1000, 1001, 1002, 500_000]
+            .iter()
+            .enumerate()
+            .map(|(i, &ms)| Sample {
+                at: SimTime::from_millis(ms),
+                value: i as f64 * 0.37 - 1.0,
+            })
+            .collect();
+        let seg = Segment::freeze(&samples);
+        assert_eq!(seg.count(), samples.len());
+        assert_eq!(seg.first_at, samples[0].at);
+        assert_eq!(seg.last_at, samples[samples.len() - 1].at);
+        assert_eq!(seg.first, samples[0].value);
+        assert_eq!(seg.last, samples[samples.len() - 1].value);
+        assert_eq!(seg.min, -1.0);
+        let decoded: Vec<Sample> = seg.iter().collect();
+        assert_eq!(decoded, samples);
+        // Regular cadence compresses: dod is zero after the first delta.
+        let regular: Vec<Sample> = (0..100)
+            .map(|i| Sample {
+                at: SimTime::from_secs(60 * i),
+                value: 1.0,
+            })
+            .collect();
+        let seg = Segment::freeze(&regular);
+        assert!(
+            seg.times.len() <= regular.len() + 4,
+            "regular cadence should take ~1 byte/sample, got {} bytes",
+            seg.times.len()
+        );
+    }
+
+    #[test]
+    fn zigzag_varint_edges() {
+        for v in [0i64, 1, -1, 63, -64, 64, i64::MAX, i64::MIN, 1 << 40] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        let mut buf = Vec::new();
+        for v in [0u64, 1, 127, 128, 300, u64::MAX] {
+            buf.clear();
+            push_varint(&mut buf, v);
+            assert_eq!(read_varint(&buf, 0), (v, buf.len()));
+        }
+    }
+
+    #[test]
+    fn compaction_is_observationally_free() {
+        // The in-tree seeded differential: a flat store vs an
+        // every-8-appends store vs an explicitly compacted store, fed an
+        // identical stream with out-of-order timestamps, must agree on
+        // every read. (The full cadence × shard matrix lives in
+        // crates/pilots/tests/compaction_differential.rs.)
+        let mut rng = SimRng::seed_from(0xE15);
+        let mut flat = HistoryStore::new();
+        let mut auto8 = HistoryStore::new();
+        auto8.set_segment_threshold(Some(8));
+        let mut manual = HistoryStore::new();
+        for step in 0..600u64 {
+            let e = format!("e{}", step % 5);
+            let at = if rng.chance(0.15) {
+                // Out of order: up to 3 hours behind the stream head.
+                SimTime::from_hours(step.saturating_sub(rng.below(4)))
+            } else {
+                SimTime::from_hours(step)
+            };
+            let v = rng.uniform_f64();
+            flat.append(&e, "m", at, v);
+            auto8.append(&e, "m", at, v);
+            manual.append(&e, "m", at, v);
+            if step % 37 == 0 {
+                manual.compact();
+            }
+        }
+        assert!(auto8.segment_count() > 0 && manual.segment_count() > 0);
+        assert_eq!(flat.dump_sorted(), auto8.dump_sorted());
+        assert_eq!(flat.dump_sorted(), manual.dump_sorted());
+        for e in ["e0", "e1", "e2", "e3", "e4"] {
+            for (from, to) in [(t(0), t(600)), (t(100), t(101)), (t(590), t(600))] {
+                assert_eq!(flat.range(e, "m", from, to), auto8.range(e, "m", from, to));
+                assert_eq!(
+                    flat.aggregate(e, "m", from, to),
+                    manual.aggregate(e, "m", from, to)
+                );
+                assert_eq!(
+                    flat.downsample(e, "m", from, to, SimDuration::from_hours(7)),
+                    auto8.downsample(e, "m", from, to, SimDuration::from_hours(7))
+                );
+            }
+            assert_eq!(flat.last(e, "m"), manual.last(e, "m"));
+        }
+    }
+
+    #[test]
+    fn prune_cuts_mid_segment() {
+        let mut h = HistoryStore::new();
+        for i in 0..20 {
+            h.append("e", "a", t(i), i as f64);
+        }
+        h.compact();
+        h.append("e", "a", t(20), 20.0);
+        assert_eq!(h.segment_count(), 1);
+        // Cutoff lands inside the frozen segment: it is decoded, trimmed
+        // and re-frozen; the summary must be recomputed.
+        let removed = h.prune_before(t(7));
+        assert_eq!(removed, 7);
+        assert_eq!(h.len(), 14);
+        assert_eq!(h.segment_count(), 1);
+        let r = h.range("e", "a", t(0), t(100));
+        assert_eq!(r.len(), 14);
+        assert_eq!(r[0].value, 7.0);
+        let agg = h.aggregate("e", "a", t(0), t(100)).unwrap();
+        assert_eq!(agg.min, 7.0);
+        assert_eq!(agg.max, 20.0);
+        // The re-frozen segment's summary was recomputed from the
+        // surviving samples.
+        let summaries = h.segment_summaries("e", "a");
+        assert_eq!(summaries.len(), 1);
+        assert_eq!(summaries[0].first_at, t(7));
+        assert_eq!(summaries[0].last_at, t(19));
+        assert_eq!(summaries[0].count, 13);
+        assert_eq!(summaries[0].min, 7.0);
+        assert_eq!(summaries[0].max, 19.0);
+        assert_eq!(summaries[0].first, 7.0);
+        assert_eq!(summaries[0].last, 19.0);
+        // Cutoff past the whole segment: it drops in O(1), tail survives.
+        let removed = h.prune_before(t(20));
+        assert_eq!(removed, 13);
+        assert_eq!(h.segment_count(), 0);
+        assert_eq!(h.last("e", "a").unwrap().value, 20.0);
+    }
+
+    #[test]
+    fn out_of_order_append_behind_frozen_watermark_thaws() {
+        let mut h = HistoryStore::new();
+        for i in [0u64, 2, 4, 6, 8] {
+            h.append("e", "a", t(i), i as f64);
+        }
+        h.compact();
+        assert_eq!(h.segment_count(), 1);
+        // Behind the watermark: the overlapped segment thaws back into the
+        // tail and the sample lands at its sorted position.
+        h.append("e", "a", t(3), 3.0);
+        assert_eq!(h.segment_count(), 0);
+        let r = h.range("e", "a", t(0), t(10));
+        let values: Vec<f64> = r.iter().map(|s| s.value).collect();
+        assert_eq!(values, vec![0.0, 2.0, 3.0, 4.0, 6.0, 8.0]);
+        // Exactly at the watermark: no thaw, lands after its equal.
+        h.compact();
+        h.append("e", "a", t(8), 8.5);
+        assert_eq!(h.segment_count(), 1);
+        let r = h.range("e", "a", t(8), t(9));
+        assert_eq!(r.len(), 2);
+        assert_eq!((r[0].value, r[1].value), (8.0, 8.5));
+        // Multi-segment: only the overlapped suffix thaws.
+        let mut h = HistoryStore::new();
+        h.set_segment_threshold(Some(2));
+        for i in 0..8u64 {
+            h.append("e", "a", t(i), i as f64);
+        }
+        assert_eq!(h.segment_count(), 4);
+        h.append("e", "a", t(5), 5.5);
+        // Segments with last_at <= t(5) stay frozen (three of them — the
+        // duplicate lands in the tail *after* the frozen 5.0, preserving
+        // insert-after-equals); the thawed [6,7] + new sample re-freeze
+        // via the threshold.
+        assert_eq!(h.segment_count(), 4);
+        let vals: Vec<f64> = h
+            .range("e", "a", t(0), t(10))
+            .iter()
+            .map(|s| s.value)
+            .collect();
+        assert_eq!(vals, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 5.5, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn empty_series_intern_survives_compaction_and_dump() {
+        let mut h = HistoryStore::new();
+        let id = h.intern("e", "a");
+        assert_eq!(h.compact(), 0, "nothing to freeze");
+        assert_eq!(h.prune_before(t(5)), 0);
+        let dump = h.dump_sorted();
+        assert_eq!(dump.len(), 1);
+        assert_eq!((dump[0].0, dump[0].1), ("e", "a"));
+        assert!(dump[0].2.is_empty());
+        assert!(h.last("e", "a").is_none());
+        assert!(h.range("e", "a", t(0), t(10)).is_empty());
+        h.append_to(id, t(1), 1.0);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn scan_stats_count_pruned_and_decoded_segments() {
+        let mut h = HistoryStore::new();
+        h.set_segment_threshold(Some(10));
+        for i in 0..100u64 {
+            h.append("e", "a", t(i), i as f64);
+        }
+        assert_eq!(h.segment_count(), 10);
+        let _ = h.take_scan_stats();
+        // A window over the last segment's span prunes the other nine.
+        let r = h.range("e", "a", t(90), t(100));
+        assert_eq!(r.len(), 10);
+        let stats = h.take_scan_stats();
+        assert_eq!(stats.segments_decoded, 1);
+        assert_eq!(stats.segments_pruned, 9);
+        // Draining resets the counters.
+        assert_eq!(h.take_scan_stats(), ScanStats::default());
+    }
+
+    #[test]
+    fn extremes_served_from_summaries_matches_flat() {
+        let mut rng = SimRng::seed_from(9).split("extremes");
+        let mut flat = HistoryStore::new();
+        let mut seg = HistoryStore::new();
+        seg.set_segment_threshold(Some(8));
+        for i in 0..100u64 {
+            let v = rng.uniform_f64() * 100.0 - 50.0;
+            flat.append("e", "a", t(i), v);
+            seg.append("e", "a", t(i), v);
+        }
+        let _ = seg.take_scan_stats();
+        // Identical answers at every window shape: full, mid-segment
+        // boundaries on both ends, tail-only, empty.
+        for (from, to) in [(0, 100), (3, 97), (8, 96), (90, 100), (40, 40)] {
+            assert_eq!(
+                flat.extremes("e", "a", t(from), t(to)),
+                seg.extremes("e", "a", t(from), t(to)),
+                "window [{from}, {to})"
+            );
+        }
+        // The wide window answered whole segments from summaries alone.
+        let stats = seg.take_scan_stats();
+        assert!(stats.segments_summarized > 0, "{stats:?}");
+        // Cross-check one window against the decoded aggregate.
+        let e = seg.extremes("e", "a", t(8), t(96)).unwrap();
+        let a = seg.aggregate("e", "a", t(8), t(96)).unwrap();
+        assert_eq!((e.count, e.min, e.max), (a.count, a.min, a.max));
+        // Empty window and unknown series are None.
+        assert_eq!(seg.extremes("e", "a", t(40), t(40)), None);
+        assert_eq!(seg.extremes("nope", "a", t(0), t(100)), None);
+    }
+
+    #[test]
+    fn threshold_freezes_automatically() {
+        let mut h = HistoryStore::new();
+        h.set_segment_threshold(Some(4));
+        assert_eq!(h.segment_threshold(), Some(4));
+        for i in 0..9u64 {
+            h.append("e", "a", t(i), i as f64);
+        }
+        assert_eq!(h.segment_count(), 2);
+        assert_eq!(h.len(), 9);
+        assert_eq!(h.range("e", "a", t(0), t(9)).len(), 9);
+        // Threshold 0 clamps to 1 (every sample its own segment).
+        let mut h = HistoryStore::new();
+        h.set_segment_threshold(Some(0));
+        h.append("e", "a", t(0), 0.0);
+        h.append("e", "a", t(1), 1.0);
+        assert_eq!(h.segment_count(), 2);
     }
 }

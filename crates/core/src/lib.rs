@@ -51,6 +51,7 @@ pub mod drive;
 pub mod error;
 pub mod history;
 pub mod platform;
+pub mod query;
 pub mod registry;
 pub mod service;
 pub mod shard;
@@ -60,6 +61,7 @@ pub use drive::Drive;
 pub use error::Error;
 pub use history::{HistoryStore, Sample, WindowAggregate};
 pub use platform::{DeploymentConfig, Fallback, IngestError, Platform, PlatformBuilder};
+pub use query::{QueryRequest, QueryResponse, SeriesEntry};
 pub use registry::{DeviceRecord, DeviceRegistry};
 pub use service::{IrrigationService, ManagedZone, ZoneDecision};
 pub use shard::{route_device, route_entity, routing_key, shard_seed, ShardIndex};

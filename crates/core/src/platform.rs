@@ -42,10 +42,12 @@ use swamp_security::identity::{AuthError, IdentityProvider, Token};
 use swamp_security::pipeline::{DetectorBank, Recommendation};
 use swamp_sensors::device::DeviceKind;
 use swamp_sim::{SimDuration, SimTime};
+use swamp_views::{ViewConfig, ViewIndexer};
 
 use crate::broker::ContextBroker;
 use crate::error::Error;
 use crate::history::HistoryStore;
+use crate::query::{QueryRequest, QueryResponse, SeriesEntry};
 use crate::registry::DeviceRegistry;
 
 /// Where the platform's decision logic runs.
@@ -137,12 +139,19 @@ pub struct Platform {
     relay_sync: Option<FogSync>,
     /// CloudOnly: cloud-side receiver/deduplicator for relayed frames.
     relay_store: Option<CloudStore>,
+    /// Incremental materialized views (farm rollups, top-K, alerts):
+    /// tails the cloud replica's applied-record run behind its own cursor
+    /// — never `drain_new`, whose read position belongs to
+    /// [`Platform::cloud_context`]'s mirror. Caught up lazily on
+    /// [`Platform::query`].
+    views: ViewIndexer,
     obs: Obs,
     ins: PlatformInstruments,
 }
 
 /// Typed handles for the platform's own instruments (`ingest.*`,
-/// `relay.*`, `platform.*` spans); the network, uplink engine, cloud store
+/// `relay.*`, `query.*`, `view.*`, and the `platform.*`/`query.run`
+/// spans); the network, uplink engine, cloud store
 /// and detector bank each own their instruments, merged on demand by
 /// [`Platform::observe`].
 struct PlatformInstruments {
@@ -158,8 +167,14 @@ struct PlatformInstruments {
     relay_malformed_ack: Counter,
     relay_refused: Counter,
     relay_duplicates_discarded: Counter,
+    query_requests: Counter,
+    query_segments_pruned: Counter,
+    query_segments_summarized: Counter,
+    query_segments_decoded: Counter,
+    view_applied: Counter,
     pump_span: Span,
     ingest_span: Span,
+    query_span: Span,
 }
 
 impl PlatformInstruments {
@@ -177,8 +192,14 @@ impl PlatformInstruments {
             relay_malformed_ack: obs.counter("relay.malformed_ack"),
             relay_refused: obs.counter("relay.refused"),
             relay_duplicates_discarded: obs.counter("relay.duplicates_discarded"),
+            query_requests: obs.counter("query.requests"),
+            query_segments_pruned: obs.counter("query.segments_pruned"),
+            query_segments_summarized: obs.counter("query.segments_summarized"),
+            query_segments_decoded: obs.counter("query.segments_decoded"),
+            view_applied: obs.counter("view.applied"),
             pump_span: obs.span("platform.pump"),
             ingest_span: obs.span("platform.ingest"),
+            query_span: obs.span("query.run"),
         }
     }
 }
@@ -226,6 +247,8 @@ pub struct PlatformBuilder {
     uplink_spec: Option<LinkSpec>,
     shards: usize,
     workers: usize,
+    history_segment_threshold: Option<usize>,
+    view_config: ViewConfig,
 }
 
 impl PlatformBuilder {
@@ -246,7 +269,27 @@ impl PlatformBuilder {
             uplink_spec: None,
             shards: 1,
             workers: 1,
+            history_segment_threshold: None,
+            view_config: ViewConfig::default(),
         }
+    }
+
+    /// Auto-freeze cadence of the history store's columnar segments:
+    /// every `Some(n)` tail samples a series' tail is frozen into an
+    /// immutable segment (see [`HistoryStore::compact`]). `None` (the
+    /// default) never auto-freezes — the flat pre-segment layout.
+    /// Compaction is observationally free either way; this knob trades
+    /// append-side freeze work for query-side segment pruning.
+    pub fn history_segment_threshold(mut self, threshold: Option<usize>) -> Self {
+        self.history_segment_threshold = threshold;
+        self
+    }
+
+    /// Configures the materialized views (consumption attribute, alert
+    /// floor, top-K size); defaults to [`ViewConfig::default`].
+    pub fn view_config(mut self, config: ViewConfig) -> Self {
+        self.view_config = config;
+        self
     }
 
     /// Seeds every stochastic process (network, fault plan, retry jitter).
@@ -395,6 +438,8 @@ impl PlatformBuilder {
             // threads.
             shards: _,
             workers: _,
+            history_segment_threshold,
+            view_config,
         } = self;
 
         let mut net = Network::new(seed);
@@ -463,12 +508,14 @@ impl PlatformBuilder {
 
         let mut obs = Obs::new();
         let ins = PlatformInstruments::register(&mut obs);
+        let mut history = HistoryStore::new();
+        history.set_segment_threshold(history_segment_threshold);
         Platform {
             config,
             seed,
             net,
             context: ContextBroker::new(),
-            history: HistoryStore::new(),
+            history,
             registry: DeviceRegistry::new(),
             keystore: Keystore::new(&seed.to_be_bytes()),
             idm: IdentityProvider::new(b"swamp-idm-signing", SimDuration::from_hours(8)),
@@ -482,6 +529,7 @@ impl PlatformBuilder {
             cloud_store,
             relay_sync,
             relay_store,
+            views: ViewIndexer::with_config(view_config),
             obs,
             ins,
         }
@@ -617,18 +665,122 @@ impl Platform {
     /// the scale-out tier drains each shard's newly applied records
     /// ([`CloudStore::drain_new`]) and forwards them to the cross-shard
     /// aggregation inbox.
+    #[deprecated(
+        since = "0.1.0",
+        note = "read through `Drive::query` (e.g. `QueryRequest::ReplicaSeqs`); \
+                handing out mutable store access lets callers race the \
+                platform's own drain cursors"
+    )]
     pub fn cloud_replica_mut(&mut self) -> Option<&mut CloudStore> {
         self.cloud_store.as_mut()
     }
 
     /// The fog-side context broker (current entity state).
+    #[deprecated(
+        since = "0.1.0",
+        note = "read through `Drive::query`, or use the public `context` \
+                field where direct broker access is genuinely needed"
+    )]
     pub fn context(&self) -> &ContextBroker {
         &self.context
     }
 
     /// The historical time-series store.
+    #[deprecated(
+        since = "0.1.0",
+        note = "read through `Drive::query` (`QueryRequest::Range` / \
+                `Aggregate` / `SeriesDump`), or use the public `history` \
+                field where direct store access is genuinely needed"
+    )]
     pub fn history(&self) -> &HistoryStore {
         &self.history
+    }
+
+    /// Freezes every history series' mutable tail into a columnar
+    /// segment now (see [`HistoryStore::compact`]); queries before and
+    /// after are byte-identical. Returns the segments created.
+    pub fn compact_history(&mut self) -> usize {
+        self.history.compact()
+    }
+
+    /// Answers a typed read — the [`crate::drive::Drive::query`] entry
+    /// point. Instrumented with the `query.requests` /
+    /// `query.segments_pruned` / `query.segments_summarized` /
+    /// `query.segments_decoded` / `view.applied`
+    /// counters and the `query.run` span; [`QueryRequest::Views`] first
+    /// catches the view indexer's cursor up to the cloud replica's
+    /// applied-record run.
+    pub fn query(&mut self, req: &QueryRequest) -> QueryResponse {
+        let token = self.obs.enter(self.ins.query_span);
+        self.obs.inc(self.ins.query_requests);
+        let resp = match req {
+            QueryRequest::Range {
+                entity,
+                attr,
+                from,
+                to,
+            } => QueryResponse::Samples(self.history.range(entity, attr, *from, *to)),
+            QueryRequest::Aggregate {
+                entity,
+                attr,
+                from,
+                to,
+            } => QueryResponse::Aggregate(self.history.aggregate(entity, attr, *from, *to)),
+            QueryRequest::Extremes {
+                entity,
+                attr,
+                from,
+                to,
+            } => QueryResponse::Extremes(self.history.extremes(entity, attr, *from, *to)),
+            QueryRequest::Downsample {
+                entity,
+                attr,
+                from,
+                to,
+                bucket,
+            } => QueryResponse::Buckets(self.history.downsample(entity, attr, *from, *to, *bucket)),
+            QueryRequest::Last { entity, attr } => {
+                QueryResponse::Sample(self.history.last(entity, attr))
+            }
+            QueryRequest::SeriesDump => QueryResponse::Series(
+                self.history
+                    .dump_sorted()
+                    .into_iter()
+                    .map(|(entity, attr, samples)| SeriesEntry {
+                        entity: entity.to_owned(),
+                        attr: attr.to_owned(),
+                        samples,
+                    })
+                    .collect(),
+            ),
+            QueryRequest::ReplicaSeqs => QueryResponse::Seqs(
+                self.cloud_store
+                    .as_ref()
+                    .map(|s| s.history().iter().map(|r| r.seq).collect())
+                    .unwrap_or_default(),
+            ),
+            QueryRequest::Views => {
+                let run = self
+                    .cloud_store
+                    .as_ref()
+                    .map(|s| s.history())
+                    .unwrap_or(&[]);
+                let applied = self.views.catch_up(run);
+                self.obs.add(self.ins.view_applied, applied as u64);
+                QueryResponse::Views(self.views.snapshot())
+            }
+        };
+        let stats = self.history.take_scan_stats();
+        self.obs
+            .add(self.ins.query_segments_pruned, stats.segments_pruned);
+        self.obs.add(
+            self.ins.query_segments_summarized,
+            stats.segments_summarized,
+        );
+        self.obs
+            .add(self.ins.query_segments_decoded, stats.segments_decoded);
+        self.obs.exit(token);
+        resp
     }
 
     /// The cloud-side context mirror, if this is a fog deployment: broker

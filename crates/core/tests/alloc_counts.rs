@@ -124,4 +124,27 @@ fn hot_paths_do_not_allocate_per_subscriber_or_per_append() {
         calls, 0,
         "steady-state append must not allocate (interned key, warm Vec)"
     );
+
+    // --- dump_sorted: keys are borrowed from the interner, so the dump
+    // allocates about one sample vector per series (plus two collection
+    // vectors and their growth), not three owned strings-and-vec per
+    // series. With 64 series the old cloned-key dump sat near 3×64; the
+    // borrowed dump must stay close to 1×64.
+    let mut store = HistoryStore::new();
+    let series = 64u64;
+    for d in 0..series {
+        let entity = format!("urn:swamp:device:probe-{d}");
+        for t in 0..100u64 {
+            store.append(&entity, "moisture_vwc", SimTime::from_millis(t), 0.25);
+        }
+    }
+    store.compact();
+    let (calls, dump) = alloc_calls(|| store.dump_sorted());
+    assert_eq!(dump.len(), series as usize);
+    assert!(
+        calls <= series + 24,
+        "dump_sorted over {series} series allocated {calls} times — \
+         expected ~1 sample vector per series; owned key clones crept back in"
+    );
+    drop(dump);
 }

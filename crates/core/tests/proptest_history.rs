@@ -65,4 +65,47 @@ proptest! {
         }
         prop_assert_eq!(store.len(), times.len() as u64);
     }
+
+    /// Segment compaction is observationally free under arbitrary
+    /// interleavings: a store that freezes aggressively (tiny threshold,
+    /// random extra `compact()` calls, mid-stream `prune_before` cutting
+    /// through segment interiors) dumps exactly what a never-compacting
+    /// flat store holding the same appends dumps — duplicate-time order
+    /// included. Property twin of the deterministic edge-case tests in
+    /// `history.rs`.
+    #[test]
+    fn compaction_is_observationally_free_under_random_ops(
+        threshold in 1usize..8,
+        ops in prop::collection::vec(
+            // op: 0..=7 append (series, time, value), 8 compact, 9 prune
+            (0u8..10, 0u8..3, 0u64..1_000, -50.0f64..50.0),
+            0..200,
+        )
+    ) {
+        let mut compacting = HistoryStore::new();
+        compacting.set_segment_threshold(Some(threshold));
+        let mut flat = HistoryStore::new();
+        for (op, series, at_ms, value) in ops {
+            let entity = format!("urn:swamp:device:probe-{series}");
+            let at = SimTime::from_millis(at_ms);
+            match op {
+                8 => {
+                    compacting.compact();
+                }
+                9 => {
+                    let a = compacting.prune_before(at);
+                    let b = flat.prune_before(at);
+                    prop_assert_eq!(a, b);
+                }
+                _ => {
+                    compacting.append(&entity, "moisture_vwc", at, value);
+                    flat.append(&entity, "moisture_vwc", at, value);
+                }
+            }
+        }
+        prop_assert_eq!(compacting.len(), flat.len());
+        let a = compacting.dump_sorted();
+        let b = flat.dump_sorted();
+        prop_assert_eq!(a, b);
+    }
 }

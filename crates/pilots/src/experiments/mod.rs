@@ -7,6 +7,7 @@
 
 pub mod attacks;
 pub mod platform;
+pub mod read_path;
 pub mod resilience;
 pub mod scale;
 pub mod water;
@@ -16,6 +17,7 @@ pub use platform::{
     e11_broker_scale, e11_broker_scale_observed, e11_platform_scale, e5_fog_availability,
     e6_partial_view, e7_auth, e8_crypto, e9_ledger, BrokerScaleRow, E11BrokerScaleResult,
 };
+pub use read_path::{e15_read_path_observed, E15Result, E15Row};
 pub use resilience::{e13_resilience, e13_resilience_observed, E13Result, E13Row};
 pub use scale::{
     e14_shard_scale, e14_shard_throughput_observed, E14Result, E14Row, E14ThroughputResult,
@@ -32,7 +34,10 @@ use crate::report::Report;
 /// ([`e14_shard_throughput_observed`]) are deliberately not included: they
 /// measure wall-clock throughput, so their numbers are not bit-reproducible
 /// per seed. The `bench_e11` and `bench_e14` binaries run them and emit
-/// `BENCH_e11.json` / `BENCH_e14.json`.
+/// `BENCH_e11.json` / `BENCH_e14.json`. E15 ([`e15_read_path_observed`])
+/// is wall-clock for the same reason — `bench_e15` emits
+/// `BENCH_e15.json`, and its deterministic half lives in the compaction
+/// differential suite.
 pub fn run_all(seed: u64) -> Vec<Report> {
     let e1 = e1_water_energy(seed);
     let e2 = e2_dos(seed);

@@ -11,6 +11,7 @@
 
 use swamp_codec::ngsi::Entity;
 use swamp_core::platform::{nodes, DeploymentConfig, Platform};
+use swamp_core::query::{QueryRequest, QueryResponse};
 use swamp_fog::availability::OutageSchedule;
 use swamp_fog::sync::DegradedMode;
 use swamp_net::{FaultPlan, FaultSpec};
@@ -185,11 +186,17 @@ fn run_cell(seed: u64, config: DeploymentConfig, loss: f64) -> (E13Row, ObsRepor
     let snap = platform.observe();
     let (delivered, duplicate_applies, duplicates_discarded) = match config {
         DeploymentConfig::FarmFog => {
+            // Applied-record seqs come through the typed query surface
+            // (the deprecated raw accessors are banned for new callers);
+            // dedup/discard *counters* stay on the replica's own stats.
+            let seqs = match platform.query(&QueryRequest::ReplicaSeqs) {
+                QueryResponse::Seqs(seqs) => seqs,
+                other => panic!("ReplicaSeqs answered with {other:?}"),
+            };
+            let unique: std::collections::BTreeSet<u64> = seqs.iter().copied().collect();
             let store = platform
                 .cloud_replica()
                 .expect("farm-fog deployments expose the cloud replica");
-            let unique: std::collections::BTreeSet<u64> =
-                store.history().iter().map(|r| r.seq).collect();
             (
                 unique.len() as u64,
                 store.record_count() as u64 - unique.len() as u64,

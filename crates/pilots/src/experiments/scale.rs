@@ -25,6 +25,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use swamp_codec::ngsi::Entity;
 use swamp_core::platform::{DeploymentConfig, Platform, PlatformBuilder};
+use swamp_core::query::{QueryRequest, QueryResponse};
 use swamp_core::shard::route_device;
 use swamp_net::link::LinkSpec;
 use swamp_obs::ObsReport;
@@ -108,24 +109,33 @@ pub fn e14_run_cell(
         |sp| sp.aggregate_store().record_count() as u64 >= expected,
     );
     sp.flush_aggregation(now);
-    (fingerprint(&sp), sp)
+    (fingerprint(&mut sp), sp)
 }
 
-/// Extracts the deterministic fingerprint of a settled run.
-pub fn fingerprint(sp: &ShardedPlatform) -> RunFingerprint {
+/// Extracts the deterministic fingerprint of a settled run. Takes the
+/// platform mutably because the history read goes through the typed
+/// query surface ([`swamp_core::drive::Drive::query`] — instrumented,
+/// and the sharded implementation fans out/merges in shard-id order),
+/// not the deprecated raw store accessors.
+pub fn fingerprint(sp: &mut ShardedPlatform) -> RunFingerprint {
     let mut history: BTreeMap<(String, String), Vec<(u64, u64)>> = BTreeMap::new();
-    for shard in sp.shards() {
-        for (entity, attr, samples) in shard.history().dump_sorted() {
-            history.entry((entity, attr)).or_default().extend(
-                samples
-                    .iter()
-                    .map(|s| (s.at.as_millis(), s.value.to_bits())),
-            );
+    if let QueryResponse::Series(entries) = sp.query(&QueryRequest::SeriesDump) {
+        for entry in entries {
+            // Devices are disjoint across shards, but two shards may
+            // intern the same (entity, attr) only if routing broke — the
+            // entry().extend merges such keys and the per-key sample
+            // equality catches the breakage.
+            history
+                .entry((entry.entity, entry.attr))
+                .or_default()
+                .extend(
+                    entry
+                        .samples
+                        .iter()
+                        .map(|s| (s.at.as_millis(), s.value.to_bits())),
+                );
         }
     }
-    // Devices are disjoint across shards, but two shards may intern the
-    // same (entity, attr) only if routing broke — keep whatever arrived
-    // and let the per-key sample equality catch it.
     for samples in history.values_mut() {
         samples.sort_unstable();
     }

@@ -47,6 +47,7 @@ pub use swamp_core::shard::shard_seed;
 use swamp_codec::ngsi::Entity;
 use swamp_core::drive::Drive;
 use swamp_core::platform::{DeploymentConfig, Platform, PlatformBuilder};
+use swamp_core::query::{QueryRequest, QueryResponse};
 use swamp_core::shard::{route_device, route_entity, ShardIndex};
 use swamp_core::Error;
 use swamp_fog::sync::{CloudStore, UpdateRecord, SYNC_TOPIC};
@@ -70,6 +71,7 @@ struct ShardInstruments {
     forwarded: Counter,
     acked: Counter,
     send_refused: Counter,
+    query_fanout: Counter,
     shard_count: Gauge,
 }
 
@@ -79,6 +81,7 @@ impl ShardInstruments {
             forwarded: obs.counter("shardfwd.records"),
             acked: obs.counter("shardfwd.acked"),
             send_refused: obs.counter("shardfwd.send_refused"),
+            query_fanout: obs.counter("query.fanout"),
             shard_count: obs.gauge("shard.count"),
         }
     }
@@ -410,6 +413,30 @@ impl ShardedPlatform {
         &self.agg_store
     }
 
+    /// Answers a typed read by fanning it out to every shard **in
+    /// shard-id order** and folding the answers with
+    /// [`QueryResponse::merge`] — the same barrier discipline the pump's
+    /// merge step follows, so a query observes a consistent post-round
+    /// state. Entity routing makes per-series reads single-owner; series
+    /// dumps and views merge byte-stably (disjoint key sets, shard-id
+    /// fold order). Counts each fan-out leg on `query.fanout`.
+    pub fn query(&mut self, req: &QueryRequest) -> QueryResponse {
+        let mut merged = QueryResponse::empty_for(req);
+        for shard in &mut self.shards {
+            merged.merge(shard.query(req));
+        }
+        self.obs
+            .add(self.ins.query_fanout, self.shards.len() as u64);
+        merged
+    }
+
+    /// Freezes every shard's history tails into columnar segments (in
+    /// shard-id order; see [`Platform::compact_history`]). Returns the
+    /// total segments created.
+    pub fn compact_history(&mut self) -> usize {
+        self.shards.iter_mut().map(Platform::compact_history).sum()
+    }
+
     /// One merged snapshot across the whole tier: every shard's
     /// [`Platform::observe`] (counters add, so `ingest.*`/`sync.*` totals
     /// are fleet-wide), the aggregation fabric and store, and the tier's
@@ -463,6 +490,10 @@ impl Drive for ShardedPlatform {
 
     fn observe_labelled(&self, base: &str) -> Vec<ObsReport> {
         ShardedPlatform::observe_labelled(self, base)
+    }
+
+    fn query(&mut self, req: &QueryRequest) -> QueryResponse {
+        ShardedPlatform::query(self, req)
     }
 }
 
@@ -521,7 +552,7 @@ mod tests {
         let applied = sp.ingest_entities(SimTime::from_secs(1), updates);
         assert_eq!(applied, 30);
         // Per-shard history totals sum to the batch (2 samples per update).
-        let total: u64 = sp.shards().map(|s| s.history().len()).sum();
+        let total: u64 = sp.shards().map(|s| s.history.len()).sum();
         assert_eq!(total, 60);
         // Pump until replication lands, then settle aggregation.
         let mut now = SimTime::from_secs(1);
