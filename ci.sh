@@ -69,6 +69,14 @@ cargo run --release -q -p swamp-pilots --bin bench_sync -- --check 10000 100000 
 echo "== cargo test --workspace -q"
 cargo test --workspace -q
 
+# The behavioral baseline must hold its claims: bench_e16 --check
+# re-runs the deterministic per-pilot scorecard (recall >= 0.75 and
+# precision >= 0.9 on every pilot's planted Sybil/tamper/takeover
+# devices) and bounds the live-vs-muted detector wall-clock overhead on
+# the densest stream at 10% (best-of-3 interleaved, reduced sizes).
+echo "== bench-guard: baseline detector recall/precision floors + overhead <= 10% (bench_e16 --check)"
+cargo run --release -q -p swamp-pilots --bin bench_e16 -- --check 256 96 > /dev/null
+
 # Shard ≡ single-shard, serial ≡ parallel: the differential harness
 # quantifies over the seed AND the scheduler (worker counts {1, 2, 8}
 # inside the suite), so run it twice with different seeds — equivalence
@@ -78,6 +86,14 @@ cargo test --workspace -q
 echo "== shard-differential: N-shard/parallel == 1-shard/serial at seeds 42 and 1337"
 SHARD_DIFF_SEED=42 cargo test -q -p swamp-pilots --test shard_differential
 SHARD_DIFF_SEED=1337 cargo test -q -p swamp-pilots --test shard_differential
+
+# Detector verdicts are part of the same contract: the flag set, the
+# summed security.baseline.* counters and the precision/recall
+# scorecard must be invariant across shards {1, 3, 8} x workers
+# {1, 2, 8}, again at two seeds.
+echo "== detector-differential: baseline verdicts invariant across shards/workers at seeds 42 and 1337"
+SHARD_DIFF_SEED=42 cargo test -q -p swamp-pilots --test detector_differential
+SHARD_DIFF_SEED=1337 cargo test -q -p swamp-pilots --test detector_differential
 
 # The worker pool must not cost throughput: bench_e14 --check requires
 # the best parallel schedule to beat serial at the largest fleet on

@@ -62,6 +62,10 @@ pub const ENTRY_QUALS: &[&str] = &[
     "ShardedPlatform::query",
     "ViewIndexer::catch_up",
     "ViewSnapshot::merge",
+    // PR 10 behavioral baseline: scoring runs per ingested record at
+    // E11 rates. Device admission and flag raising are one-shot per
+    // device — cold cuts in the allowlist mark them explicitly.
+    "BehaviorBank::ingest",
 ];
 
 /// `Type::method(` shapes that allocate.

@@ -39,6 +39,7 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
         &["swamp-sim", "swamp-obs", "swamp-net", "swamp-codec"],
     ),
     ("swamp-views", &["swamp-sim", "swamp-codec", "swamp-fog"]),
+    ("swamp-workload", &["swamp-sim", "swamp-codec"]),
     (
         "swamp-security",
         &[
@@ -91,6 +92,7 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
             "swamp-irrigation",
             "swamp-fog",
             "swamp-security",
+            "swamp-workload",
             "swamp-core",
             "swamp-shard",
         ],
@@ -127,6 +129,7 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
             "swamp-irrigation",
             "swamp-fog",
             "swamp-security",
+            "swamp-workload",
             "swamp-core",
             "swamp-shard",
             "swamp-pilots",

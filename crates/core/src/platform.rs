@@ -37,6 +37,7 @@ use swamp_net::message::{Delivery, Message, NodeId};
 use swamp_net::network::Network;
 use swamp_obs::{Counter, Level, Obs, ObsSnapshot, Span};
 use swamp_security::access::{Action, Decision, Pdp, Resource};
+use swamp_security::baseline::{BaselineConfig, BehaviorBank};
 use swamp_security::detect::{RangeValidator, SeqEvent, SeqMonitor};
 use swamp_security::identity::{AuthError, IdentityProvider, Token};
 use swamp_security::pipeline::{DetectorBank, Recommendation};
@@ -124,6 +125,12 @@ pub struct Platform {
     pub pdp: Pdp,
     /// Anomaly-detection pipeline fed by ingestion ("avoid fake data").
     pub detectors: DetectorBank,
+    /// Streaming behavioral baseline ("expected sequence of events"),
+    /// fed one observation per accepted record of its signal attribute
+    /// by [`Platform::ingest_entities`]. Passive by default (see
+    /// [`BaselineConfig`]); configure phases via
+    /// [`PlatformBuilder::baseline`].
+    pub behavior: BehaviorBank,
     auto_quarantine: bool,
     seq: SeqMonitor,
     device_nonces: std::collections::BTreeMap<String, NonceSequence>,
@@ -249,6 +256,7 @@ pub struct PlatformBuilder {
     workers: usize,
     history_segment_threshold: Option<usize>,
     view_config: ViewConfig,
+    baseline: BaselineConfig,
 }
 
 impl PlatformBuilder {
@@ -271,7 +279,16 @@ impl PlatformBuilder {
             workers: 1,
             history_segment_threshold: None,
             view_config: ViewConfig::default(),
+            baseline: BaselineConfig::default(),
         }
+    }
+
+    /// Configures the streaming behavioral baseline (training/
+    /// calibration horizons, profile-error margin). The default config
+    /// trains forever and never flags — a passive bank.
+    pub fn baseline(mut self, config: BaselineConfig) -> Self {
+        self.baseline = config;
+        self
     }
 
     /// Auto-freeze cadence of the history store's columnar segments:
@@ -440,6 +457,7 @@ impl PlatformBuilder {
             workers: _,
             history_segment_threshold,
             view_config,
+            baseline,
         } = self;
 
         let mut net = Network::new(seed);
@@ -521,6 +539,7 @@ impl PlatformBuilder {
             idm: IdentityProvider::new(b"swamp-idm-signing", SimDuration::from_hours(8)),
             pdp: Pdp::new(),
             detectors,
+            behavior: BehaviorBank::new(baseline),
             auto_quarantine,
             seq: SeqMonitor::new(),
             device_nonces: std::collections::BTreeMap::new(),
@@ -630,6 +649,7 @@ impl Platform {
             snap.merge(&store.observe());
         }
         snap.merge(&self.detectors.observe());
+        snap.merge(&self.behavior.observe());
         snap
     }
 
@@ -651,6 +671,7 @@ impl Platform {
             s.set_obs_enabled(enabled);
         }
         self.detectors.set_obs_enabled(enabled);
+        self.behavior.set_obs_enabled(enabled);
     }
 
     /// The cloud replica store, if this is a fog deployment. (The CloudOnly
@@ -1113,6 +1134,9 @@ impl Platform {
                 if let Some(v) = attr.value.as_number() {
                     let at = attr.observed_at_ms.map(SimTime::from_millis).unwrap_or(now);
                     self.history.append(entity.id().as_str(), name, at, v);
+                    if name == self.behavior.signal_attr() {
+                        self.behavior.ingest(at, entity.id().as_str(), v);
+                    }
                 }
             }
             self.obs.inc(self.ins.accepted);

@@ -1,0 +1,243 @@
+//! E16 behavioral baseline: runs the deterministic per-pilot
+//! precision/recall scorecard plus the wall-clock live-vs-muted
+//! detector overhead sweep, and emits `BENCH_e16.json` on stdout (the
+//! human-readable tables go to stderr so redirection captures clean
+//! JSON).
+//!
+//! Usage: `cargo run -p swamp-pilots --bin bench_e16 --release \
+//!             [--check] [devices [rounds]] > BENCH_e16.json`
+//!
+//! `devices`/`rounds` size the overhead workload only (defaults 512
+//! devices, 96 rounds); the detection scorecard always runs at the
+//! canonical E16 scale so its numbers match EXPERIMENTS.md.
+//!
+//! The `--check` gate holds the claims the detector makes:
+//!
+//! 1. **Per-pilot recall** — the bank must flag at least 3/4 of the
+//!    planted attack devices (Sybil burst + tamper drift + actuator
+//!    takeover) in every pilot profile;
+//! 2. **Per-pilot precision** — at least 90% of flagged devices must
+//!    be real attackers (at most a stray honest flag per fleet);
+//! 3. **Overhead** — ingest+pump with the bank live must cost at most
+//!    10% more wall-clock time than with the bank muted (a single
+//!    branch), best-of-3 interleaved. Wall clock on a shared box is
+//!    noisy, so `--check` re-measures up to twice before failing.
+
+use swamp_codec::json::Json;
+use swamp_obs::ObsReport;
+use swamp_pilots::experiments::{
+    e16_baseline_detection, e16_overhead_observed, E16OverheadResult, E16Result,
+};
+
+const RECALL_FLOOR: f64 = 0.75;
+const PRECISION_FLOOR: f64 = 0.9;
+const OVERHEAD_BUDGET: f64 = 0.10;
+
+fn cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn check(detection: &E16Result, overhead: &E16OverheadResult) -> Result<(), String> {
+    if detection.rows.len() != 4 {
+        return Err(format!(
+            "expected 4 pilot rows, got {}",
+            detection.rows.len()
+        ));
+    }
+    for row in &detection.rows {
+        if row.truth == 0 {
+            return Err(format!("{}: no planted attack devices", row.pilot.name()));
+        }
+        if row.recall < RECALL_FLOOR {
+            return Err(format!(
+                "{}: recall {:.2} below the {RECALL_FLOOR} floor ({} of {} attack \
+                 devices missed)",
+                row.pilot.name(),
+                row.recall,
+                row.fn_missed,
+                row.truth
+            ));
+        }
+        if row.precision < PRECISION_FLOOR {
+            return Err(format!(
+                "{}: precision {:.2} below the {PRECISION_FLOOR} floor ({} honest \
+                 devices flagged)",
+                row.pilot.name(),
+                row.precision,
+                row.fp
+            ));
+        }
+    }
+    if overhead.records == 0 {
+        return Err("overhead workload generated no records".to_owned());
+    }
+    if overhead.overhead_frac > OVERHEAD_BUDGET {
+        return Err(format!(
+            "live detector overhead {:.1}% exceeds the {:.0}% budget",
+            overhead.overhead_frac * 100.0,
+            OVERHEAD_BUDGET * 100.0
+        ));
+    }
+    Ok(())
+}
+
+fn main() {
+    let mut dims: Vec<usize> = Vec::new();
+    let mut check_mode = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--check" {
+            check_mode = true;
+            continue;
+        }
+        match arg.parse::<usize>() {
+            Ok(n) if n > 0 => dims.push(n),
+            _ => {
+                eprintln!("bench_e16: sizes must be positive integers, got {arg:?}");
+                eprintln!("usage: bench_e16 [--check] [devices [rounds]]   (default: 512 96)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if dims.len() > 2 {
+        eprintln!("bench_e16: at most two sizes (devices, rounds), got {dims:?}");
+        std::process::exit(2);
+    }
+    let devices = dims.first().copied().unwrap_or(512);
+    let rounds = dims.get(1).copied().unwrap_or(96);
+
+    let detection = e16_baseline_detection(42);
+    eprintln!("{}", detection.report());
+
+    // The library is clock-free; the binary owns the wall clock.
+    let epoch = std::time::Instant::now();
+    let measure = || {
+        e16_overhead_observed(42, devices, rounds, |run| {
+            let start = epoch.elapsed();
+            run();
+            (epoch.elapsed() - start).as_secs_f64()
+        })
+    };
+    let (mut overhead, mut obs_reports) = measure();
+    if check_mode {
+        // A wall-clock gate on a shared box sees noisy-neighbor
+        // spikes; re-measure before failing rather than flaking CI.
+        let mut attempt = 1;
+        while overhead.overhead_frac > OVERHEAD_BUDGET && attempt < 3 {
+            attempt += 1;
+            eprintln!(
+                "bench_e16: overhead {:.1}% over budget, re-measuring (attempt {attempt}/3)",
+                overhead.overhead_frac * 100.0
+            );
+            let (o, r) = measure();
+            if o.overhead_frac < overhead.overhead_frac {
+                (overhead, obs_reports) = (o, r);
+            }
+        }
+    }
+    eprintln!("{}", overhead.report());
+
+    // Per-arm observability snapshots (security.baseline.* counters)
+    // next to the bench JSON. `--check` runs (CI, reduced sizes) must
+    // not overwrite the committed full-sweep artifact.
+    if !check_mode {
+        match std::fs::write(
+            "OBS_e16.json",
+            ObsReport::array_to_json_string(&obs_reports),
+        ) {
+            Ok(()) => eprintln!("wrote OBS_e16.json ({} arm reports)", obs_reports.len()),
+            Err(e) => eprintln!("bench_e16: could not write OBS_e16.json: {e}"),
+        }
+    }
+
+    let detection_rows: Vec<Json> = detection
+        .rows
+        .iter()
+        .map(|r| {
+            let caught: Vec<Json> = r
+                .caught
+                .iter()
+                .map(|(label, (c, t))| {
+                    Json::object([
+                        ("label", Json::String(label.as_str().into())),
+                        ("caught", Json::Number(*c as f64)),
+                        ("total", Json::Number(*t as f64)),
+                    ])
+                })
+                .collect();
+            Json::object([
+                ("pilot", Json::String(r.pilot.name().into())),
+                ("devices", Json::Number(r.devices as f64)),
+                ("rounds", Json::Number(r.rounds as f64)),
+                ("records", Json::Number(r.records as f64)),
+                ("attack_devices", Json::Number(r.truth as f64)),
+                ("flagged", Json::Number(r.flagged as f64)),
+                ("tp", Json::Number(r.tp as f64)),
+                ("fp", Json::Number(r.fp as f64)),
+                ("fn", Json::Number(r.fn_missed as f64)),
+                (
+                    "precision",
+                    Json::Number((r.precision * 1000.0).round() / 1000.0),
+                ),
+                ("recall", Json::Number((r.recall * 1000.0).round() / 1000.0)),
+                ("by_label", Json::Array(caught)),
+            ])
+        })
+        .collect();
+    let overhead_rows: Vec<Json> = overhead
+        .rows
+        .iter()
+        .map(|r| {
+            Json::object([
+                ("arm", Json::String(r.arm.into())),
+                ("records", Json::Number(r.records as f64)),
+                (
+                    "elapsed_ms",
+                    Json::Number((r.elapsed_ms * 100.0).round() / 100.0),
+                ),
+                ("records_per_s", Json::Number(r.records_per_s.round())),
+            ])
+        })
+        .collect();
+    let doc = Json::object([
+        ("experiment", Json::String("e16_behavioral_baseline".into())),
+        (
+            "description",
+            Json::String(
+                "Streaming behavioral baseline vs the four labeled pilot \
+                 workloads: device-level precision/recall per pilot \
+                 (deterministic, seed 42) and the wall-clock ingest+pump \
+                 overhead of the live detector vs a muted bank on the \
+                 densest (CBEC) stream, best-of-3 interleaved."
+                    .into(),
+            ),
+        ),
+        ("build", Json::String("release".into())),
+        ("available_parallelism", Json::Number(cores() as f64)),
+        ("seed", Json::Number(42.0)),
+        ("detection", Json::Array(detection_rows)),
+        ("overhead_devices", Json::Number(overhead.devices as f64)),
+        ("overhead_rounds", Json::Number(overhead.rounds as f64)),
+        ("overhead_reps", Json::Number(overhead.reps as f64)),
+        ("overhead", Json::Array(overhead_rows)),
+        (
+            "overhead_frac",
+            Json::Number((overhead.overhead_frac * 10000.0).round() / 10000.0),
+        ),
+        ("recall_floor", Json::Number(RECALL_FLOOR)),
+        ("precision_floor", Json::Number(PRECISION_FLOOR)),
+        ("overhead_budget", Json::Number(OVERHEAD_BUDGET)),
+    ]);
+    println!("{}", doc.to_pretty_string());
+
+    if check_mode {
+        match check(&detection, &overhead) {
+            Ok(()) => eprintln!("bench_e16 --check: ok ({} cores)", cores()),
+            Err(msg) => {
+                eprintln!("bench_e16 --check FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -6,6 +6,7 @@
 //! and is bit-reproducible.
 
 pub mod attacks;
+pub mod baseline;
 pub mod platform;
 pub mod read_path;
 pub mod resilience;
@@ -13,6 +14,11 @@ pub mod scale;
 pub mod water;
 
 pub use attacks::{e12_behavior, e2_dos, e3_tamper, e4_sybil};
+pub use baseline::{
+    e16_baseline_detection, e16_builder, e16_config, e16_overhead_observed, e16_run_pilot,
+    e16_shard_run, e16_spec, DetectorFingerprint, E16OverheadResult, E16OverheadRow, E16Result,
+    E16Row, E16_DEVICES, E16_ROUNDS,
+};
 pub use platform::{
     e11_broker_scale, e11_broker_scale_observed, e11_platform_scale, e5_fog_availability,
     e6_partial_view, e7_auth, e8_crypto, e9_ledger, BrokerScaleRow, E11BrokerScaleResult,
@@ -37,7 +43,10 @@ use crate::report::Report;
 /// `BENCH_e11.json` / `BENCH_e14.json`. E15 ([`e15_read_path_observed`])
 /// is wall-clock for the same reason — `bench_e15` emits
 /// `BENCH_e15.json`, and its deterministic half lives in the compaction
-/// differential suite.
+/// differential suite. E16's wall-clock half
+/// ([`e16_overhead_observed`]) likewise lives in `bench_e16`; its
+/// detection-quality half ([`e16_baseline_detection`]) is deterministic
+/// and included here.
 pub fn run_all(seed: u64) -> Vec<Report> {
     let e1 = e1_water_energy(seed);
     let e2 = e2_dos(seed);
@@ -53,6 +62,7 @@ pub fn run_all(seed: u64) -> Vec<Report> {
     let e12 = e12_behavior(seed);
     let e13 = e13_resilience(seed);
     let e14 = e14_shard_scale(seed);
+    let e16 = e16_baseline_detection(seed);
     vec![
         e1.report(),
         e1.ablation_report(),
@@ -71,5 +81,6 @@ pub fn run_all(seed: u64) -> Vec<Report> {
         e12.report(),
         e13.report(),
         e14.report(),
+        e16.report(),
     ]
 }

@@ -6,8 +6,9 @@
 //!
 //! 1. **Equivalence** (deterministic, in `run_all`): is sharding an
 //!    implementation detail? An N-shard run must produce the same merged
-//!    history, the same cloud-applied record set and the same summed
-//!    `ingest.*`/`sync.*`/`cloud.*` counters as the 1-shard run of the
+//!    history, the same cloud-applied record set, the same summed
+//!    `ingest.*`/`sync.*`/`cloud.*`/`security.baseline.*` counters and
+//!    the same behavioral-baseline flag set as the 1-shard run of the
 //!    same workload. The full differential harness lives in
 //!    `crates/pilots/tests/shard_differential.rs`; the E14 table records
 //!    the equivalence verdict per cell.
@@ -43,9 +44,16 @@ pub struct RunFingerprint {
     pub history: BTreeMap<(String, String), Vec<(u64, u64)>>,
     /// Aggregate-store record set: (key, created_at ms, payload).
     pub records: BTreeSet<(String, u64, Vec<u8>)>,
-    /// Summed `ingest.*`/`sync.*`/`cloud.*` counters from the merged
-    /// tier snapshot.
+    /// Summed `ingest.*`/`sync.*`/`cloud.*`/`security.baseline.*`
+    /// counters from the merged tier snapshot.
     pub counters: BTreeMap<String, u64>,
+    /// Behavioral-baseline verdicts: the union of per-shard flags as
+    /// (device, flag kind, flag time ms). Devices are disjoint across
+    /// shards and the bank's state is per-device, so the set must not
+    /// depend on the shard or worker count (E14 runs a passive bank,
+    /// so here the set is empty — the phased-detector equivalence runs
+    /// in `crates/pilots/tests/detector_differential.rs`).
+    pub flags: BTreeSet<(String, String, u64)>,
 }
 
 /// Builds the E14 platform configuration: a farm-fog deployment on a
@@ -149,14 +157,30 @@ pub fn fingerprint(sp: &mut ShardedPlatform) -> RunFingerprint {
     let counters: BTreeMap<String, u64> = snap
         .counters()
         .filter(|(name, _)| {
-            name.starts_with("ingest.") || name.starts_with("sync.") || name.starts_with("cloud.")
+            name.starts_with("ingest.")
+                || name.starts_with("sync.")
+                || name.starts_with("cloud.")
+                || name.starts_with("security.baseline.")
         })
         .map(|(name, v)| (name.to_owned(), v))
+        .collect();
+    let flags: BTreeSet<(String, String, u64)> = sp
+        .shards()
+        .flat_map(|p| {
+            p.behavior.flags().iter().map(|(device, flag)| {
+                (
+                    device.clone(),
+                    flag.kind.as_str().to_owned(),
+                    flag.at.as_millis(),
+                )
+            })
+        })
         .collect();
     RunFingerprint {
         history,
         records,
         counters,
+        flags,
     }
 }
 

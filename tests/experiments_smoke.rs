@@ -7,7 +7,7 @@ use swamp::pilots::experiments::run_all;
 #[test]
 fn all_reports_generate_and_are_nonempty() {
     let reports = run_all(42);
-    assert_eq!(reports.len(), 17, "E1..E14 plus ablations");
+    assert_eq!(reports.len(), 18, "E1..E16 plus ablations");
     for r in &reports {
         assert!(!r.is_empty(), "{} has rows", r.title);
         assert!(!r.headers.is_empty());
@@ -21,6 +21,7 @@ fn all_reports_generate_and_are_nonempty() {
     let all_titles: String = reports.iter().map(|r| r.title.as_str()).collect();
     for id in [
         "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14",
+        "E16",
     ] {
         assert!(all_titles.contains(id), "missing {id}");
     }
